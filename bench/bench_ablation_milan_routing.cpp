@@ -1,0 +1,138 @@
+// Ablation A3 (§4 / DESIGN.md §5.2): does MiLAN gain from controlling the
+// routing layer? The paper: "we do not exploit any existing routing
+// algorithms, but rather the middleware incorporates this functionality
+// ... to increase the lifetime of a network by incorporating low level
+// network functionality not usually manipulated by the application."
+//
+// Same E10 field and optimal planner, but with battery-powered relays (the
+// regime where route choice matters) — once with middleware-controlled
+// energy-aware routes, once sitting above plain shortest-hop routing.
+//
+// Measured finding (a negative result worth recording): with MiLAN's
+// component-set rotation active, the routing metric barely matters. Two
+// effects stack: (1) conservation — every delivered sample costs one
+// rx+tx at some sink-adjacent relay, so the pooled ingress energy fixes
+// total deliverable data regardless of path choice; (2) MiLAN's own
+// rotation across quadrant sensors already spreads relay load the way the
+// energy-aware metric would. Contrast with E6, where *without* component
+// management (every node always transmits) the routing metric alone
+// changes first-death lifetime by 1.4-1.6x. The two mechanisms are
+// partially redundant load-spreaders; the component layer subsumes the
+// routing layer's contribution in this regime.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "milan/engine.hpp"
+
+using namespace ndsm;
+
+namespace {
+
+struct Outcome {
+  double first_degradation_s = 0;  // first alive sensor became unreachable
+  double infeasible_at_s = 0;
+  std::uint64_t samples = 0;
+  std::uint64_t replans_on_death = 0;
+};
+
+Outcome run(routing::Metric metric, std::uint64_t seed) {
+  bench::Field field{25, 20.0, seed, /*battery_j=*/0.4, metric};
+  field.table = std::make_shared<routing::GlobalRoutingTable>(field.world, metric, 64,
+                                                              duration::seconds(10));
+  field.with_global_routers();
+  // Sink at the centre of the 5x5 lattice: four ingress relays, so route
+  // choice has freedom to spread load (a corner sink has only two).
+  const std::size_t sink_index = 12;
+  field.world.set_battery(field.nodes[sink_index], net::Battery::mains());
+
+  std::vector<milan::Component> sensors;
+  const char* variables[] = {"temperature", "vibration", "acoustic"};
+  const std::size_t hosts[] = {0, 2, 4, 10, 14, 20, 22, 24, 1, 3, 21, 23};
+  for (std::uint64_t i = 0; i < 12; ++i) {
+    milan::Component c;
+    c.id = ComponentId{i + 1};
+    c.node = field.nodes[hosts[i]];
+    c.qos[variables[i % 3]] = 0.9;
+    c.sample_power_w = 0.0002;
+    c.sample_bytes = 32;
+    c.sample_period = duration::millis(500);
+    sensors.push_back(std::move(c));
+  }
+  milan::ApplicationSpec app;
+  app.variables = {"temperature", "vibration", "acoustic"};
+  app.states["on"] = {{"temperature", 0.85}, {"vibration", 0.85}, {"acoustic", 0.85}};
+  app.initial_state = "on";
+
+  milan::EngineConfig cfg;
+  cfg.strategy = milan::Strategy::kOptimal;
+  cfg.replan_interval = duration::seconds(30);
+  milan::MilanEngine engine{field.world,
+                            field.nodes[sink_index],
+                            field.table,
+                            [&](NodeId n) { return field.router_of(n); },
+                            app,
+                            sensors,
+                            cfg};
+
+  Outcome out;
+  field.world.set_death_handler([&](NodeId) { field.table->invalidate(); });
+  engine.start();
+  const Time horizon = duration::hours(3);
+  while (field.sim.now() < horizon && engine.stats().first_infeasible_at < 0) {
+    field.sim.run_until(field.sim.now() + duration::seconds(30));
+    if (out.first_degradation_s == 0) {
+      for (const auto& c : sensors) {
+        if (field.world.alive(c.node) &&
+            !field.table->reachable(c.node, field.nodes[sink_index])) {
+          out.first_degradation_s = to_seconds(field.sim.now());
+          break;
+        }
+      }
+    }
+  }
+  out.infeasible_at_s = engine.stats().first_infeasible_at >= 0
+                            ? to_seconds(engine.stats().first_infeasible_at)
+                            : to_seconds(horizon);
+  out.samples = engine.stats().samples_delivered;
+  out.replans_on_death = engine.stats().replans_on_death;
+  if (out.first_degradation_s == 0) out.first_degradation_s = out.infeasible_at_s;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Ablation A3 — MiLAN with vs without middleware route control",
+                "with set rotation active, routing metric adds little (vs E6: alone, a lot)");
+  std::printf("E10 field, sink centred, battery-powered relays (0.4 J), optimal planner\n\n");
+  std::printf("%-22s %22s %18s %12s %16s\n", "routing", "first degradation s",
+              "infeasible at s", "samples", "death replans");
+  bench::row_sep();
+  double base = 0;
+  double managed = 0;
+  for (const auto metric : {routing::Metric::kHopCount, routing::Metric::kEnergyAware}) {
+    const Outcome o = run(metric, 42);
+    std::printf("%-22s %22.0f %18.0f %12llu %16llu\n",
+                metric == routing::Metric::kHopCount ? "above shortest-hop"
+                                                     : "middleware energy-aware",
+                o.first_degradation_s, o.infeasible_at_s,
+                static_cast<unsigned long long>(o.samples),
+                static_cast<unsigned long long>(o.replans_on_death));
+    if (metric == routing::Metric::kHopCount) {
+      base = o.first_degradation_s;
+    } else {
+      managed = o.first_degradation_s;
+    }
+  }
+  bench::row_sep();
+  std::printf("degradation-onset gain from route control: %.2fx\n",
+              base > 0 ? managed / base : 0.0);
+  std::printf("note: lifetime and samples are conserved (each sample costs one rx+tx\n"
+              "at a sink-adjacent relay; the pooled ingress energy is fixed), and\n"
+              "MiLAN's sensor rotation already spreads relay load — so the routing\n"
+              "metric is ~immaterial HERE, while in E6 (no set management) it gives\n"
+              "1.4-1.6x. The layers are partially redundant load-spreaders.\n");
+  return 0;
+}

@@ -1,0 +1,41 @@
+// E1 / Figure 1: number of middleware references per year in the (modelled)
+// IEEE Xplore database, 1989-2001, plus the §2 correlation claims.
+
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "biblio/corpus.hpp"
+
+using namespace ndsm;
+
+int main() {
+  bench::header("E1 / Figure 1 — middleware references per year (IEEE model)",
+                "zero before 1993, first article 1993, 7 in 1994, ~170/yr by 2000-2001");
+
+  const auto corpus = biblio::Corpus::build_ieee_model();
+  const auto histogram = corpus.histogram({"middleware"}, 1989, 2001);
+
+  std::printf("%-6s %14s %14s %8s\n", "year", "paper(Fig.1)", "reproduced", "bar");
+  bench::row_sep();
+  for (const auto& [year, paper] : biblio::figure1_reference()) {
+    const int mine = histogram.at(year);
+    std::string bar(static_cast<std::size_t>(mine / 4), '#');
+    std::printf("%-6d %14d %14d  %s\n", year, paper, mine, bar.c_str());
+  }
+  bench::row_sep();
+  std::printf("corpus size: %zu entries\n", corpus.size());
+  std::printf("query sizes: middleware=%zu  distributed systems=%zu  network=%zu  "
+              "wireless network=%zu\n",
+              corpus.query({"middleware"}).size(),
+              corpus.query({"distributed systems"}).size(),
+              corpus.query({"network"}).size(),
+              corpus.query({"wireless network"}).size());
+  std::printf("\nSection 2 correlation claims (expected strongly positive):\n");
+  std::printf("  corr(middleware, network)             = %.3f\n",
+              corpus.correlation({"middleware"}, {"network"}, 1989, 2001));
+  std::printf("  corr(middleware, distributed systems) = %.3f\n",
+              corpus.correlation({"middleware"}, {"distributed systems"}, 1989, 2001));
+  std::printf("  corr(middleware, wireless network)    = %.3f\n",
+              corpus.correlation({"middleware"}, {"wireless network"}, 1989, 2001));
+  return 0;
+}

@@ -1,0 +1,91 @@
+// E5 (§3.4): spatial QoS. "a user would like to print a file on the
+// nearest and 'best matched printer.' Some matching algorithms only
+// consider logical location, which is not compatible with spatial QoS."
+//
+// Workload: 30 printers scattered over a 500x500 m floor with varying
+// capability; 200 users at random positions each pick a printer. Logical
+// matching (proximity weight 0) ranks only by capability; spatial QoS
+// blends capability and proximity. Measured: mean distance to the chosen
+// supplier, % of choices within the user's 150 m bound, and mean composite
+// utility (capability score x proximity score).
+
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "qos/matcher.hpp"
+
+using namespace ndsm;
+using serialize::Value;
+
+namespace {
+
+double capability_score(const qos::SupplierQos& s) {
+  return (s.attributes.at("dpi").as_int() >= 1200 ? 1.0 : 0.7) *
+         (s.attributes.at("color").as_bool() ? 1.0 : 0.8) * s.reliability;
+}
+
+}  // namespace
+
+int main() {
+  bench::header("E5 (§3.4) — spatial QoS vs logical-only matching",
+                "spatial matching picks near-and-good; logical-only walks across the floor");
+
+  Rng rng{2003};
+  std::vector<qos::SupplierQos> printers;
+  for (int i = 0; i < 30; ++i) {
+    qos::SupplierQos s;
+    s.service_type = "printer";
+    s.attributes = {{"dpi", Value{rng.bernoulli(0.3) ? 1200 : 600}},
+                    {"color", Value{rng.bernoulli(0.5)}}};
+    s.reliability = rng.uniform(0.85, 0.99);
+    s.position = Vec2{rng.uniform(0, 500), rng.uniform(0, 500)};
+    printers.push_back(std::move(s));
+  }
+
+  struct Acc {
+    double distance_sum = 0;
+    int within_bound = 0;
+    double utility_sum = 0;
+    int chosen = 0;
+  };
+
+  std::printf("%-22s %14s %16s %16s\n", "matching", "mean dist m", "within 150 m %",
+              "mean utility");
+  bench::row_sep();
+  for (const bool spatial : {false, true}) {
+    Acc acc;
+    Rng users{77};
+    for (int u = 0; u < 200; ++u) {
+      const Vec2 at{users.uniform(0, 500), users.uniform(0, 500)};
+      qos::ConsumerQos want;
+      want.service_type = "printer";
+      want.requirements.push_back({"dpi", qos::CmpOp::kGe, Value{600}, 1.0, true});
+      want.requirements.push_back({"color", qos::CmpOp::kEq, Value{true}, 0.5, false});
+      want.position = at;
+      if (spatial) {
+        want.max_distance_m = 150;
+        want.proximity_weight = 2.0;
+      } else {
+        want.proximity_weight = 0.0;  // logical-only: ignore location
+      }
+      const auto ranked = qos::Matcher::rank(want, printers);
+      if (ranked.empty()) continue;
+      const auto& chosen = printers[ranked.front()];
+      const double d = distance(at, *chosen.position);
+      acc.chosen++;
+      acc.distance_sum += d;
+      if (d <= 150) acc.within_bound++;
+      // Composite utility: capability damped by walking distance.
+      acc.utility_sum += capability_score(chosen) * std::max(0.0, 1.0 - d / 500.0);
+    }
+    std::printf("%-22s %14.1f %16.1f %16.3f\n",
+                spatial ? "spatial QoS" : "logical-only",
+                acc.distance_sum / acc.chosen, 100.0 * acc.within_bound / acc.chosen,
+                acc.utility_sum / acc.chosen);
+  }
+  bench::row_sep();
+  std::printf("note: logical-only sends every user to the globally best printer\n"
+              "regardless of where they stand; spatial QoS trades a little\n"
+              "capability for a much shorter walk (the paper's printer example).\n");
+  return 0;
+}

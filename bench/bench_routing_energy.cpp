@@ -1,0 +1,109 @@
+// E6 (§3.5/§4): middleware-integrated energy-aware routing. "the goal of
+// MiLAN is to increase the lifetime of a network by incorporating low
+// level network functionality not usually manipulated by the application."
+//
+// Workload: a wireless sensor grid where every node reports a 100 B
+// reading to the corner sink once per second. Baseline: shortest-hop
+// routing (what a middleware sitting above an existing routing protocol
+// gets). Middleware-managed: energy-aware link costs (tx energy scaled by
+// residual battery) recomputed as batteries drain, spreading relay load.
+// Measured: time to first node death, dead nodes at the 10-minute horizon,
+// and packets delivered. Expected shape: energy-aware extends first-death
+// lifetime by a clear margin because it stops burning the same bottleneck
+// relays. (Once both sink-adjacent relays are gone the field partitions —
+// the classic energy hole — which caps total deliveries for both metrics.)
+
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+
+using namespace ndsm;
+
+namespace {
+
+struct Outcome {
+  double first_death_s = 0;
+  std::size_t dead_at_horizon = 0;
+  std::uint64_t delivered_before_first_death = 0;
+  std::uint64_t delivered_total = 0;
+};
+
+Outcome run(std::size_t n, routing::Metric metric, std::uint64_t seed) {
+  bench::Field field{n, 20.0, seed, /*battery_j=*/0.05, metric};
+  // Energy-aware tables refresh every 5 s so costs track batteries.
+  field.table = std::make_shared<routing::GlobalRoutingTable>(field.world, metric, 64,
+                                                              duration::seconds(5));
+  field.with_global_routers();
+  const NodeId sink = field.nodes[0];
+  field.world.set_battery(sink, net::Battery::mains());  // the sink is infrastructure
+
+  std::uint64_t delivered = 0;
+  field.router_of(sink)->set_delivery_handler(routing::Proto::kApp,
+                                              [&](NodeId, const Bytes&) { delivered++; });
+
+  Outcome out;
+  std::size_t dead = 0;
+  std::uint64_t delivered_at_first_death = 0;
+  field.world.set_death_handler([&](NodeId) {
+    dead++;
+    field.table->invalidate();
+    if (dead == 1) {
+      out.first_death_s = to_seconds(field.sim.now());
+      delivered_at_first_death = delivered;
+    }
+  });
+
+  // Per-node reporting timers (jittered start).
+  std::vector<std::unique_ptr<sim::PeriodicTimer>> timers;
+  Rng rng{seed ^ 0xe6};
+  for (std::size_t i = 1; i < n; ++i) {
+    const NodeId node = field.nodes[i];
+    timers.push_back(std::make_unique<sim::PeriodicTimer>(
+        field.sim, duration::seconds(1), [&, node, i] {
+          if (!field.world.alive(node)) return;
+          field.router_of(node)->send(sink, routing::Proto::kApp, Bytes(100, 0x5a));
+        }));
+    timers.back()->start(duration::millis(rng.uniform_int(0, 999)));
+  }
+
+  field.sim.run_until(duration::minutes(10));
+  if (out.first_death_s == 0) {
+    out.first_death_s = to_seconds(field.sim.now());
+    delivered_at_first_death = delivered;
+  }
+  out.dead_at_horizon = dead;
+  out.delivered_before_first_death = delivered_at_first_death;
+  out.delivered_total = delivered;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::header("E6 (§3.5/§4) — network lifetime: shortest-hop vs energy-aware routing",
+                "energy-aware routing delays first node death and delivers more data");
+  std::printf("100 B report to the sink per node per second, 0.05 J batteries\n\n");
+  std::printf("%-6s %-14s %18s %14s %20s %16s\n", "N", "metric", "first death s",
+              "dead@10min", "delivered@1stdeath", "delivered total");
+  bench::row_sep();
+  for (const std::size_t n : {25u, 49u}) {
+    double gain = 0;
+    double base = 0;
+    for (const auto metric : {routing::Metric::kHopCount, routing::Metric::kEnergyAware}) {
+      const Outcome o = run(n, metric, 42);
+      std::printf("%-6zu %-14s %18.1f %14zu %20llu %16llu\n", n,
+                  metric == routing::Metric::kHopCount ? "hop-count" : "energy-aware",
+                  o.first_death_s, o.dead_at_horizon,
+                  static_cast<unsigned long long>(o.delivered_before_first_death),
+                  static_cast<unsigned long long>(o.delivered_total));
+      if (metric == routing::Metric::kHopCount) {
+        base = o.first_death_s;
+      } else {
+        gain = o.first_death_s;
+      }
+    }
+    std::printf("  -> first-death lifetime gain: %.2fx\n", base > 0 ? gain / base : 0.0);
+    bench::row_sep();
+  }
+  return 0;
+}

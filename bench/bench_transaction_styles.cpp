@@ -1,0 +1,245 @@
+// E7 (§3.6): transaction technologies. "The chosen technology should not
+// over-burden the network, and should not prohibit the interaction between
+// nodes, i.e., it should provide asynchronous connections."
+//
+// Workload: deliver 200 sensor readings (16 B each) from a supplier to a
+// consumer across a 4-hop wireless path, with each interaction style:
+//   rpc-poll     — consumer polls via request/response
+//   pub-sub      — broker-relayed publish/subscribe (extra broker hop)
+//   tuple-space  — supplier OUTs, consumer blocking-INs (space on broker node)
+//   events       — brokerless push to an attached listener
+//   txn-manager  — continuous transaction (§3.6 continuous class)
+// Measured: total bytes on the wire, frames, and mean end-to-end latency
+// per delivered reading. Expected shape: push styles (events, continuous)
+// are cheapest; broker-mediated styles pay a relay penalty; polling pays a
+// round-trip per reading.
+
+#include <cstdio>
+#include <functional>
+
+#include "bench/bench_util.hpp"
+#include "discovery/centralized.hpp"
+#include "discovery/directory_server.hpp"
+#include "transactions/events.hpp"
+#include "transactions/manager.hpp"
+#include "transactions/pubsub.hpp"
+#include "transactions/rpc.hpp"
+#include "transactions/tuple_space.hpp"
+
+using namespace ndsm;
+using serialize::Value;
+
+namespace {
+
+constexpr int kReadings = 200;
+constexpr Time kPeriod = duration::millis(200);
+
+struct Outcome {
+  std::uint64_t bytes = 0;
+  std::uint64_t frames = 0;
+  double latency_ms = 0;
+  int delivered = 0;
+};
+
+// A 9-node line: supplier at one end, consumer at the other, broker
+// in the middle.
+struct Line : bench::Field {
+  Line() : Field(9, 20.0, 5, 0) {
+    for (std::size_t i = 0; i < 9; ++i) {
+      world.set_position(nodes[i], Vec2{static_cast<double>(i) * 20.0, 0});
+    }
+    with_global_routers();
+  }
+  NodeId supplier() { return nodes[8]; }
+  NodeId broker() { return nodes[4]; }
+  NodeId consumer() { return nodes[0]; }
+};
+
+Bytes reading(Time now) {
+  serialize::Writer w;
+  w.svarint(now);
+  Bytes b = std::move(w).take();
+  b.resize(16, 0);
+  return b;
+}
+
+Time decode_stamp(const Bytes& b) {
+  serialize::Reader r{b};
+  return r.svarint().value_or(0);
+}
+
+Outcome measure(Line& line, int delivered, Time latency_sum) {
+  Outcome o;
+  o.bytes = line.world.stats().bytes_on_wire;
+  o.frames = line.world.stats().frames_sent;
+  o.delivered = delivered;
+  o.latency_ms = delivered > 0 ? to_seconds(latency_sum) * 1000.0 / delivered : -1;
+  return o;
+}
+
+Outcome run_rpc_poll() {
+  Line line;
+  transactions::RpcEndpoint server{*line.transports[8]};
+  transactions::RpcEndpoint client{*line.transports[0]};
+  server.register_method("read", [&](NodeId, const Bytes&) -> Result<Bytes> {
+    return reading(line.sim.now());
+  });
+  int delivered = 0;
+  Time latency_sum = 0;
+  line.world.reset_stats();
+  sim::PeriodicTimer poll{line.sim, kPeriod, [&] {
+                            if (delivered >= kReadings) return;
+                            client.call(line.supplier(), "read", {},
+                                        [&](Result<Bytes> r) {
+                                          if (!r.is_ok()) return;
+                                          delivered++;
+                                          latency_sum += line.sim.now() -
+                                                         decode_stamp(r.value());
+                                        },
+                                        duration::seconds(2));
+                          }};
+  poll.start();
+  line.sim.run_until(kPeriod * (kReadings + 25));
+  return measure(line, delivered, latency_sum);
+}
+
+Outcome run_pubsub() {
+  Line line;
+  transactions::PubSubBroker broker{*line.transports[4]};
+  transactions::PubSubClient pub{*line.transports[8], line.broker()};
+  transactions::PubSubClient sub{*line.transports[0], line.broker()};
+  int delivered = 0;
+  Time latency_sum = 0;
+  sub.subscribe("readings", [&](const std::string&, const Bytes& d, NodeId) {
+    delivered++;
+    latency_sum += line.sim.now() - decode_stamp(d);
+  });
+  line.sim.run_until(duration::millis(100));
+  line.world.reset_stats();
+  int published = 0;
+  sim::PeriodicTimer push{line.sim, kPeriod, [&] {
+                            if (published++ >= kReadings) return;
+                            pub.publish("readings", reading(line.sim.now()));
+                          }};
+  push.start();
+  line.sim.run_until(kPeriod * (kReadings + 25));
+  return measure(line, delivered, latency_sum);
+}
+
+Outcome run_tuple_space() {
+  Line line;
+  transactions::TupleSpaceServer space{*line.transports[4]};
+  transactions::TupleSpaceClient writer{*line.transports[8], line.broker()};
+  transactions::TupleSpaceClient taker{*line.transports[0], line.broker()};
+  int delivered = 0;
+  Time latency_sum = 0;
+  // Consumer: chained blocking IN.
+  std::function<void()> take_next = [&] {
+    taker.in(transactions::Tuple{Value{"r"}, Value::wildcard()},
+             [&](bool found, transactions::Tuple t) {
+               if (found) {
+                 delivered++;
+                 latency_sum += line.sim.now() - t[1].as_int();
+               }
+               if (delivered < kReadings) take_next();
+             },
+             /*blocking=*/true, duration::seconds(30));
+  };
+  line.sim.run_until(duration::millis(100));
+  line.world.reset_stats();
+  take_next();
+  int produced = 0;
+  sim::PeriodicTimer push{line.sim, kPeriod, [&] {
+                            if (produced++ >= kReadings) return;
+                            writer.out(transactions::Tuple{
+                                Value{"r"}, Value{line.sim.now()}});
+                          }};
+  push.start();
+  line.sim.run_until(kPeriod * (kReadings + 50));
+  return measure(line, delivered, latency_sum);
+}
+
+Outcome run_events() {
+  Line line;
+  transactions::EventChannel producer{*line.transports[8]};
+  transactions::EventChannel listener{*line.transports[0]};
+  int delivered = 0;
+  Time latency_sum = 0;
+  listener.attach(line.supplier(), "reading", [&](const transactions::Event& e) {
+    delivered++;
+    latency_sum += line.sim.now() - e.emitted;
+  });
+  line.sim.run_until(duration::millis(100));
+  line.world.reset_stats();
+  int produced = 0;
+  sim::PeriodicTimer push{line.sim, kPeriod, [&] {
+                            if (produced++ >= kReadings) return;
+                            producer.emit("reading", Value{Bytes(8, 0)});
+                          }};
+  push.start();
+  line.sim.run_until(kPeriod * (kReadings + 25));
+  return measure(line, delivered, latency_sum);
+}
+
+Outcome run_txn_manager() {
+  Line line;
+  discovery::DirectoryServer directory{*line.transports[4]};
+  discovery::CentralizedDiscovery supplier_disco{*line.transports[8], {line.broker()}};
+  discovery::CentralizedDiscovery consumer_disco{*line.transports[0], {line.broker()}};
+  transactions::TransactionManager supplier{*line.transports[8], supplier_disco};
+  transactions::TransactionManager consumer{*line.transports[0], consumer_disco};
+
+  supplier.serve("reading", [&] { return reading(line.sim.now()); });
+  qos::SupplierQos s;
+  s.service_type = "reading";
+  supplier_disco.register_service(s, duration::seconds(600));
+  line.sim.run_until(duration::millis(500));
+  line.world.reset_stats();
+
+  int delivered = 0;
+  Time latency_sum = 0;
+  transactions::TransactionSpec spec;
+  spec.consumer.service_type = "reading";
+  spec.kind = transactions::TransactionKind::kContinuous;
+  spec.period = kPeriod;
+  TransactionId tx;
+  tx = consumer.begin(spec, [&](const Bytes& data, NodeId, Time) {
+    if (delivered < kReadings) {
+      delivered++;
+      latency_sum += line.sim.now() - decode_stamp(data);
+      if (delivered == kReadings) consumer.end(tx);
+    }
+  });
+  line.sim.run_until(kPeriod * (kReadings + 40));
+  return measure(line, delivered, latency_sum);
+}
+
+}  // namespace
+
+int main() {
+  bench::header("E7 (§3.6) — interaction styles at equal delivered data",
+                "push styles cheapest; broker relays pay a hop penalty; polling pays RTTs");
+  std::printf("200 readings x 16 B, supplier 8 hops from consumer, broker mid-path\n\n");
+  std::printf("%-14s %10s %14s %12s %14s %14s\n", "style", "delivered", "bytes on wire",
+              "frames", "bytes/reading", "latency ms");
+  bench::row_sep();
+  struct Entry {
+    const char* name;
+    Outcome (*fn)();
+  };
+  const Entry entries[] = {
+      {"events", run_events},       {"txn-manager", run_txn_manager},
+      {"pub-sub", run_pubsub},      {"tuple-space", run_tuple_space},
+      {"rpc-poll", run_rpc_poll},
+  };
+  for (const auto& e : entries) {
+    const Outcome o = e.fn();
+    std::printf("%-14s %10d %14llu %12llu %14.0f %14.2f\n", e.name, o.delivered,
+                static_cast<unsigned long long>(o.bytes),
+                static_cast<unsigned long long>(o.frames),
+                o.delivered > 0 ? static_cast<double>(o.bytes) / o.delivered : 0.0,
+                o.latency_ms);
+  }
+  bench::row_sep();
+  return 0;
+}

@@ -1,0 +1,80 @@
+#pragma once
+// Shared helpers for the experiment harness: table printing and canned
+// network fields. Each bench binary regenerates one table/figure from
+// DESIGN.md's experiment index and prints paper-value vs measured where a
+// paper value exists.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/link_spec.hpp"
+#include "net/world.hpp"
+#include "routing/flooding.hpp"
+#include "routing/global.hpp"
+#include "sim/simulator.hpp"
+#include "transport/reliable.hpp"
+
+namespace ndsm::bench {
+
+inline void header(const std::string& id, const std::string& claim) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", id.c_str());
+  std::printf("claim: %s\n", claim.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void row_sep() {
+  std::printf("----------------------------------------------------------------\n");
+}
+
+// A wireless multi-hop field: sqrt(n) x sqrt(n) lattice, node 0 at the
+// corner (typically the sink/directory).
+struct Field {
+  Field(std::size_t n, double spacing, std::uint64_t seed, double battery_j,
+        routing::Metric metric = routing::Metric::kHopCount, double loss = 0.0,
+        net::LinkSpec base = net::wifi80211())
+      : sim(seed), world(sim) {
+    base.range_m = spacing * 1.25;  // 4-connected lattice
+    base.loss_probability = loss;
+    medium = world.add_medium(base);
+    const auto side = static_cast<std::size_t>(std::ceil(std::sqrt(static_cast<double>(n))));
+    table = std::make_shared<routing::GlobalRoutingTable>(world, metric);
+    for (std::size_t i = 0; i < n; ++i) {
+      const Vec2 pos{static_cast<double>(i % side) * spacing,
+                     static_cast<double>(i / side) * spacing};
+      const NodeId id = world.add_node(
+          pos, battery_j > 0 ? net::Battery{battery_j} : net::Battery::mains());
+      world.attach(id, medium);
+      nodes.push_back(id);
+    }
+  }
+
+  template <class RouterT, class... Args>
+  void with_routers(Args&&... args) {
+    for (const NodeId id : nodes) {
+      routers.push_back(std::make_unique<RouterT>(world, id, args...));
+      transports.push_back(std::make_unique<transport::ReliableTransport>(*routers.back()));
+    }
+  }
+
+  void with_global_routers() { with_routers<routing::GlobalRouter>(table); }
+
+  routing::Router* router_of(NodeId id) {
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      if (nodes[i] == id) return routers[i].get();
+    }
+    return nullptr;
+  }
+
+  sim::Simulator sim;
+  net::World world;
+  MediumId medium;
+  std::shared_ptr<routing::GlobalRoutingTable> table;
+  std::vector<NodeId> nodes;
+  std::vector<std::unique_ptr<routing::Router>> routers;
+  std::vector<std::unique_ptr<transport::ReliableTransport>> transports;
+};
+
+}  // namespace ndsm::bench

@@ -1,0 +1,142 @@
+// Personal health monitor on MiLAN (§4 and the authors' driving
+// application): a body-area wireless sensor network with redundant heart
+// rate, blood pressure and SpO2 sensors. MiLAN keeps just enough sensors
+// active to satisfy the current patient state, switches sets as the state
+// escalates (rest -> exercise -> emergency), and survives a sensor death.
+//
+// Build & run:  ./build/examples/health_monitor
+
+#include <iomanip>
+#include <iostream>
+
+#include "milan/engine.hpp"
+#include "net/link_spec.hpp"
+#include "net/world.hpp"
+#include "routing/global.hpp"
+#include "sim/simulator.hpp"
+
+using namespace ndsm;
+
+namespace {
+
+milan::Component sensor(std::uint64_t id, NodeId node, const std::string& variable,
+                        double reliability, double power_w) {
+  milan::Component c;
+  c.id = ComponentId{id};
+  c.node = node;
+  c.name = variable + "#" + std::to_string(id);
+  c.qos[variable] = reliability;
+  c.sample_power_w = power_w;
+  c.sample_bytes = 24;
+  c.sample_period = duration::millis(500);
+  return c;
+}
+
+void print_plan(const milan::MilanEngine& engine, const std::string& when) {
+  const auto& plan = engine.current_plan();
+  std::cout << "  [" << when << "] state=" << engine.state()
+            << " feasible=" << (plan.feasible ? "yes" : "NO") << " active={";
+  for (std::size_t i = 0; i < plan.active.size(); ++i) {
+    std::cout << (i ? "," : "") << plan.active[i].value();
+  }
+  std::cout << "} est.lifetime=" << std::fixed << std::setprecision(0)
+            << plan.estimated_lifetime_s << "s\n";
+}
+
+}  // namespace
+
+int main() {
+  sim::Simulator sim{7};
+  net::World world{sim};
+  const MediumId ban = world.add_medium(net::sensor_radio(/*range_m=*/3.0));
+
+  // Sink (PDA on the belt, mains/big battery) + 7 sensor nodes on the body.
+  std::vector<NodeId> nodes;
+  const Vec2 positions[] = {{0, 0},    {0.5, 1.2}, {-0.5, 1.2}, {0.3, 0.7},
+                            {-0.3, 0.7}, {0.2, 1.6}, {-0.2, 1.6}, {0.0, 1.0}};
+  for (int i = 0; i < 8; ++i) {
+    nodes.push_back(world.add_node(positions[i],
+                                   i == 0 ? net::Battery::mains() : net::Battery{5.0}));
+    world.attach(nodes.back(), ban);
+  }
+
+  auto table =
+      std::make_shared<routing::GlobalRoutingTable>(world, routing::Metric::kEnergyAware);
+  std::vector<std::unique_ptr<routing::GlobalRouter>> routers;
+  for (const NodeId n : nodes) {
+    routers.push_back(std::make_unique<routing::GlobalRouter>(world, n, table));
+  }
+
+  // Redundant sensors: two of each vital sign, with different quality/cost.
+  std::vector<milan::Component> sensors = {
+      sensor(1, nodes[1], "heart_rate", 0.95, 0.0008),
+      sensor(2, nodes[2], "heart_rate", 0.90, 0.0004),
+      sensor(3, nodes[3], "blood_pressure", 0.92, 0.0010),
+      sensor(4, nodes[4], "blood_pressure", 0.88, 0.0005),
+      sensor(5, nodes[5], "spo2", 0.93, 0.0006),
+      sensor(6, nodes[6], "spo2", 0.90, 0.0006),
+      sensor(7, nodes[7], "respiration", 0.9, 0.0007),
+  };
+
+  milan::ApplicationSpec app;
+  app.name = "personal-health-monitor";
+  app.variables = {"heart_rate", "blood_pressure", "spo2", "respiration"};
+  app.states["rest"] = {{"heart_rate", 0.8}, {"spo2", 0.7}};
+  app.states["exercise"] = {{"heart_rate", 0.9}, {"blood_pressure", 0.8}, {"spo2", 0.8}};
+  app.states["emergency"] = {{"heart_rate", 0.99},
+                             {"blood_pressure", 0.95},
+                             {"spo2", 0.9},
+                             {"respiration", 0.8}};
+  app.initial_state = "rest";
+
+  milan::MilanEngine engine{
+      world, nodes[0], table,
+      [&](NodeId n) -> routing::Router* {
+        for (std::size_t i = 0; i < nodes.size(); ++i) {
+          if (nodes[i] == n) return routers[i].get();
+        }
+        return nullptr;
+      },
+      app, sensors, milan::EngineConfig{milan::Strategy::kOptimal, duration::seconds(30), 1}};
+
+  std::cout << "== personal health monitor (MiLAN) ==\n";
+  engine.start();
+  print_plan(engine, "t=0 start");
+
+  sim.schedule_at(duration::seconds(20), [&] {
+    std::cout << "  -- patient starts exercising --\n";
+    engine.set_state("exercise");
+    print_plan(engine, "t=20s");
+  });
+  sim.schedule_at(duration::seconds(40), [&] {
+    std::cout << "  -- emergency detected! --\n";
+    engine.set_state("emergency");
+    print_plan(engine, "t=40s");
+  });
+  sim.schedule_at(duration::seconds(60), [&] {
+    std::cout << "  -- heart-rate sensor #1 fails --\n";
+    world.kill(nodes[1]);
+  });
+  sim.schedule_at(duration::seconds(62), [&] { print_plan(engine, "t=62s after failure"); });
+  sim.schedule_at(duration::seconds(80), [&] {
+    std::cout << "  -- patient stabilizes, back to rest --\n";
+    engine.set_state("rest");
+    print_plan(engine, "t=80s");
+  });
+
+  sim.run_until(duration::seconds(100));
+
+  const auto& stats = engine.stats();
+  std::cout << "\nsummary after " << format_time(sim.now()) << ":\n"
+            << "  plans computed:      " << stats.plans << "\n"
+            << "  replans on death:    " << stats.replans_on_death << "\n"
+            << "  replans on state:    " << stats.replans_on_state << "\n"
+            << "  samples sent:        " << stats.samples_sent << "\n"
+            << "  samples at sink:     " << stats.samples_delivered << "\n";
+  for (int i = 1; i < 8; ++i) {
+    std::cout << "  node " << i << " battery: " << std::fixed << std::setprecision(4)
+              << world.battery(nodes[static_cast<std::size_t>(i)]).remaining() << " J"
+              << (world.alive(nodes[static_cast<std::size_t>(i)]) ? "" : " (dead)") << "\n";
+  }
+  return 0;
+}

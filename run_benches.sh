@@ -1,0 +1,11 @@
+#!/bin/bash
+# Regenerates every table/figure (DESIGN.md experiment index) into bench_output.txt.
+cd /root/repo
+: > bench_output.txt
+for b in build/bench/*; do
+  [ -x "$b" ] && [ -f "$b" ] || continue
+  echo "######## $(basename $b)" >> bench_output.txt
+  timeout 900 "$b" >> bench_output.txt 2>&1
+  echo "" >> bench_output.txt
+done
+echo "ALL_BENCHES_DONE" >> bench_output.txt

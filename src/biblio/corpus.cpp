@@ -1,0 +1,157 @@
+#include "biblio/corpus.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace ndsm::biblio {
+
+const std::map<int, int>& figure1_reference() {
+  // Digitized from Figure 1 (bar heights) cross-checked against the §2
+  // text: zero before 1993, "the first middleware article was published in
+  // 1993", "increased to 7 in 1994", "approximately 170 articles/year" at
+  // the end of the series.
+  static const std::map<int, int> series = {
+      {1989, 0},  {1990, 0},  {1991, 0},   {1992, 0},   {1993, 1},
+      {1994, 7},  {1995, 22}, {1996, 55},  {1997, 98},  {1998, 130},
+      {1999, 158}, {2000, 170}, {2001, 174},
+  };
+  return series;
+}
+
+namespace {
+
+const char* const kMiddlewareTopics[] = {
+    "CORBA object services",        "message oriented communication",
+    "publish subscribe systems",    "tuple space coordination",
+    "remote procedure call design", "service discovery protocols",
+    "QoS aware adaptation",         "mobile agent platforms",
+    "real-time object brokers",     "embedded device integration",
+};
+
+const char* const kVenues[] = {
+    "ICDCS", "Middleware Workshop", "INFOCOM", "ISORC", "GLOBECOM", "HICSS",
+};
+
+// Background literature sizes (order-of-magnitude model of IEEE Xplore):
+// distributed systems and networks dwarf middleware and grow through the
+// decade; wireless networks take off mid-decade.
+int distributed_count(int year) {
+  return year < 1989 ? 0 : 40 + (year - 1989) * 22;
+}
+int network_count(int year) { return 120 + (year - 1989) * 45; }
+int wireless_count(int year) {
+  return year < 1993 ? 4 : 8 + (year - 1993) * 28;
+}
+
+}  // namespace
+
+Corpus Corpus::build_ieee_model() {
+  Corpus corpus;
+  Rng rng{0xb1b7u};
+
+  auto make_title = [&rng](const char* field, int year, int i) {
+    const char* topic =
+        kMiddlewareTopics[static_cast<std::size_t>(rng.uniform_int(0, 9))];
+    return std::string(field) + " for " + topic + " (" + std::to_string(year) + "-" +
+           std::to_string(i) + ")";
+  };
+
+  for (int year = 1989; year <= 2001; ++year) {
+    const int mw = figure1_reference().at(year);
+    for (int i = 0; i < mw; ++i) {
+      Entry e;
+      e.year = year;
+      e.title = make_title("middleware", year, i);
+      e.venue = kVenues[static_cast<std::size_t>(rng.uniform_int(0, 5))];
+      e.keywords = {"middleware"};
+      // Reflect §2: middleware work increasingly cites networks over time.
+      if (year >= 1997 && rng.bernoulli(0.6)) e.keywords.push_back("network");
+      if (rng.bernoulli(0.5)) e.keywords.push_back("distributed systems");
+      if (year >= 1999 && rng.bernoulli(0.3)) e.keywords.push_back("wireless network");
+      corpus.add(std::move(e));
+    }
+    for (int i = 0; i < distributed_count(year); ++i) {
+      Entry e;
+      e.year = year;
+      e.title = make_title("distributed systems", year, i);
+      e.venue = kVenues[static_cast<std::size_t>(rng.uniform_int(0, 5))];
+      e.keywords = {"distributed systems"};
+      corpus.add(std::move(e));
+    }
+    for (int i = 0; i < network_count(year); ++i) {
+      Entry e;
+      e.year = year;
+      e.title = make_title("network", year, i);
+      e.venue = kVenues[static_cast<std::size_t>(rng.uniform_int(0, 5))];
+      e.keywords = {"network"};
+      corpus.add(std::move(e));
+    }
+    for (int i = 0; i < wireless_count(year); ++i) {
+      Entry e;
+      e.year = year;
+      e.title = make_title("wireless network", year, i);
+      e.venue = kVenues[static_cast<std::size_t>(rng.uniform_int(0, 5))];
+      e.keywords = {"wireless network", "network"};
+      corpus.add(std::move(e));
+    }
+  }
+  return corpus;
+}
+
+bool Corpus::matches(const Entry& entry, const std::vector<std::string>& terms) {
+  for (const auto& term : terms) {
+    bool found = entry.title.find(term) != std::string::npos;
+    for (const auto& kw : entry.keywords) {
+      found = found || kw.find(term) != std::string::npos;
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+std::vector<const Entry*> Corpus::query(const std::vector<std::string>& terms) const {
+  std::vector<const Entry*> out;
+  for (const auto& entry : entries_) {
+    if (matches(entry, terms)) out.push_back(&entry);
+  }
+  return out;
+}
+
+std::map<int, int> Corpus::histogram(const std::vector<std::string>& terms, int from,
+                                     int to) const {
+  std::map<int, int> out;
+  for (int year = from; year <= to; ++year) out[year] = 0;
+  for (const Entry* entry : query(terms)) {
+    if (entry->year >= from && entry->year <= to) out[entry->year]++;
+  }
+  return out;
+}
+
+double Corpus::correlation(const std::vector<std::string>& a, const std::vector<std::string>& b,
+                           int from, int to) const {
+  const auto ha = histogram(a, from, to);
+  const auto hb = histogram(b, from, to);
+  const auto n = static_cast<double>(ha.size());
+  double sum_a = 0;
+  double sum_b = 0;
+  for (const auto& [year, count] : ha) sum_a += count;
+  for (const auto& [year, count] : hb) sum_b += count;
+  const double mean_a = sum_a / n;
+  const double mean_b = sum_b / n;
+  double cov = 0;
+  double var_a = 0;
+  double var_b = 0;
+  for (int year = from; year <= to; ++year) {
+    const double da = ha.at(year) - mean_a;
+    const double db = hb.at(year) - mean_b;
+    cov += da * db;
+    var_a += da * da;
+    var_b += db * db;
+  }
+  if (var_a <= 0 || var_b <= 0) return 0.0;
+  return cov / std::sqrt(var_a * var_b);
+}
+
+}  // namespace ndsm::biblio

@@ -1,0 +1,56 @@
+#pragma once
+// Bibliometric substrate for §2 / Figure 1. The paper's only figure counts
+// middleware-related references per year (1989-2001) in the IEEE Xplore
+// database. We cannot query IEEE Xplore offline, so we embed a synthetic
+// corpus whose per-year keyword profile matches the paper's reported
+// series (digitized from Figure 1 and the §2 text: first article 1993,
+// 7 articles in 1994, rising to ~170/year by 2000-2001), together with the
+// larger "distributed systems" / "network" / "wireless network" literatures
+// whose growth the paper correlates middleware against. The query engine
+// reproduces the pipeline: keyword query -> per-year histogram.
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ndsm::biblio {
+
+struct Entry {
+  int year = 0;
+  std::string title;
+  std::string venue;
+  std::vector<std::string> keywords;
+};
+
+// The digitized Figure 1 series: year -> number of middleware references.
+[[nodiscard]] const std::map<int, int>& figure1_reference();
+
+class Corpus {
+ public:
+  // The embedded IEEE-Xplore-model corpus (deterministic).
+  static Corpus build_ieee_model();
+
+  void add(Entry entry) { entries_.push_back(std::move(entry)); }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+  // All entries matching every term (case-sensitive substring over title +
+  // keywords — the "very simple queries" of §2).
+  [[nodiscard]] std::vector<const Entry*> query(const std::vector<std::string>& terms) const;
+
+  // Per-year counts for a query, over [from, to] inclusive (zero-filled).
+  [[nodiscard]] std::map<int, int> histogram(const std::vector<std::string>& terms, int from,
+                                             int to) const;
+
+  // Pearson correlation between the yearly counts of two queries over
+  // [from, to] — §2's "positive correlation" between middleware and
+  // networks/distributed-systems publication activity.
+  [[nodiscard]] double correlation(const std::vector<std::string>& a,
+                                   const std::vector<std::string>& b, int from, int to) const;
+
+ private:
+  [[nodiscard]] static bool matches(const Entry& entry, const std::vector<std::string>& terms);
+
+  std::vector<Entry> entries_;
+};
+
+}  // namespace ndsm::biblio

@@ -1,0 +1,36 @@
+#pragma once
+// Raw byte payloads exchanged by the middleware.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ndsm {
+
+using Bytes = std::vector<std::uint8_t>;
+
+[[nodiscard]] inline Bytes to_bytes(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+[[nodiscard]] inline std::string to_string(const Bytes& b) {
+  return std::string(b.begin(), b.end());
+}
+
+// FNV-1a 64-bit hash, used for content digests and (placeholder) password
+// verification in service discovery — not cryptographic.
+[[nodiscard]] inline std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+[[nodiscard]] inline std::uint64_t fnv1a(const Bytes& b) {
+  return fnv1a(std::string_view{reinterpret_cast<const char*>(b.data()), b.size()});
+}
+
+}  // namespace ndsm

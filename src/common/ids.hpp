@@ -1,0 +1,78 @@
+#pragma once
+// Strongly-typed identifiers used throughout the middleware.
+//
+// Every entity that crosses a module boundary (nodes, services,
+// transactions, ...) is addressed by a StrongId with a unique tag type, so
+// that e.g. a NodeId can never be passed where a ServiceId is expected.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace ndsm {
+
+template <class Tag>
+class StrongId {
+ public:
+  using underlying_type = std::uint64_t;
+
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(underlying_type v) : value_(v) {}
+
+  [[nodiscard]] constexpr underlying_type value() const { return value_; }
+  [[nodiscard]] constexpr bool valid() const { return value_ != kInvalid; }
+
+  friend constexpr bool operator==(StrongId a, StrongId b) { return a.value_ == b.value_; }
+  friend constexpr bool operator!=(StrongId a, StrongId b) { return a.value_ != b.value_; }
+  friend constexpr bool operator<(StrongId a, StrongId b) { return a.value_ < b.value_; }
+  friend constexpr bool operator>(StrongId a, StrongId b) { return a.value_ > b.value_; }
+  friend constexpr bool operator<=(StrongId a, StrongId b) { return a.value_ <= b.value_; }
+  friend constexpr bool operator>=(StrongId a, StrongId b) { return a.value_ >= b.value_; }
+
+  [[nodiscard]] std::string to_string() const { return std::to_string(value_); }
+
+  static constexpr underlying_type kInvalid = ~underlying_type{0};
+  static constexpr StrongId invalid() { return StrongId{kInvalid}; }
+
+ private:
+  underlying_type value_ = kInvalid;
+};
+
+struct NodeIdTag {};
+struct MediumIdTag {};
+struct ServiceIdTag {};
+struct TransactionIdTag {};
+struct ComponentIdTag {};
+struct EventIdTag {};
+struct SubscriptionIdTag {};
+struct RequestIdTag {};
+
+using NodeId = StrongId<NodeIdTag>;
+using MediumId = StrongId<MediumIdTag>;
+using ServiceId = StrongId<ServiceIdTag>;
+using TransactionId = StrongId<TransactionIdTag>;
+using ComponentId = StrongId<ComponentIdTag>;
+using EventId = StrongId<EventIdTag>;
+using SubscriptionId = StrongId<SubscriptionIdTag>;
+using RequestId = StrongId<RequestIdTag>;
+
+// Monotonic generator for a given id type.
+template <class Id>
+class IdGenerator {
+ public:
+  Id next() { return Id{next_++}; }
+
+ private:
+  typename Id::underlying_type next_ = 0;
+};
+
+}  // namespace ndsm
+
+namespace std {
+template <class Tag>
+struct hash<ndsm::StrongId<Tag>> {
+  size_t operator()(ndsm::StrongId<Tag> id) const noexcept {
+    return std::hash<std::uint64_t>{}(id.value());
+  }
+};
+}  // namespace std

@@ -1,0 +1,40 @@
+#pragma once
+// Minimal leveled logger. Default threshold is kWarn so tests and benches
+// stay quiet; examples raise it to kInfo.
+
+#include <sstream>
+#include <string>
+
+namespace ndsm {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  [[nodiscard]] LogLevel level() const { return level_; }
+  [[nodiscard]] bool enabled(LogLevel level) const { return level >= level_; }
+
+  void write(LogLevel level, const std::string& component, const std::string& message);
+
+ private:
+  LogLevel level_ = LogLevel::kWarn;
+};
+
+#define NDSM_LOG(level, component, expr)                                 \
+  do {                                                                   \
+    if (::ndsm::Logger::instance().enabled(level)) {                     \
+      std::ostringstream ndsm_log_os_;                                   \
+      ndsm_log_os_ << expr;                                              \
+      ::ndsm::Logger::instance().write(level, component, ndsm_log_os_.str()); \
+    }                                                                    \
+  } while (0)
+
+#define NDSM_DEBUG(component, expr) NDSM_LOG(::ndsm::LogLevel::kDebug, component, expr)
+#define NDSM_INFO(component, expr) NDSM_LOG(::ndsm::LogLevel::kInfo, component, expr)
+#define NDSM_WARN(component, expr) NDSM_LOG(::ndsm::LogLevel::kWarn, component, expr)
+#define NDSM_ERROR(component, expr) NDSM_LOG(::ndsm::LogLevel::kError, component, expr)
+
+}  // namespace ndsm

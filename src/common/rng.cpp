@@ -1,0 +1,72 @@
+#include "common/rng.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace ndsm {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+Rng::Rng(std::uint64_t seed, std::uint64_t stream)
+    : state_(0), inc_((splitmix64(stream) << 1u) | 1u) {
+  next_u32();
+  state_ += splitmix64(seed);
+  next_u32();
+}
+
+std::uint32_t Rng::next_u32() {
+  const std::uint64_t old = state_;
+  state_ = old * 6364136223846793005ULL + inc_;
+  const auto xorshifted = static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+  const auto rot = static_cast<std::uint32_t>(old >> 59u);
+  return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+}
+
+std::uint64_t Rng::next_u64() {
+  return (static_cast<std::uint64_t>(next_u32()) << 32) | next_u32();
+}
+
+double Rng::uniform() {
+  // 53-bit mantissa from a 64-bit draw.
+  return static_cast<double>(next_u64() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+double Rng::uniform(double lo, double hi) {
+  assert(lo <= hi);
+  return lo + (hi - lo) * uniform();
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  assert(lo <= hi);
+  const auto range = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (range == 0) return static_cast<std::int64_t>(next_u64());  // full range
+  return lo + static_cast<std::int64_t>(next_u64() % range);
+}
+
+bool Rng::bernoulli(double p) { return uniform() < p; }
+
+double Rng::exponential(double mean) {
+  assert(mean > 0);
+  double u = uniform();
+  if (u <= 0) u = 1e-300;
+  return -mean * std::log(u);
+}
+
+double Rng::normal(double mean, double stddev) {
+  double u1 = uniform();
+  if (u1 <= 0) u1 = 1e-300;
+  const double u2 = uniform();
+  const double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+  return mean + stddev * z;
+}
+
+Rng Rng::fork(std::uint64_t salt) {
+  return Rng{splitmix64(state_ ^ salt), splitmix64(inc_ + salt)};
+}
+
+}  // namespace ndsm

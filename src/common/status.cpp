@@ -1,0 +1,23 @@
+#include "common/status.hpp"
+
+namespace ndsm {
+
+std::string_view to_string(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk: return "OK";
+    case ErrorCode::kNotFound: return "NOT_FOUND";
+    case ErrorCode::kTimeout: return "TIMEOUT";
+    case ErrorCode::kUnreachable: return "UNREACHABLE";
+    case ErrorCode::kRejected: return "REJECTED";
+    case ErrorCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case ErrorCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case ErrorCode::kUnavailable: return "UNAVAILABLE";
+    case ErrorCode::kCorrupt: return "CORRUPT";
+    case ErrorCode::kAlreadyExists: return "ALREADY_EXISTS";
+    case ErrorCode::kCancelled: return "CANCELLED";
+    case ErrorCode::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace ndsm

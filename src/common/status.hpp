@@ -1,0 +1,94 @@
+#pragma once
+// Error handling: Status (code + message) and Result<T> (value or Status).
+//
+// The middleware is exception-free on hot paths; operations that can fail
+// for environmental reasons (peer unreachable, no matching service, ...)
+// return Status/Result. Programming errors use assertions.
+
+#include <cassert>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace ndsm {
+
+enum class ErrorCode {
+  kOk = 0,
+  kNotFound,
+  kTimeout,
+  kUnreachable,
+  kRejected,        // e.g. authentication failure
+  kInvalidArgument,
+  kResourceExhausted,  // battery dead, bandwidth budget exceeded
+  kUnavailable,        // supplier offline / departed
+  kCorrupt,            // serialization / log corruption
+  kAlreadyExists,
+  kCancelled,
+  kInternal,
+};
+
+[[nodiscard]] std::string_view to_string(ErrorCode code);
+
+class Status {
+ public:
+  Status() = default;  // OK
+  Status(ErrorCode code, std::string message) : code_(code), message_(std::move(message)) {}
+
+  static Status ok() { return {}; }
+
+  [[nodiscard]] bool is_ok() const { return code_ == ErrorCode::kOk; }
+  [[nodiscard]] ErrorCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
+
+  [[nodiscard]] std::string to_string() const {
+    std::string s{ndsm::to_string(code_)};
+    if (!message_.empty()) s += ": " + message_;
+    return s;
+  }
+
+  friend bool operator==(const Status& a, const Status& b) { return a.code_ == b.code_; }
+
+ private:
+  ErrorCode code_ = ErrorCode::kOk;
+  std::string message_;
+};
+
+template <class T>
+class Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}                      // NOLINT(google-explicit-constructor)
+  Result(Status status) : data_(std::move(status)) {                // NOLINT(google-explicit-constructor)
+    assert(!std::get<Status>(data_).is_ok() && "Result error must not be kOk");
+  }
+  Result(ErrorCode code, std::string message) : data_(Status{code, std::move(message)}) {}
+
+  [[nodiscard]] bool is_ok() const { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const { return is_ok(); }
+
+  [[nodiscard]] const T& value() const& {
+    assert(is_ok());
+    return std::get<T>(data_);
+  }
+  [[nodiscard]] T& value() & {
+    assert(is_ok());
+    return std::get<T>(data_);
+  }
+  [[nodiscard]] T&& take() && {
+    assert(is_ok());
+    return std::get<T>(std::move(data_));
+  }
+  [[nodiscard]] T value_or(T fallback) const {
+    return is_ok() ? std::get<T>(data_) : std::move(fallback);
+  }
+
+  [[nodiscard]] Status status() const {
+    return is_ok() ? Status::ok() : std::get<Status>(data_);
+  }
+  [[nodiscard]] ErrorCode code() const { return status().code(); }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+}  // namespace ndsm

@@ -1,0 +1,31 @@
+#pragma once
+// Simulated time. All middleware timing is expressed as integral
+// microseconds so that simulation runs are exactly reproducible (no
+// floating-point event-time drift).
+
+#include <cstdint>
+#include <string>
+
+namespace ndsm {
+
+// Microseconds since simulation start.
+using Time = std::int64_t;
+
+constexpr Time kTimeNever = INT64_MAX;
+
+namespace duration {
+constexpr Time micros(std::int64_t n) { return n; }
+constexpr Time millis(std::int64_t n) { return n * 1000; }
+constexpr Time seconds(std::int64_t n) { return n * 1000000; }
+constexpr Time minutes(std::int64_t n) { return n * 60 * 1000000; }
+constexpr Time hours(std::int64_t n) { return n * 3600 * 1000000; }
+}  // namespace duration
+
+[[nodiscard]] constexpr double to_seconds(Time t) { return static_cast<double>(t) / 1e6; }
+[[nodiscard]] constexpr Time from_seconds(double s) { return static_cast<Time>(s * 1e6); }
+
+[[nodiscard]] inline std::string format_time(Time t) {
+  return std::to_string(to_seconds(t)) + "s";
+}
+
+}  // namespace ndsm

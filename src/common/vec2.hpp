@@ -1,0 +1,24 @@
+#pragma once
+// 2-D geometry for node positions and spatial QoS (§3.4 of the paper:
+// "a user would like to print a file on the nearest and best matched
+// printer").
+
+#include <cmath>
+
+namespace ndsm {
+
+struct Vec2 {
+  double x = 0;
+  double y = 0;
+
+  friend constexpr Vec2 operator+(Vec2 a, Vec2 b) { return {a.x + b.x, a.y + b.y}; }
+  friend constexpr Vec2 operator-(Vec2 a, Vec2 b) { return {a.x - b.x, a.y - b.y}; }
+  friend constexpr Vec2 operator*(Vec2 a, double s) { return {a.x * s, a.y * s}; }
+  friend constexpr bool operator==(Vec2 a, Vec2 b) { return a.x == b.x && a.y == b.y; }
+
+  [[nodiscard]] double norm() const { return std::sqrt(x * x + y * y); }
+};
+
+[[nodiscard]] inline double distance(Vec2 a, Vec2 b) { return (a - b).norm(); }
+
+}  // namespace ndsm

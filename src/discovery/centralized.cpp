@@ -1,0 +1,155 @@
+#include "discovery/centralized.hpp"
+
+#include <cassert>
+#include <limits>
+
+namespace ndsm::discovery {
+
+CentralizedDiscovery::CentralizedDiscovery(transport::ReliableTransport& transport,
+                                           std::vector<NodeId> directories,
+                                           MirrorPolicy policy)
+    : transport_(transport), directories_(std::move(directories)), policy_(policy) {
+  assert(!directories_.empty());
+  // Stagger round-robin start positions across clients so synchronized
+  // query waves do not all land on the same mirror.
+  rr_next_ = static_cast<std::size_t>(transport.self().value());
+  transport_.set_receiver(transport::ports::kDiscoveryReplyCent,
+                          [this](NodeId src, const Bytes& b) { on_message(src, b); });
+}
+
+CentralizedDiscovery::~CentralizedDiscovery() {
+  transport_.clear_receiver(transport::ports::kDiscoveryReplyCent);
+  auto& sim = transport_.router().world().sim();
+  for (auto& [id, reg] : registered_) {
+    if (reg.renewal.valid()) sim.cancel(reg.renewal);
+  }
+  for (auto& [id, pending] : pending_) {
+    if (pending.timer.valid()) sim.cancel(pending.timer);
+  }
+}
+
+NodeId CentralizedDiscovery::pick_directory() {
+  switch (policy_) {
+    case MirrorPolicy::kPrimaryOnly:
+      return directories_.front();
+    case MirrorPolicy::kRoundRobin: {
+      const NodeId d = directories_[rr_next_ % directories_.size()];
+      rr_next_++;
+      return d;
+    }
+    case MirrorPolicy::kNearest: {
+      auto& world = transport_.router().world();
+      const Vec2 here = world.position(transport_.self());
+      NodeId best = directories_.front();
+      double best_d = std::numeric_limits<double>::infinity();
+      for (const NodeId d : directories_) {
+        const double dist_m = distance(here, world.position(d));
+        if (dist_m < best_d) {
+          best_d = dist_m;
+          best = d;
+        }
+      }
+      return best;
+    }
+  }
+  return directories_.front();
+}
+
+ServiceId CentralizedDiscovery::register_service(qos::SupplierQos qos, Time lease) {
+  auto& world = transport_.router().world();
+  const ServiceId id = make_service_id(transport_.self(), next_service_++);
+  Registration reg;
+  reg.record.id = id;
+  reg.record.provider = transport_.self();
+  reg.record.qos = std::move(qos);
+  reg.record.registered = world.sim().now();
+  reg.lease = lease;
+  registered_.emplace(id, std::move(reg));
+  stats_.registrations++;
+  send_register(id);
+  return id;
+}
+
+void CentralizedDiscovery::send_register(ServiceId id) {
+  const auto it = registered_.find(id);
+  if (it == registered_.end()) return;
+  auto& world = transport_.router().world();
+  Registration& reg = it->second;
+  reg.record.expires =
+      reg.lease == kTimeNever ? kTimeNever : world.sim().now() + reg.lease;
+  transport_.send(directories_.front(), transport::ports::kDiscovery,
+                  encode_register(reg.record));
+  if (reg.lease != kTimeNever) {
+    reg.renewal =
+        world.sim().schedule_after(reg.lease / 2, [this, id] { send_register(id); });
+  }
+}
+
+void CentralizedDiscovery::unregister_service(ServiceId id) {
+  const auto it = registered_.find(id);
+  if (it == registered_.end()) return;
+  if (it->second.renewal.valid()) transport_.router().world().sim().cancel(it->second.renewal);
+  registered_.erase(it);
+  stats_.unregistrations++;
+  transport_.send(directories_.front(), transport::ports::kDiscovery, encode_unregister(id));
+}
+
+void CentralizedDiscovery::query(const qos::ConsumerQos& consumer, QueryCallback callback,
+                                 std::uint32_t max_results, Time timeout) {
+  auto& sim = transport_.router().world().sim();
+  const std::uint64_t query_id = next_query_++;
+  stats_.queries_issued++;
+
+  QueryMessage msg;
+  msg.query_id = query_id;
+  msg.reply_to = transport_.self();
+  msg.reply_port = transport::ports::kDiscoveryReplyCent;
+  msg.consumer = consumer;
+  msg.max_results = max_results;
+
+  PendingQuery pending;
+  pending.callback = std::move(callback);
+  pending.timer = sim.schedule_after(timeout, [this, query_id] {
+    const auto it = pending_.find(query_id);
+    if (it == pending_.end()) return;
+    auto cb = std::move(it->second.callback);
+    pending_.erase(it);
+    stats_.queries_empty++;
+    cb({});
+  });
+  pending_.emplace(query_id, std::move(pending));
+
+  transport_.send(pick_directory(), transport::ports::kDiscovery, encode_query(msg));
+}
+
+void CentralizedDiscovery::on_message(NodeId /*src*/, const Bytes& frame) {
+  const auto kind = peek_kind(frame);
+  if (!kind) return;
+  serialize::Reader r{frame};
+  (void)r.u8();
+  switch (*kind) {
+    case MsgKind::kQueryReply: {
+      auto reply = decode_query_reply(r);
+      if (!reply) return;
+      const auto it = pending_.find(reply->query_id);
+      if (it == pending_.end()) return;  // late reply after timeout
+      if (it->second.timer.valid()) transport_.router().world().sim().cancel(it->second.timer);
+      auto cb = std::move(it->second.callback);
+      pending_.erase(it);
+      stats_.records_received += reply->records.size();
+      if (reply->records.empty()) {
+        stats_.queries_empty++;
+      } else {
+        stats_.queries_answered++;
+      }
+      cb(std::move(reply->records));
+      break;
+    }
+    case MsgKind::kRegisterAck:
+      break;  // fire-and-forget confirmation
+    default:
+      break;
+  }
+}
+
+}  // namespace ndsm::discovery

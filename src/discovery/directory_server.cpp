@@ -1,0 +1,154 @@
+#include "discovery/directory_server.hpp"
+
+#include <algorithm>
+
+#include "qos/matcher.hpp"
+
+namespace ndsm::discovery {
+
+DirectoryServer::DirectoryServer(transport::ReliableTransport& transport, Time sweep_period)
+    : transport_(transport),
+      sweeper_(transport.router().world().sim(), sweep_period, [this] { sweep_leases(); }) {
+  transport_.set_receiver(transport::ports::kDiscovery,
+                          [this](NodeId src, const Bytes& b) { on_message(src, b); });
+  sweeper_.start();
+}
+
+DirectoryServer::~DirectoryServer() {
+  transport_.clear_receiver(transport::ports::kDiscovery);
+}
+
+std::vector<ServiceRecord> DirectoryServer::snapshot() const {
+  std::vector<ServiceRecord> out;
+  out.reserve(records_.size());
+  for (const auto& [id, rec] : records_) out.push_back(rec);
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.id < b.id; });
+  return out;
+}
+
+void DirectoryServer::apply_register(ServiceRecord record, bool replicate_out) {
+  stats_.registers++;
+  if (replicate_out) replicate(record, /*removal=*/false);
+  records_[record.id] = std::move(record);
+}
+
+void DirectoryServer::apply_unregister(ServiceId id, bool replicate_out) {
+  const auto it = records_.find(id);
+  if (it == records_.end()) return;
+  stats_.unregisters++;
+  if (replicate_out) replicate(it->second, /*removal=*/true);
+  records_.erase(it);
+}
+
+std::vector<ServiceRecord> DirectoryServer::match(const qos::ConsumerQos& consumer,
+                                                  std::uint32_t max_results) const {
+  std::vector<std::pair<double, const ServiceRecord*>> scored;
+  const Time now = transport_.router().world().sim().now();
+  for (const auto& [id, rec] : records_) {
+    if (rec.expired(now)) continue;
+    const auto eval = qos::Matcher::evaluate(consumer, rec.qos);
+    if (eval.feasible) scored.emplace_back(eval.score, &rec);
+  }
+  std::sort(scored.begin(), scored.end(), [](const auto& a, const auto& b) {
+    return a.first != b.first ? a.first > b.first : a.second->id < b.second->id;
+  });
+  std::vector<ServiceRecord> out;
+  for (const auto& [score, rec] : scored) {
+    if (out.size() >= max_results) break;
+    out.push_back(*rec);
+  }
+  return out;
+}
+
+void DirectoryServer::replicate(const ServiceRecord& record, bool removal) {
+  for (const NodeId mirror : mirrors_) {
+    if (mirror == node()) continue;
+    stats_.replications_sent++;
+    transport_.send(mirror, transport::ports::kDiscovery, encode_replicate(record, removal));
+  }
+}
+
+void DirectoryServer::serve_query(const QueryMessage& query) {
+  QueryReply reply;
+  reply.query_id = query.query_id;
+  reply.records = match(query.consumer, query.max_results);
+  stats_.records_returned += reply.records.size();
+  transport_.send(query.reply_to, query.reply_port, encode_query_reply(reply));
+}
+
+void DirectoryServer::drain_query_queue() {
+  if (query_busy_ || query_queue_.empty()) return;
+  query_busy_ = true;
+  transport_.router().world().sim().schedule_after(processing_time_, [this] {
+    if (!query_queue_.empty()) {
+      serve_query(query_queue_.front());
+      query_queue_.pop_front();
+    }
+    query_busy_ = false;
+    drain_query_queue();
+  });
+}
+
+void DirectoryServer::sweep_leases() {
+  const Time now = transport_.router().world().sim().now();
+  for (auto it = records_.begin(); it != records_.end();) {
+    if (it->second.expired(now)) {
+      stats_.leases_expired++;
+      it = records_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void DirectoryServer::on_message(NodeId src, const Bytes& frame) {
+  const auto kind = peek_kind(frame);
+  if (!kind) return;
+  serialize::Reader r{frame};
+  (void)r.u8();  // consume the kind byte
+  switch (*kind) {
+    case MsgKind::kRegister: {
+      auto record = decode_register(r);
+      if (!record) return;
+      const ServiceId id = record->id;
+      apply_register(std::move(*record), /*replicate_out=*/true);
+      transport_.send(src, transport::ports::kDiscoveryReplyCent,
+                      encode_register_ack(id, true));
+      break;
+    }
+    case MsgKind::kUnregister: {
+      const auto id = decode_unregister(r);
+      if (!id) return;
+      apply_unregister(*id, /*replicate_out=*/true);
+      break;
+    }
+    case MsgKind::kQuery: {
+      auto query = decode_query(r);
+      if (!query) return;
+      stats_.queries++;
+      if (processing_time_ <= 0) {
+        serve_query(*query);
+      } else {
+        query_queue_.push_back(std::move(*query));
+        drain_query_queue();
+      }
+      break;
+    }
+    case MsgKind::kReplicate: {
+      auto rep = decode_replicate(r);
+      if (!rep) return;
+      stats_.replications_applied++;
+      if (rep->second) {
+        records_.erase(rep->first.id);
+      } else {
+        records_[rep->first.id] = std::move(rep->first);
+      }
+      break;
+    }
+    default:
+      break;  // not a server-side message
+  }
+}
+
+}  // namespace ndsm::discovery

@@ -1,0 +1,49 @@
+#include "discovery/record.hpp"
+
+namespace ndsm::discovery {
+
+void ServiceRecord::encode(serialize::Writer& w) const {
+  w.id(id);
+  w.id(provider);
+  qos.encode(w);
+  w.svarint(registered);
+  w.svarint(expires);
+}
+
+std::optional<ServiceRecord> ServiceRecord::decode(serialize::Reader& r) {
+  ServiceRecord rec;
+  const auto id = r.id<ServiceId>();
+  const auto provider = r.id<NodeId>();
+  if (!id || !provider) return std::nullopt;
+  auto qos = qos::SupplierQos::decode(r);
+  if (!qos) return std::nullopt;
+  const auto registered = r.svarint();
+  const auto expires = r.svarint();
+  if (!registered || !expires) return std::nullopt;
+  rec.id = *id;
+  rec.provider = *provider;
+  rec.qos = std::move(*qos);
+  rec.registered = *registered;
+  rec.expires = *expires;
+  return rec;
+}
+
+void encode_records(serialize::Writer& w, const std::vector<ServiceRecord>& records) {
+  w.varint(records.size());
+  for (const auto& rec : records) rec.encode(w);
+}
+
+std::optional<std::vector<ServiceRecord>> decode_records(serialize::Reader& r) {
+  const auto n = r.varint();
+  if (!n) return std::nullopt;
+  std::vector<ServiceRecord> out;
+  out.reserve(*n);
+  for (std::uint64_t i = 0; i < *n; ++i) {
+    auto rec = ServiceRecord::decode(r);
+    if (!rec) return std::nullopt;
+    out.push_back(std::move(*rec));
+  }
+  return out;
+}
+
+}  // namespace ndsm::discovery

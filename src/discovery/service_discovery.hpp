@@ -1,0 +1,55 @@
+#pragma once
+// Common interface implemented by every service-discovery mode (§3.3):
+// centralized directory, fully distributed query flooding, and the
+// adaptive hybrid that switches between them based on network density and
+// traffic.
+
+#include <functional>
+#include <vector>
+
+#include "discovery/record.hpp"
+#include "qos/spec.hpp"
+
+namespace ndsm::discovery {
+
+struct DiscoveryStats {
+  std::uint64_t registrations = 0;
+  std::uint64_t unregistrations = 0;
+  std::uint64_t queries_issued = 0;
+  std::uint64_t queries_answered = 0;  // returned >= 1 record
+  std::uint64_t queries_empty = 0;     // timed out with no records
+  std::uint64_t records_received = 0;
+};
+
+class ServiceDiscovery {
+ public:
+  // Called exactly once per query with the matched records, best first
+  // (empty if nothing matched before the timeout).
+  using QueryCallback = std::function<void(std::vector<ServiceRecord>)>;
+
+  virtual ~ServiceDiscovery() = default;
+
+  // Advertise a service. The returned ServiceId is immediately usable for
+  // unregistration; propagation to registries is asynchronous. The lease
+  // is renewed automatically until unregistered.
+  virtual ServiceId register_service(qos::SupplierQos qos,
+                                     Time lease = duration::seconds(60)) = 0;
+  virtual void unregister_service(ServiceId id) = 0;
+
+  virtual void query(const qos::ConsumerQos& consumer, QueryCallback callback,
+                     std::uint32_t max_results = 8,
+                     Time timeout = duration::seconds(2)) = 0;
+
+  [[nodiscard]] const DiscoveryStats& stats() const { return stats_; }
+
+ protected:
+  DiscoveryStats stats_;
+};
+
+// Globally-unique service ids minted client-side: provider node id in the
+// high 32 bits, local counter in the low 32.
+[[nodiscard]] inline ServiceId make_service_id(NodeId provider, std::uint32_t counter) {
+  return ServiceId{(provider.value() << 32) | counter};
+}
+
+}  // namespace ndsm::discovery

@@ -1,0 +1,225 @@
+#include "interop/markup.hpp"
+
+#include <cctype>
+#include <sstream>
+
+namespace ndsm::interop {
+
+const MarkupNode* MarkupNode::child(const std::string& tag_name) const {
+  for (const auto& c : children) {
+    if (c.tag == tag_name) return &c;
+  }
+  return nullptr;
+}
+
+std::vector<const MarkupNode*> MarkupNode::children_named(const std::string& tag_name) const {
+  std::vector<const MarkupNode*> out;
+  for (const auto& c : children) {
+    if (c.tag == tag_name) out.push_back(&c);
+  }
+  return out;
+}
+
+std::string MarkupNode::attribute(const std::string& name, std::string fallback) const {
+  const auto it = attributes.find(name);
+  return it == attributes.end() ? std::move(fallback) : it->second;
+}
+
+MarkupNode& MarkupNode::add_child(std::string tag_name) {
+  children.push_back(MarkupNode{});
+  children.back().tag = std::move(tag_name);
+  return children.back();
+}
+
+MarkupNode& MarkupNode::set_attribute(std::string name, std::string value) {
+  attributes[std::move(name)] = std::move(value);
+  return *this;
+}
+
+std::string escape_text(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      case '\'': out += "&apos;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string unescape_text(const std::string& escaped) {
+  std::string out;
+  out.reserve(escaped.size());
+  for (std::size_t i = 0; i < escaped.size(); ++i) {
+    if (escaped[i] != '&') {
+      out += escaped[i];
+      continue;
+    }
+    const auto end = escaped.find(';', i);
+    if (end == std::string::npos) {
+      out += escaped[i];
+      continue;
+    }
+    const std::string entity = escaped.substr(i + 1, end - i - 1);
+    if (entity == "amp") out += '&';
+    else if (entity == "lt") out += '<';
+    else if (entity == "gt") out += '>';
+    else if (entity == "quot") out += '"';
+    else if (entity == "apos") out += '\'';
+    else {
+      out += escaped[i];
+      continue;  // unknown entity: keep literal '&'
+    }
+    i = end;
+  }
+  return out;
+}
+
+namespace {
+
+void write_node(std::ostringstream& os, const MarkupNode& node, int indent, int depth) {
+  const std::string pad = indent >= 0 ? std::string(static_cast<std::size_t>(indent * depth), ' ')
+                                      : std::string{};
+  const char* nl = indent >= 0 ? "\n" : "";
+  os << pad << '<' << node.tag;
+  for (const auto& [k, v] : node.attributes) {
+    os << ' ' << k << "=\"" << escape_text(v) << '"';
+  }
+  if (node.children.empty() && node.text.empty()) {
+    os << "/>" << nl;
+    return;
+  }
+  os << '>';
+  if (!node.text.empty()) os << escape_text(node.text);
+  if (!node.children.empty()) {
+    os << nl;
+    for (const auto& c : node.children) write_node(os, c, indent, depth + 1);
+    os << pad;
+  }
+  os << "</" << node.tag << '>' << nl;
+}
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Result<MarkupNode> parse() {
+    skip_whitespace();
+    auto root = parse_element();
+    if (!root) return root;
+    skip_whitespace();
+    if (pos_ != text_.size()) return error("trailing content after root element");
+    return root;
+  }
+
+ private:
+  Status error_status(const std::string& what) const {
+    return Status{ErrorCode::kCorrupt, what + " at offset " + std::to_string(pos_)};
+  }
+  Result<MarkupNode> error(const std::string& what) const { return error_status(what); }
+
+  [[nodiscard]] bool eof() const { return pos_ >= text_.size(); }
+  [[nodiscard]] char peek() const { return text_[pos_]; }
+  char take() { return text_[pos_++]; }
+
+  void skip_whitespace() {
+    while (!eof() && std::isspace(static_cast<unsigned char>(peek())) != 0) ++pos_;
+  }
+
+  static bool is_name_char(char c) {
+    return (std::isalnum(static_cast<unsigned char>(c)) != 0) || c == '-' || c == '_' || c == '.' ||
+           c == ':';
+  }
+
+  std::string parse_name() {
+    std::string name;
+    while (!eof() && is_name_char(peek())) name += take();
+    return name;
+  }
+
+  Result<MarkupNode> parse_element() {
+    if (eof() || peek() != '<') return error("expected '<'");
+    ++pos_;
+    MarkupNode node;
+    node.tag = parse_name();
+    if (node.tag.empty()) return error("expected element name");
+
+    // Attributes.
+    while (true) {
+      skip_whitespace();
+      if (eof()) return error("unexpected end inside tag");
+      if (peek() == '/') {
+        ++pos_;
+        if (eof() || take() != '>') return error("expected '>' after '/'");
+        return node;  // self-closing
+      }
+      if (peek() == '>') {
+        ++pos_;
+        break;
+      }
+      const std::string name = parse_name();
+      if (name.empty()) return error("expected attribute name");
+      skip_whitespace();
+      if (eof() || take() != '=') return error("expected '=' after attribute name");
+      skip_whitespace();
+      if (eof()) return error("unexpected end in attribute");
+      const char quote = take();
+      if (quote != '"' && quote != '\'') return error("expected quoted attribute value");
+      std::string value;
+      while (!eof() && peek() != quote) value += take();
+      if (eof()) return error("unterminated attribute value");
+      ++pos_;  // closing quote
+      node.attributes[name] = unescape_text(value);
+    }
+
+    // Content: text and child elements until the matching close tag.
+    std::string text;
+    while (true) {
+      if (eof()) return error("unterminated element <" + node.tag + ">");
+      if (peek() == '<') {
+        if (pos_ + 1 < text_.size() && text_[pos_ + 1] == '/') {
+          pos_ += 2;
+          const std::string close = parse_name();
+          if (close != node.tag) return error("mismatched close tag </" + close + ">");
+          skip_whitespace();
+          if (eof() || take() != '>') return error("expected '>' in close tag");
+          node.text = unescape_text(trim(text));
+          return node;
+        }
+        auto child = parse_element();
+        if (!child.is_ok()) return child;
+        node.children.push_back(std::move(child).take());
+      } else {
+        text += take();
+      }
+    }
+  }
+
+  static std::string trim(const std::string& s) {
+    std::size_t b = 0;
+    std::size_t e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) --e;
+    return s.substr(b, e - b);
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string write_markup(const MarkupNode& root, int indent) {
+  std::ostringstream os;
+  write_node(os, root, indent, 0);
+  return os.str();
+}
+
+Result<MarkupNode> parse_markup(const std::string& text) { return Parser{text}.parse(); }
+
+}  // namespace ndsm::interop

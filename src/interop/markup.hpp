@@ -1,0 +1,43 @@
+#pragma once
+// Markup language support (§3.9): a small, self-contained XML subset used
+// for language-independent service descriptions and cross-middleware
+// bridging. Supports elements, attributes, text content and entity
+// escaping; no namespaces, DTDs, processing instructions or comments with
+// nested markup.
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace ndsm::interop {
+
+struct MarkupNode {
+  std::string tag;
+  std::map<std::string, std::string> attributes;
+  std::string text;                    // concatenated character data
+  std::vector<MarkupNode> children;
+
+  [[nodiscard]] const MarkupNode* child(const std::string& tag_name) const;
+  [[nodiscard]] std::vector<const MarkupNode*> children_named(const std::string& tag_name) const;
+  [[nodiscard]] std::string attribute(const std::string& name, std::string fallback = "") const;
+
+  // Builder helpers.
+  MarkupNode& add_child(std::string tag_name);
+  MarkupNode& set_attribute(std::string name, std::string value);
+};
+
+// Serialize a tree to markup text. `indent` < 0 emits compact single-line
+// output.
+[[nodiscard]] std::string write_markup(const MarkupNode& root, int indent = 2);
+
+// Parse markup text into a tree. Returns kCorrupt with a position-bearing
+// message on malformed input.
+[[nodiscard]] Result<MarkupNode> parse_markup(const std::string& text);
+
+[[nodiscard]] std::string escape_text(const std::string& raw);
+[[nodiscard]] std::string unescape_text(const std::string& escaped);
+
+}  // namespace ndsm::interop

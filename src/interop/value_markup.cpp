@@ -1,0 +1,137 @@
+#include "interop/value_markup.hpp"
+
+#include <charconv>
+
+namespace ndsm::interop {
+
+using serialize::Value;
+using serialize::ValueList;
+using serialize::ValueMap;
+
+MarkupNode value_to_markup(const Value& value, const std::string& tag) {
+  MarkupNode node;
+  node.tag = tag;
+  switch (value.type()) {
+    case Value::Type::kNil:
+      node.set_attribute("type", "nil");
+      break;
+    case Value::Type::kBool:
+      node.set_attribute("type", "bool");
+      node.text = value.as_bool() ? "true" : "false";
+      break;
+    case Value::Type::kInt:
+      node.set_attribute("type", "int");
+      node.text = std::to_string(value.as_int());
+      break;
+    case Value::Type::kFloat: {
+      node.set_attribute("type", "float");
+      char buf[64];
+      const auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), value.as_float());
+      node.text.assign(buf, end);
+      (void)ec;
+      break;
+    }
+    case Value::Type::kString:
+      node.set_attribute("type", "string");
+      node.text = value.as_string();
+      break;
+    case Value::Type::kBytes: {
+      node.set_attribute("type", "bytes");
+      // Hex encoding keeps the dialect printable.
+      static const char* hex = "0123456789abcdef";
+      for (const auto b : value.as_bytes()) {
+        node.text += hex[b >> 4];
+        node.text += hex[b & 0xf];
+      }
+      break;
+    }
+    case Value::Type::kList: {
+      node.set_attribute("type", "list");
+      for (const auto& item : value.as_list()) {
+        node.children.push_back(value_to_markup(item, "item"));
+      }
+      break;
+    }
+    case Value::Type::kMap: {
+      node.set_attribute("type", "map");
+      for (const auto& [k, v] : value.as_map()) {
+        auto child = value_to_markup(v, "entry");
+        child.set_attribute("key", k);
+        node.children.push_back(std::move(child));
+      }
+      break;
+    }
+    case Value::Type::kWildcard:
+      node.set_attribute("type", "wildcard");
+      break;
+    case Value::Type::kTypeOnly:
+      node.set_attribute("type", "type-only");
+      break;
+  }
+  return node;
+}
+
+Result<Value> markup_to_value(const MarkupNode& node) {
+  const std::string type = node.attribute("type", "string");
+  if (type == "nil") return Value{};
+  if (type == "wildcard") return Value::wildcard();
+  if (type == "bool") return Value{node.text == "true"};
+  if (type == "int") {
+    std::int64_t v = 0;
+    const auto [ptr, ec] =
+        std::from_chars(node.text.data(), node.text.data() + node.text.size(), v);
+    if (ec != std::errc{} || ptr != node.text.data() + node.text.size()) {
+      return Status{ErrorCode::kCorrupt, "bad int literal '" + node.text + "'"};
+    }
+    return Value{v};
+  }
+  if (type == "float") {
+    double v = 0;
+    const auto [ptr, ec] =
+        std::from_chars(node.text.data(), node.text.data() + node.text.size(), v);
+    if (ec != std::errc{} || ptr != node.text.data() + node.text.size()) {
+      return Status{ErrorCode::kCorrupt, "bad float literal '" + node.text + "'"};
+    }
+    return Value{v};
+  }
+  if (type == "string") return Value{node.text};
+  if (type == "bytes") {
+    if (node.text.size() % 2 != 0) return Status{ErrorCode::kCorrupt, "odd hex length"};
+    Bytes b;
+    b.reserve(node.text.size() / 2);
+    auto nibble = [](char c) -> int {
+      if (c >= '0' && c <= '9') return c - '0';
+      if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+      if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+      return -1;
+    };
+    for (std::size_t i = 0; i < node.text.size(); i += 2) {
+      const int hi = nibble(node.text[i]);
+      const int lo = nibble(node.text[i + 1]);
+      if (hi < 0 || lo < 0) return Status{ErrorCode::kCorrupt, "bad hex digit"};
+      b.push_back(static_cast<std::uint8_t>(hi << 4 | lo));
+    }
+    return Value{std::move(b)};
+  }
+  if (type == "list") {
+    ValueList list;
+    for (const auto& child : node.children) {
+      auto v = markup_to_value(child);
+      if (!v.is_ok()) return v;
+      list.push_back(std::move(v).take());
+    }
+    return Value{std::move(list)};
+  }
+  if (type == "map") {
+    ValueMap map;
+    for (const auto& child : node.children) {
+      auto v = markup_to_value(child);
+      if (!v.is_ok()) return v;
+      map.emplace(child.attribute("key"), std::move(v).take());
+    }
+    return Value{std::move(map)};
+  }
+  return Status{ErrorCode::kCorrupt, "unknown value type '" + type + "'"};
+}
+
+}  // namespace ndsm::interop

@@ -1,0 +1,21 @@
+#pragma once
+// Bridging between the binary self-describing Value representation and the
+// textual markup representation (§3.9): any Value can be round-tripped
+// through markup, which lets peers that only speak the markup dialect
+// interoperate with peers using the compact binary codec.
+
+#include "interop/markup.hpp"
+#include "serialize/value.hpp"
+
+namespace ndsm::interop {
+
+// Encode a Value as a markup element with the given tag. Scalars become
+// <tag type="int">42</tag>; lists/maps nest child elements.
+[[nodiscard]] MarkupNode value_to_markup(const serialize::Value& value,
+                                         const std::string& tag = "value");
+
+// Decode a markup element produced by value_to_markup (or hand-written in
+// the same dialect) back into a Value.
+[[nodiscard]] Result<serialize::Value> markup_to_value(const MarkupNode& node);
+
+}  // namespace ndsm::interop

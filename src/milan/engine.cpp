@@ -1,0 +1,223 @@
+#include "milan/engine.hpp"
+
+#include <cassert>
+
+#include "common/log.hpp"
+#include "serialize/codec.hpp"
+
+namespace ndsm::milan {
+
+MilanEngine::MilanEngine(net::World& world, NodeId sink,
+                         std::shared_ptr<routing::GlobalRoutingTable> routes,
+                         RouterOf router_of, ApplicationSpec app,
+                         std::vector<Component> components, EngineConfig config)
+    : world_(world),
+      sink_(sink),
+      routes_(std::move(routes)),
+      router_of_(std::move(router_of)),
+      app_(std::move(app)),
+      components_(std::move(components)),
+      config_(config),
+      rng_(config.random_seed),
+      state_(app_.initial_state),
+      replanner_(world.sim(), config.replan_interval, [this] { replan(); }) {
+  assert(app_.states.count(state_) > 0 && "initial state must exist");
+}
+
+MilanEngine::~MilanEngine() { stop(); }
+
+const Component* MilanEngine::find_component(ComponentId id) const {
+  for (const auto& c : components_) {
+    if (c.id == id) return &c;
+  }
+  return nullptr;
+}
+
+std::vector<Component> MilanEngine::alive_components() const {
+  std::vector<Component> out;
+  for (const auto& c : components_) {
+    if (world_.alive(c.node)) out.push_back(c);
+  }
+  return out;
+}
+
+PlanInput MilanEngine::make_plan_input() const {
+  PlanInput input;
+  // A component only counts if its samples can reach the sink: alive host
+  // AND a route exists. A partitioned sensor contributes no application
+  // QoS no matter how healthy it is.
+  for (auto& c : alive_components()) {
+    if (routes_->reachable(c.node, sink_)) input.components.push_back(std::move(c));
+  }
+  input.required = app_.states.at(state_);
+  input.battery_j = [this](NodeId node) {
+    const auto& battery = world_.battery(node);
+    // Mains-powered nodes never constrain lifetime.
+    return battery.finite() ? battery.remaining() : 1e18;
+  };
+  input.node_drain_w = [this](const Component& c) {
+    std::unordered_map<NodeId, double> drain;
+    drain[c.node] += c.sample_power_w;
+    // Walk the route to the sink; charge each hop's sender (tx) and
+    // receiver (rx) at the component's sample rate.
+    const double rate_hz = 1.0 / to_seconds(c.sample_period);
+    const std::size_t bits = c.sample_bytes * 8;
+    NodeId at = c.node;
+    std::size_t hops = 0;
+    while (at != sink_ && hops++ < 64) {
+      const NodeId next = routes_->next_hop(at, sink_);
+      if (!next.valid()) {
+        drain[c.node] += 1e9;  // unreachable: poison this component's sets
+        break;
+      }
+      const double dist = distance(world_.position(at), world_.position(next));
+      drain[at] += world_.energy_model().tx_cost(bits, dist) * rate_hz;
+      drain[next] += world_.energy_model().rx_cost(bits) * rate_hz;
+      at = next;
+    }
+    return drain;
+  };
+  return input;
+}
+
+void MilanEngine::start() {
+  if (running_) return;
+  running_ = true;
+  // Count samples arriving at the sink.
+  if (routing::Router* sink_router = router_of_(sink_)) {
+    sink_router->set_delivery_handler(routing::Proto::kApp,
+                                      [this](NodeId, const Bytes&) {
+                                        stats_.samples_delivered++;
+                                      });
+  }
+  // Chain into the world's death notification so other listeners keep
+  // working.
+  chained_death_ = world_.death_handler();
+  world_.set_death_handler([this](NodeId node) {
+    if (chained_death_) chained_death_(node);
+    on_node_death(node);
+  });
+  replanner_.start();
+  replan();
+}
+
+void MilanEngine::stop() {
+  if (!running_) return;
+  running_ = false;
+  replanner_.stop();
+  for (auto& [id, timer] : samplers_) {
+    if (timer.valid()) world_.sim().cancel(timer);
+  }
+  samplers_.clear();
+}
+
+void MilanEngine::set_state(const std::string& state) {
+  assert(app_.states.count(state) > 0 && "unknown application state");
+  if (state == state_) return;
+  state_ = state;
+  stats_.replans_on_state++;
+  if (events_ != nullptr) events_->emit("milan.state", serialize::Value{state_});
+  if (running_) replan();
+}
+
+void MilanEngine::on_node_death(NodeId node) {
+  if (!running_) return;
+  bool relevant = node == sink_;
+  for (const auto& c : components_) {
+    relevant = relevant || c.node == node;
+  }
+  // A dead relay also breaks routes; routing invalidation covers it.
+  routes_->invalidate();
+  if (!relevant) {
+    // Still replan: the death may have changed paths/costs.
+    stats_.replans_on_death++;
+    replan();
+    return;
+  }
+  stats_.replans_on_death++;
+  replan();
+}
+
+void MilanEngine::replan() {
+  if (!running_) return;
+  routes_->invalidate();  // plan against fresh routes and batteries
+  const PlanInput input = make_plan_input();
+  plan_ = plan_components(input, config_.strategy, &rng_);
+  stats_.plans++;
+  if (!plan_.feasible && stats_.first_infeasible_at < 0) {
+    stats_.first_infeasible_at = world_.sim().now();
+    NDSM_INFO("milan", "application infeasible at " << format_time(world_.sim().now()));
+    if (events_ != nullptr) events_->emit("milan.infeasible", serialize::Value{state_});
+  }
+  activate(plan_);
+  if (events_ != nullptr) {
+    serialize::ValueMap payload;
+    payload["state"] = serialize::Value{state_};
+    payload["feasible"] = serialize::Value{plan_.feasible};
+    payload["active"] = serialize::Value{static_cast<std::int64_t>(plan_.active.size())};
+    payload["lifetime_s"] = serialize::Value{plan_.estimated_lifetime_s};
+    events_->emit("milan.plan", serialize::Value{std::move(payload)});
+  }
+  if (on_replan_) on_replan_(plan_);
+}
+
+void MilanEngine::activate(const Plan& plan) {
+  // Stop samplers for components no longer active.
+  const std::set<ComponentId> wanted(plan.active.begin(), plan.active.end());
+  for (auto it = samplers_.begin(); it != samplers_.end();) {
+    if (wanted.count(it->first) == 0) {
+      if (it->second.valid()) world_.sim().cancel(it->second);
+      it = samplers_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (!plan.feasible) return;
+  // Start samplers for newly active components.
+  for (const ComponentId id : plan.active) {
+    if (samplers_.count(id) > 0) continue;
+    const Component* c = find_component(id);
+    if (c == nullptr) continue;
+    samplers_[id] = world_.sim().schedule_after(c->sample_period,
+                                                [this, id] { sample(id); });
+  }
+}
+
+void MilanEngine::sample(ComponentId id) {
+  const auto timer_it = samplers_.find(id);
+  if (timer_it == samplers_.end()) return;
+  timer_it->second = EventId::invalid();
+  const Component* c = find_component(id);
+  if (c == nullptr || !running_) return;
+  if (!world_.alive(c->node)) return;  // death handler will replan
+
+  // Transducer energy for this sample.
+  world_.drain(c->node, c->sample_power_w * to_seconds(c->sample_period));
+  if (!world_.alive(c->node)) return;
+
+  // Ship the sample to the sink (radio energy charged by the network).
+  routing::Router* router = router_of_(c->node);
+  if (router != nullptr) {
+    serialize::Writer w;
+    w.id(id);
+    w.svarint(world_.sim().now());
+    Bytes payload = std::move(w).take();
+    payload.resize(std::max(payload.size(), c->sample_bytes), 0);
+    stats_.samples_sent++;
+    router->send(sink_, routing::Proto::kApp, std::move(payload));
+  }
+
+  // Re-arm.
+  const auto it = samplers_.find(id);
+  if (it != samplers_.end()) {
+    it->second = world_.sim().schedule_after(c->sample_period, [this, id] { sample(id); });
+  }
+}
+
+double MilanEngine::achieved(const std::string& variable) const {
+  if (!plan_.feasible) return 0.0;
+  const auto it = plan_.achieved.find(variable);
+  return it == plan_.achieved.end() ? 0.0 : it->second;
+}
+
+}  // namespace ndsm::milan

@@ -1,0 +1,111 @@
+#pragma once
+// MilanEngine: the runtime half of MiLAN (§4). "MiLAN must then configure
+// the network (e.g., determine which components should send data, which
+// nodes should be routers in multi-hop networks...)". The engine
+//
+//   * feeds the planner a live cost model (routes to the sink, per-hop
+//     radio energy, residual batteries),
+//   * activates exactly the planned components (sampling timers that drain
+//     transducer energy and ship samples to the sink over the routing
+//     layer — so communication energy is charged by the network itself),
+//   * supervises: re-plans on component/node death, on application state
+//     change, and periodically as batteries drift,
+//   * reports delivered samples and per-variable achieved QoS at the sink.
+
+#include <functional>
+#include <memory>
+#include <set>
+
+#include "milan/planner.hpp"
+#include "net/world.hpp"
+#include "routing/global.hpp"
+#include "sim/simulator.hpp"
+#include "transactions/events.hpp"
+
+namespace ndsm::milan {
+
+struct EngineConfig {
+  Strategy strategy = Strategy::kOptimal;
+  Time replan_interval = duration::seconds(60);  // battery-drift replans
+  std::uint64_t random_seed = 1;                 // for kRandomFeasible
+};
+
+struct EngineStats {
+  std::uint64_t plans = 0;
+  std::uint64_t replans_on_death = 0;
+  std::uint64_t replans_on_state = 0;
+  std::uint64_t samples_sent = 0;
+  std::uint64_t samples_delivered = 0;  // received at the sink
+  Time first_infeasible_at = -1;        // when no feasible set remained
+};
+
+class MilanEngine {
+ public:
+  using RouterOf = std::function<routing::Router*(NodeId)>;
+
+  MilanEngine(net::World& world, NodeId sink, std::shared_ptr<routing::GlobalRoutingTable> routes,
+              RouterOf router_of, ApplicationSpec app, std::vector<Component> components,
+              EngineConfig config = {});
+  ~MilanEngine();
+
+  MilanEngine(const MilanEngine&) = delete;
+  MilanEngine& operator=(const MilanEngine&) = delete;
+
+  void start();
+  void stop();
+
+  // Application state transition (e.g. patient rest -> emergency): new
+  // requirements, immediate re-plan.
+  void set_state(const std::string& state);
+  [[nodiscard]] const std::string& state() const { return state_; }
+
+  [[nodiscard]] const Plan& current_plan() const { return plan_; }
+  [[nodiscard]] bool running() const { return running_; }
+  [[nodiscard]] const EngineStats& stats() const { return stats_; }
+
+  // Per-variable reliability the *current* plan provides (0 when infeasible).
+  [[nodiscard]] double achieved(const std::string& variable) const;
+
+  // Exposed for benches: the cost model handed to the planner.
+  [[nodiscard]] PlanInput make_plan_input() const;
+
+  // Called after every (re)plan with the fresh plan.
+  void set_replan_hook(std::function<void(const Plan&)> hook) { on_replan_ = std::move(hook); }
+
+  // Publish engine events ("milan.plan", "milan.state", "milan.infeasible")
+  // through an event channel so applications and remote observers can react
+  // (§3.10: the middleware "should react to events from all system
+  // components"). The channel must outlive the engine.
+  void set_event_channel(transactions::EventChannel* channel) { events_ = channel; }
+
+ private:
+  void replan();
+  void activate(const Plan& plan);
+  void sample(ComponentId id);
+  void on_node_death(NodeId node);
+  [[nodiscard]] const Component* find_component(ComponentId id) const;
+  [[nodiscard]] std::vector<Component> alive_components() const;
+
+  net::World& world_;
+  NodeId sink_;
+  std::shared_ptr<routing::GlobalRoutingTable> routes_;
+  RouterOf router_of_;
+  ApplicationSpec app_;
+  std::vector<Component> components_;
+  EngineConfig config_;
+  Rng rng_;
+
+  std::string state_;
+  Plan plan_;
+  bool running_ = false;
+  EngineStats stats_;
+  std::function<void(const Plan&)> on_replan_;
+  transactions::EventChannel* events_ = nullptr;
+  net::World::DeathHandler chained_death_;
+
+  // Active sampling timers, one per active component.
+  std::map<ComponentId, EventId> samplers_;
+  sim::PeriodicTimer replanner_;
+};
+
+}  // namespace ndsm::milan

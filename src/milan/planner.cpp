@@ -1,0 +1,157 @@
+#include "milan/planner.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <numeric>
+
+namespace ndsm::milan {
+
+namespace {
+
+std::vector<const Component*> to_pointers(const std::vector<Component>& components) {
+  std::vector<const Component*> out;
+  out.reserve(components.size());
+  for (const auto& c : components) out.push_back(&c);
+  return out;
+}
+
+Requirements achieved_of(const std::vector<const Component*>& set, const Requirements& req) {
+  Requirements achieved;
+  for (const auto& [variable, minimum] : req) {
+    achieved[variable] = combined_reliability(set, variable);
+  }
+  return achieved;
+}
+
+Plan make_plan(const PlanInput& input, const std::vector<const Component*>& set,
+               std::uint64_t examined) {
+  Plan plan;
+  plan.feasible = satisfies(set, input.required);
+  plan.sets_examined = examined;
+  if (!plan.feasible) return plan;
+  for (const Component* c : set) plan.active.push_back(c->id);
+  std::sort(plan.active.begin(), plan.active.end());
+  plan.estimated_lifetime_s = set_lifetime_s(input, set);
+  plan.achieved = achieved_of(set, input.required);
+  return plan;
+}
+
+}  // namespace
+
+double set_lifetime_s(const PlanInput& input, const std::vector<const Component*>& set) {
+  if (set.empty()) return std::numeric_limits<double>::infinity();
+  std::unordered_map<NodeId, double> drain;
+  for (const Component* c : set) {
+    for (const auto& [node, watts] : input.node_drain_w(*c)) {
+      drain[node] += watts;
+    }
+  }
+  double lifetime = std::numeric_limits<double>::infinity();
+  for (const auto& [node, watts] : drain) {
+    if (watts <= 0) continue;
+    lifetime = std::min(lifetime, input.battery_j(node) / watts);
+  }
+  return lifetime;
+}
+
+Plan plan_components(const PlanInput& input, Strategy strategy, Rng* rng) {
+  const auto all = to_pointers(input.components);
+
+  switch (strategy) {
+    case Strategy::kAllOn:
+      return make_plan(input, all, 1);
+
+    case Strategy::kRandomFeasible: {
+      assert(rng != nullptr && "kRandomFeasible needs an Rng");
+      std::vector<std::size_t> order(all.size());
+      std::iota(order.begin(), order.end(), 0);
+      // Fisher-Yates with the provided deterministic RNG.
+      for (std::size_t i = order.size(); i > 1; --i) {
+        std::swap(order[i - 1],
+                  order[static_cast<std::size_t>(rng->uniform_int(0, static_cast<std::int64_t>(i) - 1))]);
+      }
+      std::vector<const Component*> set;
+      std::uint64_t examined = 0;
+      for (const std::size_t i : order) {
+        set.push_back(all[i]);
+        examined++;
+        if (satisfies(set, input.required)) return make_plan(input, set, examined);
+      }
+      return make_plan(input, set, examined);  // infeasible even with all
+    }
+
+    case Strategy::kGreedy: {
+      // Drop components while feasibility holds, maximizing lifetime and —
+      // at equal lifetime — minimizing total energy draw (redundant sensors
+      // on symmetric batteries would otherwise never be trimmed).
+      auto total_drain = [&](const std::vector<const Component*>& set) {
+        double watts = 0;
+        for (const Component* c : set) {
+          for (const auto& [node, w] : input.node_drain_w(*c)) watts += w;
+        }
+        return watts;
+      };
+      std::vector<const Component*> set = all;
+      std::uint64_t examined = 1;
+      if (!satisfies(set, input.required)) return make_plan(input, set, examined);
+      bool improved = true;
+      while (improved && set.size() > 1) {
+        improved = false;
+        double best_lifetime = set_lifetime_s(input, set);
+        double best_drain = total_drain(set);
+        std::size_t drop = set.size();
+        for (std::size_t i = 0; i < set.size(); ++i) {
+          std::vector<const Component*> candidate = set;
+          candidate.erase(candidate.begin() + static_cast<std::ptrdiff_t>(i));
+          examined++;
+          if (!satisfies(candidate, input.required)) continue;
+          const double lifetime = set_lifetime_s(input, candidate);
+          const double drain = total_drain(candidate);
+          const bool better = lifetime > best_lifetime + 1e-12 ||
+                              (lifetime >= best_lifetime - 1e-12 && drain < best_drain - 1e-15);
+          if (better) {
+            best_lifetime = lifetime;
+            best_drain = drain;
+            drop = i;
+          }
+        }
+        if (drop < set.size()) {
+          set.erase(set.begin() + static_cast<std::ptrdiff_t>(drop));
+          improved = true;
+        }
+      }
+      return make_plan(input, set, examined);
+    }
+
+    case Strategy::kOptimal: {
+      if (all.size() > kExactLimit) {
+        // Fall back to greedy above the exact-search limit (documented).
+        return plan_components(input, Strategy::kGreedy, rng);
+      }
+      const std::size_t n = all.size();
+      std::uint64_t examined = 0;
+      double best_lifetime = -1.0;
+      std::vector<const Component*> best_set;
+      std::vector<const Component*> scratch;
+      for (std::uint64_t mask = 1; mask < (1ULL << n); ++mask) {
+        scratch.clear();
+        for (std::size_t i = 0; i < n; ++i) {
+          if (mask & (1ULL << i)) scratch.push_back(all[i]);
+        }
+        examined++;
+        if (!satisfies(scratch, input.required)) continue;
+        const double lifetime = set_lifetime_s(input, scratch);
+        if (lifetime > best_lifetime) {
+          best_lifetime = lifetime;
+          best_set = scratch;
+        }
+      }
+      if (best_set.empty()) return make_plan(input, all, examined);  // infeasible
+      return make_plan(input, best_set, examined);
+    }
+  }
+  return Plan{};
+}
+
+}  // namespace ndsm::milan

@@ -1,0 +1,56 @@
+#pragma once
+// The MiLAN planner (§4): "It is the job of MiLAN to identify these
+// feasible sets and to determine which set optimizes the tradeoff between
+// application performance and network cost (e.g., energy dissipation)."
+//
+// The planner is a pure function over a cost model so it is testable
+// without a simulator; MilanEngine (engine.hpp) feeds it live network
+// state. Strategies:
+//   kOptimal        — exact search over feasible sets (branch & bound for
+//                     <= kExactLimit components), maximizing lifetime
+//   kGreedy         — start all-on, repeatedly drop the component whose
+//                     removal keeps feasibility and helps lifetime most
+//   kAllOn          — every component active (the no-middleware baseline)
+//   kRandomFeasible — random feasible set (ablation baseline)
+
+#include <functional>
+#include <unordered_map>
+
+#include "common/rng.hpp"
+#include "milan/spec.hpp"
+
+namespace ndsm::milan {
+
+enum class Strategy : std::uint8_t { kOptimal, kGreedy, kAllOn, kRandomFeasible };
+
+struct PlanInput {
+  std::vector<Component> components;  // alive candidates only
+  Requirements required;              // current application state
+
+  // Energy a component costs each node (W) while active: sampling draw on
+  // its host plus communication draw along its route to the sink (relays
+  // included). Provided by the engine from live routing/energy state.
+  std::function<std::unordered_map<NodeId, double>(const Component&)> node_drain_w;
+  // Remaining battery per node (J).
+  std::function<double(NodeId)> battery_j;
+};
+
+struct Plan {
+  bool feasible = false;
+  std::vector<ComponentId> active;              // chosen components
+  double estimated_lifetime_s = 0.0;            // min over drained nodes
+  Requirements achieved;                        // per-variable reliability of the set
+  std::uint64_t sets_examined = 0;              // search effort
+};
+
+inline constexpr std::size_t kExactLimit = 16;
+
+[[nodiscard]] Plan plan_components(const PlanInput& input, Strategy strategy,
+                                   Rng* rng = nullptr);
+
+// Lifetime of a specific set under the input's cost model (exposed for
+// tests and ablations).
+[[nodiscard]] double set_lifetime_s(const PlanInput& input,
+                                    const std::vector<const Component*>& set);
+
+}  // namespace ndsm::milan

@@ -1,0 +1,23 @@
+#include "milan/spec.hpp"
+
+namespace ndsm::milan {
+
+double combined_reliability(const std::vector<const Component*>& set,
+                            const std::string& variable) {
+  double miss = 1.0;
+  for (const Component* c : set) {
+    const auto it = c->qos.find(variable);
+    if (it == c->qos.end()) continue;
+    miss *= 1.0 - it->second;
+  }
+  return 1.0 - miss;
+}
+
+bool satisfies(const std::vector<const Component*>& set, const Requirements& req) {
+  for (const auto& [variable, minimum] : req) {
+    if (combined_reliability(set, variable) + 1e-12 < minimum) return false;
+  }
+  return true;
+}
+
+}  // namespace ndsm::milan

@@ -1,0 +1,51 @@
+#pragma once
+// MiLAN application and component model (§4, and MiLAN TR-795 [105]).
+//
+// An application declares *variables* it needs sensed (blood pressure,
+// heart rate, ...) and, per application state, the minimum reliability it
+// requires for each variable. Components (sensors) each contribute some
+// reliability toward one or more variables and cost energy to sample and
+// to ship samples to the sink. MiLAN's job: pick the set of components
+// that satisfies the current state's requirements while maximizing network
+// lifetime.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/time.hpp"
+
+namespace ndsm::milan {
+
+struct Component {
+  ComponentId id;
+  NodeId node;                          // host sensor node
+  std::string name;
+  std::map<std::string, double> qos;    // variable -> reliability contribution [0,1]
+  double sample_power_w = 0.0;          // transducer draw while active
+  std::size_t sample_bytes = 32;        // payload shipped to the sink per sample
+  Time sample_period = duration::seconds(1);
+};
+
+// Per-state requirements: variable -> minimum combined reliability.
+using Requirements = std::map<std::string, double>;
+
+struct ApplicationSpec {
+  std::string name;
+  std::vector<std::string> variables;
+  std::map<std::string, Requirements> states;  // state name -> requirements
+  std::string initial_state;
+};
+
+// Combined reliability of a component set for one variable, under the
+// standard independent-failure model MiLAN uses:
+//   QoS(S, v) = 1 - prod_{i in S} (1 - q_iv)
+[[nodiscard]] double combined_reliability(const std::vector<const Component*>& set,
+                                          const std::string& variable);
+
+// True if `set` meets every requirement in `req`.
+[[nodiscard]] bool satisfies(const std::vector<const Component*>& set,
+                             const Requirements& req);
+
+}  // namespace ndsm::milan

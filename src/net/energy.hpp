@@ -1,0 +1,62 @@
+#pragma once
+// First-order radio energy model, as used in the authors' wireless sensor
+// network work (Heinzelman et al., LEACH): transmitting k bits over
+// distance d costs k*(E_elec + eps_amp*d^2); receiving k bits costs
+// k*E_elec. MiLAN's network-cost objective (§4: "network cost (e.g.,
+// energy dissipation)") is computed with this model.
+
+#include <limits>
+
+namespace ndsm::net {
+
+struct EnergyModel {
+  double elec_j_per_bit = 50e-9;        // transceiver electronics
+  double amp_j_per_bit_m2 = 100e-12;    // transmit amplifier
+  double idle_w = 0.0;                  // continuous idle draw (0 = ignore)
+
+  [[nodiscard]] double tx_cost(std::size_t bits, double distance_m) const {
+    return static_cast<double>(bits) *
+           (elec_j_per_bit + amp_j_per_bit_m2 * distance_m * distance_m);
+  }
+  [[nodiscard]] double rx_cost(std::size_t bits) const {
+    return static_cast<double>(bits) * elec_j_per_bit;
+  }
+};
+
+// Battery with infinite capacity by default (mains-powered nodes).
+class Battery {
+ public:
+  Battery() = default;
+  explicit Battery(double joules) : remaining_(joules), initial_(joules) {}
+
+  static Battery mains() { return Battery{}; }
+
+  // Draw energy; returns false (and empties) if the draw exhausts the
+  // battery.
+  bool consume(double joules) {
+    if (!finite()) return true;
+    remaining_ -= joules;
+    if (remaining_ <= 0) {
+      remaining_ = 0;
+      return false;
+    }
+    return true;
+  }
+
+  [[nodiscard]] bool finite() const {
+    return initial_ != std::numeric_limits<double>::infinity();
+  }
+  [[nodiscard]] bool depleted() const { return finite() && remaining_ <= 0; }
+  [[nodiscard]] double remaining() const { return remaining_; }
+  [[nodiscard]] double initial() const { return initial_; }
+  // 1.0 = full, 0.0 = dead; mains-powered reports 1.0.
+  [[nodiscard]] double fraction() const {
+    return finite() ? (initial_ > 0 ? remaining_ / initial_ : 0.0) : 1.0;
+  }
+
+ private:
+  double remaining_ = std::numeric_limits<double>::infinity();
+  double initial_ = std::numeric_limits<double>::infinity();
+};
+
+}  // namespace ndsm::net

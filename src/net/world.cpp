@@ -1,0 +1,317 @@
+#include "net/world.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "common/log.hpp"
+
+namespace ndsm::net {
+
+MediumId World::add_medium(LinkSpec spec) {
+  media_.push_back(Medium{std::move(spec), {}});
+  return MediumId{media_.size() - 1};
+}
+
+NodeId World::add_node(Vec2 position, Battery battery) {
+  nodes_.push_back(Node{position, battery, true, {}, {}, {}, EventId::invalid()});
+  return NodeId{nodes_.size() - 1};
+}
+
+void World::attach(NodeId node_id, MediumId medium_id) {
+  auto& n = node(node_id);
+  if (std::find(n.media.begin(), n.media.end(), medium_id) != n.media.end()) return;
+  n.media.push_back(medium_id);
+  medium(medium_id).members.push_back(node_id);
+}
+
+const LinkSpec& World::medium_spec(MediumId id) const { return medium(id).spec; }
+
+void World::set_medium_range(MediumId id, double range_m) {
+  medium(id).spec.range_m = range_m;
+}
+
+std::vector<MediumId> World::media_of(NodeId id) const { return node(id).media; }
+
+std::vector<NodeId> World::all_nodes() const {
+  std::vector<NodeId> out;
+  out.reserve(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) out.emplace_back(i);
+  return out;
+}
+
+Vec2 World::position(NodeId id) const { return node(id).position; }
+
+void World::set_position(NodeId id, Vec2 position) { node(id).position = position; }
+
+void World::move_linear(NodeId id, Vec2 destination, double speed_m_per_s, Time tick) {
+  assert(speed_m_per_s > 0);
+  auto& n = node(id);
+  if (n.motion.valid()) {
+    sim_.cancel(n.motion);
+    n.motion = EventId::invalid();
+  }
+  const double step_m = speed_m_per_s * to_seconds(tick);
+  // Self-rescheduling step; recaptures the node each tick (the node vector
+  // may reallocate between ticks).
+  struct Mover {
+    World* world;
+    NodeId id;
+    Vec2 dest;
+    double step_m;
+    Time tick;
+    void operator()() const {
+      auto& n = world->node(id);
+      n.motion = EventId::invalid();
+      if (!n.alive) return;
+      const Vec2 delta = dest - n.position;
+      const double dist = delta.norm();
+      if (dist <= step_m) {
+        n.position = dest;
+        return;
+      }
+      n.position = n.position + delta * (step_m / dist);
+      n.motion = world->sim_.schedule_after(tick, *this);
+    }
+  };
+  n.motion = sim_.schedule_after(tick, Mover{this, id, destination, step_m, tick});
+}
+
+bool World::alive(NodeId id) const { return node(id).alive; }
+
+void World::kill(NodeId id) {
+  auto& n = node(id);
+  if (!n.alive) return;
+  n.alive = false;
+  if (n.motion.valid()) {
+    sim_.cancel(n.motion);
+    n.motion = EventId::invalid();
+  }
+  NDSM_DEBUG("net", "node " << id.value() << " died at " << format_time(sim_.now()));
+  if (on_death_) on_death_(id);
+}
+
+void World::revive(NodeId id) {
+  auto& n = node(id);
+  if (n.battery.depleted()) return;  // cannot revive an exhausted battery
+  n.alive = true;
+}
+
+const Battery& World::battery(NodeId id) const { return node(id).battery; }
+
+void World::set_battery(NodeId id, Battery battery) { node(id).battery = battery; }
+
+void World::drain(NodeId id, double joules) {
+  auto& n = node(id);
+  if (!n.alive) return;
+  if (!n.battery.consume(joules)) kill(id);
+}
+
+void World::set_handler(NodeId id, Proto proto, LinkHandler handler) {
+  node(id).handlers[proto] = std::move(handler);
+}
+
+void World::clear_handler(NodeId id, Proto proto) { node(id).handlers.erase(proto); }
+
+bool World::reachable_on(const Medium& m, const Node& a, const Node& b) {
+  if (!m.spec.wireless) return true;  // wired segment: all members connected
+  return distance(a.position, b.position) <= m.spec.range_m;
+}
+
+std::optional<MediumId> World::shared_medium(NodeId a_id, NodeId b_id) const {
+  const Node& a = node(a_id);
+  const Node& b = node(b_id);
+  std::optional<MediumId> best;
+  double best_bw = -1;
+  for (const MediumId m_id : a.media) {
+    if (std::find(b.media.begin(), b.media.end(), m_id) == b.media.end()) continue;
+    const Medium& m = medium(m_id);
+    if (!reachable_on(m, a, b)) continue;
+    // Prefer wired, then highest bandwidth.
+    const double score = (m.spec.wireless ? 0.0 : 1e12) + m.spec.bandwidth_bps;
+    if (score > best_bw) {
+      best_bw = score;
+      best = m_id;
+    }
+  }
+  return best;
+}
+
+double World::frame_loss_probability(const LinkSpec& spec, std::size_t wire_bytes) {
+  double p = spec.loss_probability;
+  if (spec.bit_error_rate > 0) {
+    const double bits = static_cast<double>(wire_bytes) * 8.0;
+    const double survive = std::pow(1.0 - spec.bit_error_rate, bits);
+    p = 1.0 - (1.0 - p) * survive;
+  }
+  return p;
+}
+
+Time World::transmission_delay(const LinkSpec& spec, std::size_t payload_bytes) const {
+  const double bits = static_cast<double>(payload_bytes + spec.header_bytes) * 8.0;
+  return spec.propagation_delay + from_seconds(bits / spec.bandwidth_bps);
+}
+
+bool World::charge_tx(NodeId src, const LinkSpec& spec, std::size_t wire_bytes,
+                      double distance_m) {
+  if (!spec.wireless) return true;  // wired interfaces are mains powered here
+  auto& n = node(src);
+  const double cost = energy_.tx_cost(wire_bytes * 8, distance_m);
+  if (!n.battery.consume(cost)) {
+    kill(src);
+    return false;
+  }
+  return true;
+}
+
+void World::charge_rx(NodeId dst, const LinkSpec& spec, std::size_t wire_bytes) {
+  if (!spec.wireless) return;
+  auto& n = node(dst);
+  if (!n.battery.consume(energy_.rx_cost(wire_bytes * 8))) kill(dst);
+}
+
+void World::deliver(NodeId dst, LinkFrame frame, Time delay, std::size_t wire_bytes) {
+  sim_.schedule_after(delay, [this, dst, frame = std::move(frame), wire_bytes]() {
+    Node& receiver = node(dst);
+    if (!receiver.alive) return;
+    charge_rx(dst, medium(frame.medium).spec, wire_bytes);
+    if (!receiver.alive) return;  // rx cost may have killed it
+    receiver.stats.frames_received++;
+    receiver.stats.bytes_received += frame.payload.size();
+    stats_.frames_delivered++;
+    const auto it = receiver.handlers.find(frame.proto);
+    if (it != receiver.handlers.end()) it->second(frame);
+  });
+}
+
+Status World::link_send(NodeId src, NodeId dst, Proto proto, Bytes payload) {
+  Node& sender = node(src);
+  if (!sender.alive) return Status{ErrorCode::kResourceExhausted, "sender dead"};
+  if (src == dst) {
+    // Loopback: deliver immediately with no wire cost.
+    LinkFrame frame{src, dst, MediumId::invalid(), proto, std::move(payload)};
+    sim_.schedule_after(0, [this, dst, frame = std::move(frame)]() {
+      Node& receiver = node(dst);
+      if (!receiver.alive) return;
+      const auto it = receiver.handlers.find(frame.proto);
+      if (it != receiver.handlers.end()) it->second(frame);
+    });
+    return Status::ok();
+  }
+  const auto m_id = shared_medium(src, dst);
+  if (!m_id) return Status{ErrorCode::kUnreachable, "no shared medium in range"};
+  const Medium& m = medium(*m_id);
+  const std::size_t wire_bytes = payload.size() + m.spec.header_bytes;
+  const double dist = distance(sender.position, node(dst).position);
+
+  sender.stats.frames_sent++;
+  sender.stats.bytes_sent += payload.size();
+  stats_.frames_sent++;
+  stats_.bytes_on_wire += wire_bytes;
+
+  if (!charge_tx(src, m.spec, wire_bytes, m.spec.wireless ? dist : 0.0)) {
+    return Status{ErrorCode::kResourceExhausted, "battery exhausted during tx"};
+  }
+  if (rng_.bernoulli(frame_loss_probability(m.spec, wire_bytes))) {
+    sender.stats.frames_dropped++;
+    stats_.frames_lost++;
+    return Status::ok();  // silently lost; reliability is transport's job
+  }
+  const Time delay = transmission_delay(m.spec, payload.size());
+  deliver(dst, LinkFrame{src, dst, *m_id, proto, std::move(payload)}, delay, wire_bytes);
+  return Status::ok();
+}
+
+Status World::link_broadcast(NodeId src, Proto proto, Bytes payload, MediumId medium_filter) {
+  Node& sender = node(src);
+  if (!sender.alive) return Status{ErrorCode::kResourceExhausted, "sender dead"};
+  bool sent_any = false;
+  for (const MediumId m_id : sender.media) {
+    if (medium_filter.valid() && m_id != medium_filter) continue;
+    const Medium& m = medium(m_id);
+    const std::size_t wire_bytes = payload.size() + m.spec.header_bytes;
+
+    sender.stats.frames_sent++;
+    sender.stats.bytes_sent += payload.size();
+    stats_.frames_sent++;
+    stats_.bytes_on_wire += wire_bytes;
+    // Broadcast transmits at full range power.
+    if (!charge_tx(src, m.spec, wire_bytes, m.spec.wireless ? m.spec.range_m : 0.0)) {
+      return Status{ErrorCode::kResourceExhausted, "battery exhausted during tx"};
+    }
+    sent_any = true;
+    const Time delay = transmission_delay(m.spec, payload.size());
+    for (const NodeId member : m.members) {
+      if (member == src) continue;
+      const Node& receiver = node(member);
+      if (!receiver.alive) continue;
+      if (!reachable_on(m, sender, receiver)) continue;
+      if (rng_.bernoulli(frame_loss_probability(m.spec, wire_bytes))) {
+        stats_.frames_lost++;
+        continue;
+      }
+      deliver(member, LinkFrame{src, kBroadcast, m_id, proto, payload}, delay, wire_bytes);
+    }
+  }
+  return sent_any ? Status::ok()
+                  : Status{ErrorCode::kUnreachable, "no medium to broadcast on"};
+}
+
+std::vector<NodeId> World::neighbors(NodeId id) const {
+  const Node& n = node(id);
+  std::vector<NodeId> out;
+  for (const MediumId m_id : n.media) {
+    const Medium& m = medium(m_id);
+    for (const NodeId member : m.members) {
+      if (member == id) continue;
+      const Node& peer = node(member);
+      if (!peer.alive || !reachable_on(m, n, peer)) continue;
+      if (std::find(out.begin(), out.end(), member) == out.end()) out.push_back(member);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool World::in_link_range(NodeId a, NodeId b) const {
+  return shared_medium(a, b).has_value();
+}
+
+double World::link_tx_cost(NodeId a, NodeId b, std::size_t payload_bytes) const {
+  const auto m_id = shared_medium(a, b);
+  if (!m_id) return std::numeric_limits<double>::infinity();
+  const LinkSpec& spec = medium(*m_id).spec;
+  if (!spec.wireless) return 0.0;
+  const double dist = distance(node(a).position, node(b).position);
+  return energy_.tx_cost((payload_bytes + spec.header_bytes) * 8, dist);
+}
+
+const NodeStats& World::stats(NodeId id) const { return node(id).stats; }
+
+void World::reset_stats() {
+  stats_ = WorldStats{};
+  for (auto& n : nodes_) n.stats = NodeStats{};
+}
+
+World::Node& World::node(NodeId id) {
+  assert(id.value() < nodes_.size());
+  return nodes_[id.value()];
+}
+
+const World::Node& World::node(NodeId id) const {
+  assert(id.value() < nodes_.size());
+  return nodes_[id.value()];
+}
+
+World::Medium& World::medium(MediumId id) {
+  assert(id.value() < media_.size());
+  return media_[id.value()];
+}
+
+const World::Medium& World::medium(MediumId id) const {
+  assert(id.value() < media_.size());
+  return media_[id.value()];
+}
+
+}  // namespace ndsm::net

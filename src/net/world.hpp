@@ -1,0 +1,179 @@
+#pragma once
+// The World hosts nodes and media and provides the link layer: single-hop
+// unicast and broadcast between nodes that share a medium and are within
+// range. Everything above (routing, transport, discovery, ...) is built on
+// this interface, which is all the "network independence" layer (§3.2)
+// assumes of an underlying network.
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/ids.hpp"
+#include "common/status.hpp"
+#include "common/vec2.hpp"
+#include "net/energy.hpp"
+#include "net/link_spec.hpp"
+#include "sim/simulator.hpp"
+
+namespace ndsm::net {
+
+// Link-layer protocol demultiplexer (like an EtherType).
+enum class Proto : std::uint8_t {
+  kRouting = 1,
+  kLocation = 2,
+  kTransport = 3,
+  kDiscovery = 4,
+  kApp = 5,
+};
+
+constexpr NodeId kBroadcast = NodeId{0xfffffffffffffffULL - 1};
+
+struct LinkFrame {
+  NodeId src;
+  NodeId dst;  // kBroadcast for broadcast frames
+  MediumId medium;
+  Proto proto;
+  Bytes payload;
+};
+
+struct NodeStats {
+  std::uint64_t frames_sent = 0;
+  std::uint64_t frames_received = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+  std::uint64_t frames_dropped = 0;  // lost on the channel after this node sent them
+};
+
+struct WorldStats {
+  std::uint64_t frames_sent = 0;
+  std::uint64_t frames_delivered = 0;
+  std::uint64_t frames_lost = 0;
+  std::uint64_t bytes_on_wire = 0;  // payload + header, per delivery attempt
+};
+
+class World {
+ public:
+  using LinkHandler = std::function<void(const LinkFrame&)>;
+  using DeathHandler = std::function<void(NodeId)>;
+
+  explicit World(sim::Simulator& sim) : sim_(sim), rng_(sim.rng().fork(0x9e11d)) {}
+
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  [[nodiscard]] sim::Simulator& sim() { return sim_; }
+
+  // --- topology -----------------------------------------------------------
+  MediumId add_medium(LinkSpec spec);
+  NodeId add_node(Vec2 position, Battery battery = Battery::mains());
+  void attach(NodeId node, MediumId medium);
+
+  [[nodiscard]] const LinkSpec& medium_spec(MediumId medium) const;
+  // Adjust a wireless medium's communication range (e.g. to model higher
+  // transmit power). Affects future reachability checks and sends.
+  void set_medium_range(MediumId medium, double range_m);
+  [[nodiscard]] std::vector<MediumId> media_of(NodeId node) const;
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] std::vector<NodeId> all_nodes() const;
+
+  // --- positions & mobility -------------------------------------------------
+  [[nodiscard]] Vec2 position(NodeId node) const;
+  void set_position(NodeId node, Vec2 position);
+  // Move the node toward `destination` at `speed_m_per_s`, updating its
+  // position every `tick`. Motion stops on arrival or kill().
+  void move_linear(NodeId node, Vec2 destination, double speed_m_per_s,
+                   Time tick = duration::millis(100));
+
+  // --- liveness & energy ----------------------------------------------------
+  [[nodiscard]] bool alive(NodeId node) const;
+  void kill(NodeId node);
+  void revive(NodeId node);
+  [[nodiscard]] const Battery& battery(NodeId node) const;
+  // Replace a node's power source (e.g. promote a sink to mains power).
+  void set_battery(NodeId node, Battery battery);
+  // Direct draw for non-communication costs (sensing, CPU). Kills the node
+  // if the battery empties.
+  void drain(NodeId node, double joules);
+  void set_death_handler(DeathHandler handler) { on_death_ = std::move(handler); }
+  // Current handler, so components can chain rather than replace it.
+  [[nodiscard]] const DeathHandler& death_handler() const { return on_death_; }
+
+  // --- link layer -----------------------------------------------------------
+  void set_handler(NodeId node, Proto proto, LinkHandler handler);
+  void clear_handler(NodeId node, Proto proto);
+
+  // Unicast to a single-hop neighbour. Fails with kUnreachable if no shared
+  // medium has the destination in range, kResourceExhausted if the sender
+  // is dead. Loss on the channel is silent (transport recovers).
+  Status link_send(NodeId src, NodeId dst, Proto proto, Bytes payload);
+
+  // Broadcast on one medium (or on every attached medium if `medium` is
+  // invalid()). Wireless broadcasts reach all alive nodes in range; wired
+  // broadcasts reach all nodes on the segment.
+  Status link_broadcast(NodeId src, Proto proto, Bytes payload,
+                        MediumId medium = MediumId::invalid());
+
+  // Single-hop neighbours over any shared medium (alive nodes only).
+  [[nodiscard]] std::vector<NodeId> neighbors(NodeId node) const;
+  [[nodiscard]] bool in_link_range(NodeId a, NodeId b) const;
+
+  // Energy a unicast of `payload_bytes` from a to b would cost the sender
+  // (used by energy-aware routing metrics, §3.5).
+  [[nodiscard]] double link_tx_cost(NodeId a, NodeId b, std::size_t payload_bytes) const;
+
+  [[nodiscard]] const EnergyModel& energy_model() const { return energy_; }
+  void set_energy_model(EnergyModel model) { energy_ = model; }
+
+  [[nodiscard]] const NodeStats& stats(NodeId node) const;
+  [[nodiscard]] const WorldStats& stats() const { return stats_; }
+  void reset_stats();
+
+  // Per-frame loss probability combining the flat loss and the BER term
+  // (exposed for tests and analytical sizing of transport parameters).
+  [[nodiscard]] static double frame_loss_probability(const LinkSpec& spec,
+                                                     std::size_t wire_bytes);
+
+ private:
+  struct Node {
+    Vec2 position;
+    Battery battery;
+    bool alive = true;
+    std::vector<MediumId> media;
+    std::map<Proto, LinkHandler> handlers;
+    NodeStats stats;
+    EventId motion = EventId::invalid();
+  };
+
+  struct Medium {
+    LinkSpec spec;
+    std::vector<NodeId> members;
+  };
+
+  [[nodiscard]] Node& node(NodeId id);
+  [[nodiscard]] const Node& node(NodeId id) const;
+  [[nodiscard]] Medium& medium(MediumId id);
+  [[nodiscard]] const Medium& medium(MediumId id) const;
+
+  // Best shared medium for a->b (wired preferred, then strongest wireless).
+  [[nodiscard]] std::optional<MediumId> shared_medium(NodeId a, NodeId b) const;
+  [[nodiscard]] static bool reachable_on(const Medium& m, const Node& a, const Node& b);
+
+  [[nodiscard]] Time transmission_delay(const LinkSpec& spec, std::size_t payload_bytes) const;
+  void deliver(NodeId dst, LinkFrame frame, Time delay, std::size_t wire_bytes);
+  bool charge_tx(NodeId src, const LinkSpec& spec, std::size_t wire_bytes, double distance_m);
+  void charge_rx(NodeId dst, const LinkSpec& spec, std::size_t wire_bytes);
+
+  sim::Simulator& sim_;
+  Rng rng_;
+  EnergyModel energy_;
+  std::vector<Node> nodes_;
+  std::vector<Medium> media_;
+  WorldStats stats_;
+  DeathHandler on_death_;
+};
+
+}  // namespace ndsm::net

@@ -1,0 +1,83 @@
+#include "qos/benefit.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ndsm::qos {
+
+BenefitFunction BenefitFunction::constant(double value) {
+  return BenefitFunction{Kind::kConstant, 0, 0, std::clamp(value, 0.0, 1.0)};
+}
+
+BenefitFunction BenefitFunction::step(Time deadline) {
+  return BenefitFunction{Kind::kStep, deadline, 0, 0.0};
+}
+
+BenefitFunction BenefitFunction::linear(Time full_until, Time zero_at) {
+  if (zero_at < full_until) zero_at = full_until;
+  return BenefitFunction{Kind::kLinear, full_until, zero_at, 0.0};
+}
+
+BenefitFunction BenefitFunction::sigmoid(Time midpoint, double steepness_per_s) {
+  return BenefitFunction{Kind::kSigmoid, midpoint, 0, steepness_per_s};
+}
+
+double BenefitFunction::eval(Time delay) const {
+  if (delay < 0) delay = 0;
+  switch (kind_) {
+    case Kind::kConstant:
+      return param_;
+    case Kind::kStep:
+      return delay <= t1_ ? 1.0 : 0.0;
+    case Kind::kLinear: {
+      if (delay <= t1_) return 1.0;
+      if (delay >= t2_) return 0.0;
+      return 1.0 - static_cast<double>(delay - t1_) / static_cast<double>(t2_ - t1_);
+    }
+    case Kind::kSigmoid: {
+      const double x = to_seconds(delay - t1_) * param_;
+      return 1.0 / (1.0 + std::exp(x));
+    }
+  }
+  return 0.0;
+}
+
+Time BenefitFunction::deadline_for(double threshold) const {
+  threshold = std::clamp(threshold, 0.0, 1.0);
+  switch (kind_) {
+    case Kind::kConstant:
+      return kTimeNever;
+    case Kind::kStep:
+      return t1_;
+    case Kind::kLinear:
+      if (threshold <= 0.0) return t2_;
+      return t1_ + static_cast<Time>((1.0 - threshold) * static_cast<double>(t2_ - t1_));
+    case Kind::kSigmoid: {
+      if (threshold <= 0.0 || threshold >= 1.0 || param_ <= 0.0) return kTimeNever;
+      // Solve 1/(1+e^(k*(d-m))) = threshold.
+      const double offset_s = std::log(1.0 / threshold - 1.0) / param_;
+      return t1_ + from_seconds(offset_s);
+    }
+  }
+  return kTimeNever;
+}
+
+void BenefitFunction::encode(serialize::Writer& w) const {
+  w.u8(static_cast<std::uint8_t>(kind_));
+  w.svarint(t1_);
+  w.svarint(t2_);
+  w.f64(param_);
+}
+
+std::optional<BenefitFunction> BenefitFunction::decode(serialize::Reader& r) {
+  const auto kind = r.u8();
+  const auto t1 = r.svarint();
+  const auto t2 = r.svarint();
+  const auto param = r.f64();
+  if (!kind || !t1 || !t2 || !param || *kind > static_cast<std::uint8_t>(Kind::kSigmoid)) {
+    return std::nullopt;
+  }
+  return BenefitFunction{static_cast<Kind>(*kind), *t1, *t2, *param};
+}
+
+}  // namespace ndsm::qos

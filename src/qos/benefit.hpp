@@ -1,0 +1,66 @@
+#pragma once
+// Benefit functions (§3.4): "It should also include the time constraints
+// of the QoS (benefit function). ... some applications such as real-time
+// systems have strong time constraints, while e-mail applications in
+// general are more relaxed with respect to delay."
+//
+// A BenefitFunction maps delivery delay to utility in [0, 1]. Matching
+// (§3.4) and scheduling (§3.7) both consume it.
+
+#include <optional>
+
+#include "common/time.hpp"
+#include "serialize/codec.hpp"
+
+namespace ndsm::qos {
+
+class BenefitFunction {
+ public:
+  enum class Kind : std::uint8_t {
+    kConstant = 0,  // delay-insensitive (e-mail)
+    kStep,          // full benefit until the deadline, zero after (hard real-time)
+    kLinear,        // full until t1, linear decay to zero at t2 (soft real-time)
+    kSigmoid,       // smooth decay centred on a midpoint
+  };
+
+  // Delay-insensitive with the given constant utility.
+  static BenefitFunction constant(double value = 1.0);
+  // 1.0 for delay <= deadline, 0.0 after.
+  static BenefitFunction step(Time deadline);
+  // 1.0 until `full_until`, linear to 0.0 at `zero_at`.
+  static BenefitFunction linear(Time full_until, Time zero_at);
+  // 1 / (1 + exp(steepness * (delay - midpoint))), steepness in 1/sec.
+  static BenefitFunction sigmoid(Time midpoint, double steepness_per_s = 1.0);
+
+  BenefitFunction() : BenefitFunction(constant()) {}
+
+  [[nodiscard]] double eval(Time delay) const;
+  [[nodiscard]] Kind kind() const { return kind_; }
+
+  // Latest delay with benefit >= threshold; kTimeNever when benefit never
+  // drops below it. Scheduling uses this as an effective deadline.
+  [[nodiscard]] Time deadline_for(double threshold = 0.5) const;
+
+  // Urgency ordering: functions that lose benefit sooner are more urgent.
+  [[nodiscard]] bool more_urgent_than(const BenefitFunction& other) const {
+    return deadline_for() < other.deadline_for();
+  }
+
+  void encode(serialize::Writer& w) const;
+  static std::optional<BenefitFunction> decode(serialize::Reader& r);
+
+  friend bool operator==(const BenefitFunction& a, const BenefitFunction& b) {
+    return a.kind_ == b.kind_ && a.t1_ == b.t1_ && a.t2_ == b.t2_ && a.param_ == b.param_;
+  }
+
+ private:
+  BenefitFunction(Kind kind, Time t1, Time t2, double param)
+      : kind_(kind), t1_(t1), t2_(t2), param_(param) {}
+
+  Kind kind_;
+  Time t1_;       // deadline / full_until / midpoint
+  Time t2_;       // zero_at (linear only)
+  double param_;  // constant value / sigmoid steepness
+};
+
+}  // namespace ndsm::qos

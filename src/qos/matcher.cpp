@@ -1,0 +1,107 @@
+#include "qos/matcher.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ndsm::qos {
+
+namespace {
+
+double resolve_distance(const ConsumerQos& consumer, const SupplierQos& supplier,
+                        double distance_m) {
+  if (distance_m >= 0) return distance_m;
+  if (consumer.position && supplier.position) {
+    return distance(*consumer.position, *supplier.position);
+  }
+  return 0.0;  // no spatial information: treat as co-located
+}
+
+}  // namespace
+
+double Matcher::score(const ConsumerQos& consumer, const SupplierQos& supplier,
+                      double distance_m) {
+  // Attribute score: weighted fraction of satisfied requirements.
+  double attr_total = 0.0;
+  double attr_got = 0.0;
+  for (const auto& req : consumer.requirements) {
+    attr_total += req.weight;
+    if (req.satisfied_by(supplier.attributes)) attr_got += req.weight;
+  }
+  const double attr_score = attr_total > 0 ? attr_got / attr_total : 1.0;
+
+  const double rel_score = supplier.reliability * supplier.availability;
+
+  double prox_score = 1.0;
+  if (consumer.position) {
+    const double d = resolve_distance(consumer, supplier, distance_m);
+    if (std::isfinite(consumer.max_distance_m) && consumer.max_distance_m > 0) {
+      prox_score = std::max(0.0, 1.0 - d / consumer.max_distance_m);
+    } else {
+      prox_score = 1.0 / (1.0 + d / 100.0);  // soft decay, 100 m half-ish scale
+    }
+  }
+
+  const double power_score = 1.0 / (1.0 + supplier.power_w);
+
+  const double wsum = consumer.attribute_weight + consumer.reliability_weight +
+                      consumer.proximity_weight + consumer.power_weight;
+  if (wsum <= 0) return 0.0;
+  return (consumer.attribute_weight * attr_score + consumer.reliability_weight * rel_score +
+          consumer.proximity_weight * prox_score + consumer.power_weight * power_score) /
+         wsum;
+}
+
+Evaluation Matcher::evaluate(const ConsumerQos& consumer, const SupplierQos& supplier,
+                             double distance_m) {
+  Evaluation out;
+  if (consumer.service_type != supplier.service_type) {
+    out.reject_reason = "type mismatch";
+    return out;
+  }
+  if (!supplier.accepts_password(consumer.password)) {
+    out.reject_reason = "authentication failed";
+    return out;
+  }
+  for (const auto& req : consumer.requirements) {
+    if (req.mandatory && !req.satisfied_by(supplier.attributes)) {
+      out.reject_reason = "mandatory attribute '" + req.name + "' unsatisfied";
+      return out;
+    }
+  }
+  if (supplier.reliability < consumer.min_reliability) {
+    out.reject_reason = "reliability below floor";
+    return out;
+  }
+  if (supplier.availability < consumer.min_availability) {
+    out.reject_reason = "availability below floor";
+    return out;
+  }
+  if (consumer.position && std::isfinite(consumer.max_distance_m)) {
+    const double d = resolve_distance(consumer, supplier, distance_m);
+    if (d > consumer.max_distance_m) {
+      out.reject_reason = "outside spatial bound";
+      return out;
+    }
+  }
+  out.feasible = true;
+  out.score = score(consumer, supplier, distance_m);
+  return out;
+}
+
+std::vector<std::size_t> Matcher::rank(const ConsumerQos& consumer,
+                                       const std::vector<SupplierQos>& suppliers) {
+  std::vector<std::pair<double, std::size_t>> scored;
+  for (std::size_t i = 0; i < suppliers.size(); ++i) {
+    const Evaluation e = evaluate(consumer, suppliers[i]);
+    if (e.feasible) scored.emplace_back(e.score, i);
+  }
+  std::sort(scored.begin(), scored.end(), [](const auto& a, const auto& b) {
+    return a.first != b.first ? a.first > b.first : a.second < b.second;
+  });
+  std::vector<std::size_t> out;
+  out.reserve(scored.size());
+  for (const auto& [s, i] : scored) out.push_back(i);
+  return out;
+}
+
+}  // namespace ndsm::qos

@@ -1,0 +1,38 @@
+#pragma once
+// The QoS matching engine (§3.3/§3.4): decides whether a supplier can
+// serve a consumer (feasibility: type, mandatory attributes, reliability /
+// availability floors, password, spatial bound) and scores feasible pairs
+// so discovery can return the "best matched" supplier.
+
+#include <string>
+#include <vector>
+
+#include "qos/spec.hpp"
+
+namespace ndsm::qos {
+
+struct Evaluation {
+  bool feasible = false;
+  double score = 0.0;          // meaningful only when feasible
+  std::string reject_reason;   // meaningful only when infeasible
+};
+
+class Matcher {
+ public:
+  // `distance_m` overrides the positional distance when >= 0 (discovery
+  // may know a fresher position than the spec carries); < 0 means derive
+  // it from the specs' positions (or treat as co-located when unknown).
+  [[nodiscard]] static Evaluation evaluate(const ConsumerQos& consumer,
+                                           const SupplierQos& supplier,
+                                           double distance_m = -1.0);
+
+  // Indices of feasible suppliers, best score first.
+  [[nodiscard]] static std::vector<std::size_t> rank(const ConsumerQos& consumer,
+                                                     const std::vector<SupplierQos>& suppliers);
+
+  // Score of a feasible match in [0, 1].
+  [[nodiscard]] static double score(const ConsumerQos& consumer, const SupplierQos& supplier,
+                                    double distance_m);
+};
+
+}  // namespace ndsm::qos

@@ -1,0 +1,263 @@
+#include "qos/spec.hpp"
+
+#include <charconv>
+
+#include "interop/value_markup.hpp"
+
+namespace ndsm::qos {
+
+using serialize::Value;
+
+const char* to_string(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq: return "eq";
+    case CmpOp::kNe: return "ne";
+    case CmpOp::kLt: return "lt";
+    case CmpOp::kLe: return "le";
+    case CmpOp::kGt: return "gt";
+    case CmpOp::kGe: return "ge";
+    case CmpOp::kExists: return "exists";
+    case CmpOp::kPrefix: return "prefix";
+  }
+  return "?";
+}
+
+std::optional<CmpOp> cmp_op_from_string(const std::string& s) {
+  if (s == "eq") return CmpOp::kEq;
+  if (s == "ne") return CmpOp::kNe;
+  if (s == "lt") return CmpOp::kLt;
+  if (s == "le") return CmpOp::kLe;
+  if (s == "gt") return CmpOp::kGt;
+  if (s == "ge") return CmpOp::kGe;
+  if (s == "exists") return CmpOp::kExists;
+  if (s == "prefix") return CmpOp::kPrefix;
+  return std::nullopt;
+}
+
+namespace {
+
+// Numeric view of a value; strings never coerce.
+std::optional<double> as_number(const Value& v) {
+  if (v.type() == Value::Type::kInt) return static_cast<double>(v.as_int());
+  if (v.type() == Value::Type::kFloat) return v.as_float();
+  if (v.type() == Value::Type::kBool) return v.as_bool() ? 1.0 : 0.0;
+  return std::nullopt;
+}
+
+// Three-way comparison where comparable; nullopt for incomparable types.
+std::optional<int> compare(const Value& a, const Value& b) {
+  const auto na = as_number(a);
+  const auto nb = as_number(b);
+  if (na && nb) return *na < *nb ? -1 : (*na > *nb ? 1 : 0);
+  if (a.type() == Value::Type::kString && b.type() == Value::Type::kString) {
+    const int c = a.as_string().compare(b.as_string());
+    return c < 0 ? -1 : (c > 0 ? 1 : 0);
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+bool AttributeRequirement::satisfied_by(const Attributes& attrs) const {
+  const auto it = attrs.find(name);
+  if (it == attrs.end()) return false;
+  if (op == CmpOp::kExists) return true;
+  if (op == CmpOp::kPrefix) {
+    return it->second.type() == Value::Type::kString &&
+           value.type() == Value::Type::kString &&
+           it->second.as_string().rfind(value.as_string(), 0) == 0;
+  }
+  const auto cmp = compare(it->second, value);
+  if (!cmp) return false;
+  switch (op) {
+    case CmpOp::kEq: return *cmp == 0;
+    case CmpOp::kNe: return *cmp != 0;
+    case CmpOp::kLt: return *cmp < 0;
+    case CmpOp::kLe: return *cmp <= 0;
+    case CmpOp::kGt: return *cmp > 0;
+    case CmpOp::kGe: return *cmp >= 0;
+    default: return false;
+  }
+}
+
+void SupplierQos::encode(serialize::Writer& w) const {
+  w.str(service_type);
+  w.varint(attributes.size());
+  for (const auto& [k, v] : attributes) {
+    w.str(k);
+    v.encode(w);
+  }
+  w.f64(reliability);
+  w.f64(availability);
+  w.f64(power_w);
+  w.boolean(requires_password);
+  w.u64(password_digest);
+  w.boolean(position.has_value());
+  if (position) w.vec2(*position);
+}
+
+std::optional<SupplierQos> SupplierQos::decode(serialize::Reader& r) {
+  SupplierQos s;
+  auto type = r.str();
+  if (!type) return std::nullopt;
+  s.service_type = std::move(*type);
+  const auto n = r.varint();
+  if (!n) return std::nullopt;
+  for (std::uint64_t i = 0; i < *n; ++i) {
+    auto k = r.str();
+    auto v = Value::decode(r);
+    if (!k || !v) return std::nullopt;
+    s.attributes.emplace(std::move(*k), std::move(*v));
+  }
+  const auto rel = r.f64();
+  const auto avail = r.f64();
+  const auto power = r.f64();
+  const auto pw = r.boolean();
+  const auto digest = r.u64();
+  const auto has_pos = r.boolean();
+  if (!rel || !avail || !power || !pw || !digest || !has_pos) return std::nullopt;
+  s.reliability = *rel;
+  s.availability = *avail;
+  s.power_w = *power;
+  s.requires_password = *pw;
+  s.password_digest = *digest;
+  if (*has_pos) {
+    const auto pos = r.vec2();
+    if (!pos) return std::nullopt;
+    s.position = *pos;
+  }
+  return s;
+}
+
+interop::MarkupNode SupplierQos::to_markup() const {
+  interop::MarkupNode node;
+  node.tag = "service";
+  node.set_attribute("type", service_type);
+  auto& q = node.add_child("qos");
+  q.set_attribute("reliability", std::to_string(reliability));
+  q.set_attribute("availability", std::to_string(availability));
+  q.set_attribute("power-w", std::to_string(power_w));
+  if (requires_password) q.set_attribute("secured", "true");
+  if (position) {
+    auto& p = node.add_child("position");
+    p.set_attribute("x", std::to_string(position->x));
+    p.set_attribute("y", std::to_string(position->y));
+  }
+  auto& attrs = node.add_child("attributes");
+  for (const auto& [k, v] : attributes) {
+    auto child = interop::value_to_markup(v, "attribute");
+    child.set_attribute("name", k);
+    attrs.children.push_back(std::move(child));
+  }
+  return node;
+}
+
+Result<SupplierQos> SupplierQos::from_markup(const interop::MarkupNode& node) {
+  if (node.tag != "service") return Status{ErrorCode::kCorrupt, "expected <service>"};
+  SupplierQos s;
+  s.service_type = node.attribute("type");
+  if (const auto* q = node.child("qos")) {
+    s.reliability = std::stod(q->attribute("reliability", "1"));
+    s.availability = std::stod(q->attribute("availability", "1"));
+    s.power_w = std::stod(q->attribute("power-w", "0"));
+    s.requires_password = q->attribute("secured") == "true";
+  }
+  if (const auto* p = node.child("position")) {
+    s.position = Vec2{std::stod(p->attribute("x", "0")), std::stod(p->attribute("y", "0"))};
+  }
+  if (const auto* attrs = node.child("attributes")) {
+    for (const auto& child : attrs->children) {
+      auto v = interop::markup_to_value(child);
+      if (!v.is_ok()) return v.status();
+      s.attributes.emplace(child.attribute("name"), std::move(v).take());
+    }
+  }
+  return s;
+}
+
+void ConsumerQos::encode(serialize::Writer& w) const {
+  w.str(service_type);
+  w.varint(requirements.size());
+  for (const auto& req : requirements) {
+    w.str(req.name);
+    w.u8(static_cast<std::uint8_t>(req.op));
+    req.value.encode(w);
+    w.f64(req.weight);
+    w.boolean(req.mandatory);
+  }
+  w.f64(min_reliability);
+  w.f64(min_availability);
+  timeliness.encode(w);
+  w.boolean(password.has_value());
+  if (password) w.str(*password);
+  w.boolean(position.has_value());
+  if (position) w.vec2(*position);
+  w.f64(max_distance_m);
+  w.f64(attribute_weight);
+  w.f64(reliability_weight);
+  w.f64(proximity_weight);
+  w.f64(power_weight);
+}
+
+std::optional<ConsumerQos> ConsumerQos::decode(serialize::Reader& r) {
+  ConsumerQos c;
+  auto type = r.str();
+  if (!type) return std::nullopt;
+  c.service_type = std::move(*type);
+  const auto n = r.varint();
+  if (!n) return std::nullopt;
+  for (std::uint64_t i = 0; i < *n; ++i) {
+    AttributeRequirement req;
+    auto name = r.str();
+    const auto op = r.u8();
+    auto value = Value::decode(r);
+    const auto weight = r.f64();
+    const auto mandatory = r.boolean();
+    if (!name || !op || !value || !weight || !mandatory ||
+        *op > static_cast<std::uint8_t>(CmpOp::kPrefix)) {
+      return std::nullopt;
+    }
+    req.name = std::move(*name);
+    req.op = static_cast<CmpOp>(*op);
+    req.value = std::move(*value);
+    req.weight = *weight;
+    req.mandatory = *mandatory;
+    c.requirements.push_back(std::move(req));
+  }
+  const auto rel = r.f64();
+  const auto avail = r.f64();
+  if (!rel || !avail) return std::nullopt;
+  c.min_reliability = *rel;
+  c.min_availability = *avail;
+  auto benefit = BenefitFunction::decode(r);
+  if (!benefit) return std::nullopt;
+  c.timeliness = *benefit;
+  const auto has_pw = r.boolean();
+  if (!has_pw) return std::nullopt;
+  if (*has_pw) {
+    auto pw = r.str();
+    if (!pw) return std::nullopt;
+    c.password = std::move(*pw);
+  }
+  const auto has_pos = r.boolean();
+  if (!has_pos) return std::nullopt;
+  if (*has_pos) {
+    const auto pos = r.vec2();
+    if (!pos) return std::nullopt;
+    c.position = *pos;
+  }
+  const auto max_d = r.f64();
+  const auto aw = r.f64();
+  const auto rw = r.f64();
+  const auto pw2 = r.f64();
+  const auto pow_w = r.f64();
+  if (!max_d || !aw || !rw || !pw2 || !pow_w) return std::nullopt;
+  c.max_distance_m = *max_d;
+  c.attribute_weight = *aw;
+  c.reliability_weight = *rw;
+  c.proximity_weight = *pw2;
+  c.power_weight = *pow_w;
+  return c;
+}
+
+}  // namespace ndsm::qos

@@ -1,0 +1,100 @@
+#pragma once
+// QoS specifications (§3.4). The supplier side declares what a service
+// offers and costs (reliability, availability/duty cycle, power draw,
+// security); the consumer side declares attribute requirements, a
+// timeliness benefit function, and spatial constraints ("nearest and best
+// matched printer").
+
+#include <limits>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/vec2.hpp"
+#include "interop/markup.hpp"
+#include "qos/benefit.hpp"
+#include "serialize/value.hpp"
+
+namespace ndsm::qos {
+
+using Attributes = std::map<std::string, serialize::Value>;
+
+enum class CmpOp : std::uint8_t {
+  kEq = 0,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kExists,
+  kPrefix,  // string prefix match
+};
+
+[[nodiscard]] const char* to_string(CmpOp op);
+[[nodiscard]] std::optional<CmpOp> cmp_op_from_string(const std::string& s);
+
+// One attribute constraint, e.g. {"resolution", kGe, 600}. Mandatory
+// requirements gate feasibility; optional ones only contribute score.
+struct AttributeRequirement {
+  std::string name;
+  CmpOp op = CmpOp::kExists;
+  serialize::Value value;
+  double weight = 1.0;
+  bool mandatory = true;
+
+  [[nodiscard]] bool satisfied_by(const Attributes& attrs) const;
+};
+
+struct SupplierQos {
+  std::string service_type;
+  Attributes attributes;
+  double reliability = 1.0;   // probability the service delivers correct data
+  double availability = 1.0;  // fraction of time the service is reachable
+  double power_w = 0.0;       // steady-state draw while serving
+  bool requires_password = false;
+  std::uint64_t password_digest = 0;  // fnv1a of the password (placeholder scheme)
+  std::optional<Vec2> position;
+
+  void set_password(const std::string& password) {
+    requires_password = true;
+    password_digest = fnv1a(password);
+  }
+  [[nodiscard]] bool accepts_password(const std::optional<std::string>& presented) const {
+    if (!requires_password) return true;
+    return presented && fnv1a(*presented) == password_digest;
+  }
+
+  void encode(serialize::Writer& w) const;
+  static std::optional<SupplierQos> decode(serialize::Reader& r);
+
+  // Markup round-trip for interoperability (§3.3/§3.9).
+  [[nodiscard]] interop::MarkupNode to_markup() const;
+  static Result<SupplierQos> from_markup(const interop::MarkupNode& node);
+};
+
+struct ConsumerQos {
+  std::string service_type;
+  std::vector<AttributeRequirement> requirements;
+  double min_reliability = 0.0;
+  double min_availability = 0.0;
+  BenefitFunction timeliness = BenefitFunction::constant();
+  std::optional<std::string> password;
+
+  // Spatial QoS: if `position` is set, suppliers farther than max_distance_m
+  // are infeasible and nearer suppliers score higher.
+  std::optional<Vec2> position;
+  double max_distance_m = std::numeric_limits<double>::infinity();
+
+  // Scoring weights (normalized internally).
+  double attribute_weight = 1.0;
+  double reliability_weight = 1.0;
+  double proximity_weight = 1.0;
+  double power_weight = 0.5;  // preference for low-power suppliers
+
+  void encode(serialize::Writer& w) const;
+  static std::optional<ConsumerQos> decode(serialize::Reader& r);
+};
+
+}  // namespace ndsm::qos

@@ -1,0 +1,70 @@
+#include "recovery/wal.hpp"
+
+namespace ndsm::recovery {
+
+Bytes LogRecord::encode() const {
+  serialize::Writer w;
+  w.varint(lsn);
+  w.u8(static_cast<std::uint8_t>(kind));
+  w.varint(tx);
+  w.str(key);
+  value.encode(w);
+  // Integrity digest over everything preceding it.
+  w.u64(fnv1a(w.data()));
+  return std::move(w).take();
+}
+
+std::optional<LogRecord> LogRecord::decode(const Bytes& data) {
+  if (data.size() < 8) return std::nullopt;
+  // Verify the digest first.
+  const Bytes body{data.begin(), data.end() - 8};
+  serialize::Reader tail{data.data() + data.size() - 8, 8};
+  const auto digest = tail.u64();
+  if (!digest || *digest != fnv1a(body)) return std::nullopt;
+
+  serialize::Reader r{body};
+  LogRecord rec;
+  const auto lsn = r.varint();
+  const auto kind = r.u8();
+  const auto tx = r.varint();
+  auto key = r.str();
+  auto value = serialize::Value::decode(r);
+  if (!lsn || !kind || !tx || !key || !value ||
+      *kind < 1 || *kind > static_cast<std::uint8_t>(LogKind::kCheckpoint)) {
+    return std::nullopt;
+  }
+  rec.lsn = *lsn;
+  rec.kind = static_cast<LogKind>(*kind);
+  rec.tx = *tx;
+  rec.key = std::move(*key);
+  rec.value = std::move(*value);
+  return rec;
+}
+
+std::uint64_t WriteAheadLog::append(LogKind kind, std::uint64_t tx, const std::string& key,
+                                    const serialize::Value& value) {
+  LogRecord rec;
+  rec.lsn = next_lsn_++;
+  rec.kind = kind;
+  rec.tx = tx;
+  rec.key = key;
+  rec.value = value;
+  storage_.append(rec.encode());
+  return rec.lsn;
+}
+
+std::vector<LogRecord> WriteAheadLog::replay() {
+  std::vector<LogRecord> out;
+  for (std::size_t i = 0; i < storage_.size(); ++i) {
+    auto rec = LogRecord::decode(storage_.read(i));
+    if (!rec) break;  // torn tail: stop at the first corrupt record
+    // Keep next_lsn monotone across restarts.
+    if (rec->lsn >= next_lsn_) next_lsn_ = rec->lsn + 1;
+    out.push_back(std::move(*rec));
+  }
+  return out;
+}
+
+void WriteAheadLog::truncate() { storage_.truncate_front(storage_.size()); }
+
+}  // namespace ndsm::recovery

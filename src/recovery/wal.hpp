@@ -1,0 +1,60 @@
+#pragma once
+// Write-ahead log (§3.8 "Sometimes a simple log-based scheme can be
+// used"). Redo-only logging with commit records: every mutation is logged
+// before being applied; recovery replays only mutations whose transaction
+// committed.
+
+#include <optional>
+#include <string>
+
+#include "common/ids.hpp"
+#include "recovery/storage.hpp"
+#include "serialize/value.hpp"
+
+namespace ndsm::recovery {
+
+enum class LogKind : std::uint8_t {
+  kPut = 1,
+  kErase = 2,
+  kBegin = 3,
+  kCommit = 4,
+  kAbort = 5,
+  kCheckpoint = 6,  // marks that a checkpoint covers everything before it
+};
+
+struct LogRecord {
+  std::uint64_t lsn = 0;
+  LogKind kind = LogKind::kPut;
+  std::uint64_t tx = 0;  // 0 = auto-committed singleton operation
+  std::string key;
+  serialize::Value value;
+
+  [[nodiscard]] Bytes encode() const;
+  static std::optional<LogRecord> decode(const Bytes& data);
+};
+
+class WriteAheadLog {
+ public:
+  explicit WriteAheadLog(StableStorage& storage) : storage_(storage) {}
+
+  // Append and return the assigned LSN.
+  std::uint64_t append(LogKind kind, std::uint64_t tx, const std::string& key = "",
+                       const serialize::Value& value = {});
+
+  // Read every decodable record currently in the log, in order. Corrupt
+  // records (and everything after the first corruption) are skipped —
+  // torn-tail semantics.
+  [[nodiscard]] std::vector<LogRecord> replay();
+
+  // Discard log records already covered by a checkpoint.
+  void truncate();
+
+  [[nodiscard]] std::uint64_t next_lsn() const { return next_lsn_; }
+  [[nodiscard]] std::size_t record_count() const { return storage_.size(); }
+
+ private:
+  StableStorage& storage_;
+  std::uint64_t next_lsn_ = 1;
+};
+
+}  // namespace ndsm::recovery

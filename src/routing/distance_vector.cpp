@@ -1,0 +1,196 @@
+#include "routing/distance_vector.hpp"
+
+#include "serialize/codec.hpp"
+
+namespace ndsm::routing {
+
+DistanceVectorRouter::DistanceVectorRouter(net::World& world, NodeId self, Time update_period)
+    : Router(world, self),
+      update_period_(update_period),
+      route_ttl_(update_period * 3 + duration::millis(500)),
+      timer_(world.sim(), update_period, [this] {
+        expire_routes();
+        advertise();
+      }) {
+  world_.set_handler(self_, Proto::kRouting,
+                     [this](const net::LinkFrame& f) { on_frame(f); });
+  // Self-route.
+  table_[self_] = Route{self_, 0, 0, kTimeNever};
+  // Stagger initial advertisements so nodes do not all transmit at t=0.
+  timer_.start(duration::millis(
+      static_cast<std::int64_t>(world_.sim().rng().fork(self.value()).uniform_int(1, 200))));
+}
+
+DistanceVectorRouter::~DistanceVectorRouter() { world_.clear_handler(self_, Proto::kRouting); }
+
+Bytes DistanceVectorRouter::encode_table() const {
+  serialize::Writer w;
+  w.varint(table_.size());
+  for (const auto& [dst, route] : table_) {
+    w.id(dst);
+    w.u8(static_cast<std::uint8_t>(route.metric));
+    w.u32(route.seq);
+  }
+  return std::move(w).take();
+}
+
+void DistanceVectorRouter::advertise() {
+  if (!world_.alive(self_)) {
+    timer_.stop();
+    return;
+  }
+  // Fresh sequence number for our own entry (DSDV).
+  table_[self_] = Route{self_, 0, ++own_seq_, kTimeNever};
+  RoutingHeader h;
+  h.kind = RoutingKind::kDvUpdate;
+  h.origin = self_;
+  h.dst = net::kBroadcast;
+  h.ttl = 1;
+  const Bytes body = encode_table();
+  stats_.control_packets++;
+  stats_.control_bytes += body.size();
+  world_.link_broadcast(self_, Proto::kRouting, encode_routing(h, body));
+}
+
+void DistanceVectorRouter::expire_routes() {
+  const Time now = world_.sim().now();
+  for (auto it = table_.begin(); it != table_.end();) {
+    Route& route = it->second;
+    if (it->first != self_ && route.metric < kInfinity &&
+        now - route.refreshed > route_ttl_) {
+      // DSDV invalidation: tombstone with a bumped sequence number. The
+      // tombstone is advertised so neighbours drop the route too, and it
+      // blocks resurrection from stale same-sequence advertisements.
+      route.metric = kInfinity;
+      route.seq += 1;
+      route.refreshed = now;
+      ++it;
+    } else if (route.metric >= kInfinity && now - route.refreshed > route_ttl_ * 3) {
+      it = table_.erase(it);  // tombstone served its purpose
+    } else {
+      ++it;
+    }
+  }
+}
+
+void DistanceVectorRouter::on_update(NodeId from, const Bytes& body) {
+  serialize::Reader r{body};
+  const auto n = r.varint();
+  if (!n) return;
+  const Time now = world_.sim().now();
+  for (std::uint64_t i = 0; i < *n; ++i) {
+    const auto dst = r.id<NodeId>();
+    const auto metric = r.u8();
+    const auto seq = r.u32();
+    if (!dst || !metric || !seq) return;
+    if (*dst == self_) continue;
+    const int candidate =
+        *metric >= kInfinity ? kInfinity : std::min<int>(*metric + 1, kInfinity);
+    auto it = table_.find(*dst);
+    if (it == table_.end()) {
+      table_[*dst] = Route{from, candidate, *seq, now};
+      continue;
+    }
+    Route& route = it->second;
+    // DSDV rule: newer sequence always wins (including invalidations);
+    // same sequence only improves the metric.
+    if (*seq > route.seq || (*seq == route.seq && candidate < route.metric)) {
+      route = Route{from, candidate, *seq, now};
+    } else if (*seq == route.seq && route.next_hop == from && candidate == route.metric &&
+               candidate < kInfinity) {
+      route.refreshed = now;  // current route re-confirmed
+    }
+  }
+}
+
+int DistanceVectorRouter::route_metric(NodeId dst) const {
+  const auto it = table_.find(dst);
+  return it == table_.end() ? kInfinity : it->second.metric;
+}
+
+NodeId DistanceVectorRouter::next_hop(NodeId dst) const {
+  const auto it = table_.find(dst);
+  if (it == table_.end() || it->second.metric >= kInfinity) return NodeId::invalid();
+  return it->second.next_hop;
+}
+
+Status DistanceVectorRouter::send(NodeId dst, Proto upper, Bytes payload) {
+  if (dst == self_) {
+    deliver_local(self_, upper, payload);
+    return Status::ok();
+  }
+  RoutingHeader h;
+  h.kind = RoutingKind::kData;
+  h.origin = self_;
+  h.dst = dst;
+  h.seq = next_seq_++;
+  h.ttl = static_cast<std::uint8_t>(kDefaultTtl);
+  h.upper = upper;
+  stats_.data_sent++;
+  forward_data(h, payload);
+  return Status::ok();  // best-effort; reliability lives in transport
+}
+
+void DistanceVectorRouter::forward_data(RoutingHeader header, const Bytes& payload) {
+  const auto it = table_.find(header.dst);
+  if (it == table_.end() || it->second.metric >= kInfinity) {
+    stats_.drops++;
+    return;
+  }
+  const Status s =
+      world_.link_send(self_, it->second.next_hop, Proto::kRouting,
+                       encode_routing(header, payload));
+  if (!s.is_ok()) stats_.drops++;
+}
+
+Status DistanceVectorRouter::flood(Proto upper, Bytes payload, int ttl) {
+  RoutingHeader h;
+  h.kind = RoutingKind::kFlood;
+  h.origin = self_;
+  h.dst = net::kBroadcast;
+  h.seq = next_seq_++;
+  h.ttl = static_cast<std::uint8_t>(ttl);
+  h.upper = upper;
+  seen_[self_].insert(h.seq);
+  deliver_local(self_, upper, payload);
+  stats_.data_sent++;
+  return world_.link_broadcast(self_, Proto::kRouting, encode_routing(h, payload));
+}
+
+void DistanceVectorRouter::on_frame(const net::LinkFrame& frame) {
+  RoutingHeader h;
+  Bytes payload;
+  if (!decode_routing(frame.payload, h, payload)) return;
+  switch (h.kind) {
+    case RoutingKind::kDvUpdate:
+      on_update(h.origin, payload);
+      break;
+    case RoutingKind::kData:
+      if (h.dst == self_) {
+        deliver_local(h.origin, h.upper, payload);
+        return;
+      }
+      if (h.ttl == 0) {
+        stats_.drops++;
+        return;
+      }
+      h.ttl--;
+      stats_.data_forwarded++;
+      forward_data(h, payload);
+      break;
+    case RoutingKind::kFlood: {
+      if (!seen_[h.origin].insert(h.seq).second) return;
+      deliver_local(h.origin, h.upper, payload);
+      if (h.ttl == 0) {
+        stats_.drops++;
+        return;
+      }
+      h.ttl--;
+      stats_.data_forwarded++;
+      world_.link_broadcast(self_, Proto::kRouting, encode_routing(h, payload));
+      break;
+    }
+  }
+}
+
+}  // namespace ndsm::routing

@@ -1,0 +1,60 @@
+#pragma once
+// DSDV-style distributed distance-vector routing: every node periodically
+// broadcasts its route table to one-hop neighbours; routes expire if not
+// refreshed. Destination sequence numbers (Perkins & Bhagwat) prevent
+// count-to-infinity: only advertisements carrying a newer sequence number
+// for a destination can refresh a route, so routes to dead nodes age out
+// instead of ping-ponging upward.
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "routing/router.hpp"
+#include "sim/simulator.hpp"
+
+namespace ndsm::routing {
+
+class DistanceVectorRouter : public Router {
+ public:
+  static constexpr int kInfinity = 32;
+
+  DistanceVectorRouter(net::World& world, NodeId self,
+                       Time update_period = duration::seconds(5));
+  ~DistanceVectorRouter() override;
+
+  Status send(NodeId dst, Proto upper, Bytes payload) override;
+  Status flood(Proto upper, Bytes payload, int ttl = kDefaultTtl) override;
+
+  // Immediately broadcast the route table (normally driven by the timer).
+  void advertise();
+
+  [[nodiscard]] int route_metric(NodeId dst) const;  // kInfinity if unknown
+  [[nodiscard]] NodeId next_hop(NodeId dst) const;   // invalid() if unknown
+  [[nodiscard]] std::size_t table_size() const { return table_.size(); }
+
+ private:
+  struct Route {
+    NodeId next_hop;
+    int metric = kInfinity;
+    std::uint32_t seq = 0;  // destination sequence number (freshness)
+    Time refreshed = 0;
+  };
+
+  void on_frame(const net::LinkFrame& frame);
+  void on_update(NodeId from, const Bytes& body);
+  void forward_data(RoutingHeader header, const Bytes& payload);
+  void expire_routes();
+  [[nodiscard]] Bytes encode_table() const;
+
+  Time update_period_;
+  Time route_ttl_;
+  std::uint32_t own_seq_ = 0;  // incremented on every advertisement
+  std::unordered_map<NodeId, Route> table_;
+  sim::PeriodicTimer timer_;
+
+  // Flood machinery reused for flood().
+  std::uint32_t next_seq_ = 1;
+  std::unordered_map<NodeId, std::unordered_set<std::uint32_t>> seen_;
+};
+
+}  // namespace ndsm::routing

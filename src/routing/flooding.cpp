@@ -1,0 +1,61 @@
+#include "routing/flooding.hpp"
+
+namespace ndsm::routing {
+
+FloodingRouter::FloodingRouter(net::World& world, NodeId self) : Router(world, self) {
+  world_.set_handler(self_, Proto::kRouting,
+                     [this](const net::LinkFrame& f) { on_frame(f); });
+}
+
+FloodingRouter::~FloodingRouter() { world_.clear_handler(self_, Proto::kRouting); }
+
+bool FloodingRouter::seen_before(NodeId origin, std::uint32_t seq) {
+  return !seen_[origin].insert(seq).second;
+}
+
+Status FloodingRouter::originate(NodeId dst, Proto upper, Bytes payload, int ttl) {
+  RoutingHeader h;
+  h.kind = RoutingKind::kFlood;
+  h.origin = self_;
+  h.dst = dst;
+  h.seq = next_seq_++;
+  h.ttl = static_cast<std::uint8_t>(ttl);
+  h.upper = upper;
+  (void)seen_before(self_, h.seq);  // never re-forward our own packet
+  if (dst == net::kBroadcast) deliver_local(self_, upper, payload);  // local subscribers too
+  stats_.data_sent++;
+  return world_.link_broadcast(self_, Proto::kRouting, encode_routing(h, payload));
+}
+
+Status FloodingRouter::send(NodeId dst, Proto upper, Bytes payload) {
+  if (dst == self_) {
+    deliver_local(self_, upper, payload);
+    return Status::ok();
+  }
+  return originate(dst, upper, std::move(payload), kDefaultTtl);
+}
+
+Status FloodingRouter::flood(Proto upper, Bytes payload, int ttl) {
+  return originate(net::kBroadcast, upper, std::move(payload), ttl);
+}
+
+void FloodingRouter::on_frame(const net::LinkFrame& frame) {
+  RoutingHeader h;
+  Bytes payload;
+  if (!decode_routing(frame.payload, h, payload)) return;
+  if (h.kind != RoutingKind::kFlood) return;
+  if (seen_before(h.origin, h.seq)) return;
+
+  const bool for_us = h.dst == self_ || h.dst == net::kBroadcast;
+  if (for_us) deliver_local(h.origin, h.upper, payload);
+  if (h.dst == self_) return;  // unicast reached its target: stop the flood
+  if (h.ttl == 0) {
+    stats_.drops++;
+    return;
+  }
+  h.ttl--;
+  stats_.data_forwarded++;
+  world_.link_broadcast(self_, Proto::kRouting, encode_routing(h, payload));
+}
+
+}  // namespace ndsm::routing

@@ -1,0 +1,156 @@
+#include "routing/geographic.hpp"
+
+#include <limits>
+
+#include "serialize/codec.hpp"
+
+namespace ndsm::routing {
+
+GeoRouter::GeoRouter(net::World& world, NodeId self, Time hello_period)
+    : Router(world, self),
+      hello_period_(hello_period),
+      neighbor_ttl_(hello_period * 3 + duration::millis(300)),
+      resolve_([this](NodeId node) -> std::optional<Vec2> {
+        return world_.alive(node) ? std::optional<Vec2>{world_.position(node)} : std::nullopt;
+      }),
+      hello_timer_(world.sim(), hello_period, [this] { hello(); }) {
+  world_.set_handler(self_, Proto::kRouting,
+                     [this](const net::LinkFrame& f) { on_frame(f); });
+  hello_timer_.start(duration::millis(static_cast<std::int64_t>(
+      world.sim().rng().fork(self.value() ^ 0x9e0).uniform_int(1, 400))));
+}
+
+GeoRouter::~GeoRouter() { world_.clear_handler(self_, Proto::kRouting); }
+
+void GeoRouter::hello() {
+  if (!world_.alive(self_)) {
+    hello_timer_.stop();
+    return;
+  }
+  RoutingHeader h;
+  h.kind = RoutingKind::kDvUpdate;  // reused as "control beacon" kind
+  h.origin = self_;
+  h.dst = net::kBroadcast;
+  h.ttl = 1;
+  serialize::Writer w;
+  w.vec2(world_.position(self_));
+  const Bytes body = std::move(w).take();
+  stats_.control_packets++;
+  stats_.control_bytes += body.size();
+  world_.link_broadcast(self_, Proto::kRouting, encode_routing(h, body));
+}
+
+NodeId GeoRouter::best_hop_toward(Vec2 dst_pos) const {
+  const Time now = world_.sim().now();
+  const double own_distance = distance(world_.position(self_), dst_pos);
+  NodeId best = NodeId::invalid();
+  double best_distance = own_distance;  // strictly closer than self, else stuck
+  for (const auto& [node, info] : neighbors_) {
+    if (now - info.heard > neighbor_ttl_) continue;
+    const double d = distance(info.position, dst_pos);
+    if (d < best_distance) {
+      best_distance = d;
+      best = node;
+    }
+  }
+  return best;
+}
+
+Status GeoRouter::send(NodeId dst, Proto upper, Bytes payload) {
+  if (dst == self_) {
+    deliver_local(self_, upper, payload);
+    return Status::ok();
+  }
+  RoutingHeader h;
+  h.kind = RoutingKind::kData;
+  h.origin = self_;
+  h.dst = dst;
+  h.seq = next_seq_++;
+  h.ttl = static_cast<std::uint8_t>(kDefaultTtl);
+  h.upper = upper;
+  stats_.data_sent++;
+  forward_data(h, payload);
+  return Status::ok();
+}
+
+void GeoRouter::forward_data(RoutingHeader header, const Bytes& payload) {
+  const auto dst_pos = resolve_(header.dst);
+  if (!dst_pos) {
+    stats_.drops++;
+    return;
+  }
+  // Direct neighbour?
+  const auto direct = neighbors_.find(header.dst);
+  if (direct != neighbors_.end() &&
+      world_.sim().now() - direct->second.heard <= neighbor_ttl_) {
+    if (!world_.link_send(self_, header.dst, Proto::kRouting,
+                          encode_routing(header, payload))
+             .is_ok()) {
+      stats_.drops++;
+    }
+    return;
+  }
+  const NodeId hop = best_hop_toward(*dst_pos);
+  if (!hop.valid()) {
+    local_minimum_drops_++;
+    stats_.drops++;
+    return;
+  }
+  if (!world_.link_send(self_, hop, Proto::kRouting, encode_routing(header, payload))
+           .is_ok()) {
+    stats_.drops++;
+  }
+}
+
+Status GeoRouter::flood(Proto upper, Bytes payload, int ttl) {
+  RoutingHeader h;
+  h.kind = RoutingKind::kFlood;
+  h.origin = self_;
+  h.dst = net::kBroadcast;
+  h.seq = next_seq_++;
+  h.ttl = static_cast<std::uint8_t>(ttl);
+  h.upper = upper;
+  seen_[self_].insert(h.seq);
+  deliver_local(self_, upper, payload);
+  stats_.data_sent++;
+  return world_.link_broadcast(self_, Proto::kRouting, encode_routing(h, payload));
+}
+
+void GeoRouter::on_frame(const net::LinkFrame& frame) {
+  RoutingHeader h;
+  Bytes payload;
+  if (!decode_routing(frame.payload, h, payload)) return;
+  switch (h.kind) {
+    case RoutingKind::kDvUpdate: {  // hello beacon
+      serialize::Reader r{payload};
+      const auto pos = r.vec2();
+      if (!pos) return;
+      neighbors_[h.origin] = NeighborInfo{*pos, world_.sim().now()};
+      break;
+    }
+    case RoutingKind::kData:
+      if (h.dst == self_) {
+        deliver_local(h.origin, h.upper, payload);
+        return;
+      }
+      if (h.ttl == 0) {
+        stats_.drops++;
+        return;
+      }
+      h.ttl--;
+      stats_.data_forwarded++;
+      forward_data(h, payload);
+      break;
+    case RoutingKind::kFlood: {
+      if (!seen_[h.origin].insert(h.seq).second) return;
+      deliver_local(h.origin, h.upper, payload);
+      if (h.ttl == 0) return;
+      h.ttl--;
+      stats_.data_forwarded++;
+      world_.link_broadcast(self_, Proto::kRouting, encode_routing(h, payload));
+      break;
+    }
+  }
+}
+
+}  // namespace ndsm::routing

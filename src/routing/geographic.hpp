@@ -1,0 +1,64 @@
+#pragma once
+// Greedy geographic routing (§3.5: locating and routing; the paper's
+// position-aware routing option enabled by GPS/location devices, §2).
+// Each node learns its one-hop neighbours' positions from periodic hello
+// beacons and forwards packets to the neighbour strictly closest to the
+// destination's position. Destination positions come from a pluggable
+// resolver (a location service, or ground truth for infrastructure nodes).
+//
+// Greedy-only: packets stuck in a local minimum (no neighbour closer than
+// self) are dropped and counted — the classic limitation face routing
+// would fix; documented as future work in DESIGN.md.
+
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "routing/router.hpp"
+#include "sim/simulator.hpp"
+
+namespace ndsm::routing {
+
+class GeoRouter : public Router {
+ public:
+  using PositionResolver = std::function<std::optional<Vec2>(NodeId)>;
+
+  GeoRouter(net::World& world, NodeId self, Time hello_period = duration::seconds(2));
+  ~GeoRouter() override;
+
+  Status send(NodeId dst, Proto upper, Bytes payload) override;
+  Status flood(Proto upper, Bytes payload, int ttl = kDefaultTtl) override;
+
+  // How to find a destination's position. Default: the World's ground
+  // truth (GPS assumption); swap in a LocationService lookup for a fully
+  // distributed deployment.
+  void set_position_resolver(PositionResolver resolver) { resolve_ = std::move(resolver); }
+
+  // Broadcast a hello beacon now (normally timer-driven).
+  void hello();
+
+  [[nodiscard]] std::size_t known_neighbors() const { return neighbors_.size(); }
+  [[nodiscard]] std::uint64_t local_minimum_drops() const { return local_minimum_drops_; }
+
+ private:
+  struct NeighborInfo {
+    Vec2 position;
+    Time heard;
+  };
+
+  void on_frame(const net::LinkFrame& frame);
+  void forward_data(RoutingHeader header, const Bytes& payload);
+  [[nodiscard]] NodeId best_hop_toward(Vec2 dst_pos) const;
+
+  Time hello_period_;
+  Time neighbor_ttl_;
+  PositionResolver resolve_;
+  std::unordered_map<NodeId, NeighborInfo> neighbors_;
+  std::uint32_t next_seq_ = 1;
+  std::unordered_map<NodeId, std::unordered_set<std::uint32_t>> seen_;
+  std::uint64_t local_minimum_drops_ = 0;
+  sim::PeriodicTimer hello_timer_;
+};
+
+}  // namespace ndsm::routing

@@ -1,0 +1,191 @@
+#include "routing/global.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+namespace ndsm::routing {
+
+GlobalRoutingTable::GlobalRoutingTable(net::World& world, Metric metric,
+                                       std::size_t reference_payload_bytes,
+                                       Time refresh_interval)
+    : world_(world),
+      metric_(metric),
+      reference_payload_(reference_payload_bytes),
+      refresh_interval_(refresh_interval) {}
+
+double GlobalRoutingTable::link_cost(NodeId a, NodeId b) const {
+  switch (metric_) {
+    case Metric::kHopCount:
+      return 1.0;
+    case Metric::kEnergyAware: {
+      const double tx = world_.link_tx_cost(a, b, reference_payload_);
+      const double residual = std::max(world_.battery(a).fraction(), 0.02);
+      // Wired (zero-energy) links still need a small positive cost so
+      // Dijkstra terminates with hop-bounded paths.
+      return (tx + 1e-12) / residual;
+    }
+  }
+  return 1.0;
+}
+
+GlobalRoutingTable::SourceRoutes& GlobalRoutingTable::routes_for(NodeId from) {
+  auto& entry = cache_[from];
+  const Time now = world_.sim().now();
+  if (entry.computed_at >= 0 && now - entry.computed_at < refresh_interval_) return entry;
+
+  entry.computed_at = now;
+  entry.next_hop.clear();
+  entry.cost.clear();
+  recomputations_++;
+
+  if (!world_.alive(from)) return entry;
+
+  // Dijkstra from `from` over alive nodes.
+  using QueueEntry = std::pair<double, NodeId>;
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> queue;
+  std::unordered_map<NodeId, double> dist;
+  std::unordered_map<NodeId, NodeId> first_hop;
+
+  dist[from] = 0.0;
+  queue.emplace(0.0, from);
+  while (!queue.empty()) {
+    const auto [d, u] = queue.top();
+    queue.pop();
+    const auto du = dist.find(u);
+    if (du == dist.end() || d > du->second) continue;
+    for (const NodeId v : world_.neighbors(u)) {
+      const double cost = link_cost(u, v);
+      const double nd = d + cost;
+      const auto dv = dist.find(v);
+      if (dv == dist.end() || nd < dv->second) {
+        dist[v] = nd;
+        first_hop[v] = (u == from) ? v : first_hop[u];
+        queue.emplace(nd, v);
+      }
+    }
+  }
+  entry.cost = std::move(dist);
+  entry.next_hop = std::move(first_hop);
+  return entry;
+}
+
+NodeId GlobalRoutingTable::next_hop(NodeId from, NodeId to) {
+  const auto& routes = routes_for(from);
+  const auto it = routes.next_hop.find(to);
+  return it == routes.next_hop.end() ? NodeId::invalid() : it->second;
+}
+
+double GlobalRoutingTable::path_cost(NodeId from, NodeId to) {
+  const auto& routes = routes_for(from);
+  const auto it = routes.cost.find(to);
+  return it == routes.cost.end() ? std::numeric_limits<double>::infinity() : it->second;
+}
+
+bool GlobalRoutingTable::reachable(NodeId from, NodeId to) {
+  return from == to || next_hop(from, to).valid();
+}
+
+void GlobalRoutingTable::invalidate() { cache_.clear(); }
+
+GlobalRouter::GlobalRouter(net::World& world, NodeId self,
+                           std::shared_ptr<GlobalRoutingTable> table)
+    : Router(world, self), table_(std::move(table)) {
+  world_.set_handler(self_, Proto::kRouting,
+                     [this](const net::LinkFrame& f) { on_frame(f); });
+}
+
+GlobalRouter::~GlobalRouter() { world_.clear_handler(self_, Proto::kRouting); }
+
+Status GlobalRouter::send(NodeId dst, Proto upper, Bytes payload) {
+  if (dst == self_) {
+    deliver_local(self_, upper, payload);
+    return Status::ok();
+  }
+  RoutingHeader h;
+  h.kind = RoutingKind::kData;
+  h.origin = self_;
+  h.dst = dst;
+  h.seq = next_seq_++;
+  h.ttl = static_cast<std::uint8_t>(kDefaultTtl);
+  h.upper = upper;
+  stats_.data_sent++;
+  if (!table_->reachable(self_, dst)) {
+    stats_.drops++;
+    return Status{ErrorCode::kUnreachable, "no path"};
+  }
+  forward_data(h, payload);
+  return Status::ok();
+}
+
+void GlobalRouter::forward_data(RoutingHeader header, const Bytes& payload) {
+  const NodeId hop = table_->next_hop(self_, header.dst);
+  if (!hop.valid()) {
+    stats_.drops++;
+    return;
+  }
+  const Status s = world_.link_send(self_, hop, Proto::kRouting,
+                                    encode_routing(header, payload));
+  if (!s.is_ok()) {
+    // Stale route (e.g. the hop just died): recompute once and retry.
+    table_->invalidate();
+    const NodeId retry = table_->next_hop(self_, header.dst);
+    if (!retry.valid() || retry == hop) {
+      stats_.drops++;
+      return;
+    }
+    if (!world_
+             .link_send(self_, retry, Proto::kRouting, encode_routing(header, payload))
+             .is_ok()) {
+      stats_.drops++;
+    }
+  }
+}
+
+Status GlobalRouter::flood(Proto upper, Bytes payload, int ttl) {
+  RoutingHeader h;
+  h.kind = RoutingKind::kFlood;
+  h.origin = self_;
+  h.dst = net::kBroadcast;
+  h.seq = next_seq_++;
+  h.ttl = static_cast<std::uint8_t>(ttl);
+  h.upper = upper;
+  seen_[self_].insert(h.seq);
+  deliver_local(self_, upper, payload);
+  stats_.data_sent++;
+  return world_.link_broadcast(self_, Proto::kRouting, encode_routing(h, payload));
+}
+
+void GlobalRouter::on_frame(const net::LinkFrame& frame) {
+  RoutingHeader h;
+  Bytes payload;
+  if (!decode_routing(frame.payload, h, payload)) return;
+  switch (h.kind) {
+    case RoutingKind::kData:
+      if (h.dst == self_) {
+        deliver_local(h.origin, h.upper, payload);
+        return;
+      }
+      if (h.ttl == 0) {
+        stats_.drops++;
+        return;
+      }
+      h.ttl--;
+      stats_.data_forwarded++;
+      forward_data(h, payload);
+      break;
+    case RoutingKind::kFlood: {
+      if (!seen_[h.origin].insert(h.seq).second) return;
+      deliver_local(h.origin, h.upper, payload);
+      if (h.ttl == 0) return;
+      h.ttl--;
+      stats_.data_forwarded++;
+      world_.link_broadcast(self_, Proto::kRouting, encode_routing(h, payload));
+      break;
+    }
+    case RoutingKind::kDvUpdate:
+      break;  // not our protocol
+  }
+}
+
+}  // namespace ndsm::routing

@@ -1,0 +1,86 @@
+#pragma once
+// Middleware-computed routing (the MiLAN approach, §4): the middleware has
+// a view of the network and configures routes directly, rather than
+// sitting above an existing routing protocol. The shared GlobalRoutingTable
+// computes per-source shortest paths under a pluggable link metric:
+//
+//   * kHopCount    — classic shortest path (the "existing routing
+//                    algorithm" baseline in E6)
+//   * kEnergyAware — link cost = transmit energy / residual battery
+//                    fraction, which steers traffic away from nearly-dead
+//                    relays and raises network lifetime (§4: "increase the
+//                    lifetime of a network").
+
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "routing/router.hpp"
+
+namespace ndsm::routing {
+
+enum class Metric { kHopCount, kEnergyAware };
+
+class GlobalRoutingTable {
+ public:
+  GlobalRoutingTable(net::World& world, Metric metric,
+                     std::size_t reference_payload_bytes = 64,
+                     Time refresh_interval = duration::seconds(10));
+
+  // Next hop on the current best path from `from` toward `to`; invalid()
+  // if unreachable.
+  [[nodiscard]] NodeId next_hop(NodeId from, NodeId to);
+  [[nodiscard]] double path_cost(NodeId from, NodeId to);
+  [[nodiscard]] bool reachable(NodeId from, NodeId to);
+
+  // Drop all cached paths (call on topology change; battery drift is
+  // handled by the refresh interval).
+  void invalidate();
+
+  [[nodiscard]] Metric metric() const { return metric_; }
+  void set_metric(Metric metric) {
+    metric_ = metric;
+    invalidate();
+  }
+
+  [[nodiscard]] std::uint64_t recomputations() const { return recomputations_; }
+
+ private:
+  struct SourceRoutes {
+    Time computed_at = -1;
+    std::unordered_map<NodeId, NodeId> next_hop;  // dst -> first hop
+    std::unordered_map<NodeId, double> cost;      // dst -> path cost
+  };
+
+  [[nodiscard]] double link_cost(NodeId a, NodeId b) const;
+  SourceRoutes& routes_for(NodeId from);
+
+  net::World& world_;
+  Metric metric_;
+  std::size_t reference_payload_;
+  Time refresh_interval_;
+  std::unordered_map<NodeId, SourceRoutes> cache_;
+  std::uint64_t recomputations_ = 0;
+};
+
+class GlobalRouter : public Router {
+ public:
+  GlobalRouter(net::World& world, NodeId self, std::shared_ptr<GlobalRoutingTable> table);
+  ~GlobalRouter() override;
+
+  Status send(NodeId dst, Proto upper, Bytes payload) override;
+  Status flood(Proto upper, Bytes payload, int ttl = kDefaultTtl) override;
+
+  [[nodiscard]] GlobalRoutingTable& table() { return *table_; }
+
+ private:
+  void on_frame(const net::LinkFrame& frame);
+  void forward_data(RoutingHeader header, const Bytes& payload);
+
+  std::shared_ptr<GlobalRoutingTable> table_;
+  std::uint32_t next_seq_ = 1;
+  std::unordered_map<NodeId, std::unordered_set<std::uint32_t>> seen_;
+};
+
+}  // namespace ndsm::routing

@@ -1,0 +1,39 @@
+#include "routing/router.hpp"
+
+#include "serialize/codec.hpp"
+
+namespace ndsm::routing {
+
+Bytes encode_routing(const RoutingHeader& header, const Bytes& payload) {
+  serialize::Writer w;
+  w.u8(static_cast<std::uint8_t>(header.kind));
+  w.id(header.origin);
+  w.id(header.dst);
+  w.u32(header.seq);
+  w.u8(header.ttl);
+  w.u8(static_cast<std::uint8_t>(header.upper));
+  w.bytes(payload);
+  return std::move(w).take();
+}
+
+bool decode_routing(const Bytes& frame, RoutingHeader& header, Bytes& payload) {
+  serialize::Reader r{frame};
+  const auto kind = r.u8();
+  const auto origin = r.id<NodeId>();
+  const auto dst = r.id<NodeId>();
+  const auto seq = r.u32();
+  const auto ttl = r.u8();
+  const auto upper = r.u8();
+  auto body = r.bytes();
+  if (!kind || !origin || !dst || !seq || !ttl || !upper || !body) return false;
+  header.kind = static_cast<RoutingKind>(*kind);
+  header.origin = *origin;
+  header.dst = *dst;
+  header.seq = *seq;
+  header.ttl = *ttl;
+  header.upper = static_cast<Proto>(*upper);
+  payload = std::move(*body);
+  return true;
+}
+
+}  // namespace ndsm::routing

@@ -1,0 +1,95 @@
+#pragma once
+// Multi-hop routing (§3.5). The paper argues locating and routing belong
+// *inside* the middleware ("the middleware incorporates this
+// functionality", §4), so routers are first-class middleware objects: one
+// Router instance per node, all built on the World link layer.
+//
+// Three strategies are provided:
+//   * FloodingRouter       — controlled flooding with duplicate suppression
+//   * DistanceVectorRouter — distributed DSDV-style hop-count routing
+//   * GlobalRouter         — middleware-computed routes (MiLAN's approach:
+//                            the middleware has a network view and writes
+//                            routes), with hop-count or energy-aware metric
+
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "common/bytes.hpp"
+#include "common/ids.hpp"
+#include "common/status.hpp"
+#include "net/world.hpp"
+
+namespace ndsm::routing {
+
+using net::Proto;
+
+// Wire header carried in every routing frame.
+enum class RoutingKind : std::uint8_t { kData = 1, kFlood = 2, kDvUpdate = 3 };
+
+struct RoutingHeader {
+  RoutingKind kind = RoutingKind::kData;
+  NodeId origin;
+  NodeId dst;             // net::kBroadcast for floods without a target
+  std::uint32_t seq = 0;  // per-origin sequence for duplicate suppression
+  std::uint8_t ttl = 0;
+  Proto upper = Proto::kApp;  // which upper-layer protocol the payload is for
+};
+
+[[nodiscard]] Bytes encode_routing(const RoutingHeader& header, const Bytes& payload);
+[[nodiscard]] bool decode_routing(const Bytes& frame, RoutingHeader& header, Bytes& payload);
+
+struct RouterStats {
+  std::uint64_t data_sent = 0;        // originated data packets
+  std::uint64_t data_forwarded = 0;   // relayed for others
+  std::uint64_t data_delivered = 0;   // delivered to the local upper layer
+  std::uint64_t control_packets = 0;  // routing-protocol packets sent
+  std::uint64_t control_bytes = 0;
+  std::uint64_t drops = 0;            // undeliverable / TTL expired
+};
+
+class Router {
+ public:
+  // origin = the node that sent the payload end-to-end.
+  using DeliveryHandler = std::function<void(NodeId origin, const Bytes& payload)>;
+
+  Router(net::World& world, NodeId self) : world_(world), self_(self) {}
+  virtual ~Router() = default;
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  // Send `payload` to `dst`, possibly over multiple hops.
+  virtual Status send(NodeId dst, Proto upper, Bytes payload) = 0;
+
+  // Network-wide flood (delivered to the upper layer on every reachable
+  // node, including nodes with no route state).
+  virtual Status flood(Proto upper, Bytes payload, int ttl = kDefaultTtl) = 0;
+
+  // Register the upper-layer protocol handler (transport, discovery,
+  // location, ...). One handler per protocol.
+  void set_delivery_handler(Proto upper, DeliveryHandler handler) {
+    handlers_[upper] = std::move(handler);
+  }
+  void clear_delivery_handler(Proto upper) { handlers_.erase(upper); }
+
+  [[nodiscard]] NodeId self() const { return self_; }
+  [[nodiscard]] const RouterStats& stats() const { return stats_; }
+  [[nodiscard]] net::World& world() { return world_; }
+
+  static constexpr int kDefaultTtl = 32;
+
+ protected:
+  void deliver_local(NodeId origin, Proto upper, const Bytes& payload) {
+    stats_.data_delivered++;
+    const auto it = handlers_.find(upper);
+    if (it != handlers_.end()) it->second(origin, payload);
+  }
+
+  net::World& world_;
+  NodeId self_;
+  std::map<Proto, DeliveryHandler> handlers_;
+  RouterStats stats_;
+};
+
+}  // namespace ndsm::routing

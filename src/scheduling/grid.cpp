@@ -1,0 +1,44 @@
+#include "scheduling/grid.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ndsm::scheduling {
+
+GridAssignment schedule_grid(std::vector<GridTask> tasks, std::size_t processors,
+                             GridPolicy policy) {
+  assert(processors > 0);
+  GridAssignment out;
+  out.per_processor.resize(processors);
+  out.loads.assign(processors, 0);
+
+  if (policy == GridPolicy::kLpt) {
+    std::stable_sort(tasks.begin(), tasks.end(),
+                     [](const GridTask& a, const GridTask& b) {
+                       return a.duration > b.duration;
+                     });
+  }
+
+  std::size_t rr = 0;
+  for (const auto& task : tasks) {
+    std::size_t target = 0;
+    if (policy == GridPolicy::kRoundRobin) {
+      target = rr++ % processors;
+    } else {
+      // Least-loaded processor (FCFS and LPT share the placement rule).
+      target = static_cast<std::size_t>(
+          std::min_element(out.loads.begin(), out.loads.end()) - out.loads.begin());
+    }
+    out.per_processor[target].push_back(task.id);
+    out.loads[target] += task.duration;
+  }
+
+  out.makespan = *std::max_element(out.loads.begin(), out.loads.end());
+  Time total = 0;
+  for (const Time load : out.loads) total += load;
+  const double mean = static_cast<double>(total) / static_cast<double>(processors);
+  out.imbalance = mean > 0 ? static_cast<double>(out.makespan) / mean : 1.0;
+  return out;
+}
+
+}  // namespace ndsm::scheduling

@@ -1,0 +1,35 @@
+#pragma once
+// Grid/task scheduling (§3.7: "Similar scheduling concerns arise in grid
+// computing where middleware must consider the scheduling of tasks to
+// processors."). Offline assignment of independent tasks to homogeneous
+// processors under three classic policies.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace ndsm::scheduling {
+
+enum class GridPolicy : std::uint8_t {
+  kFcfs,          // tasks in arrival order onto the least-loaded processor
+  kLpt,           // longest processing time first (Graham's 4/3 bound)
+  kRoundRobin,    // naive striping, the strawman baseline
+};
+
+struct GridTask {
+  std::uint64_t id = 0;
+  Time duration = 0;
+};
+
+struct GridAssignment {
+  std::vector<std::vector<std::uint64_t>> per_processor;  // task ids
+  std::vector<Time> loads;                                // total time per processor
+  Time makespan = 0;
+  double imbalance = 0.0;  // makespan / mean load (1.0 = perfect)
+};
+
+[[nodiscard]] GridAssignment schedule_grid(std::vector<GridTask> tasks,
+                                           std::size_t processors, GridPolicy policy);
+
+}  // namespace ndsm::scheduling

@@ -1,0 +1,120 @@
+#include "scheduling/tx_scheduler.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ndsm::scheduling {
+
+TxScheduler::TxScheduler(sim::Simulator& sim, SchedulingPolicy policy,
+                         std::size_t bytes_per_tick, Time tick)
+    : sim_(sim),
+      policy_(policy),
+      bytes_per_tick_(bytes_per_tick),
+      tick_period_(tick),
+      timer_(sim, tick, [this] { this->tick(); }) {
+  assert(bytes_per_tick_ > 0);
+  timer_.start();
+}
+
+TxScheduler::~TxScheduler() = default;
+
+JobId TxScheduler::submit(std::size_t bytes, qos::BenefitFunction benefit, NodeId supplier,
+                          CompletionHandler done) {
+  const JobId id{next_id_++};
+  jobs_.push_back(Job{id, std::max<std::size_t>(bytes, 1), std::max<std::size_t>(bytes, 1),
+                      benefit, supplier, sim_.now(), std::move(done)});
+  stats_.submitted++;
+  return id;
+}
+
+void TxScheduler::cancel(JobId id) {
+  jobs_.erase(std::remove_if(jobs_.begin(), jobs_.end(),
+                             [&](const Job& j) { return j.id == id; }),
+              jobs_.end());
+}
+
+void TxScheduler::announce_departure(NodeId supplier, Time at) {
+  departures_[supplier] = at;
+}
+
+Time TxScheduler::departure_of(NodeId supplier) const {
+  const auto it = departures_.find(supplier);
+  return it == departures_.end() ? kTimeNever : it->second;
+}
+
+std::size_t TxScheduler::pick_next() {
+  assert(!jobs_.empty());
+  if (policy_ == SchedulingPolicy::kFifo) return 0;
+
+  const Time now = sim_.now();
+  // Effective absolute deadline from the benefit half-life.
+  auto deadline_of = [&](const Job& j) -> Time {
+    const Time d = j.benefit.deadline_for(0.5);
+    return d == kTimeNever ? kTimeNever : j.submitted + d;
+  };
+  // Bytes the link can still move before `at`.
+  auto capacity_until = [&](Time at) -> double {
+    if (at == kTimeNever) return 1e18;
+    if (at <= now) return 0;
+    return static_cast<double>(at - now) / static_cast<double>(tick_period_) *
+           static_cast<double>(bytes_per_tick_);
+  };
+
+  std::size_t best = 0;
+  bool best_boosted = false;
+  Time best_deadline = kTimeNever;
+  for (std::size_t i = 0; i < jobs_.size(); ++i) {
+    const Job& j = jobs_[i];
+    bool boosted = false;
+    if (policy_ == SchedulingPolicy::kDepartureAware) {
+      const Time dep = departure_of(j.supplier);
+      // Boost if the supplier is leaving and the job can still complete
+      // (otherwise it is a lost cause — don't waste budget on it).
+      boosted = dep != kTimeNever &&
+                static_cast<double>(j.remaining) <= capacity_until(dep);
+    }
+    const Time deadline = deadline_of(j);
+    const bool better = (boosted && !best_boosted) ||
+                        (boosted == best_boosted && deadline < best_deadline);
+    if (i == 0 || better) {
+      best = i;
+      best_boosted = boosted;
+      best_deadline = deadline;
+    }
+  }
+  return best;
+}
+
+void TxScheduler::tick() {
+  // Drop jobs whose supplier already departed.
+  const Time now = sim_.now();
+  for (auto it = jobs_.begin(); it != jobs_.end();) {
+    if (departure_of(it->supplier) <= now) {
+      stats_.lost_to_departure++;
+      if (it->done) it->done(0.0, /*lost=*/true);
+      it = jobs_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  std::size_t budget = bytes_per_tick_;
+  while (budget > 0 && !jobs_.empty()) {
+    const std::size_t idx = pick_next();
+    Job& job = jobs_[idx];
+    const std::size_t moved = std::min(budget, job.remaining);
+    job.remaining -= moved;
+    budget -= moved;
+    stats_.bytes_moved += moved;
+    if (job.remaining == 0) {
+      const double utility = job.benefit.eval(now - job.submitted);
+      stats_.completed++;
+      if (utility <= 0.0) stats_.expired++;
+      stats_.total_utility += utility;
+      if (job.done) job.done(utility, /*lost=*/false);
+      jobs_.erase(jobs_.begin() + static_cast<std::ptrdiff_t>(idx));
+    }
+  }
+}
+
+}  // namespace ndsm::scheduling

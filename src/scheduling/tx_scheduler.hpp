@@ -1,0 +1,97 @@
+#pragma once
+// Transaction scheduling (§3.7): "the middleware can decide on interaction
+// order based on priority or bandwidth constraints. For example, if a
+// service is about to be discontinued (e.g., a mobile service moving out
+// of range), then the transactions involving it should be either
+// completed, or transferred ... These interactions can be scheduled with
+// high priority, and possibly allocated more bandwidth."
+//
+// The scheduler manages a node's transmission budget: each tick it may
+// move at most `bytes_per_tick` of transaction data. Jobs carry a benefit
+// function; utility is earned at completion time. Policies:
+//   kFifo           — arrival order (baseline)
+//   kPriority       — earliest effective deadline (benefit half-life) first
+//   kDepartureAware — kPriority, but jobs whose supplier announced an
+//                     imminent departure jump the queue while they can
+//                     still finish before the supplier leaves.
+
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "qos/benefit.hpp"
+#include "sim/simulator.hpp"
+
+namespace ndsm::scheduling {
+
+enum class SchedulingPolicy : std::uint8_t { kFifo, kPriority, kDepartureAware };
+
+struct JobId {
+  std::uint64_t value = 0;
+  friend bool operator==(JobId a, JobId b) { return a.value == b.value; }
+};
+
+struct SchedulerStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t expired = 0;           // completed after benefit reached zero
+  std::uint64_t lost_to_departure = 0; // supplier left before completion
+  double total_utility = 0.0;
+  std::uint64_t bytes_moved = 0;
+};
+
+class TxScheduler {
+ public:
+  // on_complete(utility) fires when the job's last byte moves (utility 0 if
+  // the benefit had fully decayed) or the supplier departed first
+  // (utility < 0 is never reported; lost jobs report 0 with lost=true).
+  using CompletionHandler = std::function<void(double utility, bool lost)>;
+
+  TxScheduler(sim::Simulator& sim, SchedulingPolicy policy, std::size_t bytes_per_tick,
+              Time tick = duration::millis(100));
+  ~TxScheduler();
+
+  TxScheduler(const TxScheduler&) = delete;
+  TxScheduler& operator=(const TxScheduler&) = delete;
+
+  JobId submit(std::size_t bytes, qos::BenefitFunction benefit,
+               NodeId supplier = NodeId::invalid(), CompletionHandler done = nullptr);
+  void cancel(JobId id);
+
+  // A supplier announced it will leave at `at`; its unfinished jobs are
+  // lost at that time. kDepartureAware boosts them while they can finish.
+  void announce_departure(NodeId supplier, Time at);
+
+  [[nodiscard]] std::size_t queue_depth() const { return jobs_.size(); }
+  [[nodiscard]] const SchedulerStats& stats() const { return stats_; }
+  [[nodiscard]] SchedulingPolicy policy() const { return policy_; }
+
+ private:
+  struct Job {
+    JobId id;
+    std::size_t remaining;
+    std::size_t total;
+    qos::BenefitFunction benefit;
+    NodeId supplier;
+    Time submitted;
+    CompletionHandler done;
+  };
+
+  void tick();
+  [[nodiscard]] Time departure_of(NodeId supplier) const;
+  [[nodiscard]] std::size_t pick_next();  // index into jobs_
+
+  sim::Simulator& sim_;
+  SchedulingPolicy policy_;
+  std::size_t bytes_per_tick_;
+  Time tick_period_;
+  std::uint64_t next_id_ = 1;
+  std::vector<Job> jobs_;  // pending, arrival order preserved
+  std::unordered_map<NodeId, Time> departures_;
+  SchedulerStats stats_;
+  sim::PeriodicTimer timer_;
+};
+
+}  // namespace ndsm::scheduling

@@ -1,0 +1,140 @@
+#include "serialize/codec.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace ndsm::serialize {
+
+void Writer::u16(std::uint16_t v) {
+  u8(static_cast<std::uint8_t>(v));
+  u8(static_cast<std::uint8_t>(v >> 8));
+}
+
+void Writer::u32(std::uint32_t v) {
+  u16(static_cast<std::uint16_t>(v));
+  u16(static_cast<std::uint16_t>(v >> 16));
+}
+
+void Writer::u64(std::uint64_t v) {
+  u32(static_cast<std::uint32_t>(v));
+  u32(static_cast<std::uint32_t>(v >> 32));
+}
+
+void Writer::varint(std::uint64_t v) {
+  while (v >= 0x80) {
+    u8(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  u8(static_cast<std::uint8_t>(v));
+}
+
+void Writer::svarint(std::int64_t v) {
+  const auto uv = static_cast<std::uint64_t>(v);
+  varint((uv << 1) ^ static_cast<std::uint64_t>(v >> 63));
+}
+
+void Writer::f64(double v) {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  u64(bits);
+}
+
+void Writer::str(std::string_view s) {
+  varint(s.size());
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+void Writer::bytes(const Bytes& b) {
+  varint(b.size());
+  buf_.insert(buf_.end(), b.begin(), b.end());
+}
+
+std::optional<std::uint8_t> Reader::u8() {
+  if (!need(1)) return std::nullopt;
+  return data_[pos_++];
+}
+
+std::optional<std::uint16_t> Reader::u16() {
+  if (!need(2)) return std::nullopt;
+  const std::uint16_t v = static_cast<std::uint16_t>(data_[pos_]) |
+                          static_cast<std::uint16_t>(data_[pos_ + 1]) << 8;
+  pos_ += 2;
+  return v;
+}
+
+std::optional<std::uint32_t> Reader::u32() {
+  const auto lo = u16();
+  if (!lo) return std::nullopt;
+  const auto hi = u16();
+  if (!hi) return std::nullopt;
+  return static_cast<std::uint32_t>(*lo) | (static_cast<std::uint32_t>(*hi) << 16);
+}
+
+std::optional<std::uint64_t> Reader::u64() {
+  const auto lo = u32();
+  if (!lo) return std::nullopt;
+  const auto hi = u32();
+  if (!hi) return std::nullopt;
+  return static_cast<std::uint64_t>(*lo) | (static_cast<std::uint64_t>(*hi) << 32);
+}
+
+std::optional<std::uint64_t> Reader::varint() {
+  std::uint64_t v = 0;
+  int shift = 0;
+  while (true) {
+    const auto b = u8();
+    if (!b) return std::nullopt;
+    if (shift >= 64) return std::nullopt;  // overlong encoding
+    v |= static_cast<std::uint64_t>(*b & 0x7f) << shift;
+    if ((*b & 0x80) == 0) break;
+    shift += 7;
+  }
+  return v;
+}
+
+std::optional<std::int64_t> Reader::svarint() {
+  const auto v = varint();
+  if (!v) return std::nullopt;
+  return static_cast<std::int64_t>((*v >> 1) ^ (~(*v & 1) + 1));
+}
+
+std::optional<double> Reader::f64() {
+  const auto bits = u64();
+  if (!bits) return std::nullopt;
+  double v;
+  std::memcpy(&v, &*bits, sizeof(v));
+  return v;
+}
+
+std::optional<bool> Reader::boolean() {
+  const auto b = u8();
+  if (!b) return std::nullopt;
+  return *b != 0;
+}
+
+std::optional<std::string> Reader::str() {
+  const auto n = varint();
+  if (!n || !need(*n)) return std::nullopt;
+  std::string s(reinterpret_cast<const char*>(data_ + pos_), *n);
+  pos_ += *n;
+  return s;
+}
+
+std::optional<Bytes> Reader::bytes() {
+  const auto n = varint();
+  if (!n || !need(*n)) return std::nullopt;
+  Bytes b(data_ + pos_, data_ + pos_ + *n);
+  pos_ += *n;
+  return b;
+}
+
+std::optional<Vec2> Reader::vec2() {
+  const auto x = f64();
+  if (!x) return std::nullopt;
+  const auto y = f64();
+  if (!y) return std::nullopt;
+  return Vec2{*x, *y};
+}
+
+}  // namespace ndsm::serialize

@@ -1,0 +1,91 @@
+#pragma once
+// Binary serialization: Writer appends primitives to a byte buffer,
+// Reader consumes them with bounds checking. Integers use LEB128 varints
+// (unsigned) and zigzag (signed) so small values stay small on the wire —
+// the paper (§3.6) requires that the chosen transaction technology "not
+// over-burden the network".
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/bytes.hpp"
+#include "common/ids.hpp"
+#include "common/status.hpp"
+#include "common/vec2.hpp"
+
+namespace ndsm::serialize {
+
+class Writer {
+ public:
+  Writer() = default;
+  explicit Writer(Bytes initial) : buf_(std::move(initial)) {}
+
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);          // fixed width
+  void varint(std::uint64_t v);       // LEB128
+  void svarint(std::int64_t v);       // zigzag + LEB128
+  void f64(double v);
+  void boolean(bool v) { u8(v ? 1 : 0); }
+  void str(std::string_view s);
+  void bytes(const Bytes& b);
+  void vec2(Vec2 v) {
+    f64(v.x);
+    f64(v.y);
+  }
+
+  template <class Tag>
+  void id(StrongId<Tag> v) {
+    u64(v.value());
+  }
+
+  [[nodiscard]] const Bytes& data() const& { return buf_; }
+  [[nodiscard]] Bytes take() && { return std::move(buf_); }
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+
+ private:
+  Bytes buf_;
+};
+
+// Reader returns std::optional on primitive reads; a std::nullopt means the
+// buffer was truncated or corrupt. Composite decoders surface that as
+// ErrorCode::kCorrupt.
+class Reader {
+ public:
+  explicit Reader(const Bytes& data) : data_(data.data()), size_(data.size()) {}
+  Reader(const std::uint8_t* data, std::size_t size) : data_(data), size_(size) {}
+
+  std::optional<std::uint8_t> u8();
+  std::optional<std::uint16_t> u16();
+  std::optional<std::uint32_t> u32();
+  std::optional<std::uint64_t> u64();
+  std::optional<std::uint64_t> varint();
+  std::optional<std::int64_t> svarint();
+  std::optional<double> f64();
+  std::optional<bool> boolean();
+  std::optional<std::string> str();
+  std::optional<Bytes> bytes();
+  std::optional<Vec2> vec2();
+
+  template <class Id>
+  std::optional<Id> id() {
+    auto v = u64();
+    if (!v) return std::nullopt;
+    return Id{*v};
+  }
+
+  [[nodiscard]] std::size_t remaining() const { return size_ - pos_; }
+  [[nodiscard]] bool exhausted() const { return pos_ >= size_; }
+
+ private:
+  [[nodiscard]] bool need(std::size_t n) const { return size_ - pos_ >= n; }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace ndsm::serialize

@@ -1,0 +1,224 @@
+#include "serialize/value.hpp"
+
+#include <sstream>
+
+namespace ndsm::serialize {
+
+Value::Type Value::type() const {
+  // The variant alternative order mirrors the Type enumerator order.
+  return static_cast<Type>(data_.index());
+}
+
+bool operator==(const Value& a, const Value& b) { return a.data_ == b.data_; }
+
+bool Value::matches(const Value& actual) const {
+  if (std::holds_alternative<Wildcard>(data_)) return true;
+  if (const auto* t = std::get_if<TypeOnly>(&data_)) return actual.type() == t->type;
+  return *this == actual;
+}
+
+void Value::encode(Writer& w) const {
+  const Type t = type();
+  w.u8(static_cast<std::uint8_t>(t));
+  switch (t) {
+    case Type::kNil:
+    case Type::kWildcard:
+      break;
+    case Type::kTypeOnly:
+      w.u8(static_cast<std::uint8_t>(std::get<TypeOnly>(data_).type));
+      break;
+    case Type::kBool:
+      w.boolean(std::get<bool>(data_));
+      break;
+    case Type::kInt:
+      w.svarint(std::get<std::int64_t>(data_));
+      break;
+    case Type::kFloat:
+      w.f64(std::get<double>(data_));
+      break;
+    case Type::kString:
+      w.str(std::get<std::string>(data_));
+      break;
+    case Type::kBytes:
+      w.bytes(std::get<Bytes>(data_));
+      break;
+    case Type::kList: {
+      const auto& list = std::get<ValueList>(data_);
+      w.varint(list.size());
+      for (const auto& v : list) v.encode(w);
+      break;
+    }
+    case Type::kMap: {
+      const auto& map = std::get<ValueMap>(data_);
+      w.varint(map.size());
+      for (const auto& [k, v] : map) {
+        w.str(k);
+        v.encode(w);
+      }
+      break;
+    }
+  }
+}
+
+std::optional<Value> Value::decode(Reader& r) {
+  const auto tag = r.u8();
+  if (!tag || *tag > static_cast<std::uint8_t>(Type::kTypeOnly)) return std::nullopt;
+  switch (static_cast<Type>(*tag)) {
+    case Type::kNil:
+      return Value{};
+    case Type::kWildcard:
+      return Value::wildcard();
+    case Type::kTypeOnly: {
+      const auto t = r.u8();
+      if (!t || *t > static_cast<std::uint8_t>(Type::kTypeOnly)) return std::nullopt;
+      return Value::type_only(static_cast<Type>(*t));
+    }
+    case Type::kBool: {
+      const auto v = r.boolean();
+      if (!v) return std::nullopt;
+      return Value{*v};
+    }
+    case Type::kInt: {
+      const auto v = r.svarint();
+      if (!v) return std::nullopt;
+      return Value{*v};
+    }
+    case Type::kFloat: {
+      const auto v = r.f64();
+      if (!v) return std::nullopt;
+      return Value{*v};
+    }
+    case Type::kString: {
+      auto v = r.str();
+      if (!v) return std::nullopt;
+      return Value{std::move(*v)};
+    }
+    case Type::kBytes: {
+      auto v = r.bytes();
+      if (!v) return std::nullopt;
+      return Value{std::move(*v)};
+    }
+    case Type::kList: {
+      const auto n = r.varint();
+      if (!n || *n > r.remaining()) return std::nullopt;
+      ValueList list;
+      list.reserve(*n);
+      for (std::uint64_t i = 0; i < *n; ++i) {
+        auto v = decode(r);
+        if (!v) return std::nullopt;
+        list.push_back(std::move(*v));
+      }
+      return Value{std::move(list)};
+    }
+    case Type::kMap: {
+      const auto n = r.varint();
+      if (!n || *n > r.remaining()) return std::nullopt;
+      ValueMap map;
+      for (std::uint64_t i = 0; i < *n; ++i) {
+        auto k = r.str();
+        if (!k) return std::nullopt;
+        auto v = decode(r);
+        if (!v) return std::nullopt;
+        map.emplace(std::move(*k), std::move(*v));
+      }
+      return Value{std::move(map)};
+    }
+  }
+  return std::nullopt;
+}
+
+Bytes Value::to_bytes() const {
+  Writer w;
+  encode(w);
+  return std::move(w).take();
+}
+
+Result<Value> Value::from_bytes(const Bytes& data) {
+  Reader r{data};
+  auto v = decode(r);
+  if (!v) return Status{ErrorCode::kCorrupt, "value decode failed"};
+  return std::move(*v);
+}
+
+std::string Value::to_string() const {
+  std::ostringstream os;
+  switch (type()) {
+    case Type::kNil:
+      os << "nil";
+      break;
+    case Type::kWildcard:
+      os << "?";
+      break;
+    case Type::kTypeOnly:
+      os << "?:" << static_cast<int>(std::get<TypeOnly>(data_).type);
+      break;
+    case Type::kBool:
+      os << (std::get<bool>(data_) ? "true" : "false");
+      break;
+    case Type::kInt:
+      os << std::get<std::int64_t>(data_);
+      break;
+    case Type::kFloat:
+      os << std::get<double>(data_);
+      break;
+    case Type::kString:
+      os << '"' << std::get<std::string>(data_) << '"';
+      break;
+    case Type::kBytes:
+      os << "bytes[" << std::get<Bytes>(data_).size() << "]";
+      break;
+    case Type::kList: {
+      os << "[";
+      const auto& list = std::get<ValueList>(data_);
+      for (std::size_t i = 0; i < list.size(); ++i) {
+        if (i > 0) os << ", ";
+        os << list[i].to_string();
+      }
+      os << "]";
+      break;
+    }
+    case Type::kMap: {
+      os << "{";
+      bool first = true;
+      for (const auto& [k, v] : std::get<ValueMap>(data_)) {
+        if (!first) os << ", ";
+        first = false;
+        os << k << ": " << v.to_string();
+      }
+      os << "}";
+      break;
+    }
+  }
+  return os.str();
+}
+
+bool tuple_matches(const Tuple& tmpl, const Tuple& actual) {
+  if (tmpl.size() != actual.size()) return false;
+  for (std::size_t i = 0; i < tmpl.size(); ++i) {
+    if (!tmpl[i].matches(actual[i])) return false;
+  }
+  return true;
+}
+
+Bytes encode_tuple(const Tuple& t) {
+  Writer w;
+  w.varint(t.size());
+  for (const auto& v : t) v.encode(w);
+  return std::move(w).take();
+}
+
+Result<Tuple> decode_tuple(const Bytes& data) {
+  Reader r{data};
+  const auto n = r.varint();
+  if (!n || *n > r.remaining() + 1) return Status{ErrorCode::kCorrupt, "tuple header"};
+  Tuple t;
+  t.reserve(*n);
+  for (std::uint64_t i = 0; i < *n; ++i) {
+    auto v = Value::decode(r);
+    if (!v) return Status{ErrorCode::kCorrupt, "tuple element"};
+    t.push_back(std::move(*v));
+  }
+  return t;
+}
+
+}  // namespace ndsm::serialize

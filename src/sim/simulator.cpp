@@ -1,0 +1,84 @@
+#include "sim/simulator.hpp"
+
+#include <cassert>
+
+namespace ndsm::sim {
+
+EventId Simulator::schedule_at(Time at, std::function<void()> fn) {
+  assert(at >= now_ && "cannot schedule in the past");
+  const std::uint64_t seq = next_seq_++;
+  const EventId id{seq};
+  heap_.push(Entry{at, seq, id});
+  handlers_.emplace(seq, std::move(fn));
+  return id;
+}
+
+bool Simulator::cancel(EventId id) {
+  const auto it = handlers_.find(id.value());
+  if (it == handlers_.end()) return false;
+  handlers_.erase(it);
+  cancelled_.insert(id.value());
+  return true;
+}
+
+bool Simulator::step() {
+  while (!heap_.empty()) {
+    const Entry e = heap_.top();
+    heap_.pop();
+    if (cancelled_.erase(e.seq) > 0) continue;
+    const auto it = handlers_.find(e.seq);
+    if (it == handlers_.end()) continue;  // defensive
+    auto fn = std::move(it->second);
+    handlers_.erase(it);
+    assert(e.at >= now_);
+    now_ = e.at;
+    ++executed_;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::run_until(Time deadline) {
+  while (!heap_.empty()) {
+    // Skip cancelled entries so top() reflects a live event.
+    while (!heap_.empty() && cancelled_.count(heap_.top().seq) > 0) {
+      cancelled_.erase(heap_.top().seq);
+      heap_.pop();
+    }
+    if (heap_.empty() || heap_.top().at > deadline) break;
+    step();
+  }
+  if (now_ < deadline) now_ = deadline;
+}
+
+void Simulator::run_all(std::size_t max_events) {
+  for (std::size_t i = 0; i < max_events; ++i) {
+    if (!step()) return;
+  }
+}
+
+void PeriodicTimer::start(Time initial_delay) {
+  stop();
+  running_ = true;
+  arm(initial_delay >= 0 ? initial_delay : interval_);
+}
+
+void PeriodicTimer::stop() {
+  if (pending_.valid()) {
+    sim_.cancel(pending_);
+    pending_ = EventId::invalid();
+  }
+  running_ = false;
+}
+
+void PeriodicTimer::arm(Time delay) {
+  pending_ = sim_.schedule_after(delay, [this] {
+    pending_ = EventId::invalid();
+    if (!running_) return;
+    fn_();
+    if (running_) arm(interval_);
+  });
+}
+
+}  // namespace ndsm::sim

@@ -1,0 +1,104 @@
+#pragma once
+// Deterministic discrete-event simulator. All network, middleware and
+// application activity is driven by events scheduled here; two runs with
+// the same seed execute the same event sequence bit-for-bit. Ties on the
+// event time are broken by insertion order.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+#include "common/time.hpp"
+
+namespace ndsm::sim {
+
+class Simulator {
+ public:
+  explicit Simulator(std::uint64_t seed = 42) : rng_(seed) {}
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  [[nodiscard]] Time now() const { return now_; }
+  [[nodiscard]] Rng& rng() { return rng_; }
+
+  // Schedule `fn` at absolute time `at` (>= now). Returns an id usable
+  // with cancel().
+  EventId schedule_at(Time at, std::function<void()> fn);
+  EventId schedule_after(Time delay, std::function<void()> fn) {
+    return schedule_at(now_ + delay, std::move(fn));
+  }
+
+  // Cancel a pending event. Cancelling an already-fired or unknown event
+  // is a no-op and returns false.
+  bool cancel(EventId id);
+
+  // Execute the next pending event; returns false if none remain.
+  bool step();
+
+  // Run all events with time <= deadline, then advance the clock to
+  // exactly `deadline`.
+  void run_until(Time deadline);
+
+  // Run until the event queue drains (use with care: periodic timers keep
+  // the queue non-empty forever).
+  void run_all(std::size_t max_events = SIZE_MAX);
+
+  [[nodiscard]] std::size_t pending() const { return heap_.size() - cancelled_.size(); }
+  [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
+
+ private:
+  struct Entry {
+    Time at;
+    std::uint64_t seq;
+    EventId id;
+    // Ordered as a min-heap on (at, seq).
+    friend bool operator>(const Entry& a, const Entry& b) {
+      return a.at != b.at ? a.at > b.at : a.seq > b.seq;
+    }
+  };
+
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  Rng rng_;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::unordered_map<std::uint64_t, std::function<void()>> handlers_;
+  std::unordered_set<std::uint64_t> cancelled_;
+};
+
+// Fires a callback every `interval` until stopped or destroyed. Used for
+// advertisement/heartbeat/route-update periodics throughout the stack.
+class PeriodicTimer {
+ public:
+  PeriodicTimer(Simulator& sim, Time interval, std::function<void()> fn)
+      : sim_(sim), interval_(interval), fn_(std::move(fn)) {}
+  ~PeriodicTimer() { stop(); }
+
+  PeriodicTimer(const PeriodicTimer&) = delete;
+  PeriodicTimer& operator=(const PeriodicTimer&) = delete;
+
+  // Start (or restart) the timer; first firing after `initial_delay`
+  // (defaults to the interval).
+  void start(Time initial_delay = -1);
+  void stop();
+  [[nodiscard]] bool running() const { return running_; }
+  void set_interval(Time interval) { interval_ = interval; }
+  [[nodiscard]] Time interval() const { return interval_; }
+
+ private:
+  void arm(Time delay);
+
+  Simulator& sim_;
+  Time interval_;
+  std::function<void()> fn_;
+  EventId pending_ = EventId::invalid();
+  bool running_ = false;
+};
+
+}  // namespace ndsm::sim

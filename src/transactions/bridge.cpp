@@ -1,0 +1,39 @@
+#include "transactions/bridge.hpp"
+
+namespace ndsm::transactions {
+
+using serialize::Value;
+
+PubSubTupleBridge::PubSubTupleBridge(transport::ReliableTransport& transport, NodeId broker,
+                                     NodeId tuple_space, std::string pattern,
+                                     Time poll_period)
+    : pubsub_(transport, broker),
+      tuples_(transport, tuple_space),
+      poller_(transport.router().world().sim(), poll_period, [this] { poll_outbound(); }) {
+  pubsub_.subscribe(pattern, [this](const std::string& topic, const Bytes& data, NodeId) {
+    to_space_++;
+    tuples_.out(Tuple{Value{"msg"}, Value{topic}, Value{data}});
+  });
+  poller_.start();
+}
+
+PubSubTupleBridge::~PubSubTupleBridge() = default;
+
+void PubSubTupleBridge::poll_outbound() {
+  if (poll_in_flight_) return;
+  poll_in_flight_ = true;
+  const Tuple tmpl{Value{"publish"}, Value::type_only(Value::Type::kString),
+                   Value::type_only(Value::Type::kBytes)};
+  tuples_.in(tmpl,
+             [this](bool found, Tuple tuple) {
+               poll_in_flight_ = false;
+               if (!found || tuple.size() != 3) return;
+               to_pubsub_++;
+               pubsub_.publish(tuple[1].as_string(), tuple[2].as_bytes());
+               // Drain any backlog promptly.
+               poll_outbound();
+             },
+             /*blocking=*/false, /*timeout=*/duration::seconds(1));
+}
+
+}  // namespace ndsm::transactions

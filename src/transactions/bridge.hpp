@@ -1,0 +1,46 @@
+#pragma once
+// Middleware-integration bridge (§3.9: "Some middleware emphasize the need
+// to connect among multiple ... middleware platforms"; §2 notes that
+// "middleware integration became necessary"). The bridge node joins a
+// publish-subscribe domain and a tuple-space domain and translates between
+// them:
+//
+//   pub/sub -> tuple space : every message on `pattern` is OUT as
+//                            ("msg", <topic>, <bytes>)
+//   tuple space -> pub/sub : tuples matching ("publish", <topic>, <bytes>)
+//                            are IN'd and published on <topic>
+//
+// so a tuple-space-only application can converse with pub/sub-only peers.
+
+#include <memory>
+
+#include "transactions/pubsub.hpp"
+#include "transactions/tuple_space.hpp"
+
+namespace ndsm::transactions {
+
+class PubSubTupleBridge {
+ public:
+  PubSubTupleBridge(transport::ReliableTransport& transport, NodeId broker,
+                    NodeId tuple_space, std::string pattern,
+                    Time poll_period = duration::millis(500));
+  ~PubSubTupleBridge();
+
+  PubSubTupleBridge(const PubSubTupleBridge&) = delete;
+  PubSubTupleBridge& operator=(const PubSubTupleBridge&) = delete;
+
+  [[nodiscard]] std::uint64_t forwarded_to_space() const { return to_space_; }
+  [[nodiscard]] std::uint64_t forwarded_to_pubsub() const { return to_pubsub_; }
+
+ private:
+  void poll_outbound();
+
+  PubSubClient pubsub_;
+  TupleSpaceClient tuples_;
+  sim::PeriodicTimer poller_;
+  bool poll_in_flight_ = false;
+  std::uint64_t to_space_ = 0;
+  std::uint64_t to_pubsub_ = 0;
+};
+
+}  // namespace ndsm::transactions

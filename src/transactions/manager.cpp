@@ -1,0 +1,342 @@
+#include "transactions/manager.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+#include "serialize/codec.hpp"
+
+namespace ndsm::transactions {
+
+namespace {
+
+std::uint64_t flow_key(NodeId consumer, TransactionId tx) {
+  return (consumer.value() << 32) ^ tx.value();
+}
+
+}  // namespace
+
+TransactionManager::TransactionManager(transport::ReliableTransport& transport,
+                                       discovery::ServiceDiscovery& discovery)
+    : transport_(transport), discovery_(discovery) {
+  transport_.set_receiver(transport::ports::kTransactions,
+                          [this](NodeId src, const Bytes& b) { on_message(src, b); });
+}
+
+TransactionManager::~TransactionManager() {
+  transport_.clear_receiver(transport::ports::kTransactions);
+  for (auto& [id, tx] : consumers_) cancel_timers(tx);
+  for (auto& [key, flow] : flows_) {
+    if (flow.push_timer.valid()) sim().cancel(flow.push_timer);
+  }
+}
+
+void TransactionManager::serve(const std::string& service_type, DataSource source) {
+  sources_[service_type] = std::move(source);
+}
+
+void TransactionManager::stop_serving(const std::string& service_type) {
+  sources_.erase(service_type);
+  push_period_override_.erase(service_type);
+}
+
+void TransactionManager::set_push_period(const std::string& service_type, Time period) {
+  push_period_override_[service_type] = period;
+}
+
+TransactionId TransactionManager::begin(TransactionSpec spec, DataSink sink,
+                                        EndCallback on_end) {
+  const TransactionId id = tx_ids_.next();
+  ConsumerTx tx;
+  tx.spec = std::move(spec);
+  tx.sink = std::move(sink);
+  tx.on_end = std::move(on_end);
+  tx.rebinds_left = supervision_.max_rebinds;
+  if (tx.spec.lifetime != kTimeNever) {
+    tx.lifetime_timer =
+        sim().schedule_after(tx.spec.lifetime, [this, id] { finish(id, Status::ok()); });
+  }
+  consumers_.emplace(id, std::move(tx));
+  stats_.begun++;
+  bind(id);
+  return id;
+}
+
+void TransactionManager::bind(TransactionId id) {
+  auto it = consumers_.find(id);
+  if (it == consumers_.end()) return;
+  it->second.binding = true;
+  const auto consumer_qos = it->second.spec.consumer;
+  discovery_.query(
+      consumer_qos,
+      [this, id](std::vector<discovery::ServiceRecord> records) {
+        auto it = consumers_.find(id);
+        if (it == consumers_.end()) return;
+        ConsumerTx& tx = it->second;
+        tx.binding = false;
+        // Skip suppliers that already failed this transaction.
+        const discovery::ServiceRecord* chosen = nullptr;
+        for (const auto& rec : records) {
+          if (tx.blacklist.count(rec.provider) > 0) continue;
+          chosen = &rec;
+          break;
+        }
+        if (chosen == nullptr) {
+          if (tx.rebinds_left-- > 0) {
+            sim().schedule_after(supervision_.rebind_backoff, [this, id] { bind(id); });
+          } else {
+            stats_.bind_failures++;
+            finish(id, Status{ErrorCode::kUnavailable, "no matching supplier"});
+          }
+          return;
+        }
+        on_bound(id, chosen->provider);
+      },
+      /*max_results=*/8, /*timeout=*/duration::seconds(2));
+}
+
+void TransactionManager::on_bound(TransactionId id, NodeId supplier) {
+  auto it = consumers_.find(id);
+  if (it == consumers_.end()) return;
+  ConsumerTx& tx = it->second;
+  const bool is_rebind = tx.supplier.valid();
+  tx.supplier = supplier;
+  tx.last_data = sim().now();
+  if (is_rebind) {
+    stats_.rebinds++;
+  } else {
+    stats_.bound++;
+  }
+  NDSM_DEBUG("txn", "tx " << id.value() << (is_rebind ? " rebound to " : " bound to ")
+                          << supplier.value());
+
+  serialize::Writer w;
+  w.u8(static_cast<std::uint8_t>(Kind::kStart));
+  w.id(id);
+  w.u8(static_cast<std::uint8_t>(tx.spec.kind));
+  w.svarint(tx.spec.period);
+  w.u32(tx.spec.samples_per_burst);
+  w.str(tx.spec.consumer.service_type);
+  transport_.send(supplier, transport::ports::kTransactions, std::move(w).take());
+
+  if (tx.spec.kind == TransactionKind::kOnDemand) {
+    arm_pull(id);
+  } else {
+    arm_watchdog(id);
+  }
+}
+
+void TransactionManager::arm_watchdog(TransactionId id) {
+  auto it = consumers_.find(id);
+  if (it == consumers_.end()) return;
+  ConsumerTx& tx = it->second;
+  if (tx.watchdog.valid()) sim().cancel(tx.watchdog);
+  Time deadline = tx.spec.period * supervision_.missed_periods + duration::millis(200);
+  // "Intermittent with some prediction" (§3.6): trust the supplier's
+  // announced next-push time when it extends past our period-based guess,
+  // so legitimate schedule gaps do not trigger spurious rebinds.
+  if (tx.predicted_next != kTimeNever && tx.predicted_next > sim().now()) {
+    const Time predicted_deadline = (tx.predicted_next - sim().now()) +
+                                    tx.spec.period * (supervision_.missed_periods - 1) +
+                                    duration::millis(200);
+    deadline = std::max(deadline, predicted_deadline);
+  }
+  tx.watchdog = sim().schedule_after(deadline, [this, id] {
+    auto it = consumers_.find(id);
+    if (it == consumers_.end()) return;
+    it->second.watchdog = EventId::invalid();
+    supplier_lost(id);
+  });
+}
+
+void TransactionManager::arm_pull(TransactionId id) {
+  auto it = consumers_.find(id);
+  if (it == consumers_.end()) return;
+  ConsumerTx& tx = it->second;
+  if (tx.pull_timer.valid()) sim().cancel(tx.pull_timer);
+  tx.pull_timer = sim().schedule_after(tx.spec.period, [this, id] {
+    auto it = consumers_.find(id);
+    if (it == consumers_.end()) return;
+    ConsumerTx& tx = it->second;
+    tx.pull_timer = EventId::invalid();
+    // Declare the supplier lost if several pulls went unanswered.
+    if (sim().now() - tx.last_data >
+        tx.spec.period * supervision_.missed_periods + duration::millis(200)) {
+      supplier_lost(id);
+      return;
+    }
+    serialize::Writer w;
+    w.u8(static_cast<std::uint8_t>(Kind::kPull));
+    w.id(id);
+    stats_.pulls_sent++;
+    transport_.send(tx.supplier, transport::ports::kTransactions, std::move(w).take());
+    arm_pull(id);
+  });
+}
+
+void TransactionManager::supplier_lost(TransactionId id) {
+  auto it = consumers_.find(id);
+  if (it == consumers_.end()) return;
+  ConsumerTx& tx = it->second;
+  NDSM_INFO("txn", "tx " << id.value() << " lost supplier " << tx.supplier.value()
+                         << ", rebinding");
+  if (tx.supplier.valid()) tx.blacklist.insert(tx.supplier);
+  if (tx.pull_timer.valid()) {
+    sim().cancel(tx.pull_timer);
+    tx.pull_timer = EventId::invalid();
+  }
+  if (tx.rebinds_left-- > 0) {
+    bind(id);
+  } else {
+    stats_.bind_failures++;
+    finish(id, Status{ErrorCode::kUnavailable, "supplier lost, rebinds exhausted"});
+  }
+}
+
+void TransactionManager::cancel_timers(ConsumerTx& tx) {
+  for (EventId* timer : {&tx.watchdog, &tx.pull_timer, &tx.lifetime_timer}) {
+    if (timer->valid()) {
+      sim().cancel(*timer);
+      *timer = EventId::invalid();
+    }
+  }
+}
+
+void TransactionManager::finish(TransactionId id, Status status) {
+  auto it = consumers_.find(id);
+  if (it == consumers_.end()) return;
+  ConsumerTx tx = std::move(it->second);
+  cancel_timers(tx);
+  consumers_.erase(it);
+  stats_.ended++;
+  if (tx.supplier.valid()) {
+    serialize::Writer w;
+    w.u8(static_cast<std::uint8_t>(Kind::kStop));
+    w.id(id);
+    transport_.send(tx.supplier, transport::ports::kTransactions, std::move(w).take());
+  }
+  if (tx.on_end) tx.on_end(status);
+}
+
+void TransactionManager::end(TransactionId id) { finish(id, Status::ok()); }
+
+NodeId TransactionManager::supplier_of(TransactionId id) const {
+  const auto it = consumers_.find(id);
+  return it == consumers_.end() ? NodeId::invalid() : it->second.supplier;
+}
+
+void TransactionManager::push_sample(std::uint64_t key) {
+  const auto it = flows_.find(key);
+  if (it == flows_.end()) return;
+  SupplierFlow& flow = it->second;
+  flow.push_timer = EventId::invalid();
+  if (!transport_.router().world().alive(transport_.self())) return;
+  const auto source = sources_.find(flow.service_type);
+  if (source == sources_.end()) return;
+  // Duty cycling: the effective schedule is the slower of what the
+  // consumer asked for and what this supplier is willing to sustain.
+  Time effective_period = flow.spec.period;
+  const auto override_it = push_period_override_.find(flow.service_type);
+  if (override_it != push_period_override_.end()) {
+    effective_period = std::max(effective_period, override_it->second);
+  }
+
+  const std::uint32_t burst = flow.spec.kind == TransactionKind::kIntermittent
+                                  ? flow.spec.samples_per_burst
+                                  : 1;
+  for (std::uint32_t i = 0; i < burst; ++i) {
+    Bytes data = source->second();
+    if (flow.spec.payload_bytes > 0) data.resize(flow.spec.payload_bytes);
+    serialize::Writer w;
+    w.u8(static_cast<std::uint8_t>(Kind::kData));
+    w.id(flow.tx);
+    w.varint(flow.seq++);
+    w.svarint(sim().now());  // production timestamp for benefit accounting
+    // Prediction (§3.6 "intermittent with some prediction"): when the next
+    // push is scheduled, so the consumer can supervise against the actual
+    // schedule instead of guessing from its own period.
+    w.svarint(flow.spec.kind == TransactionKind::kOnDemand
+                  ? kTimeNever
+                  : sim().now() + effective_period);
+    w.bytes(data);
+    stats_.pushes_sent++;
+    transport_.send(flow.consumer, transport::ports::kTransactions, std::move(w).take());
+  }
+  if (flow.spec.kind != TransactionKind::kOnDemand) {
+    flow.push_timer =
+        sim().schedule_after(effective_period, [this, key] { push_sample(key); });
+  }
+}
+
+void TransactionManager::on_message(NodeId src, const Bytes& frame) {
+  serialize::Reader r{frame};
+  const auto kind = r.u8();
+  if (!kind) return;
+  switch (static_cast<Kind>(*kind)) {
+    case Kind::kStart: {
+      const auto tx = r.id<TransactionId>();
+      const auto tx_kind = r.u8();
+      const auto period = r.svarint();
+      const auto burst = r.u32();
+      const auto type = r.str();
+      if (!tx || !tx_kind || !period || !burst || !type) return;
+      const std::uint64_t key = flow_key(src, *tx);
+      // Replace any existing flow with the same key (consumer re-sent start).
+      auto existing = flows_.find(key);
+      if (existing != flows_.end() && existing->second.push_timer.valid()) {
+        sim().cancel(existing->second.push_timer);
+      }
+      SupplierFlow flow;
+      flow.consumer = src;
+      flow.tx = *tx;
+      flow.spec.kind = static_cast<TransactionKind>(*tx_kind);
+      flow.spec.period = *period;
+      flow.spec.samples_per_burst = *burst;
+      flow.service_type = *type;
+      flows_[key] = std::move(flow);
+      if (static_cast<TransactionKind>(*tx_kind) != TransactionKind::kOnDemand) {
+        // First sample immediately, then on the period.
+        sim().schedule_after(0, [this, key] { push_sample(key); });
+      }
+      break;
+    }
+    case Kind::kStop: {
+      const auto tx = r.id<TransactionId>();
+      if (!tx) return;
+      const auto it = flows_.find(flow_key(src, *tx));
+      if (it == flows_.end()) return;
+      if (it->second.push_timer.valid()) sim().cancel(it->second.push_timer);
+      flows_.erase(it);
+      break;
+    }
+    case Kind::kPull: {
+      const auto tx = r.id<TransactionId>();
+      if (!tx) return;
+      push_sample(flow_key(src, *tx));
+      break;
+    }
+    case Kind::kData: {
+      const auto tx = r.id<TransactionId>();
+      const auto seq = r.varint();
+      const auto produced = r.svarint();
+      const auto next_predicted = r.svarint();
+      const auto data = r.bytes();
+      if (!tx || !seq || !produced || !next_predicted || !data) return;
+      auto it = consumers_.find(*tx);
+      if (it == consumers_.end()) return;  // ended while data in flight
+      ConsumerTx& ctx = it->second;
+      if (src != ctx.supplier) return;  // stale data from a replaced supplier
+      ctx.last_data = sim().now();
+      ctx.predicted_next = *next_predicted;
+      stats_.data_received++;
+      stats_.delivered_utility +=
+          ctx.spec.consumer.timeliness.eval(sim().now() - *produced);
+      if (ctx.spec.kind != TransactionKind::kOnDemand) arm_watchdog(*tx);
+      if (ctx.sink) ctx.sink(*data, src, *produced);
+      break;
+    }
+    case Kind::kStartAck:
+      break;
+  }
+}
+
+}  // namespace ndsm::transactions

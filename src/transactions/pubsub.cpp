@@ -1,0 +1,148 @@
+#include "transactions/pubsub.hpp"
+
+#include <algorithm>
+
+#include "serialize/codec.hpp"
+
+namespace ndsm::transactions {
+
+namespace {
+
+enum class Kind : std::uint8_t {
+  kSubscribe = 1,
+  kUnsubscribe = 2,
+  kPublish = 3,
+  kDeliver = 4,
+};
+
+}  // namespace
+
+bool topic_matches(const std::string& pattern, const std::string& topic) {
+  if (pattern.size() >= 2 && pattern.compare(pattern.size() - 2, 2, "/*") == 0) {
+    const std::string prefix = pattern.substr(0, pattern.size() - 1);  // keep '/'
+    return topic.size() >= prefix.size() && topic.compare(0, prefix.size(), prefix) == 0;
+  }
+  return pattern == topic;
+}
+
+PubSubBroker::PubSubBroker(transport::ReliableTransport& transport) : transport_(transport) {
+  transport_.set_receiver(transport::ports::kPubSub,
+                          [this](NodeId src, const Bytes& b) { on_message(src, b); });
+}
+
+PubSubBroker::~PubSubBroker() { transport_.clear_receiver(transport::ports::kPubSub); }
+
+std::size_t PubSubBroker::subscription_count() const {
+  std::size_t n = 0;
+  for (const auto& [pattern, sinks] : subs_) n += sinks.size();
+  return n;
+}
+
+void PubSubBroker::on_message(NodeId src, const Bytes& frame) {
+  serialize::Reader r{frame};
+  const auto kind = r.u8();
+  if (!kind) return;
+  switch (static_cast<Kind>(*kind)) {
+    case Kind::kSubscribe: {
+      const auto token = r.varint();
+      const auto pattern = r.str();
+      if (!token || !pattern) return;
+      stats_.subscribes++;
+      subs_[*pattern].push_back(Subscription{src, *token});
+      break;
+    }
+    case Kind::kUnsubscribe: {
+      const auto token = r.varint();
+      if (!token) return;
+      stats_.unsubscribes++;
+      for (auto it = subs_.begin(); it != subs_.end();) {
+        auto& sinks = it->second;
+        sinks.erase(std::remove_if(sinks.begin(), sinks.end(),
+                                   [&](const Subscription& s) {
+                                     return s.subscriber == src && s.token == *token;
+                                   }),
+                    sinks.end());
+        it = sinks.empty() ? subs_.erase(it) : std::next(it);
+      }
+      break;
+    }
+    case Kind::kPublish: {
+      const auto topic = r.str();
+      const auto data = r.bytes();
+      if (!topic || !data) return;
+      stats_.publishes++;
+      bool delivered = false;
+      for (const auto& [pattern, sinks] : subs_) {
+        if (!topic_matches(pattern, *topic)) continue;
+        for (const auto& sub : sinks) {
+          serialize::Writer w;
+          w.u8(static_cast<std::uint8_t>(Kind::kDeliver));
+          w.varint(sub.token);
+          w.str(*topic);
+          w.bytes(*data);
+          w.id(src);
+          transport_.send(sub.subscriber, transport::ports::kPubSub, std::move(w).take());
+          stats_.deliveries++;
+          delivered = true;
+        }
+      }
+      if (!delivered) stats_.dropped_no_subscriber++;
+      break;
+    }
+    case Kind::kDeliver:
+      break;  // client-side message
+  }
+}
+
+PubSubClient::PubSubClient(transport::ReliableTransport& transport, NodeId broker)
+    : transport_(transport), broker_(broker) {
+  transport_.set_receiver(transport::ports::kPubSub,
+                          [this](NodeId src, const Bytes& b) { on_message(src, b); });
+}
+
+PubSubClient::~PubSubClient() { transport_.clear_receiver(transport::ports::kPubSub); }
+
+SubscriptionId PubSubClient::subscribe(const std::string& pattern, MessageHandler handler) {
+  const std::uint64_t token = next_token_++;
+  subs_[token] = LocalSub{pattern, std::move(handler)};
+  serialize::Writer w;
+  w.u8(static_cast<std::uint8_t>(Kind::kSubscribe));
+  w.varint(token);
+  w.str(pattern);
+  transport_.send(broker_, transport::ports::kPubSub, std::move(w).take());
+  return SubscriptionId{token};
+}
+
+void PubSubClient::unsubscribe(SubscriptionId id) {
+  if (subs_.erase(id.value()) == 0) return;
+  serialize::Writer w;
+  w.u8(static_cast<std::uint8_t>(Kind::kUnsubscribe));
+  w.varint(id.value());
+  transport_.send(broker_, transport::ports::kPubSub, std::move(w).take());
+}
+
+void PubSubClient::publish(const std::string& topic, Bytes data) {
+  published_++;
+  serialize::Writer w;
+  w.u8(static_cast<std::uint8_t>(Kind::kPublish));
+  w.str(topic);
+  w.bytes(data);
+  transport_.send(broker_, transport::ports::kPubSub, std::move(w).take());
+}
+
+void PubSubClient::on_message(NodeId /*src*/, const Bytes& frame) {
+  serialize::Reader r{frame};
+  const auto kind = r.u8();
+  if (!kind || static_cast<Kind>(*kind) != Kind::kDeliver) return;
+  const auto token = r.varint();
+  const auto topic = r.str();
+  const auto data = r.bytes();
+  const auto publisher = r.id<NodeId>();
+  if (!token || !topic || !data || !publisher) return;
+  const auto it = subs_.find(*token);
+  if (it == subs_.end()) return;  // unsubscribed while in flight
+  received_++;
+  it->second.handler(*topic, *data, *publisher);
+}
+
+}  // namespace ndsm::transactions

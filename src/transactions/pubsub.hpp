@@ -1,0 +1,85 @@
+#pragma once
+// Publish-subscribe middleware (§3.1/§3.6, the paper cites [68]). A broker
+// node relays published messages to every matching subscriber. Topics are
+// '/'-separated paths; subscriptions may end in "/*" to match a subtree.
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "transport/reliable.hpp"
+
+namespace ndsm::transactions {
+
+// True if `pattern` (exact topic or trailing "/*" wildcard) covers `topic`.
+[[nodiscard]] bool topic_matches(const std::string& pattern, const std::string& topic);
+
+struct BrokerStats {
+  std::uint64_t publishes = 0;
+  std::uint64_t deliveries = 0;
+  std::uint64_t subscribes = 0;
+  std::uint64_t unsubscribes = 0;
+  std::uint64_t dropped_no_subscriber = 0;
+};
+
+class PubSubBroker {
+ public:
+  explicit PubSubBroker(transport::ReliableTransport& transport);
+  ~PubSubBroker();
+
+  PubSubBroker(const PubSubBroker&) = delete;
+  PubSubBroker& operator=(const PubSubBroker&) = delete;
+
+  [[nodiscard]] NodeId node() const { return transport_.self(); }
+  [[nodiscard]] std::size_t subscription_count() const;
+  [[nodiscard]] const BrokerStats& stats() const { return stats_; }
+
+ private:
+  void on_message(NodeId src, const Bytes& frame);
+
+  struct Subscription {
+    NodeId subscriber;
+    std::uint64_t token;  // subscriber-local id
+  };
+
+  transport::ReliableTransport& transport_;
+  std::map<std::string, std::vector<Subscription>> subs_;  // pattern -> sinks
+  BrokerStats stats_;
+};
+
+class PubSubClient {
+ public:
+  using MessageHandler =
+      std::function<void(const std::string& topic, const Bytes& data, NodeId publisher)>;
+
+  PubSubClient(transport::ReliableTransport& transport, NodeId broker);
+  ~PubSubClient();
+
+  PubSubClient(const PubSubClient&) = delete;
+  PubSubClient& operator=(const PubSubClient&) = delete;
+
+  SubscriptionId subscribe(const std::string& pattern, MessageHandler handler);
+  void unsubscribe(SubscriptionId id);
+  void publish(const std::string& topic, Bytes data);
+
+  [[nodiscard]] std::uint64_t messages_received() const { return received_; }
+  [[nodiscard]] std::uint64_t messages_published() const { return published_; }
+
+ private:
+  void on_message(NodeId src, const Bytes& frame);
+
+  struct LocalSub {
+    std::string pattern;
+    MessageHandler handler;
+  };
+
+  transport::ReliableTransport& transport_;
+  NodeId broker_;
+  std::uint64_t next_token_ = 1;
+  std::map<std::uint64_t, LocalSub> subs_;
+  std::uint64_t received_ = 0;
+  std::uint64_t published_ = 0;
+};
+
+}  // namespace ndsm::transactions

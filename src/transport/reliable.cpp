@@ -1,0 +1,203 @@
+#include "transport/reliable.hpp"
+
+#include <cassert>
+
+#include "serialize/codec.hpp"
+
+namespace ndsm::transport {
+
+ReliableTransport::ReliableTransport(Router& router, TransportConfig config)
+    : router_(router), config_(config) {
+  assert(config_.max_fragment_bytes > 0);
+  router_.set_delivery_handler(
+      routing::Proto::kTransport,
+      [this](NodeId src, const Bytes& frame) { on_frame(src, frame); });
+}
+
+ReliableTransport::~ReliableTransport() {
+  router_.clear_delivery_handler(routing::Proto::kTransport);
+  for (auto& [id, msg] : outbox_) {
+    if (msg.timer.valid()) router_.world().sim().cancel(msg.timer);
+  }
+}
+
+std::size_t ReliableTransport::fragment_count(std::size_t payload_size) const {
+  if (payload_size == 0) return 1;
+  return (payload_size + config_.max_fragment_bytes - 1) / config_.max_fragment_bytes;
+}
+
+Status ReliableTransport::send(NodeId dst, Port port, Bytes payload, CompletionHandler done) {
+  stats_.messages_sent++;
+  stats_.payload_bytes_sent += payload.size();
+  if (dst == self()) {
+    // Local delivery: immediate, always succeeds.
+    router_.world().sim().schedule_after(0, [this, port, payload = std::move(payload),
+                                              done = std::move(done)]() {
+      stats_.messages_delivered++;
+      stats_.payload_bytes_delivered += payload.size();
+      const auto it = receivers_.find(port);
+      if (it != receivers_.end()) it->second(self(), payload);
+      if (done) done(Status::ok());
+    });
+    return Status::ok();
+  }
+  const std::uint64_t id = next_msg_id_++;
+  OutMessage msg;
+  msg.dst = dst;
+  msg.port = port;
+  msg.payload = std::move(payload);
+  const std::size_t frags = fragment_count(msg.payload.size());
+  msg.acked.assign(frags, false);
+  msg.unacked = frags;
+  msg.rto = config_.initial_rto;
+  msg.done = std::move(done);
+  auto [it, inserted] = outbox_.emplace(id, std::move(msg));
+  assert(inserted);
+  transmit_fragments(id, it->second, false);
+  arm_timer(id);
+  return Status::ok();
+}
+
+void ReliableTransport::transmit_fragments(std::uint64_t msg_id, OutMessage& msg,
+                                           bool only_unacked) {
+  const std::size_t frags = msg.acked.size();
+  for (std::size_t i = 0; i < frags; ++i) {
+    if (only_unacked && msg.acked[i]) continue;
+    const std::size_t begin = i * config_.max_fragment_bytes;
+    const std::size_t end = std::min(msg.payload.size(), begin + config_.max_fragment_bytes);
+    serialize::Writer w;
+    w.u8(static_cast<std::uint8_t>(FrameKind::kFragment));
+    w.varint(msg_id);
+    w.u16(msg.port);
+    w.varint(i);
+    w.varint(frags);
+    w.bytes(Bytes{msg.payload.begin() + static_cast<std::ptrdiff_t>(begin),
+                  msg.payload.begin() + static_cast<std::ptrdiff_t>(end)});
+    stats_.fragments_sent++;
+    if (only_unacked) stats_.retransmissions++;
+    router_.send(msg.dst, routing::Proto::kTransport, std::move(w).take());
+  }
+}
+
+void ReliableTransport::arm_timer(std::uint64_t msg_id) {
+  auto& msg = outbox_.at(msg_id);
+  msg.timer = router_.world().sim().schedule_after(msg.rto,
+                                                   [this, msg_id] { on_timeout(msg_id); });
+}
+
+void ReliableTransport::on_timeout(std::uint64_t msg_id) {
+  const auto it = outbox_.find(msg_id);
+  if (it == outbox_.end()) return;
+  OutMessage& msg = it->second;
+  msg.timer = EventId::invalid();
+  if (++msg.attempts > config_.max_retries) {
+    finish(msg_id, Status{ErrorCode::kTimeout, "retries exhausted"});
+    return;
+  }
+  msg.rto = static_cast<Time>(static_cast<double>(msg.rto) * config_.rto_backoff);
+  transmit_fragments(msg_id, msg, true);
+  arm_timer(msg_id);
+}
+
+void ReliableTransport::finish(std::uint64_t msg_id, Status status) {
+  const auto it = outbox_.find(msg_id);
+  if (it == outbox_.end()) return;
+  if (it->second.timer.valid()) router_.world().sim().cancel(it->second.timer);
+  auto done = std::move(it->second.done);
+  if (!status.is_ok()) stats_.messages_failed++;
+  outbox_.erase(it);
+  if (done) done(status);
+}
+
+void ReliableTransport::on_frame(NodeId src, const Bytes& frame) {
+  serialize::Reader r{frame};
+  const auto kind = r.u8();
+  if (!kind) return;
+  switch (static_cast<FrameKind>(*kind)) {
+    case FrameKind::kFragment:
+      on_fragment(src, r);
+      break;
+    case FrameKind::kAck:
+      on_ack(src, r);
+      break;
+  }
+}
+
+void ReliableTransport::remember_completed(NodeId src, std::uint64_t msg_id) {
+  auto& window = completed_[src];
+  if (!window.set.insert(msg_id).second) return;
+  window.order.push_back(msg_id);
+  while (window.order.size() > config_.dedup_window) {
+    window.set.erase(window.order.front());
+    window.order.pop_front();
+  }
+}
+
+bool ReliableTransport::already_completed(NodeId src, std::uint64_t msg_id) const {
+  const auto it = completed_.find(src);
+  return it != completed_.end() && it->second.set.count(msg_id) > 0;
+}
+
+void ReliableTransport::on_fragment(NodeId src, serialize::Reader& r) {
+  const auto msg_id = r.varint();
+  const auto port = r.u16();
+  const auto index = r.varint();
+  const auto count = r.varint();
+  auto data = r.bytes();
+  if (!msg_id || !port || !index || !count || !data || *count == 0 || *index >= *count) return;
+
+  // Always ack, even for duplicates (the ack may have been lost).
+  serialize::Writer ack;
+  ack.u8(static_cast<std::uint8_t>(FrameKind::kAck));
+  ack.varint(*msg_id);
+  ack.varint(*index);
+  stats_.acks_sent++;
+  router_.send(src, routing::Proto::kTransport, std::move(ack).take());
+
+  if (already_completed(src, *msg_id)) {
+    stats_.duplicates_dropped++;
+    return;
+  }
+  auto& in = inbox_[{src, *msg_id}];
+  if (in.fragments.empty()) {
+    in.fragments.resize(*count);
+    in.have.assign(*count, false);
+    in.port = *port;
+  }
+  if (*count != in.fragments.size()) return;  // inconsistent sender
+  if (in.have[*index]) {
+    stats_.duplicates_dropped++;
+    return;
+  }
+  in.have[*index] = true;
+  in.fragments[*index] = std::move(*data);
+  in.received++;
+  if (in.received < in.fragments.size()) return;
+
+  // Assemble and deliver.
+  Bytes payload;
+  for (const auto& frag : in.fragments) {
+    payload.insert(payload.end(), frag.begin(), frag.end());
+  }
+  const Port dst_port = in.port;
+  inbox_.erase({src, *msg_id});
+  remember_completed(src, *msg_id);
+  stats_.messages_delivered++;
+  stats_.payload_bytes_delivered += payload.size();
+  const auto it = receivers_.find(dst_port);
+  if (it != receivers_.end()) it->second(src, payload);
+}
+
+void ReliableTransport::on_ack(NodeId /*src*/, serialize::Reader& r) {
+  const auto msg_id = r.varint();
+  const auto index = r.varint();
+  if (!msg_id || !index) return;
+  const auto it = outbox_.find(*msg_id);
+  if (it == outbox_.end()) return;
+  OutMessage& msg = it->second;
+  if (*index >= msg.acked.size() || msg.acked[*index]) return;
+  msg.acked[*index] = true;
+  if (--msg.unacked == 0) finish(*msg_id, Status::ok());
+}
+
+}  // namespace ndsm::transport

@@ -1,0 +1,134 @@
+#pragma once
+// Reliable message transport (§3.6): asynchronous, message-oriented
+// delivery with per-fragment acknowledgement, retransmission with
+// exponential backoff, fragmentation/reassembly (wireless media have small
+// MTUs — Bluetooth 339 B, sensor radios 128 B), and duplicate suppression.
+//
+// Semantics: at-most-once delivery per message, no cross-message ordering
+// guarantee (each message is independent, matching the paper's requirement
+// for "asynchronous connections"). Senders may register a completion
+// callback to learn whether the message was fully acknowledged.
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "routing/router.hpp"
+#include "serialize/codec.hpp"
+#include "sim/simulator.hpp"
+
+namespace ndsm::transport {
+
+using routing::Router;
+
+// Application-level demux above the transport (like a UDP port).
+using Port = std::uint16_t;
+
+namespace ports {
+constexpr Port kDiscovery = 1;           // directory-server inbound
+constexpr Port kDiscoveryReplyCent = 8;  // centralized-client replies
+constexpr Port kDiscoveryReplyDist = 9;  // distributed-client replies
+constexpr Port kRpc = 2;
+constexpr Port kPubSub = 3;
+constexpr Port kTupleSpace = 4;
+constexpr Port kEvents = 5;
+constexpr Port kTransactions = 6;
+constexpr Port kMilan = 7;
+constexpr Port kApp = 100;
+}  // namespace ports
+
+struct TransportConfig {
+  std::size_t max_fragment_bytes = 96;  // payload bytes per fragment
+  Time initial_rto = duration::millis(200);
+  double rto_backoff = 2.0;
+  int max_retries = 5;
+  std::size_t dedup_window = 1024;  // completed-message ids remembered per peer
+};
+
+struct TransportStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t messages_failed = 0;
+  std::uint64_t fragments_sent = 0;
+  std::uint64_t retransmissions = 0;
+  std::uint64_t acks_sent = 0;
+  std::uint64_t duplicates_dropped = 0;
+  std::uint64_t payload_bytes_sent = 0;
+  std::uint64_t payload_bytes_delivered = 0;
+};
+
+class ReliableTransport {
+ public:
+  using Receiver = std::function<void(NodeId src, const Bytes& payload)>;
+  using CompletionHandler = std::function<void(Status)>;
+
+  explicit ReliableTransport(Router& router, TransportConfig config = {});
+  ~ReliableTransport();
+
+  ReliableTransport(const ReliableTransport&) = delete;
+  ReliableTransport& operator=(const ReliableTransport&) = delete;
+
+  // Queue `payload` for reliable delivery to `dst`:`port`. `done` (may be
+  // empty) fires exactly once with kOk after full acknowledgement, or an
+  // error after retries are exhausted.
+  Status send(NodeId dst, Port port, Bytes payload, CompletionHandler done = nullptr);
+
+  void set_receiver(Port port, Receiver receiver) { receivers_[port] = std::move(receiver); }
+  void clear_receiver(Port port) { receivers_.erase(port); }
+
+  [[nodiscard]] NodeId self() const { return router_.self(); }
+  [[nodiscard]] Router& router() { return router_; }
+  [[nodiscard]] const TransportStats& stats() const { return stats_; }
+  [[nodiscard]] const TransportConfig& config() const { return config_; }
+
+ private:
+  enum class FrameKind : std::uint8_t { kFragment = 1, kAck = 2 };
+
+  struct OutMessage {
+    NodeId dst;
+    Port port;
+    Bytes payload;
+    std::vector<bool> acked;      // per fragment
+    std::size_t unacked = 0;
+    int attempts = 0;
+    Time rto;
+    EventId timer = EventId::invalid();
+    CompletionHandler done;
+  };
+
+  struct InMessage {
+    std::vector<Bytes> fragments;
+    std::vector<bool> have;
+    std::size_t received = 0;
+    Port port = 0;
+  };
+
+  void on_frame(NodeId src, const Bytes& frame);
+  void on_fragment(NodeId src, serialize::Reader& r);
+  void on_ack(NodeId src, serialize::Reader& r);
+  void transmit_fragments(std::uint64_t msg_id, OutMessage& msg, bool only_unacked);
+  void arm_timer(std::uint64_t msg_id);
+  void on_timeout(std::uint64_t msg_id);
+  void finish(std::uint64_t msg_id, Status status);
+  [[nodiscard]] std::size_t fragment_count(std::size_t payload_size) const;
+  void remember_completed(NodeId src, std::uint64_t msg_id);
+  [[nodiscard]] bool already_completed(NodeId src, std::uint64_t msg_id) const;
+
+  Router& router_;
+  TransportConfig config_;
+  TransportStats stats_;
+  std::uint64_t next_msg_id_ = 1;
+  std::unordered_map<std::uint64_t, OutMessage> outbox_;
+  // Keyed by (src, msg_id).
+  std::map<std::pair<NodeId, std::uint64_t>, InMessage> inbox_;
+  struct CompletedWindow {
+    std::unordered_set<std::uint64_t> set;
+    std::deque<std::uint64_t> order;
+  };
+  std::unordered_map<NodeId, CompletedWindow> completed_;
+  std::unordered_map<Port, Receiver> receivers_;
+};
+
+}  // namespace ndsm::transport

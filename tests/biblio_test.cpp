@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "biblio/corpus.hpp"
+
+namespace ndsm::biblio {
+namespace {
+
+TEST(Figure1, ReferenceSeriesMatchesPaperText) {
+  const auto& series = figure1_reference();
+  // §2: zero before 1993, first article 1993, 7 in 1994, ~170/yr at the end.
+  for (int year = 1989; year <= 1992; ++year) EXPECT_EQ(series.at(year), 0) << year;
+  EXPECT_EQ(series.at(1993), 1);
+  EXPECT_EQ(series.at(1994), 7);
+  EXPECT_GE(series.at(2000), 160);
+  EXPECT_LE(series.at(2001), 200);
+  // Monotone growth across the series.
+  int prev = -1;
+  for (const auto& [year, count] : series) {
+    EXPECT_GE(count, prev);
+    prev = count;
+  }
+}
+
+TEST(Corpus, MiddlewareHistogramMatchesFigure1Exactly) {
+  const auto corpus = Corpus::build_ieee_model();
+  const auto histogram = corpus.histogram({"middleware"}, 1989, 2001);
+  for (const auto& [year, count] : figure1_reference()) {
+    EXPECT_EQ(histogram.at(year), count) << year;
+  }
+}
+
+TEST(Corpus, QueriesUseAndSemantics) {
+  const auto corpus = Corpus::build_ieee_model();
+  const auto mw = corpus.query({"middleware"});
+  const auto mw_and_net = corpus.query({"middleware", "network"});
+  EXPECT_LT(mw_and_net.size(), mw.size());
+  EXPECT_GT(mw_and_net.size(), 0u);
+  for (const Entry* e : mw_and_net) {
+    bool has_net = false;
+    for (const auto& kw : e->keywords) has_net = has_net || kw.find("network") != std::string::npos;
+    EXPECT_TRUE(has_net || e->title.find("network") != std::string::npos);
+  }
+}
+
+TEST(Corpus, BackgroundLiteraturesDwarfMiddleware) {
+  const auto corpus = Corpus::build_ieee_model();
+  const auto mw = corpus.query({"middleware"}).size();
+  const auto ds = corpus.query({"distributed systems"}).size();
+  const auto net = corpus.query({"network"}).size();
+  EXPECT_GT(ds, mw);
+  EXPECT_GT(net, ds);
+}
+
+TEST(Corpus, MiddlewareCorrelatesWithNetworksAndDistributedSystems) {
+  // §2: "the necessity for middleware followed the development of the
+  // networks and distributed systems. This positive correlation..."
+  const auto corpus = Corpus::build_ieee_model();
+  EXPECT_GT(corpus.correlation({"middleware"}, {"network"}, 1989, 2001), 0.8);
+  EXPECT_GT(corpus.correlation({"middleware"}, {"distributed systems"}, 1989, 2001), 0.8);
+  EXPECT_GT(corpus.correlation({"middleware"}, {"wireless network"}, 1989, 2001), 0.8);
+}
+
+TEST(Corpus, HistogramZeroFillsEmptyYears) {
+  const auto corpus = Corpus::build_ieee_model();
+  const auto histogram = corpus.histogram({"middleware"}, 1985, 1995);
+  EXPECT_EQ(histogram.size(), 11u);
+  EXPECT_EQ(histogram.at(1985), 0);
+  EXPECT_EQ(histogram.at(1990), 0);
+}
+
+TEST(Corpus, DeterministicConstruction) {
+  const auto a = Corpus::build_ieee_model();
+  const auto b = Corpus::build_ieee_model();
+  EXPECT_EQ(a.size(), b.size());
+  EXPECT_EQ(a.histogram({"middleware"}, 1989, 2001), b.histogram({"middleware"}, 1989, 2001));
+}
+
+TEST(Corpus, EmptyQueryMatchesEverything) {
+  const auto corpus = Corpus::build_ieee_model();
+  EXPECT_EQ(corpus.query({}).size(), corpus.size());
+}
+
+TEST(Corpus, UnknownTermMatchesNothing) {
+  const auto corpus = Corpus::build_ieee_model();
+  EXPECT_TRUE(corpus.query({"quantum blockchain"}).empty());
+  EXPECT_DOUBLE_EQ(corpus.correlation({"quantum blockchain"}, {"middleware"}, 1989, 2001),
+                   0.0);
+}
+
+}  // namespace
+}  // namespace ndsm::biblio

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include "milan/clustering.hpp"
+#include "test_helpers.hpp"
+
+namespace ndsm::milan {
+namespace {
+
+using testing::WirelessGrid;
+
+struct ClusterField : WirelessGrid {
+  explicit ClusterField(std::size_t n, ClusterConfig cfg = {})
+      : WirelessGrid(n, 20.0, 42, /*battery=*/5.0) {
+    // Full-field radio so any member can reach any head in one hop
+    // (cluster radios transmit at higher power than the relay mesh).
+    world.set_medium_range(medium, 1000.0);
+    table = std::make_shared<routing::GlobalRoutingTable>(world, routing::Metric::kHopCount);
+    with_routers<routing::GlobalRouter>(table);
+    world.set_battery(nodes[0], net::Battery::mains());
+    std::vector<NodeId> members{nodes.begin() + 1, nodes.end()};
+    manager = std::make_unique<ClusterManager>(
+        world, nodes[0], members,
+        [this](NodeId n) -> routing::Router* {
+          for (std::size_t i = 0; i < nodes.size(); ++i) {
+            if (nodes[i] == n) return routers[i].get();
+          }
+          return nullptr;
+        },
+        cfg);
+  }
+  std::shared_ptr<routing::GlobalRoutingTable> table;
+  std::unique_ptr<ClusterManager> manager;
+};
+
+TEST(Clustering, ElectsRequestedHeadCount) {
+  ClusterField field{9};
+  field.manager->start();
+  EXPECT_EQ(field.manager->heads().size(), 3u);
+  for (const NodeId head : field.manager->heads()) {
+    EXPECT_TRUE(field.manager->is_head(head));
+  }
+}
+
+TEST(Clustering, HighestEnergyNodesBecomeHeads) {
+  ClusterField field{9};
+  // Drain most members; the three untouched ones must win the election.
+  for (std::size_t i = 1; i < 9; ++i) {
+    if (i == 2 || i == 5 || i == 7) continue;
+    field.world.drain(field.nodes[i], 4.0);  // down to 20%
+  }
+  field.manager->start();
+  const auto& heads = field.manager->heads();
+  ASSERT_EQ(heads.size(), 3u);
+  EXPECT_NE(std::find(heads.begin(), heads.end(), field.nodes[2]), heads.end());
+  EXPECT_NE(std::find(heads.begin(), heads.end(), field.nodes[5]), heads.end());
+  EXPECT_NE(std::find(heads.begin(), heads.end(), field.nodes[7]), heads.end());
+}
+
+TEST(Clustering, MembersAssignedToNearestHead) {
+  ClusterField field{9};
+  field.manager->start();
+  for (std::size_t i = 1; i < 9; ++i) {
+    const NodeId member = field.nodes[i];
+    const NodeId head = field.manager->head_of(member);
+    ASSERT_TRUE(head.valid());
+    const double assigned = distance(field.world.position(member),
+                                     field.world.position(head));
+    for (const NodeId other : field.manager->heads()) {
+      EXPECT_LE(assigned, distance(field.world.position(member),
+                                   field.world.position(other)) + 1e-9);
+    }
+  }
+}
+
+TEST(Clustering, SamplesAggregateToSink) {
+  ClusterField field{9};
+  std::uint64_t sink_packets = 0;
+  field.routers[0]->set_delivery_handler(routing::Proto::kApp,
+                                         [&](NodeId, const Bytes&) { sink_packets++; });
+  field.manager->start();
+  // Every member samples 5 times over one frame.
+  for (int k = 0; k < 5; ++k) {
+    field.sim.schedule_at(duration::millis(100 * (k + 1)), [&] {
+      for (std::size_t i = 1; i < 9; ++i) field.manager->submit_sample(field.nodes[i]);
+    });
+  }
+  field.sim.run_until(duration::seconds(5));
+  EXPECT_EQ(field.manager->stats().samples_in, 40u);
+  // Aggregation: at most (heads x frames with data) packets, far fewer
+  // than 40 raw samples.
+  EXPECT_GT(sink_packets, 0u);
+  EXPECT_LE(sink_packets, 9u);
+}
+
+TEST(Clustering, HeadRotationSpreadsRole) {
+  ClusterConfig cfg;
+  cfg.cluster_count = 2;
+  cfg.round_length = duration::seconds(5);
+  ClusterField field{9, cfg};
+  field.manager->start();
+  // Heads burn energy forwarding aggregates, so rotation must move the
+  // role around. Feed samples continuously and collect head sets.
+  std::set<NodeId> ever_heads;
+  sim::PeriodicTimer feeder{field.sim, duration::millis(500), [&] {
+                              for (std::size_t i = 1; i < 9; ++i) {
+                                field.manager->submit_sample(field.nodes[i]);
+                              }
+                              for (const NodeId h : field.manager->heads()) {
+                                ever_heads.insert(h);
+                              }
+                            }};
+  feeder.start();
+  field.sim.run_until(duration::minutes(2));
+  EXPECT_GT(ever_heads.size(), 2u);  // more nodes than one round's head set
+  EXPECT_GE(field.manager->stats().rounds, 20u);
+}
+
+TEST(Clustering, DeadHeadReplacedMidRound) {
+  ClusterField field{9};
+  field.manager->start();
+  const NodeId victim = field.manager->heads().front();
+  field.world.kill(victim);
+  field.sim.run_until(field.sim.now());  // deliver the deferred re-election
+  // A member whose head died still gets its sample through (re-election).
+  const NodeId member = field.nodes[8] == victim ? field.nodes[7] : field.nodes[8];
+  field.manager->submit_sample(member);
+  EXPECT_FALSE(field.manager->is_head(victim));
+  EXPECT_GE(field.manager->stats().samples_in, 1u);
+  for (const NodeId head : field.manager->heads()) {
+    EXPECT_TRUE(field.world.alive(head));
+  }
+}
+
+TEST(Clustering, StopHaltsForwarding) {
+  ClusterField field{9};
+  field.manager->start();
+  field.manager->submit_sample(field.nodes[1]);
+  field.manager->stop();
+  const auto out_before = field.manager->stats().aggregates_out;
+  field.sim.run_until(duration::seconds(10));
+  EXPECT_EQ(field.manager->stats().aggregates_out, out_before);
+}
+
+}  // namespace
+}  // namespace ndsm::milan

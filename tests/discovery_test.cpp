@@ -1,0 +1,456 @@
+#include <gtest/gtest.h>
+
+#include "discovery/adaptive.hpp"
+#include "discovery/centralized.hpp"
+#include "discovery/directory_server.hpp"
+#include "discovery/distributed.hpp"
+#include "test_helpers.hpp"
+
+namespace ndsm::discovery {
+namespace {
+
+using serialize::Value;
+using testing::Lan;
+using testing::WirelessGrid;
+
+qos::SupplierQos sensor_service(const std::string& type = "temperature") {
+  qos::SupplierQos s;
+  s.service_type = type;
+  s.attributes = {{"unit", Value{"celsius"}}, {"rate_hz", Value{10}}};
+  s.reliability = 0.9;
+  return s;
+}
+
+qos::ConsumerQos wants(const std::string& type = "temperature") {
+  qos::ConsumerQos c;
+  c.service_type = type;
+  return c;
+}
+
+TEST(Record, CodecRoundTrip) {
+  ServiceRecord rec;
+  rec.id = ServiceId{77};
+  rec.provider = NodeId{3};
+  rec.qos = sensor_service();
+  rec.registered = 1000;
+  rec.expires = 2000;
+  serialize::Writer w;
+  rec.encode(w);
+  serialize::Reader r{w.data()};
+  const auto decoded = ServiceRecord::decode(r);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->id, rec.id);
+  EXPECT_EQ(decoded->provider, rec.provider);
+  EXPECT_EQ(decoded->qos.service_type, "temperature");
+  EXPECT_EQ(decoded->expires, 2000);
+}
+
+TEST(Record, ExpiryCheck) {
+  ServiceRecord rec;
+  rec.expires = 100;
+  EXPECT_FALSE(rec.expired(100));
+  EXPECT_TRUE(rec.expired(101));
+  rec.expires = kTimeNever;
+  EXPECT_FALSE(rec.expired(INT64_MAX - 1));
+}
+
+TEST(Messages, QueryRoundTrip) {
+  QueryMessage q;
+  q.query_id = 42;
+  q.reply_to = NodeId{5};
+  q.reply_port = transport::ports::kDiscoveryReplyCent;
+  q.consumer = wants();
+  q.max_results = 3;
+  const Bytes frame = encode_query(q);
+  EXPECT_EQ(peek_kind(frame), MsgKind::kQuery);
+  serialize::Reader r{frame};
+  (void)r.u8();
+  const auto decoded = decode_query(r);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->query_id, 42u);
+  EXPECT_EQ(decoded->reply_to, NodeId{5});
+  EXPECT_EQ(decoded->max_results, 3u);
+  EXPECT_EQ(decoded->consumer.service_type, "temperature");
+}
+
+TEST(Messages, PeekKindRejectsGarbage) {
+  EXPECT_FALSE(peek_kind(Bytes{}).has_value());
+  EXPECT_FALSE(peek_kind(Bytes{0}).has_value());
+  EXPECT_FALSE(peek_kind(Bytes{200}).has_value());
+}
+
+struct CentralizedSetup : Lan {
+  // Node 0 is the directory; nodes 1..n-1 are clients.
+  explicit CentralizedSetup(std::size_t n) : Lan(n) {
+    server = std::make_unique<DirectoryServer>(transport(0));
+    for (std::size_t i = 1; i < n; ++i) {
+      clients.push_back(std::make_unique<CentralizedDiscovery>(
+          transport(i), std::vector<NodeId>{nodes[0]}));
+    }
+  }
+  std::unique_ptr<DirectoryServer> server;
+  std::vector<std::unique_ptr<CentralizedDiscovery>> clients;
+};
+
+TEST(Centralized, RegisterThenQuery) {
+  CentralizedSetup setup{3};
+  setup.clients[0]->register_service(sensor_service(), duration::seconds(60));
+  setup.sim.run_until(duration::seconds(1));
+  EXPECT_EQ(setup.server->record_count(), 1u);
+
+  std::vector<ServiceRecord> found;
+  setup.clients[1]->query(wants(), [&](std::vector<ServiceRecord> recs) { found = recs; }, 8,
+                          duration::seconds(2));
+  setup.sim.run_until(duration::seconds(3));
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].provider, setup.nodes[1]);
+  EXPECT_EQ(found[0].qos.service_type, "temperature");
+}
+
+TEST(Centralized, QueryNoMatchReturnsEmpty) {
+  CentralizedSetup setup{3};
+  setup.clients[0]->register_service(sensor_service(), duration::seconds(60));
+  setup.sim.run_until(duration::seconds(1));
+  bool called = false;
+  std::vector<ServiceRecord> found{ServiceRecord{}};
+  setup.clients[1]->query(wants("humidity"),
+                          [&](std::vector<ServiceRecord> recs) {
+                            called = true;
+                            found = recs;
+                          },
+                          8, duration::seconds(2));
+  setup.sim.run_until(duration::seconds(3));
+  EXPECT_TRUE(called);
+  EXPECT_TRUE(found.empty());
+}
+
+TEST(Centralized, UnregisterRemoves) {
+  CentralizedSetup setup{2};
+  const ServiceId id = setup.clients[0]->register_service(sensor_service(), kTimeNever);
+  setup.sim.run_until(duration::seconds(1));
+  EXPECT_EQ(setup.server->record_count(), 1u);
+  setup.clients[0]->unregister_service(id);
+  setup.sim.run_until(duration::seconds(2));
+  EXPECT_EQ(setup.server->record_count(), 0u);
+}
+
+TEST(Centralized, LeaseExpiresWithoutRenewal) {
+  CentralizedSetup setup{2};
+  setup.clients[0]->register_service(sensor_service(), duration::seconds(10));
+  setup.sim.run_until(duration::seconds(1));
+  EXPECT_EQ(setup.server->record_count(), 1u);
+  // Kill the client so it cannot renew; the directory must age the record out.
+  setup.world.kill(setup.nodes[1]);
+  setup.sim.run_until(duration::seconds(30));
+  EXPECT_EQ(setup.server->record_count(), 0u);
+}
+
+TEST(Centralized, LeaseRenewalKeepsAlive) {
+  CentralizedSetup setup{2};
+  setup.clients[0]->register_service(sensor_service(), duration::seconds(10));
+  setup.sim.run_until(duration::seconds(60));  // several lease periods
+  EXPECT_EQ(setup.server->record_count(), 1u);
+}
+
+TEST(Centralized, MaxResultsHonoured) {
+  CentralizedSetup setup{2};
+  for (int i = 0; i < 10; ++i) {
+    setup.clients[0]->register_service(sensor_service(), duration::seconds(60));
+  }
+  setup.sim.run_until(duration::seconds(1));
+  std::vector<ServiceRecord> found;
+  setup.clients[0]->query(wants(), [&](std::vector<ServiceRecord> recs) { found = recs; }, 3,
+                          duration::seconds(2));
+  setup.sim.run_until(duration::seconds(3));
+  EXPECT_EQ(found.size(), 3u);
+}
+
+TEST(Centralized, BestMatchRankedFirst) {
+  CentralizedSetup setup{3};
+  auto low = sensor_service();
+  low.reliability = 0.5;
+  auto high = sensor_service();
+  high.reliability = 0.99;
+  setup.clients[0]->register_service(low, duration::seconds(60));
+  setup.clients[1]->register_service(high, duration::seconds(60));
+  setup.sim.run_until(duration::seconds(1));
+  std::vector<ServiceRecord> found;
+  setup.clients[0]->query(wants(), [&](std::vector<ServiceRecord> recs) { found = recs; }, 8,
+                          duration::seconds(2));
+  setup.sim.run_until(duration::seconds(3));
+  ASSERT_EQ(found.size(), 2u);
+  EXPECT_DOUBLE_EQ(found[0].qos.reliability, 0.99);
+}
+
+TEST(Mirroring, MutationsReplicateToMirrors) {
+  Lan lan{4};
+  DirectoryServer primary{lan.transport(0)};
+  DirectoryServer mirror1{lan.transport(1)};
+  DirectoryServer mirror2{lan.transport(2)};
+  primary.set_mirrors({lan.nodes[1], lan.nodes[2]});
+
+  CentralizedDiscovery client{lan.transport(3), {lan.nodes[0]}};
+  const ServiceId id = client.register_service(sensor_service(), kTimeNever);
+  lan.sim.run_until(duration::seconds(1));
+  EXPECT_EQ(primary.record_count(), 1u);
+  EXPECT_EQ(mirror1.record_count(), 1u);
+  EXPECT_EQ(mirror2.record_count(), 1u);
+
+  client.unregister_service(id);
+  lan.sim.run_until(duration::seconds(2));
+  EXPECT_EQ(primary.record_count(), 0u);
+  EXPECT_EQ(mirror1.record_count(), 0u);
+  EXPECT_EQ(mirror2.record_count(), 0u);
+}
+
+TEST(Mirroring, RoundRobinSpreadsQueries) {
+  Lan lan{4};
+  DirectoryServer primary{lan.transport(0)};
+  DirectoryServer mirror{lan.transport(1)};
+  primary.set_mirrors({lan.nodes[1]});
+  CentralizedDiscovery client{lan.transport(3), {lan.nodes[0], lan.nodes[1]},
+                              MirrorPolicy::kRoundRobin};
+  client.register_service(sensor_service(), kTimeNever);
+  lan.sim.run_until(duration::seconds(1));
+  for (int i = 0; i < 10; ++i) {
+    client.query(wants(), [](std::vector<ServiceRecord>) {}, 8, duration::seconds(1));
+  }
+  lan.sim.run_until(duration::seconds(5));
+  EXPECT_EQ(primary.stats().queries, 5u);
+  EXPECT_EQ(mirror.stats().queries, 5u);
+}
+
+TEST(Mirroring, NearestPolicyPicksClosest) {
+  Lan lan{4};  // positions x = 0, 10, 20, 30
+  DirectoryServer primary{lan.transport(0)};
+  DirectoryServer mirror{lan.transport(2)};
+  primary.set_mirrors({lan.nodes[2]});
+  CentralizedDiscovery client{lan.transport(3), {lan.nodes[0], lan.nodes[2]},
+                              MirrorPolicy::kNearest};
+  client.register_service(sensor_service(), kTimeNever);
+  lan.sim.run_until(duration::seconds(1));
+  for (int i = 0; i < 4; ++i) {
+    client.query(wants(), [](std::vector<ServiceRecord>) {}, 8, duration::seconds(1));
+  }
+  lan.sim.run_until(duration::seconds(5));
+  EXPECT_EQ(mirror.stats().queries, 4u);  // node 2 at x=20 is nearest to x=30
+  EXPECT_EQ(primary.stats().queries, 0u);
+}
+
+struct DistributedSetup : WirelessGrid {
+  explicit DistributedSetup(std::size_t n, DistributedConfig cfg = {})
+      : WirelessGrid(n, 20.0, 42, 1e9) {
+    with_routers<routing::FloodingRouter>();
+    for (std::size_t i = 0; i < n; ++i) {
+      clients.push_back(std::make_unique<DistributedDiscovery>(transport(i), cfg));
+    }
+  }
+  std::vector<std::unique_ptr<DistributedDiscovery>> clients;
+};
+
+TEST(Distributed, FloodedQueryFindsRemoteService) {
+  DistributedSetup setup{9};
+  setup.clients[8]->register_service(sensor_service(), duration::seconds(60));
+  std::vector<ServiceRecord> found;
+  setup.clients[0]->query(wants(), [&](std::vector<ServiceRecord> recs) { found = recs; }, 8,
+                          duration::seconds(2));
+  setup.sim.run_until(duration::seconds(3));
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].provider, setup.nodes[8]);
+}
+
+TEST(Distributed, CollectsFromMultipleSuppliers) {
+  DistributedSetup setup{9};
+  for (const std::size_t i : {2u, 5u, 7u}) {
+    setup.clients[i]->register_service(sensor_service(), duration::seconds(60));
+  }
+  std::vector<ServiceRecord> found;
+  setup.clients[0]->query(wants(), [&](std::vector<ServiceRecord> recs) { found = recs; }, 8,
+                          duration::seconds(2));
+  setup.sim.run_until(duration::seconds(3));
+  EXPECT_EQ(found.size(), 3u);
+}
+
+TEST(Distributed, TimeoutWithNoSuppliers) {
+  DistributedSetup setup{4};
+  bool called = false;
+  std::vector<ServiceRecord> found{ServiceRecord{}};
+  setup.clients[0]->query(wants(),
+                          [&](std::vector<ServiceRecord> recs) {
+                            called = true;
+                            found = recs;
+                          },
+                          8, duration::seconds(1));
+  setup.sim.run_until(duration::seconds(2));
+  EXPECT_TRUE(called);
+  EXPECT_TRUE(found.empty());
+}
+
+TEST(Distributed, EarlyCompletionAtMaxResults) {
+  DistributedSetup setup{9};
+  for (std::size_t i = 1; i < 9; ++i) {
+    setup.clients[i]->register_service(sensor_service(), duration::seconds(60));
+  }
+  Time answered_at = -1;
+  setup.clients[0]->query(wants(),
+                          [&](std::vector<ServiceRecord> recs) {
+                            answered_at = setup.sim.now();
+                            EXPECT_EQ(recs.size(), 2u);
+                          },
+                          /*max_results=*/2, /*timeout=*/duration::seconds(10));
+  setup.sim.run_until(duration::seconds(11));
+  ASSERT_GE(answered_at, 0);
+  EXPECT_LT(answered_at, duration::seconds(10));  // finished before the timeout
+}
+
+TEST(Distributed, LocalServiceAnsweredLocally) {
+  DistributedSetup setup{4};
+  setup.clients[0]->register_service(sensor_service(), duration::seconds(60));
+  std::vector<ServiceRecord> found;
+  setup.clients[0]->query(wants(), [&](std::vector<ServiceRecord> recs) { found = recs; }, 8,
+                          duration::seconds(1));
+  setup.sim.run_until(duration::seconds(2));
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].provider, setup.nodes[0]);
+}
+
+TEST(Distributed, AdvertisementsFillCaches) {
+  DistributedConfig cfg;
+  cfg.advertise_period = duration::seconds(2);
+  DistributedSetup setup{9, cfg};
+  setup.clients[8]->register_service(sensor_service(), duration::seconds(60));
+  setup.sim.run_until(duration::seconds(5));
+  EXPECT_GE(setup.clients[0]->cache_size(), 1u);
+  // Query is now answered from cache without flooding.
+  const auto floods_before = setup.router(0).stats().data_sent;
+  std::vector<ServiceRecord> found;
+  setup.clients[0]->query(wants(), [&](std::vector<ServiceRecord> recs) { found = recs; }, 8,
+                          duration::seconds(2));
+  setup.sim.run_until(duration::seconds(8));
+  EXPECT_EQ(found.size(), 1u);
+  EXPECT_EQ(setup.router(0).stats().data_sent, floods_before);
+}
+
+TEST(Distributed, StaleCacheEntriesIgnored) {
+  DistributedConfig cfg;
+  cfg.advertise_period = duration::seconds(2);
+  cfg.cache_entry_ttl = duration::seconds(5);
+  DistributedSetup setup{4, cfg};
+  setup.clients[3]->register_service(sensor_service(), duration::seconds(600));
+  setup.sim.run_until(duration::seconds(4));
+  EXPECT_GE(setup.clients[0]->cache_size(), 1u);
+  // Supplier dies; its cached advertisement goes stale after the TTL and
+  // queries fall back to flooding (which finds nothing).
+  setup.world.kill(setup.nodes[3]);
+  setup.sim.run_until(duration::seconds(20));
+  std::vector<ServiceRecord> found{ServiceRecord{}};
+  setup.clients[0]->query(wants(), [&](std::vector<ServiceRecord> recs) { found = recs; }, 8,
+                          duration::seconds(2));
+  setup.sim.run_until(duration::seconds(25));
+  EXPECT_TRUE(found.empty());
+}
+
+TEST(Adaptive, StartsDistributedSwitchesUnderQueryLoad) {
+  Lan lan{4};
+  DirectoryServer server{lan.transport(0)};
+  AdaptiveConfig cfg;
+  cfg.evaluation_period = duration::seconds(2);
+  AdaptiveDiscovery adaptive{lan.transport(1), {lan.nodes[0]}, cfg,
+                             /*density=*/[] { return 64.0; }};
+  DistributedDiscovery remote_supplier{lan.transport(2)};
+  remote_supplier.register_service(sensor_service(), duration::seconds(600));
+
+  EXPECT_EQ(adaptive.mode(), DiscoveryMode::kDistributed);
+  // Sustained query traffic on a dense network: flooding is expensive,
+  // policy must switch to centralized.
+  for (int round = 0; round < 10; ++round) {
+    lan.sim.schedule_at(duration::seconds(round), [&] {
+      for (int q = 0; q < 6; ++q) {
+        adaptive.query(wants(), [](std::vector<ServiceRecord>) {}, 4,
+                       duration::millis(500));
+      }
+    });
+  }
+  lan.sim.run_until(duration::seconds(30));
+  EXPECT_EQ(adaptive.mode(), DiscoveryMode::kCentralized);
+  EXPECT_GE(adaptive.mode_switches(), 1u);
+  EXPECT_GT(adaptive.query_rate_per_s(), 0.0);
+}
+
+TEST(Adaptive, StaysDistributedWhenChurnDominates) {
+  Lan lan{4};
+  DirectoryServer server{lan.transport(0)};
+  AdaptiveConfig cfg;
+  cfg.evaluation_period = duration::seconds(2);
+  AdaptiveDiscovery adaptive{lan.transport(1), {lan.nodes[0]}, cfg,
+                             /*density=*/[] { return 4.0; }};
+  // Heavy churn, almost no queries: distributed (registration-free) wins.
+  for (int round = 0; round < 20; ++round) {
+    lan.sim.schedule_at(duration::seconds(round), [&] {
+      const ServiceId id = adaptive.register_service(sensor_service(), duration::seconds(30));
+      lan.sim.schedule_after(duration::millis(500),
+                             [&adaptive, id] { adaptive.unregister_service(id); });
+    });
+  }
+  lan.sim.run_until(duration::seconds(25));
+  EXPECT_EQ(adaptive.mode(), DiscoveryMode::kDistributed);
+}
+
+TEST(Adaptive, RegistrationsSurviveModeSwitch) {
+  Lan lan{4};
+  DirectoryServer server{lan.transport(0)};
+  AdaptiveConfig cfg;
+  cfg.evaluation_period = duration::seconds(1);
+  AdaptiveDiscovery supplier{lan.transport(1), {lan.nodes[0]}, cfg,
+                             [] { return 64.0; }};
+  AdaptiveDiscovery consumer{lan.transport(2), {lan.nodes[0]}, cfg,
+                             [] { return 64.0; }};
+  supplier.register_service(sensor_service(), duration::seconds(600));
+
+  // Drive the consumer into centralized mode with query load.
+  for (int round = 0; round < 12; ++round) {
+    lan.sim.schedule_at(duration::seconds(round), [&] {
+      for (int q = 0; q < 6; ++q) {
+        consumer.query(wants(), [](std::vector<ServiceRecord>) {}, 4, duration::millis(500));
+      }
+      // Light supplier traffic so its policy also re-evaluates.
+      supplier.query(wants(), [](std::vector<ServiceRecord>) {}, 1, duration::millis(500));
+    });
+  }
+  lan.sim.run_until(duration::seconds(20));
+  ASSERT_EQ(consumer.mode(), DiscoveryMode::kCentralized);
+  // After the supplier also switched, its service must be findable through
+  // the directory.
+  std::vector<ServiceRecord> found;
+  consumer.query(wants(), [&](std::vector<ServiceRecord> recs) { found = recs; }, 8,
+                 duration::seconds(2));
+  lan.sim.run_until(duration::seconds(25));
+  EXPECT_EQ(found.size(), 1u);
+}
+
+TEST(Adaptive, SecuredServiceEndToEnd) {
+  // Password-gated matching through a full register/query cycle (§3.3
+  // "security ... incorporated into the matching protocol").
+  CentralizedSetup setup{3};
+  auto secured = sensor_service();
+  secured.set_password("sesame");
+  setup.clients[0]->register_service(secured, duration::seconds(60));
+  setup.sim.run_until(duration::seconds(1));
+
+  std::vector<ServiceRecord> no_pw;
+  setup.clients[1]->query(wants(), [&](std::vector<ServiceRecord> r) { no_pw = r; }, 8,
+                          duration::seconds(1));
+  setup.sim.run_until(duration::seconds(2));
+  EXPECT_TRUE(no_pw.empty());
+
+  auto c = wants();
+  c.password = "sesame";
+  std::vector<ServiceRecord> with_pw;
+  setup.clients[1]->query(c, [&](std::vector<ServiceRecord> r) { with_pw = r; }, 8,
+                          duration::seconds(1));
+  setup.sim.run_until(duration::seconds(4));
+  EXPECT_EQ(with_pw.size(), 1u);
+}
+
+}  // namespace
+}  // namespace ndsm::discovery

@@ -1,0 +1,215 @@
+// Edge-case coverage across modules: boundary values, degenerate
+// configurations and API corners not exercised by the scenario suites.
+
+#include <gtest/gtest.h>
+
+#include "net/world.hpp"
+#include "qos/benefit.hpp"
+#include "qos/matcher.hpp"
+#include "serialize/value.hpp"
+#include "sim/simulator.hpp"
+#include "test_helpers.hpp"
+#include "transport/reliable.hpp"
+
+namespace ndsm {
+namespace {
+
+using serialize::Value;
+
+TEST(EdgeIds, ToStringAndInvalid) {
+  EXPECT_EQ(NodeId{42}.to_string(), "42");
+  EXPECT_FALSE(NodeId::invalid().valid());
+  EXPECT_EQ(NodeId::invalid().value(), NodeId::kInvalid);
+}
+
+TEST(EdgeValue, ToStringForms) {
+  EXPECT_EQ(Value{}.to_string(), "nil");
+  EXPECT_EQ(Value{true}.to_string(), "true");
+  EXPECT_EQ(Value{-5}.to_string(), "-5");
+  EXPECT_EQ(Value{"hi"}.to_string(), "\"hi\"");
+  EXPECT_EQ(Value::wildcard().to_string(), "?");
+  EXPECT_EQ((Value{serialize::ValueList{Value{1}, Value{2}}}.to_string()), "[1, 2]");
+  EXPECT_EQ((Value{serialize::ValueMap{{"k", Value{1}}}}.to_string()), "{k: 1}");
+  const Value bytes_value{Bytes{1, 2, 3}};
+  EXPECT_EQ(bytes_value.to_string(), "bytes[3]");
+}
+
+TEST(EdgeBenefit, ThresholdExtremes) {
+  const auto linear = qos::BenefitFunction::linear(duration::seconds(1), duration::seconds(3));
+  EXPECT_EQ(linear.deadline_for(0.0), duration::seconds(3));
+  EXPECT_EQ(linear.deadline_for(1.0), duration::seconds(1));
+  // Out-of-range thresholds clamp rather than crash.
+  EXPECT_EQ(linear.deadline_for(-0.5), duration::seconds(3));
+  EXPECT_EQ(linear.deadline_for(2.0), duration::seconds(1));
+  const auto sigmoid = qos::BenefitFunction::sigmoid(duration::seconds(5), 1.0);
+  EXPECT_EQ(sigmoid.deadline_for(0.0), kTimeNever);
+  EXPECT_EQ(sigmoid.deadline_for(1.0), kTimeNever);
+}
+
+TEST(EdgeBenefit, ConstantClamps) {
+  EXPECT_DOUBLE_EQ(qos::BenefitFunction::constant(7.0).eval(0), 1.0);
+  EXPECT_DOUBLE_EQ(qos::BenefitFunction::constant(-1.0).eval(0), 0.0);
+}
+
+TEST(EdgeMatcher, ZeroWeightsScoreZero) {
+  qos::ConsumerQos c;
+  c.service_type = "x";
+  c.attribute_weight = 0;
+  c.reliability_weight = 0;
+  c.proximity_weight = 0;
+  c.power_weight = 0;
+  qos::SupplierQos s;
+  s.service_type = "x";
+  const auto e = qos::Matcher::evaluate(c, s);
+  EXPECT_TRUE(e.feasible);
+  EXPECT_DOUBLE_EQ(e.score, 0.0);
+}
+
+TEST(EdgeMatcher, RankStableOnTies) {
+  qos::ConsumerQos c;
+  c.service_type = "x";
+  qos::SupplierQos s;
+  s.service_type = "x";
+  const std::vector<qos::SupplierQos> suppliers{s, s, s};
+  const auto ranked = qos::Matcher::rank(c, suppliers);
+  EXPECT_EQ(ranked, (std::vector<std::size_t>{0, 1, 2}));  // index order on ties
+}
+
+TEST(EdgeWorld, MediaOfAndAllNodes) {
+  sim::Simulator sim;
+  net::World world{sim};
+  const MediumId a = world.add_medium(net::ethernet100());
+  const MediumId b = world.add_medium(net::wifi80211());
+  const NodeId n = world.add_node({0, 0});
+  world.attach(n, a);
+  world.attach(n, b);
+  world.attach(n, a);  // duplicate attach is a no-op
+  EXPECT_EQ(world.media_of(n).size(), 2u);
+  EXPECT_EQ(world.all_nodes().size(), 1u);
+  EXPECT_EQ(world.node_count(), 1u);
+  EXPECT_EQ(world.medium_spec(a).name, "ethernet-100");
+}
+
+TEST(EdgeWorld, SetMediumRangeChangesReachability) {
+  sim::Simulator sim;
+  net::World world{sim};
+  const MediumId m = world.add_medium(net::wifi80211(10, 0));
+  const NodeId a = world.add_node({0, 0});
+  const NodeId b = world.add_node({50, 0});
+  world.attach(a, m);
+  world.attach(b, m);
+  EXPECT_FALSE(world.in_link_range(a, b));
+  world.set_medium_range(m, 100);
+  EXPECT_TRUE(world.in_link_range(a, b));
+}
+
+TEST(EdgeWorld, ReviveAfterBatteryDepletionFails) {
+  sim::Simulator sim;
+  net::World world{sim};
+  const NodeId n = world.add_node({0, 0}, net::Battery{1.0});
+  world.drain(n, 2.0);
+  EXPECT_FALSE(world.alive(n));
+  world.revive(n);  // battery is gone: stays dead
+  EXPECT_FALSE(world.alive(n));
+}
+
+TEST(EdgeWorld, KillIsIdempotent) {
+  sim::Simulator sim;
+  net::World world{sim};
+  const NodeId n = world.add_node({0, 0});
+  int deaths = 0;
+  world.set_death_handler([&](NodeId) { deaths++; });
+  world.kill(n);
+  world.kill(n);
+  EXPECT_EQ(deaths, 1);
+}
+
+TEST(EdgeWorld, BroadcastOnSpecificMediumOnly) {
+  sim::Simulator sim;
+  net::World world{sim};
+  const MediumId m1 = world.add_medium(net::ethernet100());
+  const MediumId m2 = world.add_medium(net::ethernet100());
+  const NodeId src = world.add_node({0, 0});
+  const NodeId on1 = world.add_node({0, 0});
+  const NodeId on2 = world.add_node({0, 0});
+  world.attach(src, m1);
+  world.attach(src, m2);
+  world.attach(on1, m1);
+  world.attach(on2, m2);
+  int got1 = 0;
+  int got2 = 0;
+  world.set_handler(on1, net::Proto::kApp, [&](const net::LinkFrame&) { got1++; });
+  world.set_handler(on2, net::Proto::kApp, [&](const net::LinkFrame&) { got2++; });
+  ASSERT_TRUE(world.link_broadcast(src, net::Proto::kApp, {}, m1).is_ok());
+  sim.run_all();
+  EXPECT_EQ(got1, 1);
+  EXPECT_EQ(got2, 0);
+  ASSERT_TRUE(world.link_broadcast(src, net::Proto::kApp, {}).is_ok());  // all media
+  sim.run_all();
+  EXPECT_EQ(got1, 2);
+  EXPECT_EQ(got2, 1);
+}
+
+TEST(EdgeTimer, SetIntervalTakesEffectNextArm) {
+  sim::Simulator sim;
+  std::vector<Time> fires;
+  sim::PeriodicTimer timer{sim, 100, [&] { fires.push_back(sim.now()); }};
+  timer.start();
+  sim.run_until(150);
+  timer.set_interval(300);
+  sim.run_until(1000);
+  ASSERT_GE(fires.size(), 3u);
+  EXPECT_EQ(fires[0], 100);
+  EXPECT_EQ(fires[1], 200);  // already-armed tick keeps the old interval
+  EXPECT_EQ(fires[2], 500);  // then the new interval applies
+}
+
+TEST(EdgeTransport, ZeroAndOneFragmentBoundaries) {
+  testing::Lan lan{2};
+  // 96-byte default fragment: payloads of 95, 96, 97 exercise the boundary.
+  std::vector<std::size_t> sizes{95, 96, 97};
+  std::vector<Bytes> got;
+  lan.transport(1).set_receiver(transport::ports::kApp,
+                                [&](NodeId, const Bytes& b) { got.push_back(b); });
+  for (const auto size : sizes) {
+    lan.transport(0).send(lan.nodes[1], transport::ports::kApp,
+                          Bytes(size, static_cast<std::uint8_t>(size)));
+  }
+  lan.sim.run_until(duration::seconds(2));
+  ASSERT_EQ(got.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(got[i].size(), sizes[i]);
+  }
+  // 97 bytes needed 2 fragments; 95 and 96 one each.
+  EXPECT_EQ(lan.transport(0).stats().fragments_sent, 4u);
+}
+
+TEST(EdgeTransport, ClearReceiverDropsSilently) {
+  testing::Lan lan{2};
+  int got = 0;
+  lan.transport(1).set_receiver(transport::ports::kApp,
+                                [&](NodeId, const Bytes&) { got++; });
+  lan.transport(1).clear_receiver(transport::ports::kApp);
+  bool completed = false;
+  lan.transport(0).send(lan.nodes[1], transport::ports::kApp, to_bytes("x"),
+                        [&](Status s) { completed = s.is_ok(); });
+  lan.sim.run_until(duration::seconds(2));
+  EXPECT_EQ(got, 0);
+  EXPECT_TRUE(completed);  // transport-level delivery still acknowledged
+}
+
+TEST(EdgeSim, ZeroDelayEventsRunInOrder) {
+  sim::Simulator sim;
+  std::vector<int> order;
+  sim.schedule_after(0, [&] {
+    order.push_back(1);
+    sim.schedule_after(0, [&] { order.push_back(3); });
+    order.push_back(2);
+  });
+  sim.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 0);
+}
+
+}  // namespace
+}  // namespace ndsm

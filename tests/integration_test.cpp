@@ -1,0 +1,333 @@
+// Integration tests: several middleware layers working together in one
+// simulated deployment, end to end.
+
+#include <gtest/gtest.h>
+
+#include "discovery/centralized.hpp"
+#include "discovery/directory_server.hpp"
+#include "discovery/distributed.hpp"
+#include "milan/engine.hpp"
+#include "recovery/store.hpp"
+#include "routing/distance_vector.hpp"
+#include "test_helpers.hpp"
+#include "transactions/manager.hpp"
+#include "transactions/pubsub.hpp"
+#include "interop/markup.hpp"
+#include "transactions/rpc.hpp"
+
+namespace ndsm {
+namespace {
+
+using serialize::Value;
+using testing::Lan;
+using testing::WirelessGrid;
+
+// Full consumer pipeline: discovery -> QoS matching -> continuous
+// transaction -> supplier death -> rebind -> recovery journal intact.
+TEST(Integration, SenseBindFailRecover) {
+  WirelessGrid grid{9, 20.0, 42, 1e9, 0.02};
+  grid.with_routers<routing::FloodingRouter>();
+
+  std::vector<std::unique_ptr<discovery::DistributedDiscovery>> discos;
+  std::vector<std::unique_ptr<transactions::TransactionManager>> managers;
+  for (std::size_t i = 0; i < 9; ++i) {
+    discos.push_back(std::make_unique<discovery::DistributedDiscovery>(grid.transport(i)));
+    managers.push_back(
+        std::make_unique<transactions::TransactionManager>(grid.transport(i), *discos[i]));
+  }
+
+  qos::SupplierQos probe;
+  probe.service_type = "temperature";
+  probe.reliability = 0.95;
+  for (const std::size_t supplier : {4u, 8u}) {
+    managers[supplier]->serve("temperature", [] { return to_bytes("21"); });
+    discos[supplier]->register_service(probe, duration::seconds(60));
+  }
+
+  recovery::StableStorage log;
+  recovery::StableStorage ckpt;
+  recovery::RecoverableStore journal{log, ckpt};
+
+  std::int64_t samples = 0;
+  transactions::TransactionSpec spec;
+  spec.consumer.service_type = "temperature";
+  spec.consumer.min_reliability = 0.9;
+  spec.kind = transactions::TransactionKind::kContinuous;
+  spec.period = duration::millis(500);
+  const TransactionId tx = managers[0]->begin(spec, [&](const Bytes&, NodeId, Time) {
+    samples++;
+    journal.put("samples", Value{samples});
+  });
+
+  grid.sim.run_until(duration::seconds(5));
+  EXPECT_GT(samples, 4);
+  const NodeId first_supplier = managers[0]->supplier_of(tx);
+  ASSERT_TRUE(first_supplier.valid());
+
+  // Supplier dies; the transaction must re-bind to the other probe.
+  grid.world.kill(first_supplier);
+  grid.sim.run_until(duration::seconds(25));
+  const NodeId second_supplier = managers[0]->supplier_of(tx);
+  ASSERT_TRUE(second_supplier.valid());
+  EXPECT_NE(second_supplier, first_supplier);
+  EXPECT_GE(managers[0]->stats().rebinds, 1u);
+
+  const std::int64_t before_crash = samples;
+  EXPECT_GT(before_crash, 8);
+
+  // The consumer node's process crashes; the journal recovers the count.
+  journal.crash();
+  const auto report = journal.recover();
+  ASSERT_TRUE(journal.get("samples").has_value());
+  EXPECT_EQ(journal.get("samples")->as_int(), before_crash);
+  EXPECT_GT(report.log_records_replayed, 0u);
+}
+
+// MiLAN + routing + energy: a sensor field where MiLAN's plan actually
+// drives radio traffic, batteries drain, a node dies, MiLAN replans and
+// the sink keeps receiving samples.
+TEST(Integration, MilanOverLiveNetworkSurvivesDeath) {
+  // ~0.1 J per node: one active sensor (sampling + radio) lives ~2 min, so
+  // a 6-minute run forces several battery-driven rotations and deaths while
+  // leaving enough redundancy to stay feasible.
+  WirelessGrid grid{9, 20.0, 42, /*battery=*/0.1};
+  auto table = std::make_shared<routing::GlobalRoutingTable>(grid.world,
+                                                             routing::Metric::kEnergyAware);
+  grid.with_routers<routing::GlobalRouter>(table);
+  grid.world.set_battery(grid.nodes[0], net::Battery::mains());
+
+  std::vector<milan::Component> sensors;
+  for (std::uint64_t i = 1; i <= 4; ++i) {
+    milan::Component c;
+    c.id = ComponentId{i};
+    c.node = grid.nodes[i * 2];  // nodes 2,4,6,8
+    c.qos["temperature"] = 0.9;
+    c.sample_power_w = 0.0005;
+    c.sample_bytes = 24;
+    c.sample_period = duration::millis(250);
+    sensors.push_back(std::move(c));
+  }
+  milan::ApplicationSpec app;
+  app.variables = {"temperature"};
+  app.states["on"] = {{"temperature", 0.85}};
+  app.initial_state = "on";
+
+  milan::EngineConfig cfg;
+  cfg.strategy = milan::Strategy::kOptimal;
+  cfg.replan_interval = duration::seconds(10);
+  milan::MilanEngine engine{grid.world,
+                            grid.nodes[0],
+                            table,
+                            [&](NodeId n) -> routing::Router* {
+                              for (std::size_t i = 0; i < grid.nodes.size(); ++i) {
+                                if (grid.nodes[i] == n) return grid.routers[i].get();
+                              }
+                              return nullptr;
+                            },
+                            app,
+                            sensors,
+                            cfg};
+  engine.start();
+  ASSERT_TRUE(engine.current_plan().feasible);
+  EXPECT_EQ(engine.current_plan().active.size(), 1u);  // one 0.9 sensor suffices
+
+  // Run long enough to drain the first chosen sensor's host battery (the
+  // engine rotates to others on periodic replans).
+  grid.sim.run_until(duration::minutes(6));
+  EXPECT_GT(engine.stats().samples_delivered, 800u);
+  EXPECT_GT(engine.stats().plans, 2u);
+  // At least one host died from sampling drain and the app survived it.
+  std::size_t dead = 0;
+  for (const NodeId n : grid.nodes) {
+    if (!grid.world.alive(n)) dead++;
+  }
+  if (dead > 0) {
+    EXPECT_TRUE(engine.current_plan().feasible);
+    EXPECT_GE(engine.stats().replans_on_death, 1u);
+  }
+}
+
+// Discovery + RPC + pub-sub sharing one deployment; middleware services do
+// not interfere across ports.
+TEST(Integration, CoexistingServicesOneDeployment) {
+  Lan lan{5};
+  discovery::DirectoryServer directory{lan.transport(0)};
+  transactions::PubSubBroker broker{lan.transport(0)};
+  discovery::CentralizedDiscovery supplier_disco{lan.transport(1), {lan.nodes[0]}};
+  discovery::CentralizedDiscovery consumer_disco{lan.transport(2), {lan.nodes[0]}};
+  transactions::RpcEndpoint server{lan.transport(1)};
+  transactions::RpcEndpoint client{lan.transport(2)};
+  transactions::PubSubClient pub{lan.transport(3), lan.nodes[0]};
+  transactions::PubSubClient sub{lan.transport(4), lan.nodes[0]};
+
+  server.register_method("status", [](NodeId, const Bytes&) -> Result<Bytes> {
+    return to_bytes("ok");
+  });
+  qos::SupplierQos s;
+  s.service_type = "gateway";
+  supplier_disco.register_service(s, duration::seconds(60));
+
+  int pubsub_got = 0;
+  sub.subscribe("alerts/*", [&](const std::string&, const Bytes&, NodeId) { pubsub_got++; });
+
+  std::string rpc_reply;
+  lan.sim.schedule_at(duration::millis(500), [&] {
+    qos::ConsumerQos want;
+    want.service_type = "gateway";
+    consumer_disco.query(
+        want,
+        [&](std::vector<discovery::ServiceRecord> records) {
+          ASSERT_FALSE(records.empty());
+          client.call(records[0].provider, "status", {}, [&](Result<Bytes> r) {
+            if (r.is_ok()) rpc_reply = to_string(r.value());
+          });
+        },
+        4, duration::seconds(2));
+    for (int i = 0; i < 10; ++i) pub.publish("alerts/temp", to_bytes("hot"));
+  });
+
+  lan.sim.run_until(duration::seconds(5));
+  EXPECT_EQ(rpc_reply, "ok");
+  EXPECT_EQ(pubsub_got, 10);
+  EXPECT_EQ(directory.stats().queries, 1u);
+}
+
+// Distance-vector routing under churn with live transactions: nodes die
+// and revive; reliable transport + DV re-convergence keep data flowing.
+TEST(Integration, TransactionsSurviveRoutingChurn) {
+  WirelessGrid grid{16, 20.0, 11, 1e9, 0.05};
+  grid.with_routers<routing::DistanceVectorRouter>(duration::seconds(1));
+  grid.sim.run_until(duration::seconds(8));  // converge
+
+  int delivered = 0;
+  grid.transport(15).set_receiver(transport::ports::kApp,
+                                  [&](NodeId, const Bytes&) { delivered++; });
+  // Stream messages corner to corner while interior nodes blink.
+  for (int i = 0; i < 40; ++i) {
+    grid.sim.schedule_at(duration::seconds(8) + i * duration::millis(500), [&] {
+      grid.transport(0).send(grid.nodes[15], transport::ports::kApp, Bytes(64, 1));
+    });
+  }
+  grid.sim.schedule_at(duration::seconds(12), [&] { grid.world.kill(grid.nodes[5]); });
+  grid.sim.schedule_at(duration::seconds(18), [&] { grid.world.revive(grid.nodes[5]); });
+  grid.sim.schedule_at(duration::seconds(20), [&] { grid.world.kill(grid.nodes[10]); });
+
+  grid.sim.run_until(duration::seconds(60));
+  // The grid stays connected throughout (only interior nodes blink); the
+  // reliable transport must land the large majority despite churn.
+  EXPECT_GE(delivered, 35);
+}
+
+// §3.2: "Middleware often serves as a bridge among multiple network
+// technologies". A wired office LAN and a wireless sensor patch joined by
+// one dual-homed gateway node: discovery and RPC flow across the
+// technology boundary with no application awareness of it.
+TEST(Integration, CrossTechnologyBridging) {
+  sim::Simulator sim{13};
+  net::World world{sim};
+  const MediumId lan = world.add_medium(net::ethernet100());
+  const MediumId radio = world.add_medium(net::wifi80211(40, 0.01));
+
+  // Wired: directory (0) + office client (1) + gateway (2).
+  // Wireless: gateway (2) + two sensor nodes (3, 4).
+  std::vector<NodeId> nodes;
+  auto table = std::make_shared<routing::GlobalRoutingTable>(world, routing::Metric::kHopCount);
+  std::vector<std::unique_ptr<routing::GlobalRouter>> routers;
+  std::vector<std::unique_ptr<transport::ReliableTransport>> transports;
+  auto add = [&](Vec2 at) {
+    const NodeId id = world.add_node(at);
+    nodes.push_back(id);
+    routers.push_back(std::make_unique<routing::GlobalRouter>(world, id, table));
+    transports.push_back(std::make_unique<transport::ReliableTransport>(*routers.back()));
+    return id;
+  };
+  add({0, 0});
+  add({10, 0});
+  add({20, 0});
+  add({40, 0});
+  add({50, 20});
+  world.attach(nodes[0], lan);
+  world.attach(nodes[1], lan);
+  world.attach(nodes[2], lan);
+  world.attach(nodes[2], radio);  // dual-homed gateway
+  world.attach(nodes[3], radio);
+  world.attach(nodes[4], radio);
+
+  discovery::DirectoryServer directory{*transports[0]};
+  discovery::CentralizedDiscovery sensor_disco{*transports[3], {nodes[0]}};
+  discovery::CentralizedDiscovery office_disco{*transports[1], {nodes[0]}};
+  transactions::RpcEndpoint sensor_rpc{*transports[3]};
+  transactions::RpcEndpoint office_rpc{*transports[1]};
+
+  // A sensor on the wireless side registers across the bridge.
+  qos::SupplierQos s;
+  s.service_type = "soil-moisture";
+  sensor_disco.register_service(s, duration::seconds(60));
+  sensor_rpc.register_method("read", [](NodeId, const Bytes&) -> Result<Bytes> {
+    return to_bytes("42%");
+  });
+
+  // The office client on the wired side finds and calls it.
+  std::string reading;
+  sim.schedule_at(duration::millis(500), [&] {
+    qos::ConsumerQos want;
+    want.service_type = "soil-moisture";
+    office_disco.query(
+        want,
+        [&](std::vector<discovery::ServiceRecord> records) {
+          ASSERT_EQ(records.size(), 1u);
+          EXPECT_EQ(records[0].provider, nodes[3]);
+          office_rpc.call(records[0].provider, "read", {}, [&](Result<Bytes> r) {
+            if (r.is_ok()) reading = to_string(r.value());
+          });
+        },
+        4, duration::seconds(2));
+  });
+  sim.run_until(duration::seconds(5));
+  EXPECT_EQ(reading, "42%");
+  // The path really crossed the gateway: it forwarded data both ways.
+  EXPECT_GT(routers[2]->stats().data_forwarded, 0u);
+}
+
+// §3.3/§3.9: a service described in markup text (the XML-style interface
+// abstraction) registers and is discovered through the normal QoS path.
+TEST(Integration, MarkupDescribedServiceEndToEnd) {
+  Lan lan{3};
+  discovery::DirectoryServer directory{lan.transport(0)};
+  discovery::CentralizedDiscovery supplier{lan.transport(1), {lan.nodes[0]}};
+  discovery::CentralizedDiscovery consumer{lan.transport(2), {lan.nodes[0]}};
+
+  const std::string description = R"(
+    <service type="camera">
+      <qos reliability="0.97" availability="0.99" power-w="4.5"/>
+      <position x="12" y="8"/>
+      <attributes>
+        <attribute name="resolution" type="int">1080</attribute>
+        <attribute name="codec" type="string">mjpeg</attribute>
+      </attributes>
+    </service>)";
+  const auto tree = interop::parse_markup(description);
+  ASSERT_TRUE(tree.is_ok()) << tree.status().to_string();
+  auto parsed = qos::SupplierQos::from_markup(tree.value());
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
+  supplier.register_service(std::move(parsed).take(), duration::seconds(60));
+
+  std::vector<discovery::ServiceRecord> found;
+  lan.sim.schedule_at(duration::millis(500), [&] {
+    qos::ConsumerQos want;
+    want.service_type = "camera";
+    want.requirements.push_back(
+        {"resolution", qos::CmpOp::kGe, serialize::Value{720}, 1.0, true});
+    want.min_reliability = 0.95;
+    consumer.query(want, [&](std::vector<discovery::ServiceRecord> r) { found = r; }, 4,
+                   duration::seconds(2));
+  });
+  lan.sim.run_until(duration::seconds(3));
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].qos.attributes.at("codec"), serialize::Value{"mjpeg"});
+  ASSERT_TRUE(found[0].qos.position.has_value());
+  EXPECT_EQ(found[0].qos.position->x, 12);
+}
+
+}  // namespace
+}  // namespace ndsm

@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include "interop/markup.hpp"
+#include "interop/value_markup.hpp"
+
+namespace ndsm::interop {
+namespace {
+
+using serialize::Value;
+using serialize::ValueList;
+using serialize::ValueMap;
+
+TEST(Markup, ParseSimpleElement) {
+  auto r = parse_markup("<service type=\"printer\"/>");
+  ASSERT_TRUE(r.is_ok()) << r.status().to_string();
+  EXPECT_EQ(r.value().tag, "service");
+  EXPECT_EQ(r.value().attribute("type"), "printer");
+  EXPECT_TRUE(r.value().children.empty());
+}
+
+TEST(Markup, ParseNestedChildren) {
+  auto r = parse_markup("<a><b x=\"1\"/><b x=\"2\"/><c>text</c></a>");
+  ASSERT_TRUE(r.is_ok());
+  const auto& root = r.value();
+  EXPECT_EQ(root.children.size(), 3u);
+  EXPECT_EQ(root.children_named("b").size(), 2u);
+  ASSERT_NE(root.child("c"), nullptr);
+  EXPECT_EQ(root.child("c")->text, "text");
+}
+
+TEST(Markup, SingleQuotedAttributes) {
+  auto r = parse_markup("<a k='v'/>");
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value().attribute("k"), "v");
+}
+
+TEST(Markup, EscapingRoundTrip) {
+  MarkupNode node;
+  node.tag = "t";
+  node.set_attribute("attr", "a<b&c\"d'e>f");
+  node.text = "x < y && z > \"w\"";
+  const std::string text = write_markup(node);
+  auto r = parse_markup(text);
+  ASSERT_TRUE(r.is_ok()) << text;
+  EXPECT_EQ(r.value().attribute("attr"), "a<b&c\"d'e>f");
+  EXPECT_EQ(r.value().text, "x < y && z > \"w\"");
+}
+
+TEST(Markup, EscapeAndUnescape) {
+  EXPECT_EQ(escape_text("<&>"), "&lt;&amp;&gt;");
+  EXPECT_EQ(unescape_text("&lt;&amp;&gt;&quot;&apos;"), "<&>\"'");
+  EXPECT_EQ(unescape_text("a&unknown;b"), "a&unknown;b");
+}
+
+TEST(Markup, RejectsMismatchedClose) {
+  EXPECT_FALSE(parse_markup("<a><b></a></b>").is_ok());
+}
+
+TEST(Markup, RejectsTrailingContent) {
+  EXPECT_FALSE(parse_markup("<a/><b/>").is_ok());
+}
+
+TEST(Markup, RejectsUnterminated) {
+  EXPECT_FALSE(parse_markup("<a><b>").is_ok());
+  EXPECT_FALSE(parse_markup("<a attr=\"x").is_ok());
+  EXPECT_FALSE(parse_markup("<").is_ok());
+  EXPECT_FALSE(parse_markup("").is_ok());
+}
+
+TEST(Markup, ErrorsCarryOffset) {
+  auto r = parse_markup("<a><b></wrong></a>");
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_NE(r.status().message().find("offset"), std::string::npos);
+}
+
+TEST(Markup, WriteIsStable) {
+  MarkupNode node;
+  node.tag = "root";
+  node.add_child("child").set_attribute("k", "v");
+  const std::string a = write_markup(node);
+  const std::string b = write_markup(node);
+  EXPECT_EQ(a, b);
+  // Compact mode emits no newlines.
+  const std::string compact = write_markup(node, -1);
+  EXPECT_EQ(compact.find('\n'), std::string::npos);
+}
+
+TEST(Markup, DeepNestingRoundTrip) {
+  MarkupNode node;
+  node.tag = "n0";
+  MarkupNode* cur = &node;
+  for (int i = 1; i < 30; ++i) cur = &cur->add_child("n" + std::to_string(i));
+  cur->text = "deep";
+  auto r = parse_markup(write_markup(node));
+  ASSERT_TRUE(r.is_ok());
+  const MarkupNode* walker = &r.value();
+  for (int i = 1; i < 30; ++i) {
+    ASSERT_EQ(walker->children.size(), 1u);
+    walker = &walker->children[0];
+  }
+  EXPECT_EQ(walker->text, "deep");
+}
+
+TEST(ValueMarkup, ScalarsRoundTrip) {
+  const std::vector<Value> values = {Value{}, Value{true}, Value{std::int64_t{-7}},
+                                     Value{2.25}, Value{"text & more"},
+                                     Value{Bytes{0xde, 0xad}}};
+  for (const auto& v : values) {
+    const MarkupNode node = value_to_markup(v);
+    auto decoded = markup_to_value(node);
+    ASSERT_TRUE(decoded.is_ok()) << v.to_string();
+    EXPECT_EQ(decoded.value(), v) << write_markup(node);
+  }
+}
+
+TEST(ValueMarkup, ContainersRoundTrip) {
+  const Value v{ValueMap{
+      {"list", Value{ValueList{Value{1}, Value{"two"}}}},
+      {"scalar", Value{9.5}},
+  }};
+  auto decoded = markup_to_value(value_to_markup(v));
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(decoded.value(), v);
+}
+
+TEST(ValueMarkup, FullTextualRoundTrip) {
+  // Value -> markup -> text -> markup -> Value.
+  const Value v{ValueList{Value{"reading"}, Value{37}, Value{36.6}}};
+  const std::string text = write_markup(value_to_markup(v));
+  auto tree = parse_markup(text);
+  ASSERT_TRUE(tree.is_ok());
+  auto decoded = markup_to_value(tree.value());
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(decoded.value(), v);
+}
+
+TEST(ValueMarkup, BadLiteralsRejected) {
+  MarkupNode node;
+  node.tag = "value";
+  node.set_attribute("type", "int");
+  node.text = "not-a-number";
+  EXPECT_FALSE(markup_to_value(node).is_ok());
+  node.set_attribute("type", "bytes");
+  node.text = "xyz";  // bad hex
+  EXPECT_FALSE(markup_to_value(node).is_ok());
+  node.set_attribute("type", "no-such-type");
+  EXPECT_FALSE(markup_to_value(node).is_ok());
+}
+
+}  // namespace
+}  // namespace ndsm::interop

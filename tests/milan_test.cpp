@@ -1,0 +1,324 @@
+#include <gtest/gtest.h>
+
+#include "milan/engine.hpp"
+#include "milan/planner.hpp"
+#include "test_helpers.hpp"
+
+namespace ndsm::milan {
+namespace {
+
+Component make_component(std::uint64_t id, NodeId node, const std::string& variable,
+                         double q, double power_w = 0.001) {
+  Component c;
+  c.id = ComponentId{id};
+  c.node = node;
+  c.name = variable + "-" + std::to_string(id);
+  c.qos[variable] = q;
+  c.sample_power_w = power_w;
+  return c;
+}
+
+TEST(Spec, CombinedReliabilityFormula) {
+  const Component a = make_component(1, NodeId{0}, "hr", 0.8);
+  const Component b = make_component(2, NodeId{1}, "hr", 0.5);
+  EXPECT_DOUBLE_EQ(combined_reliability({&a}, "hr"), 0.8);
+  EXPECT_DOUBLE_EQ(combined_reliability({&a, &b}, "hr"), 1.0 - 0.2 * 0.5);
+  EXPECT_DOUBLE_EQ(combined_reliability({}, "hr"), 0.0);
+  EXPECT_DOUBLE_EQ(combined_reliability({&a}, "unrelated"), 0.0);
+}
+
+TEST(Spec, SatisfiesChecksEveryVariable) {
+  const Component hr = make_component(1, NodeId{0}, "hr", 0.9);
+  const Component bp = make_component(2, NodeId{1}, "bp", 0.9);
+  Requirements req{{"hr", 0.8}, {"bp", 0.8}};
+  EXPECT_FALSE(satisfies({&hr}, req));
+  EXPECT_TRUE(satisfies({&hr, &bp}, req));
+  Requirements strict{{"hr", 0.95}};
+  EXPECT_FALSE(satisfies({&hr}, strict));
+}
+
+// A planner input with uniform per-component drain on its own node only.
+PlanInput simple_input(std::vector<Component> components, Requirements required,
+                       std::map<NodeId, double> batteries) {
+  PlanInput input;
+  input.components = std::move(components);
+  input.required = std::move(required);
+  input.node_drain_w = [](const Component& c) {
+    return std::unordered_map<NodeId, double>{{c.node, c.sample_power_w}};
+  };
+  input.battery_j = [batteries](NodeId n) { return batteries.at(n); };
+  return input;
+}
+
+TEST(Planner, InfeasibleWhenRequirementsUnreachable) {
+  auto input = simple_input({make_component(1, NodeId{0}, "hr", 0.5)}, {{"hr", 0.9}},
+                            {{NodeId{0}, 100.0}});
+  const auto plan = plan_components(input, Strategy::kOptimal);
+  EXPECT_FALSE(plan.feasible);
+}
+
+TEST(Planner, OptimalPicksMinimalSufficientSet) {
+  // Two redundant sensors; one suffices. Optimal must activate exactly one
+  // (fewer active nodes -> longer lifetime).
+  auto input = simple_input({make_component(1, NodeId{0}, "hr", 0.95),
+                             make_component(2, NodeId{1}, "hr", 0.95)},
+                            {{"hr", 0.9}}, {{NodeId{0}, 100.0}, {NodeId{1}, 100.0}});
+  const auto plan = plan_components(input, Strategy::kOptimal);
+  ASSERT_TRUE(plan.feasible);
+  EXPECT_EQ(plan.active.size(), 1u);
+  EXPECT_DOUBLE_EQ(plan.estimated_lifetime_s, 100.0 / 0.001);
+}
+
+TEST(Planner, OptimalPrefersHighBatteryHost) {
+  auto input = simple_input({make_component(1, NodeId{0}, "hr", 0.95),
+                             make_component(2, NodeId{1}, "hr", 0.95)},
+                            {{"hr", 0.9}}, {{NodeId{0}, 10.0}, {NodeId{1}, 100.0}});
+  const auto plan = plan_components(input, Strategy::kOptimal);
+  ASSERT_TRUE(plan.feasible);
+  ASSERT_EQ(plan.active.size(), 1u);
+  EXPECT_EQ(plan.active[0], ComponentId{2});  // the well-charged host
+}
+
+TEST(Planner, OptimalCombinesWeakSensors) {
+  // Each sensor alone is too weak; two combine to 1-(0.4)^2 = 0.84 >= 0.8.
+  auto input = simple_input({make_component(1, NodeId{0}, "hr", 0.6),
+                             make_component(2, NodeId{1}, "hr", 0.6),
+                             make_component(3, NodeId{2}, "hr", 0.6)},
+                            {{"hr", 0.8}},
+                            {{NodeId{0}, 100.0}, {NodeId{1}, 100.0}, {NodeId{2}, 100.0}});
+  const auto plan = plan_components(input, Strategy::kOptimal);
+  ASSERT_TRUE(plan.feasible);
+  EXPECT_EQ(plan.active.size(), 2u);
+  EXPECT_NEAR(plan.achieved.at("hr"), 0.84, 1e-9);
+}
+
+TEST(Planner, AllOnUsesEverything) {
+  auto input = simple_input({make_component(1, NodeId{0}, "hr", 0.95),
+                             make_component(2, NodeId{1}, "hr", 0.95)},
+                            {{"hr", 0.9}}, {{NodeId{0}, 100.0}, {NodeId{1}, 100.0}});
+  const auto plan = plan_components(input, Strategy::kAllOn);
+  ASSERT_TRUE(plan.feasible);
+  EXPECT_EQ(plan.active.size(), 2u);
+}
+
+TEST(Planner, OptimalLifetimeAtLeastGreedyAtLeastAllOn) {
+  // Multi-variable scenario with mixed hosts and batteries.
+  std::vector<Component> comps;
+  comps.push_back(make_component(1, NodeId{0}, "hr", 0.9, 0.002));
+  comps.push_back(make_component(2, NodeId{1}, "hr", 0.7, 0.001));
+  comps.push_back(make_component(3, NodeId{2}, "bp", 0.85, 0.003));
+  comps.push_back(make_component(4, NodeId{3}, "bp", 0.85, 0.001));
+  comps.push_back(make_component(5, NodeId{4}, "spo2", 0.9, 0.002));
+  auto input = simple_input(std::move(comps), {{"hr", 0.8}, {"bp", 0.8}, {"spo2", 0.8}},
+                            {{NodeId{0}, 50.0},
+                             {NodeId{1}, 100.0},
+                             {NodeId{2}, 20.0},
+                             {NodeId{3}, 80.0},
+                             {NodeId{4}, 60.0}});
+  Rng rng{3};
+  const auto optimal = plan_components(input, Strategy::kOptimal);
+  const auto greedy = plan_components(input, Strategy::kGreedy);
+  const auto all_on = plan_components(input, Strategy::kAllOn);
+  const auto random = plan_components(input, Strategy::kRandomFeasible, &rng);
+  ASSERT_TRUE(optimal.feasible);
+  ASSERT_TRUE(greedy.feasible);
+  ASSERT_TRUE(all_on.feasible);
+  ASSERT_TRUE(random.feasible);
+  EXPECT_GE(optimal.estimated_lifetime_s, greedy.estimated_lifetime_s - 1e-9);
+  EXPECT_GE(greedy.estimated_lifetime_s, all_on.estimated_lifetime_s - 1e-9);
+  EXPECT_GE(optimal.estimated_lifetime_s, random.estimated_lifetime_s - 1e-9);
+}
+
+TEST(Planner, GreedyHandlesLargeComponentCounts) {
+  std::vector<Component> comps;
+  std::map<NodeId, double> batteries;
+  for (std::uint64_t i = 0; i < 40; ++i) {
+    comps.push_back(make_component(i, NodeId{i}, "v" + std::to_string(i % 4), 0.7));
+    batteries[NodeId{i}] = 100.0;
+  }
+  auto input = simple_input(std::move(comps),
+                            {{"v0", 0.9}, {"v1", 0.9}, {"v2", 0.9}, {"v3", 0.9}}, batteries);
+  const auto plan = plan_components(input, Strategy::kGreedy);
+  ASSERT_TRUE(plan.feasible);
+  // Needs two 0.7-sensors per variable (1-0.09=0.91): 8 active.
+  EXPECT_EQ(plan.active.size(), 8u);
+}
+
+TEST(Planner, OptimalFallsBackToGreedyAboveExactLimit) {
+  std::vector<Component> comps;
+  std::map<NodeId, double> batteries;
+  for (std::uint64_t i = 0; i < kExactLimit + 4; ++i) {
+    comps.push_back(make_component(i, NodeId{i}, "v", 0.5));
+    batteries[NodeId{i}] = 100.0;
+  }
+  auto input = simple_input(std::move(comps), {{"v", 0.9}}, batteries);
+  const auto plan = plan_components(input, Strategy::kOptimal);
+  ASSERT_TRUE(plan.feasible);
+  EXPECT_LT(plan.sets_examined, 1ULL << kExactLimit);  // not exhaustive
+}
+
+TEST(Planner, RandomFeasibleIsDeterministicPerSeed) {
+  std::vector<Component> comps;
+  std::map<NodeId, double> batteries;
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    comps.push_back(make_component(i, NodeId{i}, "v", 0.6));
+    batteries[NodeId{i}] = 100.0;
+  }
+  auto input = simple_input(std::move(comps), {{"v", 0.9}}, batteries);
+  Rng r1{9};
+  Rng r2{9};
+  const auto a = plan_components(input, Strategy::kRandomFeasible, &r1);
+  const auto b = plan_components(input, Strategy::kRandomFeasible, &r2);
+  EXPECT_EQ(a.active, b.active);
+}
+
+// --- engine tests on a live simulated sensor field -------------------------
+
+struct MilanField : ndsm::testing::WirelessGrid {
+  // 3x3 sensor grid; node 0 is the sink (mains powered by giving it a huge
+  // battery); sensors on the other nodes.
+  MilanField() : WirelessGrid(9, 20.0, 42, /*battery_j=*/2.0) {
+    table = std::make_shared<routing::GlobalRoutingTable>(world, routing::Metric::kEnergyAware);
+    with_routers<routing::GlobalRouter>(table);
+  }
+
+  MilanEngine::RouterOf router_of() {
+    return [this](NodeId node) -> routing::Router* {
+      for (std::size_t i = 0; i < nodes.size(); ++i) {
+        if (nodes[i] == node) return routers[i].get();
+      }
+      return nullptr;
+    };
+  }
+
+  ApplicationSpec health_app() {
+    ApplicationSpec app;
+    app.name = "health";
+    app.variables = {"hr", "bp"};
+    app.states["rest"] = Requirements{{"hr", 0.7}, {"bp", 0.7}};
+    app.states["emergency"] = Requirements{{"hr", 0.99}, {"bp", 0.9}};
+    app.initial_state = "rest";
+    return app;
+  }
+
+  std::vector<Component> sensors() {
+    std::vector<Component> out;
+    // hr sensors on nodes 1,2,3; bp on 4,5,6.
+    for (std::uint64_t i = 1; i <= 3; ++i) {
+      auto c = make_component(i, nodes[i], "hr", 0.9, 0.0005);
+      c.sample_period = duration::millis(500);
+      out.push_back(c);
+    }
+    for (std::uint64_t i = 4; i <= 6; ++i) {
+      auto c = make_component(i, nodes[i], "bp", 0.9, 0.0005);
+      c.sample_period = duration::millis(500);
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::shared_ptr<routing::GlobalRoutingTable> table;
+};
+
+TEST(Engine, PlansAndDeliversSamples) {
+  MilanField field;
+  MilanEngine engine{field.world,  field.nodes[0], field.table, field.router_of(),
+                     field.health_app(), field.sensors()};
+  engine.start();
+  ASSERT_TRUE(engine.current_plan().feasible);
+  // Rest state: one hr + one bp sensor suffice (0.9 >= 0.7).
+  EXPECT_EQ(engine.current_plan().active.size(), 2u);
+  field.sim.run_until(duration::seconds(10));
+  EXPECT_GT(engine.stats().samples_delivered, 10u);
+}
+
+TEST(Engine, StateChangeActivatesMoreSensors) {
+  MilanField field;
+  MilanEngine engine{field.world,  field.nodes[0], field.table, field.router_of(),
+                     field.health_app(), field.sensors()};
+  engine.start();
+  field.sim.run_until(duration::seconds(2));
+  const auto rest_active = engine.current_plan().active.size();
+  engine.set_state("emergency");
+  ASSERT_TRUE(engine.current_plan().feasible);
+  // 0.99 hr needs two 0.9 sensors (1-0.01=0.99).
+  EXPECT_GT(engine.current_plan().active.size(), rest_active);
+  EXPECT_GE(engine.achieved("hr"), 0.99);
+}
+
+TEST(Engine, ReplansAroundComponentDeath) {
+  MilanField field;
+  MilanEngine engine{field.world,  field.nodes[0], field.table, field.router_of(),
+                     field.health_app(), field.sensors()};
+  engine.start();
+  field.sim.run_until(duration::seconds(2));
+  // Kill the active hr sensor's node; the engine must swap in another.
+  NodeId active_hr = NodeId::invalid();
+  for (const ComponentId id : engine.current_plan().active) {
+    if (id.value() <= 3) active_hr = field.nodes[id.value()];
+  }
+  ASSERT_TRUE(active_hr.valid());
+  field.world.kill(active_hr);
+  field.sim.run_until(duration::seconds(4));
+  ASSERT_TRUE(engine.current_plan().feasible);
+  EXPECT_GE(engine.stats().replans_on_death, 1u);
+  bool has_hr = false;
+  for (const ComponentId id : engine.current_plan().active) {
+    has_hr = has_hr || (id.value() <= 3 && field.nodes[id.value()] != active_hr);
+  }
+  EXPECT_TRUE(has_hr);
+  // Samples keep flowing after the swap.
+  const auto before = engine.stats().samples_delivered;
+  field.sim.run_until(duration::seconds(8));
+  EXPECT_GT(engine.stats().samples_delivered, before);
+}
+
+TEST(Engine, ReportsInfeasibilityWhenSensorsExhausted) {
+  MilanField field;
+  auto app = field.health_app();
+  app.states["rest"] = Requirements{{"hr", 0.7}};  // hr only
+  std::vector<Component> sensors;
+  sensors.push_back(make_component(1, field.nodes[1], "hr", 0.9, 0.0005));
+  MilanEngine engine{field.world, field.nodes[0],      field.table,
+                     field.router_of(), std::move(app), std::move(sensors)};
+  engine.start();
+  ASSERT_TRUE(engine.current_plan().feasible);
+  field.world.kill(field.nodes[1]);  // the only hr sensor
+  field.sim.run_until(duration::seconds(2));
+  EXPECT_FALSE(engine.current_plan().feasible);
+  EXPECT_GE(engine.stats().first_infeasible_at, 0);
+  EXPECT_DOUBLE_EQ(engine.achieved("hr"), 0.0);
+}
+
+TEST(Engine, SamplingDrainsBatteries) {
+  MilanField field;
+  MilanEngine engine{field.world,  field.nodes[0], field.table, field.router_of(),
+                     field.health_app(), field.sensors()};
+  engine.start();
+  const ComponentId active = engine.current_plan().active[0];
+  const NodeId host = field.nodes[active.value()];
+  const double before = field.world.battery(host).remaining();
+  field.sim.run_until(duration::seconds(10));
+  EXPECT_LT(field.world.battery(host).remaining(), before);
+}
+
+TEST(Engine, CostModelChargesRelays) {
+  // A component far from the sink must show drain entries on intermediate
+  // relay nodes in the planner's cost model.
+  MilanField field;
+  MilanEngine engine{field.world,  field.nodes[0], field.table, field.router_of(),
+                     field.health_app(), field.sensors()};
+  engine.start();
+  const auto input = engine.make_plan_input();
+  // Sensor on node 6 (grid position (0,2)... two hops from node 0).
+  const Component* far = nullptr;
+  for (const auto& c : input.components) {
+    if (c.node == field.nodes[6]) far = &c;
+  }
+  ASSERT_NE(far, nullptr);
+  const auto drain = input.node_drain_w(*far);
+  EXPECT_GE(drain.size(), 3u);  // host + at least one relay + sink rx
+}
+
+}  // namespace
+}  // namespace ndsm::milan

@@ -1,0 +1,324 @@
+#include <gtest/gtest.h>
+
+#include "net/link_spec.hpp"
+#include "net/world.hpp"
+#include "sim/simulator.hpp"
+
+namespace ndsm::net {
+namespace {
+
+struct NetTest : ::testing::Test {
+  NetTest() : sim(7), world(sim) {}
+  sim::Simulator sim;
+  World world;
+};
+
+TEST_F(NetTest, UnicastDeliversOnSharedWiredMedium) {
+  const MediumId m = world.add_medium(ethernet100());
+  const NodeId a = world.add_node({0, 0});
+  const NodeId b = world.add_node({10, 0});
+  world.attach(a, m);
+  world.attach(b, m);
+
+  Bytes got;
+  NodeId from;
+  world.set_handler(b, Proto::kApp, [&](const LinkFrame& f) {
+    got = f.payload;
+    from = f.src;
+  });
+  ASSERT_TRUE(world.link_send(a, b, Proto::kApp, to_bytes("ping")).is_ok());
+  sim.run_all();
+  EXPECT_EQ(to_string(got), "ping");
+  EXPECT_EQ(from, a);
+}
+
+TEST_F(NetTest, NoSharedMediumIsUnreachable) {
+  const MediumId m1 = world.add_medium(ethernet100());
+  const MediumId m2 = world.add_medium(ethernet100());
+  const NodeId a = world.add_node({0, 0});
+  const NodeId b = world.add_node({0, 0});
+  world.attach(a, m1);
+  world.attach(b, m2);
+  EXPECT_EQ(world.link_send(a, b, Proto::kApp, {}).code(), ErrorCode::kUnreachable);
+}
+
+TEST_F(NetTest, WirelessRangeLimitsDelivery) {
+  const MediumId m = world.add_medium(wifi80211(/*range_m=*/50, /*loss=*/0));
+  const NodeId a = world.add_node({0, 0});
+  const NodeId near = world.add_node({40, 0});
+  const NodeId far = world.add_node({60, 0});
+  for (const NodeId n : {a, near, far}) world.attach(n, m);
+
+  EXPECT_TRUE(world.in_link_range(a, near));
+  EXPECT_FALSE(world.in_link_range(a, far));
+  EXPECT_TRUE(world.link_send(a, near, Proto::kApp, {}).is_ok());
+  EXPECT_EQ(world.link_send(a, far, Proto::kApp, {}).code(), ErrorCode::kUnreachable);
+}
+
+TEST_F(NetTest, LatencyMatchesBandwidthAndPropagation) {
+  LinkSpec spec = ethernet100();  // 100 Mbps, 50us prop, 18B header
+  const MediumId m = world.add_medium(spec);
+  const NodeId a = world.add_node({0, 0});
+  const NodeId b = world.add_node({0, 0});
+  world.attach(a, m);
+  world.attach(b, m);
+
+  Time arrival = -1;
+  world.set_handler(b, Proto::kApp, [&](const LinkFrame&) { arrival = sim.now(); });
+  const std::size_t payload = 982;  // 982+18 = 1000 bytes = 8000 bits
+  ASSERT_TRUE(world.link_send(a, b, Proto::kApp, Bytes(payload, 0)).is_ok());
+  sim.run_all();
+  // 8000 bits / 100 Mbps = 80us; + 50us propagation = 130us.
+  EXPECT_EQ(arrival, 130);
+}
+
+TEST_F(NetTest, BroadcastReachesAllInRange) {
+  const MediumId m = world.add_medium(wifi80211(50, 0));
+  const NodeId src = world.add_node({0, 0});
+  world.attach(src, m);
+  int received = 0;
+  for (int i = 0; i < 5; ++i) {
+    const NodeId n = world.add_node({static_cast<double>(10 * (i + 1)), 0});
+    world.attach(n, m);
+    world.set_handler(n, Proto::kApp, [&](const LinkFrame& f) {
+      EXPECT_EQ(f.dst, kBroadcast);
+      received++;
+    });
+  }
+  // Nodes at 10,20,30,40 are in range; node at 50 exactly on the boundary.
+  ASSERT_TRUE(world.link_broadcast(src, Proto::kApp, to_bytes("hello")).is_ok());
+  sim.run_all();
+  EXPECT_EQ(received, 5);  // range is inclusive
+}
+
+TEST_F(NetTest, LossDropsSilently) {
+  const MediumId m = world.add_medium(wifi80211(100, /*loss=*/1.0));
+  const NodeId a = world.add_node({0, 0});
+  const NodeId b = world.add_node({10, 0});
+  world.attach(a, m);
+  world.attach(b, m);
+  int received = 0;
+  world.set_handler(b, Proto::kApp, [&](const LinkFrame&) { received++; });
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_TRUE(world.link_send(a, b, Proto::kApp, {}).is_ok());  // loss is silent
+  }
+  sim.run_all();
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(world.stats().frames_lost, 20u);
+}
+
+TEST_F(NetTest, TxEnergyChargedOnWireless) {
+  const MediumId m = world.add_medium(wifi80211(100, 0));
+  const NodeId a = world.add_node({0, 0}, Battery{1.0});
+  const NodeId b = world.add_node({50, 0}, Battery{1.0});
+  world.attach(a, m);
+  world.attach(b, m);
+  const double before = world.battery(a).remaining();
+  ASSERT_TRUE(world.link_send(a, b, Proto::kApp, Bytes(66, 0)).is_ok());
+  sim.run_all();
+  // (66+34 hdr)*8 = 800 bits at d=50.
+  const double expected = world.energy_model().tx_cost(800, 50.0);
+  EXPECT_NEAR(before - world.battery(a).remaining(), expected, 1e-12);
+  // Receiver pays rx cost.
+  EXPECT_NEAR(1.0 - world.battery(b).remaining(), world.energy_model().rx_cost(800), 1e-12);
+}
+
+TEST_F(NetTest, WiredSendsAreFree) {
+  const MediumId m = world.add_medium(ethernet100());
+  const NodeId a = world.add_node({0, 0}, Battery{1.0});
+  const NodeId b = world.add_node({10, 0});
+  world.attach(a, m);
+  world.attach(b, m);
+  ASSERT_TRUE(world.link_send(a, b, Proto::kApp, Bytes(100, 0)).is_ok());
+  sim.run_all();
+  EXPECT_DOUBLE_EQ(world.battery(a).remaining(), 1.0);
+}
+
+TEST_F(NetTest, BatteryExhaustionKillsNode) {
+  const MediumId m = world.add_medium(wifi80211(100, 0));
+  const NodeId a = world.add_node({0, 0}, Battery{1e-6});  // tiny battery
+  const NodeId b = world.add_node({90, 0});
+  world.attach(a, m);
+  world.attach(b, m);
+  NodeId died = NodeId::invalid();
+  world.set_death_handler([&](NodeId n) { died = n; });
+  // Repeated sends at long distance exhaust 1uJ quickly.
+  Status last = Status::ok();
+  for (int i = 0; i < 100 && world.alive(a); ++i) {
+    last = world.link_send(a, b, Proto::kApp, Bytes(100, 0));
+  }
+  EXPECT_FALSE(world.alive(a));
+  EXPECT_EQ(died, a);
+  EXPECT_EQ(last.code(), ErrorCode::kResourceExhausted);
+  EXPECT_EQ(world.link_send(a, b, Proto::kApp, {}).code(), ErrorCode::kResourceExhausted);
+}
+
+TEST_F(NetTest, DrainKillsAtZero) {
+  const NodeId a = world.add_node({0, 0}, Battery{1.0});
+  world.drain(a, 0.5);
+  EXPECT_TRUE(world.alive(a));
+  EXPECT_DOUBLE_EQ(world.battery(a).remaining(), 0.5);
+  world.drain(a, 0.6);
+  EXPECT_FALSE(world.alive(a));
+}
+
+TEST_F(NetTest, DeadNodesDoNotReceive) {
+  const MediumId m = world.add_medium(ethernet100());
+  const NodeId a = world.add_node({0, 0});
+  const NodeId b = world.add_node({0, 0});
+  world.attach(a, m);
+  world.attach(b, m);
+  int received = 0;
+  world.set_handler(b, Proto::kApp, [&](const LinkFrame&) { received++; });
+  ASSERT_TRUE(world.link_send(a, b, Proto::kApp, {}).is_ok());
+  world.kill(b);  // dies while the frame is in flight
+  sim.run_all();
+  EXPECT_EQ(received, 0);
+}
+
+TEST_F(NetTest, NeighborsReflectRangeAndLiveness) {
+  const MediumId m = world.add_medium(wifi80211(25, 0));
+  const NodeId a = world.add_node({0, 0});
+  const NodeId b = world.add_node({20, 0});
+  const NodeId c = world.add_node({40, 0});
+  for (const NodeId n : {a, b, c}) world.attach(n, m);
+  EXPECT_EQ(world.neighbors(a), (std::vector<NodeId>{b}));
+  EXPECT_EQ(world.neighbors(b), (std::vector<NodeId>{a, c}));
+  world.kill(b);
+  EXPECT_TRUE(world.neighbors(a).empty());
+}
+
+TEST_F(NetTest, LoopbackDelivery) {
+  const NodeId a = world.add_node({0, 0});
+  Bytes got;
+  world.set_handler(a, Proto::kApp, [&](const LinkFrame& f) { got = f.payload; });
+  ASSERT_TRUE(world.link_send(a, a, Proto::kApp, to_bytes("self")).is_ok());
+  sim.run_all();
+  EXPECT_EQ(to_string(got), "self");
+}
+
+TEST_F(NetTest, MobilityMovesNodeOverTime) {
+  const NodeId a = world.add_node({0, 0});
+  world.move_linear(a, Vec2{100, 0}, /*speed=*/10.0);  // 10 m/s -> 10s to arrive
+  sim.run_until(duration::seconds(5));
+  EXPECT_NEAR(world.position(a).x, 50.0, 1.5);
+  sim.run_until(duration::seconds(11));
+  EXPECT_DOUBLE_EQ(world.position(a).x, 100.0);
+  EXPECT_EQ(sim.pending(), 0u);  // motion stopped on arrival
+}
+
+TEST_F(NetTest, MobilityChangesConnectivity) {
+  const MediumId m = world.add_medium(wifi80211(30, 0));
+  const NodeId a = world.add_node({0, 0});
+  const NodeId b = world.add_node({20, 0});
+  world.attach(a, m);
+  world.attach(b, m);
+  EXPECT_TRUE(world.in_link_range(a, b));
+  world.move_linear(b, Vec2{100, 0}, 10.0);
+  sim.run_until(duration::seconds(9));
+  EXPECT_FALSE(world.in_link_range(a, b));
+}
+
+TEST_F(NetTest, PreferWiredOverWireless) {
+  const MediumId wired = world.add_medium(ethernet100());
+  const MediumId wifi = world.add_medium(wifi80211(100, 0));
+  const NodeId a = world.add_node({0, 0}, Battery{1.0});
+  const NodeId b = world.add_node({10, 0});
+  world.attach(a, wifi);
+  world.attach(b, wifi);
+  world.attach(a, wired);
+  world.attach(b, wired);
+  ASSERT_TRUE(world.link_send(a, b, Proto::kApp, Bytes(100, 0)).is_ok());
+  sim.run_all();
+  // Energy untouched because the wired segment was chosen.
+  EXPECT_DOUBLE_EQ(world.battery(a).remaining(), 1.0);
+}
+
+TEST_F(NetTest, StatsAccumulateAndReset) {
+  const MediumId m = world.add_medium(ethernet100());
+  const NodeId a = world.add_node({0, 0});
+  const NodeId b = world.add_node({0, 0});
+  world.attach(a, m);
+  world.attach(b, m);
+  world.set_handler(b, Proto::kApp, [](const LinkFrame&) {});
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(world.link_send(a, b, Proto::kApp, Bytes(10, 0)).is_ok());
+  }
+  sim.run_all();
+  EXPECT_EQ(world.stats(a).frames_sent, 3u);
+  EXPECT_EQ(world.stats(a).bytes_sent, 30u);
+  EXPECT_EQ(world.stats(b).frames_received, 3u);
+  EXPECT_EQ(world.stats().frames_delivered, 3u);
+  world.reset_stats();
+  EXPECT_EQ(world.stats(a).frames_sent, 0u);
+  EXPECT_EQ(world.stats().frames_sent, 0u);
+}
+
+TEST_F(NetTest, ReviveRestoresDelivery) {
+  const MediumId m = world.add_medium(ethernet100());
+  const NodeId a = world.add_node({0, 0});
+  const NodeId b = world.add_node({0, 0});
+  world.attach(a, m);
+  world.attach(b, m);
+  int received = 0;
+  world.set_handler(b, Proto::kApp, [&](const LinkFrame&) { received++; });
+  world.kill(b);
+  ASSERT_TRUE(world.link_send(a, b, Proto::kApp, {}).is_ok());
+  sim.run_all();
+  EXPECT_EQ(received, 0);
+  world.revive(b);
+  ASSERT_TRUE(world.link_send(a, b, Proto::kApp, {}).is_ok());
+  sim.run_all();
+  EXPECT_EQ(received, 1);
+}
+
+TEST(LossModel, BitErrorRateScalesWithFrameLength) {
+  LinkSpec spec;
+  spec.bit_error_rate = 1e-4;
+  const double short_frame = World::frame_loss_probability(spec, 32);
+  const double long_frame = World::frame_loss_probability(spec, 1500);
+  EXPECT_GT(long_frame, short_frame);
+  EXPECT_NEAR(short_frame, 1.0 - std::pow(1.0 - 1e-4, 32 * 8), 1e-12);
+  EXPECT_GT(long_frame, 0.69);  // 12000 bits at 1e-4 -> ~70% loss
+}
+
+TEST(LossModel, FlatAndBerCombine) {
+  LinkSpec spec;
+  spec.loss_probability = 0.5;
+  spec.bit_error_rate = 0.0;
+  EXPECT_DOUBLE_EQ(World::frame_loss_probability(spec, 100), 0.5);
+  spec.bit_error_rate = 1e-3;
+  const double combined = World::frame_loss_probability(spec, 100);
+  EXPECT_GT(combined, 0.5);
+  EXPECT_LT(combined, 1.0);
+}
+
+TEST(EnergyModel, CostFormulas) {
+  const EnergyModel model;
+  EXPECT_DOUBLE_EQ(model.rx_cost(1000), 1000 * 50e-9);
+  EXPECT_DOUBLE_EQ(model.tx_cost(1000, 0), 1000 * 50e-9);
+  EXPECT_DOUBLE_EQ(model.tx_cost(1000, 100),
+                   1000 * (50e-9 + 100e-12 * 100 * 100));
+  // Transmission cost grows quadratically in distance.
+  EXPECT_GT(model.tx_cost(1000, 200) - model.tx_cost(1000, 100),
+            model.tx_cost(1000, 100) - model.tx_cost(1000, 0));
+}
+
+TEST(BatteryModel, FractionAndDepletion) {
+  Battery b{10.0};
+  EXPECT_TRUE(b.finite());
+  EXPECT_DOUBLE_EQ(b.fraction(), 1.0);
+  EXPECT_TRUE(b.consume(4.0));
+  EXPECT_DOUBLE_EQ(b.fraction(), 0.6);
+  EXPECT_FALSE(b.consume(7.0));
+  EXPECT_TRUE(b.depleted());
+  EXPECT_DOUBLE_EQ(b.remaining(), 0.0);
+
+  Battery mains = Battery::mains();
+  EXPECT_FALSE(mains.finite());
+  EXPECT_TRUE(mains.consume(1e9));
+  EXPECT_DOUBLE_EQ(mains.fraction(), 1.0);
+}
+
+}  // namespace
+}  // namespace ndsm::net

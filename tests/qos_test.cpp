@@ -1,0 +1,359 @@
+#include <gtest/gtest.h>
+
+#include "qos/benefit.hpp"
+#include "qos/matcher.hpp"
+#include "qos/spec.hpp"
+
+namespace ndsm::qos {
+namespace {
+
+using serialize::Value;
+
+TEST(Benefit, ConstantIsDelayInsensitive) {
+  const auto f = BenefitFunction::constant(0.8);
+  EXPECT_DOUBLE_EQ(f.eval(0), 0.8);
+  EXPECT_DOUBLE_EQ(f.eval(duration::hours(5)), 0.8);
+  EXPECT_EQ(f.deadline_for(0.5), kTimeNever);
+}
+
+TEST(Benefit, StepDropsAtDeadline) {
+  const auto f = BenefitFunction::step(duration::seconds(1));
+  EXPECT_DOUBLE_EQ(f.eval(duration::millis(999)), 1.0);
+  EXPECT_DOUBLE_EQ(f.eval(duration::seconds(1)), 1.0);
+  EXPECT_DOUBLE_EQ(f.eval(duration::seconds(1) + 1), 0.0);
+  EXPECT_EQ(f.deadline_for(0.5), duration::seconds(1));
+}
+
+TEST(Benefit, LinearDecays) {
+  const auto f = BenefitFunction::linear(duration::seconds(1), duration::seconds(3));
+  EXPECT_DOUBLE_EQ(f.eval(duration::seconds(1)), 1.0);
+  EXPECT_DOUBLE_EQ(f.eval(duration::seconds(2)), 0.5);
+  EXPECT_DOUBLE_EQ(f.eval(duration::seconds(3)), 0.0);
+  EXPECT_DOUBLE_EQ(f.eval(duration::seconds(30)), 0.0);
+  EXPECT_EQ(f.deadline_for(0.5), duration::seconds(2));
+  EXPECT_EQ(f.deadline_for(1.0), duration::seconds(1));
+}
+
+TEST(Benefit, LinearDegenerate) {
+  // zero_at < full_until clamps to a step at full_until.
+  const auto f = BenefitFunction::linear(duration::seconds(2), duration::seconds(1));
+  EXPECT_DOUBLE_EQ(f.eval(duration::seconds(2)), 1.0);
+  EXPECT_DOUBLE_EQ(f.eval(duration::seconds(2) + 1), 0.0);
+}
+
+TEST(Benefit, SigmoidMonotoneAndMidpoint) {
+  const auto f = BenefitFunction::sigmoid(duration::seconds(10), 1.0);
+  EXPECT_NEAR(f.eval(duration::seconds(10)), 0.5, 1e-9);
+  EXPECT_GT(f.eval(duration::seconds(5)), 0.9);
+  EXPECT_LT(f.eval(duration::seconds(15)), 0.1);
+  double prev = 1.0;
+  for (int s = 0; s <= 20; ++s) {
+    const double v = f.eval(duration::seconds(s));
+    EXPECT_LE(v, prev);
+    prev = v;
+  }
+  EXPECT_NEAR(to_seconds(f.deadline_for(0.5)), 10.0, 1e-6);
+}
+
+TEST(Benefit, NegativeDelayClamped) {
+  const auto f = BenefitFunction::step(duration::seconds(1));
+  EXPECT_DOUBLE_EQ(f.eval(-5), 1.0);
+}
+
+TEST(Benefit, UrgencyOrdering) {
+  const auto rt = BenefitFunction::step(duration::millis(100));
+  const auto email = BenefitFunction::linear(duration::minutes(10), duration::hours(1));
+  EXPECT_TRUE(rt.more_urgent_than(email));
+  EXPECT_FALSE(email.more_urgent_than(rt));
+}
+
+TEST(Benefit, CodecRoundTrip) {
+  const std::vector<BenefitFunction> fns = {
+      BenefitFunction::constant(0.3), BenefitFunction::step(duration::seconds(5)),
+      BenefitFunction::linear(duration::seconds(1), duration::seconds(9)),
+      BenefitFunction::sigmoid(duration::seconds(4), 2.5)};
+  for (const auto& f : fns) {
+    serialize::Writer w;
+    f.encode(w);
+    serialize::Reader r{w.data()};
+    const auto decoded = BenefitFunction::decode(r);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, f);
+    EXPECT_DOUBLE_EQ(decoded->eval(duration::seconds(2)), f.eval(duration::seconds(2)));
+  }
+}
+
+AttributeRequirement req(std::string name, CmpOp op, Value v, bool mandatory = true) {
+  AttributeRequirement r;
+  r.name = std::move(name);
+  r.op = op;
+  r.value = std::move(v);
+  r.mandatory = mandatory;
+  return r;
+}
+
+TEST(Attributes, ComparisonOperators) {
+  Attributes attrs{{"dpi", Value{600}}, {"color", Value{true}}, {"name", Value{"laser-3"}}};
+  EXPECT_TRUE(req("dpi", CmpOp::kEq, Value{600}).satisfied_by(attrs));
+  EXPECT_TRUE(req("dpi", CmpOp::kGe, Value{600}).satisfied_by(attrs));
+  EXPECT_TRUE(req("dpi", CmpOp::kGt, Value{599}).satisfied_by(attrs));
+  EXPECT_FALSE(req("dpi", CmpOp::kGt, Value{600}).satisfied_by(attrs));
+  EXPECT_TRUE(req("dpi", CmpOp::kLe, Value{600}).satisfied_by(attrs));
+  EXPECT_TRUE(req("dpi", CmpOp::kNe, Value{300}).satisfied_by(attrs));
+  EXPECT_TRUE(req("color", CmpOp::kExists, Value{}).satisfied_by(attrs));
+  EXPECT_FALSE(req("missing", CmpOp::kExists, Value{}).satisfied_by(attrs));
+  EXPECT_TRUE(req("name", CmpOp::kPrefix, Value{"laser"}).satisfied_by(attrs));
+  EXPECT_FALSE(req("name", CmpOp::kPrefix, Value{"inkjet"}).satisfied_by(attrs));
+}
+
+TEST(Attributes, NumericCrossTypeComparison) {
+  Attributes attrs{{"rate", Value{2.5}}};
+  EXPECT_TRUE(req("rate", CmpOp::kGt, Value{2}).satisfied_by(attrs));  // int vs float
+  EXPECT_TRUE(req("rate", CmpOp::kLt, Value{3}).satisfied_by(attrs));
+}
+
+TEST(Attributes, IncomparableTypesFail) {
+  Attributes attrs{{"name", Value{"abc"}}};
+  EXPECT_FALSE(req("name", CmpOp::kGt, Value{5}).satisfied_by(attrs));
+  EXPECT_FALSE(req("name", CmpOp::kEq, Value{5}).satisfied_by(attrs));
+}
+
+TEST(Attributes, OpStringRoundTrip) {
+  for (int i = 0; i <= static_cast<int>(CmpOp::kPrefix); ++i) {
+    const auto op = static_cast<CmpOp>(i);
+    const auto parsed = cmp_op_from_string(to_string(op));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, op);
+  }
+  EXPECT_FALSE(cmp_op_from_string("bogus").has_value());
+}
+
+SupplierQos printer(double reliability = 0.95, Vec2 pos = {0, 0}) {
+  SupplierQos s;
+  s.service_type = "printer";
+  s.attributes = {{"dpi", Value{600}}, {"color", Value{true}}};
+  s.reliability = reliability;
+  s.availability = 0.99;
+  s.power_w = 1.5;
+  s.position = pos;
+  return s;
+}
+
+ConsumerQos wants_printer() {
+  ConsumerQos c;
+  c.service_type = "printer";
+  c.requirements = {req("dpi", CmpOp::kGe, Value{300})};
+  return c;
+}
+
+TEST(Matcher, TypeMismatchInfeasible) {
+  auto c = wants_printer();
+  c.service_type = "scanner";
+  const auto e = Matcher::evaluate(c, printer());
+  EXPECT_FALSE(e.feasible);
+  EXPECT_EQ(e.reject_reason, "type mismatch");
+}
+
+TEST(Matcher, MandatoryAttributeGates) {
+  auto c = wants_printer();
+  c.requirements = {req("dpi", CmpOp::kGe, Value{1200})};
+  const auto e = Matcher::evaluate(c, printer());
+  EXPECT_FALSE(e.feasible);
+  EXPECT_NE(e.reject_reason.find("dpi"), std::string::npos);
+}
+
+TEST(Matcher, OptionalAttributeOnlyAffectsScore) {
+  auto c = wants_printer();
+  c.requirements.push_back(req("duplex", CmpOp::kExists, Value{}, /*mandatory=*/false));
+  const auto without = Matcher::evaluate(c, printer());
+  ASSERT_TRUE(without.feasible);
+
+  auto duplex_printer = printer();
+  duplex_printer.attributes["duplex"] = Value{true};
+  const auto with = Matcher::evaluate(c, duplex_printer);
+  ASSERT_TRUE(with.feasible);
+  EXPECT_GT(with.score, without.score);
+}
+
+TEST(Matcher, ReliabilityFloor) {
+  auto c = wants_printer();
+  c.min_reliability = 0.99;
+  EXPECT_FALSE(Matcher::evaluate(c, printer(0.95)).feasible);
+  EXPECT_TRUE(Matcher::evaluate(c, printer(0.995)).feasible);
+}
+
+TEST(Matcher, AvailabilityFloor) {
+  auto c = wants_printer();
+  c.min_availability = 0.999;
+  EXPECT_FALSE(Matcher::evaluate(c, printer()).feasible);  // printer has 0.99
+}
+
+TEST(Matcher, PasswordVerification) {
+  auto secured = printer();
+  secured.set_password("s3cret");
+  auto c = wants_printer();
+  EXPECT_FALSE(Matcher::evaluate(c, secured).feasible);
+  c.password = "wrong";
+  EXPECT_FALSE(Matcher::evaluate(c, secured).feasible);
+  c.password = "s3cret";
+  EXPECT_TRUE(Matcher::evaluate(c, secured).feasible);
+  // Open suppliers ignore presented passwords.
+  EXPECT_TRUE(Matcher::evaluate(c, printer()).feasible);
+}
+
+TEST(Matcher, SpatialBoundGates) {
+  auto c = wants_printer();
+  c.position = Vec2{0, 0};
+  c.max_distance_m = 50;
+  EXPECT_TRUE(Matcher::evaluate(c, printer(0.95, {30, 0})).feasible);
+  const auto e = Matcher::evaluate(c, printer(0.95, {60, 0}));
+  EXPECT_FALSE(e.feasible);
+  EXPECT_EQ(e.reject_reason, "outside spatial bound");
+}
+
+TEST(Matcher, NearerSuppliersScoreHigher) {
+  auto c = wants_printer();
+  c.position = Vec2{0, 0};
+  c.max_distance_m = 100;
+  const auto near = Matcher::evaluate(c, printer(0.95, {10, 0}));
+  const auto far = Matcher::evaluate(c, printer(0.95, {90, 0}));
+  ASSERT_TRUE(near.feasible);
+  ASSERT_TRUE(far.feasible);
+  EXPECT_GT(near.score, far.score);
+}
+
+TEST(Matcher, ExplicitDistanceOverridesPositions) {
+  auto c = wants_printer();
+  c.position = Vec2{0, 0};
+  c.max_distance_m = 50;
+  // Spec position is near but discovery knows the printer moved far away.
+  EXPECT_FALSE(Matcher::evaluate(c, printer(0.95, {10, 0}), /*distance_m=*/70).feasible);
+}
+
+TEST(Matcher, LowerPowerPreferredOtherEqual) {
+  auto c = wants_printer();
+  auto hungry = printer();
+  hungry.power_w = 20.0;
+  auto frugal = printer();
+  frugal.power_w = 0.1;
+  EXPECT_GT(Matcher::evaluate(c, frugal).score, Matcher::evaluate(c, hungry).score);
+}
+
+TEST(Matcher, RankOrdersByScore) {
+  auto c = wants_printer();
+  c.position = Vec2{0, 0};
+  c.max_distance_m = 200;
+  std::vector<SupplierQos> suppliers = {
+      printer(0.95, {150, 0}),  // far
+      printer(0.95, {5, 0}),    // near -> best
+      printer(0.40, {5, 0}),    // near but unreliable
+  };
+  auto scanner = printer();
+  scanner.service_type = "scanner";
+  suppliers.push_back(scanner);  // infeasible
+
+  const auto ranked = Matcher::rank(c, suppliers);
+  ASSERT_EQ(ranked.size(), 3u);
+  EXPECT_EQ(ranked[0], 1u);
+  // Scanner excluded entirely.
+  for (const auto i : ranked) EXPECT_NE(i, 3u);
+}
+
+TEST(Spec, SupplierBinaryRoundTrip) {
+  auto s = printer(0.9, {3, 4});
+  s.set_password("pw");
+  serialize::Writer w;
+  s.encode(w);
+  serialize::Reader r{w.data()};
+  const auto decoded = SupplierQos::decode(r);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->service_type, "printer");
+  EXPECT_EQ(decoded->attributes.at("dpi"), Value{600});
+  EXPECT_DOUBLE_EQ(decoded->reliability, 0.9);
+  EXPECT_TRUE(decoded->requires_password);
+  EXPECT_EQ(decoded->password_digest, s.password_digest);
+  ASSERT_TRUE(decoded->position.has_value());
+  EXPECT_EQ(*decoded->position, (Vec2{3, 4}));
+}
+
+TEST(Spec, ConsumerBinaryRoundTrip) {
+  auto c = wants_printer();
+  c.min_reliability = 0.5;
+  c.timeliness = BenefitFunction::linear(duration::seconds(1), duration::seconds(5));
+  c.password = "pw";
+  c.position = Vec2{1, 2};
+  c.max_distance_m = 75;
+  c.proximity_weight = 2.0;
+  serialize::Writer w;
+  c.encode(w);
+  serialize::Reader r{w.data()};
+  const auto decoded = ConsumerQos::decode(r);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->service_type, "printer");
+  ASSERT_EQ(decoded->requirements.size(), 1u);
+  EXPECT_EQ(decoded->requirements[0].name, "dpi");
+  EXPECT_EQ(decoded->requirements[0].op, CmpOp::kGe);
+  EXPECT_DOUBLE_EQ(decoded->min_reliability, 0.5);
+  EXPECT_EQ(decoded->timeliness, c.timeliness);
+  EXPECT_EQ(decoded->password, "pw");
+  EXPECT_DOUBLE_EQ(decoded->max_distance_m, 75);
+  EXPECT_DOUBLE_EQ(decoded->proximity_weight, 2.0);
+}
+
+TEST(Spec, SupplierMarkupRoundTrip) {
+  auto s = printer(0.9, {3, 4});
+  const auto node = s.to_markup();
+  const auto parsed = SupplierQos::from_markup(node);
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
+  const auto& p = parsed.value();
+  EXPECT_EQ(p.service_type, "printer");
+  EXPECT_DOUBLE_EQ(p.reliability, 0.9);
+  EXPECT_EQ(p.attributes.at("dpi"), Value{600});
+  EXPECT_EQ(p.attributes.at("color"), Value{true});
+  ASSERT_TRUE(p.position.has_value());
+  EXPECT_EQ(*p.position, (Vec2{3, 4}));
+}
+
+TEST(Spec, SupplierMarkupTextualRoundTrip) {
+  // Through actual markup text, the full §3.9 interop path.
+  auto s = printer();
+  const std::string text = interop::write_markup(s.to_markup());
+  const auto tree = interop::parse_markup(text);
+  ASSERT_TRUE(tree.is_ok());
+  const auto parsed = SupplierQos::from_markup(tree.value());
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_EQ(parsed.value().service_type, "printer");
+}
+
+TEST(Spec, TruncatedDecodeFails) {
+  auto s = printer();
+  serialize::Writer w;
+  s.encode(w);
+  Bytes data = w.data();
+  data.resize(data.size() / 2);
+  serialize::Reader r{data};
+  EXPECT_FALSE(SupplierQos::decode(r).has_value());
+}
+
+// Parameterized sweep: proximity score is monotonically non-increasing in
+// distance for a spectrum of max_distance bounds.
+class ProximityMonotonicity : public ::testing::TestWithParam<double> {};
+
+TEST_P(ProximityMonotonicity, ScoreNonIncreasingInDistance) {
+  auto c = wants_printer();
+  c.position = Vec2{0, 0};
+  c.max_distance_m = GetParam();
+  double prev = 1e9;
+  for (double d = 0; d < GetParam(); d += GetParam() / 16) {
+    const auto e = Matcher::evaluate(c, printer(0.95, {d, 0}));
+    ASSERT_TRUE(e.feasible) << d;
+    EXPECT_LE(e.score, prev + 1e-12) << d;
+    prev = e.score;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, ProximityMonotonicity,
+                         ::testing::Values(10.0, 50.0, 100.0, 500.0));
+
+}  // namespace
+}  // namespace ndsm::qos

@@ -1,0 +1,210 @@
+#include <gtest/gtest.h>
+
+#include "recovery/store.hpp"
+
+namespace ndsm::recovery {
+namespace {
+
+using serialize::Value;
+
+struct StoreTest : ::testing::Test {
+  StableStorage log;
+  StableStorage checkpoints;
+  RecoverableStore store{log, checkpoints};
+};
+
+TEST_F(StoreTest, PutGetErase) {
+  store.put("a", Value{1});
+  store.put("b", Value{"two"});
+  EXPECT_EQ(store.get("a"), Value{1});
+  EXPECT_EQ(store.get("b"), Value{"two"});
+  store.erase("a");
+  EXPECT_FALSE(store.get("a").has_value());
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST_F(StoreTest, CrashLosesVolatileState) {
+  store.put("a", Value{1});
+  store.crash();
+  EXPECT_FALSE(store.get("a").has_value());
+  EXPECT_EQ(store.size(), 0u);
+}
+
+TEST_F(StoreTest, RecoveryReplaysCommittedOps) {
+  store.put("a", Value{1});
+  store.put("b", Value{2});
+  store.erase("a");
+  store.crash();
+  const auto report = store.recover();
+  EXPECT_FALSE(store.get("a").has_value());
+  EXPECT_EQ(store.get("b"), Value{2});
+  EXPECT_EQ(report.ops_applied, 3u);
+  EXPECT_FALSE(report.from_checkpoint);
+}
+
+TEST_F(StoreTest, UncommittedTransactionDiscardedOnRecovery) {
+  store.put("stable", Value{0});
+  const auto tx = store.begin_tx();
+  store.put("dirty", Value{1}, tx);
+  // Crash before commit.
+  store.crash();
+  const auto report = store.recover();
+  EXPECT_EQ(store.get("stable"), Value{0});
+  EXPECT_FALSE(store.get("dirty").has_value());
+  EXPECT_EQ(report.uncommitted_discarded, 1u);
+}
+
+TEST_F(StoreTest, CommittedTransactionSurvives) {
+  const auto tx = store.begin_tx();
+  store.put("x", Value{42}, tx);
+  store.put("y", Value{43}, tx);
+  store.commit(tx);
+  store.crash();
+  store.recover();
+  EXPECT_EQ(store.get("x"), Value{42});
+  EXPECT_EQ(store.get("y"), Value{43});
+}
+
+TEST_F(StoreTest, TransactionIsolationBeforeCommit) {
+  const auto tx = store.begin_tx();
+  store.put("x", Value{1}, tx);
+  // Buffered writes are invisible until commit.
+  EXPECT_FALSE(store.get("x").has_value());
+  store.commit(tx);
+  EXPECT_EQ(store.get("x"), Value{1});
+}
+
+TEST_F(StoreTest, AbortDropsWrites) {
+  store.put("keep", Value{1});
+  const auto tx = store.begin_tx();
+  store.put("drop", Value{2}, tx);
+  store.abort(tx);
+  EXPECT_FALSE(store.get("drop").has_value());
+  // Also after crash + recovery.
+  store.crash();
+  store.recover();
+  EXPECT_FALSE(store.get("drop").has_value());
+  EXPECT_EQ(store.get("keep"), Value{1});
+}
+
+TEST_F(StoreTest, CheckpointTruncatesLog) {
+  for (int i = 0; i < 50; ++i) store.put("k" + std::to_string(i), Value{i});
+  EXPECT_EQ(store.log_records(), 50u);
+  store.checkpoint();
+  EXPECT_LE(store.log_records(), 1u);  // just the checkpoint marker
+  store.crash();
+  const auto report = store.recover();
+  EXPECT_TRUE(report.from_checkpoint);
+  EXPECT_EQ(store.size(), 50u);
+  EXPECT_EQ(store.get("k17"), Value{17});
+}
+
+TEST_F(StoreTest, RecoveryCombinesCheckpointAndLogTail) {
+  store.put("before", Value{1});
+  store.checkpoint();
+  store.put("after", Value{2});
+  store.crash();
+  const auto report = store.recover();
+  EXPECT_TRUE(report.from_checkpoint);
+  EXPECT_EQ(store.get("before"), Value{1});
+  EXPECT_EQ(store.get("after"), Value{2});
+  EXPECT_EQ(report.ops_applied, 1u);  // only the tail op replayed
+}
+
+TEST_F(StoreTest, OpenTransactionSurvivesCheckpoint) {
+  const auto tx = store.begin_tx();
+  store.put("pending", Value{9}, tx);
+  store.checkpoint();  // open tx must be re-logged
+  store.commit(tx);
+  store.crash();
+  store.recover();
+  EXPECT_EQ(store.get("pending"), Value{9});
+}
+
+TEST_F(StoreTest, TornLogTailIgnored) {
+  store.put("good", Value{1});
+  store.put("torn", Value{2});
+  log.corrupt(log.size() - 1);  // simulate a torn final write
+  store.crash();
+  const auto report = store.recover();
+  EXPECT_EQ(store.get("good"), Value{1});
+  EXPECT_FALSE(store.get("torn").has_value());
+  EXPECT_EQ(report.log_records_replayed, 1u);
+}
+
+TEST_F(StoreTest, CorruptCheckpointFallsBackToOlder) {
+  store.put("a", Value{1});
+  store.checkpoint();
+  store.put("b", Value{2});
+  store.checkpoint();
+  checkpoints.corrupt(checkpoints.size() - 1);  // newest checkpoint damaged
+  store.crash();
+  const auto report = store.recover();
+  EXPECT_TRUE(report.from_checkpoint);
+  EXPECT_EQ(store.get("a"), Value{1});
+  // "b" was only in the newest (corrupt) checkpoint and its log segment was
+  // truncated — documented data-loss window of single-copy checkpoints.
+  EXPECT_FALSE(store.get("b").has_value());
+}
+
+TEST_F(StoreTest, OverwritesKeepLatestValue) {
+  for (int i = 0; i < 10; ++i) store.put("k", Value{i});
+  store.crash();
+  store.recover();
+  EXPECT_EQ(store.get("k"), Value{9});
+}
+
+TEST_F(StoreTest, RecoveryIsIdempotent) {
+  store.put("a", Value{1});
+  store.crash();
+  store.recover();
+  const auto again = store.recover();
+  EXPECT_EQ(store.get("a"), Value{1});
+  EXPECT_EQ(again.ops_applied, 1u);
+}
+
+TEST_F(StoreTest, LsnMonotoneAcrossRecovery) {
+  store.put("a", Value{1});
+  store.crash();
+  store.recover();
+  store.put("b", Value{2});  // must not reuse LSNs
+  store.crash();
+  store.recover();
+  EXPECT_EQ(store.get("a"), Value{1});
+  EXPECT_EQ(store.get("b"), Value{2});
+}
+
+TEST_F(StoreTest, LoggingCostsAreModelled) {
+  const Time before = log.stats().time_spent;
+  store.put("a", Value{std::string(1000, 'x')});
+  EXPECT_GT(log.stats().time_spent, before);
+  EXPECT_GT(log.stats().bytes_written, 1000u);
+}
+
+TEST_F(StoreTest, RecoveryTimeGrowsWithLogLength) {
+  for (int i = 0; i < 10; ++i) store.put("k" + std::to_string(i), Value{i});
+  store.crash();
+  const auto short_log = store.recover();
+
+  for (int i = 0; i < 500; ++i) store.put("k" + std::to_string(i), Value{i});
+  store.crash();
+  const auto long_log = store.recover();
+  EXPECT_GT(long_log.modelled_time, short_log.modelled_time * 5);
+}
+
+TEST(LogRecord, CodecRejectsTampering) {
+  LogRecord rec;
+  rec.lsn = 5;
+  rec.kind = LogKind::kPut;
+  rec.tx = 1;
+  rec.key = "k";
+  rec.value = Value{7};
+  Bytes data = rec.encode();
+  ASSERT_TRUE(LogRecord::decode(data).has_value());
+  data[2] ^= 0x01;
+  EXPECT_FALSE(LogRecord::decode(data).has_value());  // digest mismatch
+  EXPECT_FALSE(LogRecord::decode(Bytes{1, 2, 3}).has_value());
+}
+
+}  // namespace
+}  // namespace ndsm::recovery

@@ -1,0 +1,330 @@
+#include <gtest/gtest.h>
+
+#include "routing/distance_vector.hpp"
+#include "routing/flooding.hpp"
+#include "routing/global.hpp"
+#include "routing/location.hpp"
+#include "test_helpers.hpp"
+
+namespace ndsm::routing {
+namespace {
+
+using testing::WirelessGrid;
+
+TEST(RoutingHeader, CodecRoundTrip) {
+  RoutingHeader h;
+  h.kind = RoutingKind::kData;
+  h.origin = NodeId{3};
+  h.dst = NodeId{9};
+  h.seq = 12345;
+  h.ttl = 7;
+  h.upper = Proto::kDiscovery;
+  const Bytes payload = to_bytes("payload");
+  const Bytes frame = encode_routing(h, payload);
+
+  RoutingHeader out;
+  Bytes out_payload;
+  ASSERT_TRUE(decode_routing(frame, out, out_payload));
+  EXPECT_EQ(out.kind, h.kind);
+  EXPECT_EQ(out.origin, h.origin);
+  EXPECT_EQ(out.dst, h.dst);
+  EXPECT_EQ(out.seq, h.seq);
+  EXPECT_EQ(out.ttl, h.ttl);
+  EXPECT_EQ(out.upper, h.upper);
+  EXPECT_EQ(out_payload, payload);
+}
+
+TEST(RoutingHeader, CorruptFrameRejected) {
+  RoutingHeader h;
+  Bytes payload;
+  EXPECT_FALSE(decode_routing(Bytes{1, 2, 3}, h, payload));
+  EXPECT_FALSE(decode_routing(Bytes{}, h, payload));
+}
+
+TEST(Flooding, MultiHopDelivery) {
+  WirelessGrid grid{9};  // 3x3, range covers one hop
+  grid.with_routers<FloodingRouter>();
+  Bytes got;
+  NodeId origin;
+  grid.router(8).set_delivery_handler(Proto::kApp, [&](NodeId o, const Bytes& b) {
+    got = b;
+    origin = o;
+  });
+  // Corner to opposite corner: needs >= 4 hops.
+  ASSERT_TRUE(grid.router(0).send(grid.nodes[8], Proto::kApp, to_bytes("across")).is_ok());
+  grid.sim.run_until(duration::seconds(1));
+  EXPECT_EQ(to_string(got), "across");
+  EXPECT_EQ(origin, grid.nodes[0]);
+}
+
+TEST(Flooding, FloodReachesEveryone) {
+  WirelessGrid grid{16};
+  grid.with_routers<FloodingRouter>();
+  int received = 0;
+  for (std::size_t i = 0; i < 16; ++i) {
+    grid.router(i).set_delivery_handler(Proto::kApp,
+                                        [&](NodeId, const Bytes&) { received++; });
+  }
+  ASSERT_TRUE(grid.router(5).flood(Proto::kApp, to_bytes("all")).is_ok());
+  grid.sim.run_until(duration::seconds(1));
+  EXPECT_EQ(received, 16);  // including the originator
+}
+
+TEST(Flooding, DuplicatesSuppressed) {
+  WirelessGrid grid{9};
+  grid.with_routers<FloodingRouter>();
+  int deliveries = 0;
+  grid.router(4).set_delivery_handler(Proto::kApp,
+                                      [&](NodeId, const Bytes&) { deliveries++; });
+  ASSERT_TRUE(grid.router(0).flood(Proto::kApp, to_bytes("x")).is_ok());
+  grid.sim.run_until(duration::seconds(1));
+  EXPECT_EQ(deliveries, 1);  // many paths, one delivery
+}
+
+TEST(Flooding, TtlLimitsPropagation) {
+  // A 1x9 line: TTL 2 reaches only nodes 1..3 hops... TTL counts rebroadcasts.
+  WirelessGrid grid{9, 20.0};
+  // Re-position into a line.
+  for (std::size_t i = 0; i < 9; ++i) {
+    grid.world.set_position(grid.nodes[i], Vec2{static_cast<double>(i) * 20.0, 0});
+  }
+  grid.with_routers<FloodingRouter>();
+  std::vector<int> got(9, 0);
+  for (std::size_t i = 0; i < 9; ++i) {
+    grid.router(i).set_delivery_handler(Proto::kApp,
+                                        [&got, i](NodeId, const Bytes&) { got[i]++; });
+  }
+  ASSERT_TRUE(grid.router(0).flood(Proto::kApp, to_bytes("x"), /*ttl=*/2).is_ok());
+  grid.sim.run_until(duration::seconds(1));
+  EXPECT_EQ(got[1], 1);
+  EXPECT_EQ(got[2], 1);
+  EXPECT_EQ(got[3], 1);  // delivered by node 2's last rebroadcast (ttl hit 0)
+  EXPECT_EQ(got[4], 0);
+}
+
+TEST(Flooding, UnicastStopsAtTarget) {
+  WirelessGrid grid{9};
+  for (std::size_t i = 0; i < 9; ++i) {
+    grid.world.set_position(grid.nodes[i], Vec2{static_cast<double>(i) * 20.0, 0});
+  }
+  grid.with_routers<FloodingRouter>();
+  int target_got = 0;
+  int beyond_got = 0;
+  grid.router(3).set_delivery_handler(Proto::kApp,
+                                      [&](NodeId, const Bytes&) { target_got++; });
+  grid.router(5).set_delivery_handler(Proto::kApp,
+                                      [&](NodeId, const Bytes&) { beyond_got++; });
+  ASSERT_TRUE(grid.router(0).send(grid.nodes[3], Proto::kApp, to_bytes("x")).is_ok());
+  grid.sim.run_until(duration::seconds(1));
+  EXPECT_EQ(target_got, 1);
+  EXPECT_EQ(beyond_got, 0);  // flood not forwarded past its unicast target
+}
+
+struct DvGrid : WirelessGrid {
+  explicit DvGrid(std::size_t n) : WirelessGrid(n) {
+    with_routers<DistanceVectorRouter>(duration::seconds(1));
+  }
+  DistanceVectorRouter& dv(std::size_t i) {
+    return static_cast<DistanceVectorRouter&>(*routers[i]);
+  }
+};
+
+TEST(DistanceVector, ConvergesToAllDestinations) {
+  DvGrid grid{9};
+  grid.sim.run_until(duration::seconds(10));
+  for (std::size_t i = 0; i < 9; ++i) {
+    for (std::size_t j = 0; j < 9; ++j) {
+      EXPECT_LT(grid.dv(i).route_metric(grid.nodes[j]), DistanceVectorRouter::kInfinity)
+          << i << "->" << j;
+    }
+  }
+}
+
+TEST(DistanceVector, MetricsAreShortestHopCounts) {
+  DvGrid grid{9};  // 3x3 lattice, spacing 20, range 30 (diagonals out of range)
+  grid.sim.run_until(duration::seconds(10));
+  EXPECT_EQ(grid.dv(0).route_metric(grid.nodes[0]), 0);
+  EXPECT_EQ(grid.dv(0).route_metric(grid.nodes[1]), 1);
+  EXPECT_EQ(grid.dv(0).route_metric(grid.nodes[4]), 2);  // corner to centre
+  EXPECT_EQ(grid.dv(0).route_metric(grid.nodes[8]), 4);  // corner to corner
+}
+
+TEST(DistanceVector, DataFollowsRoutes) {
+  DvGrid grid{9};
+  grid.sim.run_until(duration::seconds(10));
+  Bytes got;
+  grid.router(8).set_delivery_handler(Proto::kApp, [&](NodeId, const Bytes& b) { got = b; });
+  ASSERT_TRUE(grid.router(0).send(grid.nodes[8], Proto::kApp, to_bytes("dv")).is_ok());
+  grid.sim.run_until(duration::seconds(11));
+  EXPECT_EQ(to_string(got), "dv");
+}
+
+TEST(DistanceVector, RoutesExpireAfterDeath) {
+  DvGrid grid{4};  // 2x2
+  grid.sim.run_until(duration::seconds(10));
+  EXPECT_LT(grid.dv(0).route_metric(grid.nodes[3]), DistanceVectorRouter::kInfinity);
+  grid.world.kill(grid.nodes[3]);
+  grid.sim.run_until(duration::seconds(20));
+  EXPECT_EQ(grid.dv(0).route_metric(grid.nodes[3]), DistanceVectorRouter::kInfinity);
+}
+
+TEST(DistanceVector, ReroutesAroundFailure) {
+  DvGrid grid{9};
+  grid.sim.run_until(duration::seconds(10));
+  // Kill the centre; corner-to-corner still works around the edge.
+  grid.world.kill(grid.nodes[4]);
+  grid.sim.run_until(duration::seconds(25));  // let tables re-converge
+  Bytes got;
+  grid.router(8).set_delivery_handler(Proto::kApp, [&](NodeId, const Bytes& b) { got = b; });
+  ASSERT_TRUE(grid.router(0).send(grid.nodes[8], Proto::kApp, to_bytes("detour")).is_ok());
+  grid.sim.run_until(duration::seconds(26));
+  EXPECT_EQ(to_string(got), "detour");
+}
+
+TEST(DistanceVector, FloodWorksWithoutConvergence) {
+  DvGrid grid{9};
+  int received = 0;
+  for (std::size_t i = 0; i < 9; ++i) {
+    grid.router(i).set_delivery_handler(Proto::kApp,
+                                        [&](NodeId, const Bytes&) { received++; });
+  }
+  // Flood immediately at t=0, before any DV updates.
+  ASSERT_TRUE(grid.router(0).flood(Proto::kApp, to_bytes("early")).is_ok());
+  grid.sim.run_until(duration::seconds(1));
+  EXPECT_EQ(received, 9);
+}
+
+struct GlobalGrid : WirelessGrid {
+  explicit GlobalGrid(std::size_t n, Metric metric = Metric::kHopCount)
+      : WirelessGrid(n, 20.0, 42, 10.0) {
+    table = std::make_shared<GlobalRoutingTable>(world, metric);
+    with_routers<GlobalRouter>(table);
+  }
+  std::shared_ptr<GlobalRoutingTable> table;
+};
+
+TEST(GlobalRouting, ImmediateMultiHopDelivery) {
+  GlobalGrid grid{16};
+  Bytes got;
+  grid.router(15).set_delivery_handler(Proto::kApp, [&](NodeId, const Bytes& b) { got = b; });
+  ASSERT_TRUE(grid.router(0).send(grid.nodes[15], Proto::kApp, to_bytes("go")).is_ok());
+  grid.sim.run_until(duration::seconds(1));
+  EXPECT_EQ(to_string(got), "go");
+}
+
+TEST(GlobalRouting, HopCountPathCosts) {
+  GlobalGrid grid{9};
+  EXPECT_DOUBLE_EQ(grid.table->path_cost(grid.nodes[0], grid.nodes[0]), 0.0);
+  EXPECT_DOUBLE_EQ(grid.table->path_cost(grid.nodes[0], grid.nodes[1]), 1.0);
+  EXPECT_DOUBLE_EQ(grid.table->path_cost(grid.nodes[0], grid.nodes[8]), 4.0);
+}
+
+TEST(GlobalRouting, UnreachableReported) {
+  GlobalGrid grid{4};
+  // Add an isolated node far away.
+  const NodeId isolated = grid.world.add_node({10000, 10000});
+  grid.world.attach(isolated, grid.medium);
+  EXPECT_FALSE(grid.table->reachable(grid.nodes[0], isolated));
+  EXPECT_EQ(grid.router(0).send(isolated, Proto::kApp, {}).code(), ErrorCode::kUnreachable);
+}
+
+TEST(GlobalRouting, EnergyAwareAvoidsLowBatteryRelay) {
+  // Line topology a - r1 - b and a - r2 - b with r1 nearly dead: energy
+  // metric must route through r2.
+  sim::Simulator sim{1};
+  net::World world{sim};
+  const MediumId m = world.add_medium(net::wifi80211(25, 0));
+  const NodeId a = world.add_node({0, 0}, net::Battery{10});
+  const NodeId r1 = world.add_node({20, 10}, net::Battery{10});
+  const NodeId r2 = world.add_node({20, -10}, net::Battery{10});
+  const NodeId b = world.add_node({40, 0}, net::Battery{10});
+  for (const NodeId n : {a, r1, r2, b}) world.attach(n, m);
+  // Drain r1 to 5% without killing it.
+  world.drain(r1, 9.5);
+
+  auto table = std::make_shared<GlobalRoutingTable>(world, Metric::kEnergyAware);
+  EXPECT_EQ(table->next_hop(a, b), r2);
+  table->set_metric(Metric::kHopCount);
+  // Hop count is indifferent (both 2 hops) — either relay acceptable.
+  const NodeId hop = table->next_hop(a, b);
+  EXPECT_TRUE(hop == r1 || hop == r2);
+}
+
+TEST(GlobalRouting, InvalidateRecomputesAfterDeath) {
+  GlobalGrid grid{9};
+  const NodeId via = grid.table->next_hop(grid.nodes[0], grid.nodes[8]);
+  EXPECT_TRUE(via.valid());
+  grid.world.kill(via);
+  grid.table->invalidate();
+  const NodeId via2 = grid.table->next_hop(grid.nodes[0], grid.nodes[8]);
+  EXPECT_TRUE(via2.valid());
+  EXPECT_NE(via2, via);
+}
+
+TEST(GlobalRouting, CachesUntilRefreshInterval) {
+  GlobalGrid grid{9};
+  (void)grid.table->next_hop(grid.nodes[0], grid.nodes[8]);
+  const auto before = grid.table->recomputations();
+  (void)grid.table->next_hop(grid.nodes[0], grid.nodes[5]);
+  (void)grid.table->path_cost(grid.nodes[0], grid.nodes[3]);
+  EXPECT_EQ(grid.table->recomputations(), before);  // same source, cached
+  grid.sim.run_until(duration::seconds(60));        // past refresh interval
+  (void)grid.table->next_hop(grid.nodes[0], grid.nodes[8]);
+  EXPECT_GT(grid.table->recomputations(), before);
+}
+
+TEST(LocationService, BeaconsPopulateCaches) {
+  GlobalGrid grid{9};
+  std::vector<std::unique_ptr<LocationService>> locs;
+  for (std::size_t i = 0; i < 9; ++i) {
+    locs.push_back(std::make_unique<LocationService>(grid.router(i), duration::seconds(2)));
+  }
+  grid.sim.run_until(duration::seconds(5));
+  // Everyone knows everyone.
+  for (std::size_t i = 0; i < 9; ++i) {
+    EXPECT_EQ(locs[i]->known_count(), 9u) << i;
+    const auto pos = locs[i]->lookup(grid.nodes[8]);
+    ASSERT_TRUE(pos.has_value());
+    EXPECT_EQ(*pos, grid.world.position(grid.nodes[8]));
+  }
+}
+
+TEST(LocationService, MaxAgeFiltersStaleEntries) {
+  GlobalGrid grid{4};
+  LocationService loc0{grid.router(0), duration::seconds(2)};
+  LocationService loc1{grid.router(1), duration::seconds(2)};
+  grid.sim.run_until(duration::seconds(3));
+  ASSERT_TRUE(loc0.lookup(grid.nodes[1]).has_value());
+  grid.world.kill(grid.nodes[1]);  // no more beacons
+  grid.sim.run_until(duration::seconds(30));
+  EXPECT_FALSE(loc0.lookup(grid.nodes[1], duration::seconds(5)).has_value());
+  EXPECT_TRUE(loc0.lookup(grid.nodes[1]).has_value());  // unlimited age still returns it
+}
+
+TEST(LocationService, TracksMovingNode) {
+  GlobalGrid grid{4};
+  LocationService loc0{grid.router(0), duration::seconds(1)};
+  LocationService loc1{grid.router(1), duration::seconds(1)};
+  grid.sim.run_until(duration::seconds(2));
+  grid.world.move_linear(grid.nodes[1], Vec2{30, 0}, 5.0);
+  grid.sim.run_until(duration::seconds(10));
+  const auto pos = loc0.lookup(grid.nodes[1], duration::seconds(2));
+  ASSERT_TRUE(pos.has_value());
+  EXPECT_NEAR(pos->x, 30.0, 6.0);  // within one beacon period of truth
+}
+
+TEST(RouterStats, CountsSentAndForwarded) {
+  GlobalGrid grid{9};
+  grid.router(8).set_delivery_handler(Proto::kApp, [](NodeId, const Bytes&) {});
+  ASSERT_TRUE(grid.router(0).send(grid.nodes[8], Proto::kApp, to_bytes("x")).is_ok());
+  grid.sim.run_until(duration::seconds(1));
+  EXPECT_EQ(grid.router(0).stats().data_sent, 1u);
+  EXPECT_EQ(grid.router(8).stats().data_delivered, 1u);
+  // 4-hop path => 3 intermediate forwards in total.
+  std::uint64_t forwards = 0;
+  for (std::size_t i = 0; i < 9; ++i) forwards += grid.router(i).stats().data_forwarded;
+  EXPECT_EQ(forwards, 3u);
+}
+
+}  // namespace
+}  // namespace ndsm::routing

@@ -1,0 +1,215 @@
+#include <gtest/gtest.h>
+
+#include "scheduling/grid.hpp"
+#include "scheduling/tx_scheduler.hpp"
+#include "sim/simulator.hpp"
+
+namespace ndsm::scheduling {
+namespace {
+
+using qos::BenefitFunction;
+
+TEST(TxScheduler, FifoCompletesInOrder) {
+  sim::Simulator sim;
+  TxScheduler sched{sim, SchedulingPolicy::kFifo, /*bytes_per_tick=*/100,
+                    duration::millis(100)};
+  std::vector<int> order;
+  for (int i = 0; i < 3; ++i) {
+    sched.submit(100, BenefitFunction::constant(), NodeId::invalid(),
+                 [&order, i](double, bool) { order.push_back(i); });
+  }
+  sim.run_until(duration::seconds(1));
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(sched.stats().completed, 3u);
+}
+
+TEST(TxScheduler, BandwidthBoundsThroughput) {
+  sim::Simulator sim;
+  TxScheduler sched{sim, SchedulingPolicy::kFifo, 100, duration::millis(100)};
+  // 1000 bytes/s budget; submit 5000 bytes -> 5 seconds to drain.
+  int completed = 0;
+  for (int i = 0; i < 5; ++i) {
+    sched.submit(1000, BenefitFunction::constant(), NodeId::invalid(),
+                 [&](double, bool) { completed++; });
+  }
+  sim.run_until(duration::seconds(2) + duration::millis(950));
+  EXPECT_EQ(completed, 2);  // 2900 bytes moved in 29 ticks
+  sim.run_until(duration::seconds(6));
+  EXPECT_EQ(completed, 5);
+}
+
+TEST(TxScheduler, PriorityServesUrgentFirst) {
+  sim::Simulator sim;
+  TxScheduler sched{sim, SchedulingPolicy::kPriority, 100, duration::millis(100)};
+  std::vector<std::string> order;
+  // Relaxed job submitted first, urgent second: priority must invert.
+  sched.submit(500, BenefitFunction::linear(duration::minutes(5), duration::minutes(10)),
+               NodeId::invalid(), [&](double, bool) { order.push_back("relaxed"); });
+  sched.submit(500, BenefitFunction::step(duration::seconds(2)), NodeId::invalid(),
+               [&](double, bool) { order.push_back("urgent"); });
+  sim.run_until(duration::seconds(5));
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], "urgent");
+}
+
+TEST(TxScheduler, UtilityReflectsCompletionDelay) {
+  sim::Simulator sim;
+  TxScheduler sched{sim, SchedulingPolicy::kFifo, 100, duration::millis(100)};
+  double utility = -1;
+  // 1000 bytes at 1000 B/s -> completes at ~1s; linear benefit decays
+  // from 0 to 2s -> expect utility ~0.5.
+  sched.submit(1000, BenefitFunction::linear(0, duration::seconds(2)), NodeId::invalid(),
+               [&](double u, bool) { utility = u; });
+  sim.run_until(duration::seconds(2));
+  EXPECT_NEAR(utility, 0.5, 0.06);
+}
+
+TEST(TxScheduler, ExpiredJobsCompleteWithZeroUtility) {
+  sim::Simulator sim;
+  TxScheduler sched{sim, SchedulingPolicy::kFifo, 10, duration::millis(100)};
+  double utility = -1;
+  sched.submit(1000, BenefitFunction::step(duration::seconds(1)), NodeId::invalid(),
+               [&](double u, bool) { utility = u; });
+  sim.run_until(duration::seconds(20));
+  EXPECT_DOUBLE_EQ(utility, 0.0);
+  EXPECT_EQ(sched.stats().expired, 1u);
+}
+
+TEST(TxScheduler, DepartureLosesUnfinishedJobs) {
+  sim::Simulator sim;
+  TxScheduler sched{sim, SchedulingPolicy::kFifo, 10, duration::millis(100)};
+  const NodeId leaving{7};
+  bool lost = false;
+  sched.submit(10000, BenefitFunction::constant(), leaving,
+               [&](double, bool l) { lost = l; });
+  sched.announce_departure(leaving, duration::seconds(2));
+  sim.run_until(duration::seconds(5));
+  EXPECT_TRUE(lost);
+  EXPECT_EQ(sched.stats().lost_to_departure, 1u);
+}
+
+TEST(TxScheduler, DepartureAwareBoostsFinishableJobs) {
+  sim::Simulator sim;
+  TxScheduler sched{sim, SchedulingPolicy::kDepartureAware, 100, duration::millis(100)};
+  const NodeId leaving{7};
+  // A long relaxed job hogs the FIFO head; the departing supplier's job
+  // can finish before departure only if boosted past it.
+  bool departing_done = false;
+  bool departing_lost = false;
+  sched.submit(5000, BenefitFunction::constant(), NodeId::invalid(), nullptr);
+  sched.submit(1500, BenefitFunction::constant(), leaving, [&](double, bool l) {
+    departing_done = !l;
+    departing_lost = l;
+  });
+  sched.announce_departure(leaving, duration::seconds(2));
+  sim.run_until(duration::seconds(10));
+  EXPECT_TRUE(departing_done);
+  EXPECT_FALSE(departing_lost);
+}
+
+TEST(TxScheduler, PlainPriorityLosesDepartingJob) {
+  // Ablation of the same scenario: kPriority (no departure awareness)
+  // keeps serving by deadline and loses the departing supplier's job.
+  sim::Simulator sim;
+  TxScheduler sched{sim, SchedulingPolicy::kPriority, 100, duration::millis(100)};
+  const NodeId leaving{7};
+  bool departing_lost = false;
+  // The competing job has an urgent deadline so plain priority prefers it.
+  sched.submit(5000, BenefitFunction::step(duration::seconds(3)), NodeId::invalid(), nullptr);
+  sched.submit(1500, BenefitFunction::linear(duration::minutes(1), duration::minutes(2)),
+               leaving, [&](double, bool l) { departing_lost = l; });
+  sched.announce_departure(leaving, duration::seconds(2));
+  sim.run_until(duration::seconds(10));
+  EXPECT_TRUE(departing_lost);
+}
+
+TEST(TxScheduler, DoesNotWasteBudgetOnLostCauses) {
+  sim::Simulator sim;
+  TxScheduler sched{sim, SchedulingPolicy::kDepartureAware, 100, duration::millis(100)};
+  const NodeId leaving{7};
+  // 50000 bytes cannot finish before a 2s departure at 1000 B/s: the
+  // scheduler must not starve the other job for it.
+  bool other_done = false;
+  sched.submit(50000, BenefitFunction::constant(), leaving, nullptr);
+  sched.submit(1000, BenefitFunction::step(duration::seconds(5)), NodeId::invalid(),
+               [&](double u, bool) { other_done = u > 0; });
+  sched.announce_departure(leaving, duration::seconds(2));
+  sim.run_until(duration::seconds(4));
+  EXPECT_TRUE(other_done);
+}
+
+TEST(TxScheduler, CancelRemovesJob) {
+  sim::Simulator sim;
+  TxScheduler sched{sim, SchedulingPolicy::kFifo, 10, duration::millis(100)};
+  bool fired = false;
+  const JobId id = sched.submit(10000, BenefitFunction::constant(), NodeId::invalid(),
+                                [&](double, bool) { fired = true; });
+  sched.cancel(id);
+  sim.run_until(duration::seconds(5));
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sched.queue_depth(), 0u);
+}
+
+TEST(Grid, SingleProcessorMakespanIsSum) {
+  std::vector<GridTask> tasks{{1, 100}, {2, 200}, {3, 300}};
+  const auto result = schedule_grid(tasks, 1, GridPolicy::kFcfs);
+  EXPECT_EQ(result.makespan, 600);
+  EXPECT_DOUBLE_EQ(result.imbalance, 1.0);
+}
+
+TEST(Grid, LptBeatsRoundRobinOnSkewedTasks) {
+  // Alternating long/short tasks: round-robin striping stacks every long
+  // task on processor 0.
+  std::vector<GridTask> tasks;
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    tasks.push_back({i, i % 2 == 0 ? duration::seconds(9) : duration::seconds(1)});
+  }
+  const auto lpt = schedule_grid(tasks, 2, GridPolicy::kLpt);
+  const auto rr = schedule_grid(tasks, 2, GridPolicy::kRoundRobin);
+  EXPECT_EQ(rr.makespan, duration::seconds(36));  // all four 9s on one processor
+  EXPECT_EQ(lpt.makespan, duration::seconds(20));  // 9+9+1+1 per processor
+}
+
+TEST(Grid, AllTasksAssignedExactlyOnce) {
+  std::vector<GridTask> tasks;
+  for (std::uint64_t i = 0; i < 37; ++i) tasks.push_back({i, static_cast<Time>(10 + i)});
+  for (const auto policy : {GridPolicy::kFcfs, GridPolicy::kLpt, GridPolicy::kRoundRobin}) {
+    const auto result = schedule_grid(tasks, 5, policy);
+    std::size_t total = 0;
+    for (const auto& p : result.per_processor) total += p.size();
+    EXPECT_EQ(total, 37u);
+  }
+}
+
+TEST(Grid, MakespanLowerBoundRespected) {
+  // Makespan >= total/m and >= max task, for every policy.
+  std::vector<GridTask> tasks{{0, 700}, {1, 300}, {2, 300}, {3, 300}, {4, 400}};
+  const Time total = 2000;
+  for (const auto policy : {GridPolicy::kFcfs, GridPolicy::kLpt, GridPolicy::kRoundRobin}) {
+    const auto result = schedule_grid(tasks, 2, policy);
+    EXPECT_GE(result.makespan, total / 2);
+    EXPECT_GE(result.makespan, 700);
+  }
+}
+
+TEST(Grid, LptWithinGrahamBound) {
+  // LPT is within 4/3 - 1/(3m) of optimal; optimal >= max(total/m, longest).
+  std::vector<GridTask> tasks;
+  Rng rng{17};
+  Time total = 0;
+  Time longest = 0;
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    const Time d = duration::millis(rng.uniform_int(10, 1000));
+    tasks.push_back({i, d});
+    total += d;
+    longest = std::max(longest, d);
+  }
+  const std::size_t m = 6;
+  const auto result = schedule_grid(tasks, m, GridPolicy::kLpt);
+  const double lower = std::max(static_cast<double>(total) / m, static_cast<double>(longest));
+  EXPECT_LE(static_cast<double>(result.makespan),
+            lower * (4.0 / 3.0 - 1.0 / (3.0 * m)) + 1.0);
+}
+
+}  // namespace
+}  // namespace ndsm::scheduling

@@ -1,0 +1,210 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace ndsm::sim {
+namespace {
+
+TEST(Simulator, StartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), 0);
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(Simulator, EventsRunInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(300, [&] { order.push_back(3); });
+  sim.schedule_at(100, [&] { order.push_back(1); });
+  sim.schedule_at(200, [&] { order.push_back(2); });
+  sim.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 300);
+}
+
+TEST(Simulator, TiesBreakByInsertionOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(50, [&order, i] { order.push_back(i); });
+  }
+  sim.run_all();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulator, ClockAdvancesDuringEvents) {
+  Simulator sim;
+  Time seen = -1;
+  sim.schedule_at(1234, [&] { seen = sim.now(); });
+  sim.run_all();
+  EXPECT_EQ(seen, 1234);
+}
+
+TEST(Simulator, ScheduleAfterIsRelative) {
+  Simulator sim;
+  Time seen = -1;
+  sim.schedule_at(100, [&] {
+    sim.schedule_after(50, [&] { seen = sim.now(); });
+  });
+  sim.run_all();
+  EXPECT_EQ(seen, 150);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool ran = false;
+  const EventId id = sim.schedule_at(10, [&] { ran = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(id));  // double cancel is a no-op
+  sim.run_all();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Simulator, CancelUnknownIsFalse) {
+  Simulator sim;
+  EXPECT_FALSE(sim.cancel(EventId{9999}));
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  std::vector<int> ran;
+  sim.schedule_at(100, [&] { ran.push_back(1); });
+  sim.schedule_at(200, [&] { ran.push_back(2); });
+  sim.schedule_at(301, [&] { ran.push_back(3); });
+  sim.run_until(300);
+  EXPECT_EQ(ran, (std::vector<int>{1, 2}));
+  EXPECT_EQ(sim.now(), 300);  // clock advanced to the deadline exactly
+  sim.run_until(400);
+  EXPECT_EQ(ran, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, RunUntilIncludesDeadlineEvents) {
+  Simulator sim;
+  bool ran = false;
+  sim.schedule_at(300, [&] { ran = true; });
+  sim.run_until(300);
+  EXPECT_TRUE(ran);
+}
+
+TEST(Simulator, StepReturnsFalseWhenEmpty) {
+  Simulator sim;
+  EXPECT_FALSE(sim.step());
+  sim.schedule_at(5, [] {});
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulator, EventsScheduledDuringRunExecute) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) sim.schedule_after(10, recurse);
+  };
+  sim.schedule_at(0, recurse);
+  sim.run_all();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(sim.now(), 40);
+}
+
+TEST(Simulator, ExecutedEventCountTracks) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) sim.schedule_at(i, [] {});
+  sim.run_all();
+  EXPECT_EQ(sim.executed_events(), 7u);
+}
+
+TEST(Simulator, RunAllRespectsMaxEvents) {
+  Simulator sim;
+  int count = 0;
+  std::function<void()> forever = [&] {
+    count++;
+    sim.schedule_after(1, forever);
+  };
+  sim.schedule_at(0, forever);
+  sim.run_all(100);
+  EXPECT_EQ(count, 100);
+}
+
+TEST(PeriodicTimer, FiresRepeatedly) {
+  Simulator sim;
+  int fires = 0;
+  PeriodicTimer timer{sim, 100, [&] { fires++; }};
+  timer.start();
+  sim.run_until(1000);
+  EXPECT_EQ(fires, 10);
+}
+
+TEST(PeriodicTimer, InitialDelayOverride) {
+  Simulator sim;
+  std::vector<Time> at;
+  PeriodicTimer timer{sim, 100, [&] { at.push_back(sim.now()); }};
+  timer.start(10);
+  sim.run_until(250);
+  EXPECT_EQ(at, (std::vector<Time>{10, 110, 210}));
+}
+
+TEST(PeriodicTimer, StopHalts) {
+  Simulator sim;
+  int fires = 0;
+  PeriodicTimer timer{sim, 100, [&] { fires++; }};
+  timer.start();
+  sim.run_until(350);
+  timer.stop();
+  sim.run_until(1000);
+  EXPECT_EQ(fires, 3);
+  EXPECT_FALSE(timer.running());
+}
+
+TEST(PeriodicTimer, StopFromWithinCallback) {
+  Simulator sim;
+  int fires = 0;
+  PeriodicTimer timer{sim, 100, [&] {
+                        if (++fires == 2) timer.stop();
+                      }};
+  timer.start();
+  sim.run_until(10000);
+  EXPECT_EQ(fires, 2);
+}
+
+TEST(PeriodicTimer, DestructionCancels) {
+  Simulator sim;
+  int fires = 0;
+  {
+    PeriodicTimer timer{sim, 100, [&] { fires++; }};
+    timer.start();
+    sim.run_until(150);
+  }
+  sim.run_until(1000);
+  EXPECT_EQ(fires, 1);
+}
+
+TEST(PeriodicTimer, RestartResetsPhase) {
+  Simulator sim;
+  std::vector<Time> at;
+  PeriodicTimer timer{sim, 100, [&] { at.push_back(sim.now()); }};
+  timer.start();
+  sim.run_until(150);  // fired at 100
+  timer.start();       // restart at t=150 -> next fire 250
+  sim.run_until(260);
+  EXPECT_EQ(at, (std::vector<Time>{100, 250}));
+}
+
+TEST(Determinism, SameSeedSameTrace) {
+  auto run = [](std::uint64_t seed) {
+    Simulator sim{seed};
+    std::vector<std::uint64_t> trace;
+    for (int i = 0; i < 50; ++i) {
+      sim.schedule_at(static_cast<Time>(sim.rng().uniform_int(0, 1000)),
+                      [&trace, &sim] { trace.push_back(static_cast<std::uint64_t>(sim.now())); });
+    }
+    sim.run_all();
+    return trace;
+  };
+  EXPECT_EQ(run(99), run(99));
+  EXPECT_NE(run(99), run(100));
+}
+
+}  // namespace
+}  // namespace ndsm::sim

@@ -1,0 +1,85 @@
+#pragma once
+// Shared fixtures: small simulated networks used across test suites.
+
+#include <memory>
+#include <vector>
+
+#include "net/link_spec.hpp"
+#include "net/world.hpp"
+#include "routing/distance_vector.hpp"
+#include "routing/flooding.hpp"
+#include "routing/global.hpp"
+#include "sim/simulator.hpp"
+#include "transport/reliable.hpp"
+
+namespace ndsm::testing {
+
+// A wired LAN: `n` mains-powered nodes on one ethernet segment, each with
+// a GlobalRouter and a ReliableTransport.
+struct Lan {
+  explicit Lan(std::size_t n, std::uint64_t seed = 42,
+               net::LinkSpec spec = net::ethernet100())
+      : sim(seed), world(sim) {
+    const MediumId medium = world.add_medium(std::move(spec));
+    table = std::make_shared<routing::GlobalRoutingTable>(world, routing::Metric::kHopCount);
+    for (std::size_t i = 0; i < n; ++i) {
+      const NodeId id = world.add_node(Vec2{static_cast<double>(i) * 10.0, 0.0});
+      world.attach(id, medium);
+      nodes.push_back(id);
+      routers.push_back(std::make_unique<routing::GlobalRouter>(world, id, table));
+      transports.push_back(std::make_unique<transport::ReliableTransport>(*routers.back()));
+    }
+  }
+
+  transport::ReliableTransport& transport(std::size_t i) { return *transports[i]; }
+  routing::Router& router(std::size_t i) { return *routers[i]; }
+
+  sim::Simulator sim;
+  net::World world;
+  std::shared_ptr<routing::GlobalRoutingTable> table;
+  std::vector<NodeId> nodes;
+  std::vector<std::unique_ptr<routing::GlobalRouter>> routers;
+  std::vector<std::unique_ptr<transport::ReliableTransport>> transports;
+};
+
+// A wireless multi-hop grid: nodes on a sqrt(n) x sqrt(n) lattice with
+// `spacing` metres between neighbours and radio range just over one hop.
+struct WirelessGrid {
+  explicit WirelessGrid(std::size_t n, double spacing = 20.0, std::uint64_t seed = 42,
+                        double battery_j = 1e9, double loss = 0.0)
+      : sim(seed), world(sim) {
+    const auto side = static_cast<std::size_t>(std::ceil(std::sqrt(static_cast<double>(n))));
+    // Range excludes lattice diagonals (spacing*sqrt(2) ≈ 1.41*spacing), so
+    // the grid is 4-connected and hop counts are Manhattan distances.
+    net::LinkSpec spec = net::wifi80211(spacing * 1.25, loss);
+    medium = world.add_medium(std::move(spec));
+    for (std::size_t i = 0; i < n; ++i) {
+      const Vec2 pos{static_cast<double>(i % side) * spacing,
+                     static_cast<double>(i / side) * spacing};
+      const NodeId id = world.add_node(pos, net::Battery{battery_j});
+      world.attach(id, medium);
+      nodes.push_back(id);
+    }
+  }
+
+  // Attach routers after construction so tests can pick the router type.
+  template <class RouterT, class... Args>
+  void with_routers(Args&&... args) {
+    for (const NodeId id : nodes) {
+      routers.push_back(std::make_unique<RouterT>(world, id, args...));
+      transports.push_back(std::make_unique<transport::ReliableTransport>(*routers.back()));
+    }
+  }
+
+  transport::ReliableTransport& transport(std::size_t i) { return *transports[i]; }
+  routing::Router& router(std::size_t i) { return *routers[i]; }
+
+  sim::Simulator sim;
+  net::World world;
+  MediumId medium;
+  std::vector<NodeId> nodes;
+  std::vector<std::unique_ptr<routing::Router>> routers;
+  std::vector<std::unique_ptr<transport::ReliableTransport>> transports;
+};
+
+}  // namespace ndsm::testing

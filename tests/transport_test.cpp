@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+#include "transport/reliable.hpp"
+
+namespace ndsm::transport {
+namespace {
+
+using testing::Lan;
+using testing::WirelessGrid;
+
+TEST(Transport, BasicDelivery) {
+  Lan lan{2};
+  Bytes got;
+  NodeId from;
+  lan.transport(1).set_receiver(ports::kApp, [&](NodeId src, const Bytes& b) {
+    got = b;
+    from = src;
+  });
+  ASSERT_TRUE(lan.transport(0).send(lan.nodes[1], ports::kApp, to_bytes("hello")).is_ok());
+  lan.sim.run_until(duration::seconds(1));
+  EXPECT_EQ(to_string(got), "hello");
+  EXPECT_EQ(from, lan.nodes[0]);
+}
+
+TEST(Transport, CompletionCallbackFiresOnAck) {
+  Lan lan{2};
+  lan.transport(1).set_receiver(ports::kApp, [](NodeId, const Bytes&) {});
+  bool completed = false;
+  Status result{ErrorCode::kInternal, "never set"};
+  lan.transport(0).send(lan.nodes[1], ports::kApp, to_bytes("x"), [&](Status s) {
+    completed = true;
+    result = s;
+  });
+  lan.sim.run_until(duration::seconds(1));
+  EXPECT_TRUE(completed);
+  EXPECT_TRUE(result.is_ok());
+}
+
+TEST(Transport, PortDemultiplexing) {
+  Lan lan{2};
+  std::string on_a;
+  std::string on_b;
+  lan.transport(1).set_receiver(ports::kApp, [&](NodeId, const Bytes& b) { on_a = to_string(b); });
+  lan.transport(1).set_receiver(ports::kRpc, [&](NodeId, const Bytes& b) { on_b = to_string(b); });
+  lan.transport(0).send(lan.nodes[1], ports::kApp, to_bytes("for-app"));
+  lan.transport(0).send(lan.nodes[1], ports::kRpc, to_bytes("for-rpc"));
+  lan.sim.run_until(duration::seconds(1));
+  EXPECT_EQ(on_a, "for-app");
+  EXPECT_EQ(on_b, "for-rpc");
+}
+
+TEST(Transport, LargeMessageFragmentsAndReassembles) {
+  Lan lan{2};
+  Bytes big(10000);
+  for (std::size_t i = 0; i < big.size(); ++i) big[i] = static_cast<std::uint8_t>(i * 7);
+  Bytes got;
+  lan.transport(1).set_receiver(ports::kApp, [&](NodeId, const Bytes& b) { got = b; });
+  ASSERT_TRUE(lan.transport(0).send(lan.nodes[1], ports::kApp, big).is_ok());
+  lan.sim.run_until(duration::seconds(2));
+  EXPECT_EQ(got, big);
+  // 10000 / 96 -> 105 fragments.
+  EXPECT_GE(lan.transport(0).stats().fragments_sent, 105u);
+}
+
+TEST(Transport, EmptyMessageDelivered) {
+  Lan lan{2};
+  bool got = false;
+  std::size_t len = 99;
+  lan.transport(1).set_receiver(ports::kApp, [&](NodeId, const Bytes& b) {
+    got = true;
+    len = b.size();
+  });
+  ASSERT_TRUE(lan.transport(0).send(lan.nodes[1], ports::kApp, Bytes{}).is_ok());
+  lan.sim.run_until(duration::seconds(1));
+  EXPECT_TRUE(got);
+  EXPECT_EQ(len, 0u);
+}
+
+TEST(Transport, SelfSendIsLocal) {
+  Lan lan{1};
+  Bytes got;
+  bool completed = false;
+  lan.transport(0).set_receiver(ports::kApp, [&](NodeId src, const Bytes& b) {
+    EXPECT_EQ(src, lan.nodes[0]);
+    got = b;
+  });
+  lan.transport(0).send(lan.nodes[0], ports::kApp, to_bytes("self"),
+                        [&](Status s) { completed = s.is_ok(); });
+  lan.sim.run_until(duration::millis(10));
+  EXPECT_EQ(to_string(got), "self");
+  EXPECT_TRUE(completed);
+}
+
+TEST(Transport, RecoversFromHeavyLoss) {
+  // 30% frame loss on a 2-node wireless link; retransmission must recover.
+  WirelessGrid grid{2, 20.0, 42, 1e9, /*loss=*/0.3};
+  grid.with_routers<routing::FloodingRouter>();
+  int delivered = 0;
+  grid.transport(1).set_receiver(ports::kApp, [&](NodeId, const Bytes&) { delivered++; });
+  int completed_ok = 0;
+  for (int i = 0; i < 20; ++i) {
+    grid.transport(0).send(grid.nodes[1], ports::kApp, to_bytes("msg"), [&](Status s) {
+      if (s.is_ok()) completed_ok++;
+    });
+  }
+  grid.sim.run_until(duration::seconds(30));
+  EXPECT_EQ(delivered, 20);
+  EXPECT_EQ(completed_ok, 20);
+  EXPECT_GT(grid.transport(0).stats().retransmissions, 0u);
+}
+
+TEST(Transport, NoDuplicateDeliveryUnderLoss) {
+  WirelessGrid grid{2, 20.0, 7, 1e9, /*loss=*/0.4};
+  grid.with_routers<routing::FloodingRouter>();
+  int delivered = 0;
+  grid.transport(1).set_receiver(ports::kApp, [&](NodeId, const Bytes&) { delivered++; });
+  for (int i = 0; i < 10; ++i) {
+    grid.transport(0).send(grid.nodes[1], ports::kApp, to_bytes("once"));
+  }
+  grid.sim.run_until(duration::seconds(60));
+  EXPECT_EQ(delivered, 10);  // exactly once each despite retransmits
+}
+
+TEST(Transport, FailureReportedWhenPeerDead) {
+  Lan lan{2};
+  lan.world.kill(lan.nodes[1]);
+  Status result;
+  lan.transport(0).send(lan.nodes[1], ports::kApp, to_bytes("x"),
+                        [&](Status s) { result = s; });
+  lan.sim.run_until(duration::minutes(2));
+  EXPECT_EQ(result.code(), ErrorCode::kTimeout);
+  EXPECT_EQ(lan.transport(0).stats().messages_failed, 1u);
+}
+
+TEST(Transport, ManyConcurrentMessagesAllComplete) {
+  Lan lan{4};
+  int delivered = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    lan.transport(i).set_receiver(ports::kApp, [&](NodeId, const Bytes&) { delivered++; });
+  }
+  int sent = 0;
+  for (std::size_t from = 0; from < 4; ++from) {
+    for (std::size_t to = 0; to < 4; ++to) {
+      if (from == to) continue;
+      for (int k = 0; k < 5; ++k) {
+        lan.transport(from).send(lan.nodes[to], ports::kApp, to_bytes("m"));
+        sent++;
+      }
+    }
+  }
+  lan.sim.run_until(duration::seconds(5));
+  EXPECT_EQ(delivered, sent);
+}
+
+TEST(Transport, MultiHopReliableDelivery) {
+  WirelessGrid grid{9, 20.0, 42, 1e9, /*loss=*/0.1};
+  grid.with_routers<routing::FloodingRouter>();
+  Bytes got;
+  grid.transport(8).set_receiver(ports::kApp, [&](NodeId, const Bytes& b) { got = b; });
+  Bytes payload(500, 0xaa);
+  bool ok = false;
+  grid.transport(0).send(grid.nodes[8], ports::kApp, payload,
+                         [&](Status s) { ok = s.is_ok(); });
+  grid.sim.run_until(duration::seconds(30));
+  EXPECT_EQ(got, payload);
+  EXPECT_TRUE(ok);
+}
+
+TEST(Transport, StatsTrackPayloadBytes) {
+  Lan lan{2};
+  lan.transport(1).set_receiver(ports::kApp, [](NodeId, const Bytes&) {});
+  lan.transport(0).send(lan.nodes[1], ports::kApp, Bytes(1234, 1));
+  lan.sim.run_until(duration::seconds(1));
+  EXPECT_EQ(lan.transport(0).stats().payload_bytes_sent, 1234u);
+  EXPECT_EQ(lan.transport(1).stats().payload_bytes_delivered, 1234u);
+  EXPECT_EQ(lan.transport(1).stats().messages_delivered, 1u);
+}
+
+TEST(Transport, RtoBackoffBoundsAttempts) {
+  Lan lan{2};
+  lan.world.kill(lan.nodes[1]);
+  TransportConfig cfg;
+  EXPECT_EQ(cfg.max_retries, 5);
+  Status result;
+  lan.transport(0).send(lan.nodes[1], ports::kApp, to_bytes("x"),
+                        [&](Status s) { result = s; });
+  lan.sim.run_until(duration::minutes(5));
+  // initial 200ms with x2 backoff, 5 retries: attempts at ~0.2,0.4,...
+  const auto& stats = lan.transport(0).stats();
+  EXPECT_EQ(stats.fragments_sent, 1u + 5u);  // initial + retries
+}
+
+}  // namespace
+}  // namespace ndsm::transport
