@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_discovery_mirroring.dir/bench_discovery_mirroring.cpp.o"
+  "CMakeFiles/bench_discovery_mirroring.dir/bench_discovery_mirroring.cpp.o.d"
+  "bench_discovery_mirroring"
+  "bench_discovery_mirroring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_discovery_mirroring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_discovery_modes.dir/bench_discovery_modes.cpp.o"
+  "CMakeFiles/bench_discovery_modes.dir/bench_discovery_modes.cpp.o.d"
+  "bench_discovery_modes"
+  "bench_discovery_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_discovery_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

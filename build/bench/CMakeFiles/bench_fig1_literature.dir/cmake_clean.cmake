@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_literature.dir/bench_fig1_literature.cpp.o"
+  "CMakeFiles/bench_fig1_literature.dir/bench_fig1_literature.cpp.o.d"
+  "bench_fig1_literature"
+  "bench_fig1_literature.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_literature.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

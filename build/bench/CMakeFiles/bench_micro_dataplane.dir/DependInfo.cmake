@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_micro_dataplane.cpp" "bench/CMakeFiles/bench_micro_dataplane.dir/bench_micro_dataplane.cpp.o" "gcc" "bench/CMakeFiles/bench_micro_dataplane.dir/bench_micro_dataplane.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ndsm_milan.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ndsm_scheduling.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ndsm_recovery.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ndsm_transactions.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ndsm_discovery.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ndsm_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ndsm_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ndsm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ndsm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ndsm_qos.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ndsm_interop.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ndsm_serialize.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ndsm_biblio.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ndsm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_network_independence.dir/bench_network_independence.cpp.o"
+  "CMakeFiles/bench_network_independence.dir/bench_network_independence.cpp.o.d"
+  "bench_network_independence"
+  "bench_network_independence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_network_independence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

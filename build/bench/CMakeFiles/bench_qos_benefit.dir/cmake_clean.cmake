@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_qos_benefit.dir/bench_qos_benefit.cpp.o"
+  "CMakeFiles/bench_qos_benefit.dir/bench_qos_benefit.cpp.o.d"
+  "bench_qos_benefit"
+  "bench_qos_benefit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_qos_benefit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

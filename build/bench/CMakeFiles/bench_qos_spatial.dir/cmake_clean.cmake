@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_qos_spatial.dir/bench_qos_spatial.cpp.o"
+  "CMakeFiles/bench_qos_spatial.dir/bench_qos_spatial.cpp.o.d"
+  "bench_qos_spatial"
+  "bench_qos_spatial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_qos_spatial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_routing_energy.dir/bench_routing_energy.cpp.o"
+  "CMakeFiles/bench_routing_energy.dir/bench_routing_energy.cpp.o.d"
+  "bench_routing_energy"
+  "bench_routing_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_routing_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

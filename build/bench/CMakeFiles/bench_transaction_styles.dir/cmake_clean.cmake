@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_transaction_styles.dir/bench_transaction_styles.cpp.o"
+  "CMakeFiles/bench_transaction_styles.dir/bench_transaction_styles.cpp.o.d"
+  "bench_transaction_styles"
+  "bench_transaction_styles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_transaction_styles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

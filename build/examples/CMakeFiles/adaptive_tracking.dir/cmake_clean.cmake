@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_tracking.dir/adaptive_tracking.cpp.o"
+  "CMakeFiles/adaptive_tracking.dir/adaptive_tracking.cpp.o.d"
+  "adaptive_tracking"
+  "adaptive_tracking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smart_office.dir/smart_office.cpp.o"
+  "CMakeFiles/smart_office.dir/smart_office.cpp.o.d"
+  "smart_office"
+  "smart_office.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smart_office.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

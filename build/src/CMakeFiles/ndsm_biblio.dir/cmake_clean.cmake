@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndsm_biblio.dir/biblio/corpus.cpp.o"
+  "CMakeFiles/ndsm_biblio.dir/biblio/corpus.cpp.o.d"
+  "libndsm_biblio.a"
+  "libndsm_biblio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndsm_biblio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ndsm_biblio.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndsm_common.dir/common/log.cpp.o"
+  "CMakeFiles/ndsm_common.dir/common/log.cpp.o.d"
+  "CMakeFiles/ndsm_common.dir/common/rng.cpp.o"
+  "CMakeFiles/ndsm_common.dir/common/rng.cpp.o.d"
+  "CMakeFiles/ndsm_common.dir/common/status.cpp.o"
+  "CMakeFiles/ndsm_common.dir/common/status.cpp.o.d"
+  "libndsm_common.a"
+  "libndsm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndsm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

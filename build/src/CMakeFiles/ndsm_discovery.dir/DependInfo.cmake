@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/discovery/adaptive.cpp" "src/CMakeFiles/ndsm_discovery.dir/discovery/adaptive.cpp.o" "gcc" "src/CMakeFiles/ndsm_discovery.dir/discovery/adaptive.cpp.o.d"
+  "/root/repo/src/discovery/centralized.cpp" "src/CMakeFiles/ndsm_discovery.dir/discovery/centralized.cpp.o" "gcc" "src/CMakeFiles/ndsm_discovery.dir/discovery/centralized.cpp.o.d"
+  "/root/repo/src/discovery/directory_server.cpp" "src/CMakeFiles/ndsm_discovery.dir/discovery/directory_server.cpp.o" "gcc" "src/CMakeFiles/ndsm_discovery.dir/discovery/directory_server.cpp.o.d"
+  "/root/repo/src/discovery/distributed.cpp" "src/CMakeFiles/ndsm_discovery.dir/discovery/distributed.cpp.o" "gcc" "src/CMakeFiles/ndsm_discovery.dir/discovery/distributed.cpp.o.d"
+  "/root/repo/src/discovery/gossip.cpp" "src/CMakeFiles/ndsm_discovery.dir/discovery/gossip.cpp.o" "gcc" "src/CMakeFiles/ndsm_discovery.dir/discovery/gossip.cpp.o.d"
+  "/root/repo/src/discovery/messages.cpp" "src/CMakeFiles/ndsm_discovery.dir/discovery/messages.cpp.o" "gcc" "src/CMakeFiles/ndsm_discovery.dir/discovery/messages.cpp.o.d"
+  "/root/repo/src/discovery/record.cpp" "src/CMakeFiles/ndsm_discovery.dir/discovery/record.cpp.o" "gcc" "src/CMakeFiles/ndsm_discovery.dir/discovery/record.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ndsm_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ndsm_qos.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ndsm_interop.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ndsm_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ndsm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ndsm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ndsm_serialize.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ndsm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

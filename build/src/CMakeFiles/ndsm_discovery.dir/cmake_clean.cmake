@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndsm_discovery.dir/discovery/adaptive.cpp.o"
+  "CMakeFiles/ndsm_discovery.dir/discovery/adaptive.cpp.o.d"
+  "CMakeFiles/ndsm_discovery.dir/discovery/centralized.cpp.o"
+  "CMakeFiles/ndsm_discovery.dir/discovery/centralized.cpp.o.d"
+  "CMakeFiles/ndsm_discovery.dir/discovery/directory_server.cpp.o"
+  "CMakeFiles/ndsm_discovery.dir/discovery/directory_server.cpp.o.d"
+  "CMakeFiles/ndsm_discovery.dir/discovery/distributed.cpp.o"
+  "CMakeFiles/ndsm_discovery.dir/discovery/distributed.cpp.o.d"
+  "CMakeFiles/ndsm_discovery.dir/discovery/gossip.cpp.o"
+  "CMakeFiles/ndsm_discovery.dir/discovery/gossip.cpp.o.d"
+  "CMakeFiles/ndsm_discovery.dir/discovery/messages.cpp.o"
+  "CMakeFiles/ndsm_discovery.dir/discovery/messages.cpp.o.d"
+  "CMakeFiles/ndsm_discovery.dir/discovery/record.cpp.o"
+  "CMakeFiles/ndsm_discovery.dir/discovery/record.cpp.o.d"
+  "libndsm_discovery.a"
+  "libndsm_discovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndsm_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

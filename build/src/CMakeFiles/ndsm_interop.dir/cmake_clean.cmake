@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndsm_interop.dir/interop/markup.cpp.o"
+  "CMakeFiles/ndsm_interop.dir/interop/markup.cpp.o.d"
+  "CMakeFiles/ndsm_interop.dir/interop/value_markup.cpp.o"
+  "CMakeFiles/ndsm_interop.dir/interop/value_markup.cpp.o.d"
+  "libndsm_interop.a"
+  "libndsm_interop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndsm_interop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndsm_milan.dir/milan/clustering.cpp.o"
+  "CMakeFiles/ndsm_milan.dir/milan/clustering.cpp.o.d"
+  "CMakeFiles/ndsm_milan.dir/milan/engine.cpp.o"
+  "CMakeFiles/ndsm_milan.dir/milan/engine.cpp.o.d"
+  "CMakeFiles/ndsm_milan.dir/milan/planner.cpp.o"
+  "CMakeFiles/ndsm_milan.dir/milan/planner.cpp.o.d"
+  "CMakeFiles/ndsm_milan.dir/milan/spec.cpp.o"
+  "CMakeFiles/ndsm_milan.dir/milan/spec.cpp.o.d"
+  "libndsm_milan.a"
+  "libndsm_milan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndsm_milan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndsm_net.dir/net/world.cpp.o"
+  "CMakeFiles/ndsm_net.dir/net/world.cpp.o.d"
+  "libndsm_net.a"
+  "libndsm_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndsm_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

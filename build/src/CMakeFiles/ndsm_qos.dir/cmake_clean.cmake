@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndsm_qos.dir/qos/benefit.cpp.o"
+  "CMakeFiles/ndsm_qos.dir/qos/benefit.cpp.o.d"
+  "CMakeFiles/ndsm_qos.dir/qos/matcher.cpp.o"
+  "CMakeFiles/ndsm_qos.dir/qos/matcher.cpp.o.d"
+  "CMakeFiles/ndsm_qos.dir/qos/spec.cpp.o"
+  "CMakeFiles/ndsm_qos.dir/qos/spec.cpp.o.d"
+  "libndsm_qos.a"
+  "libndsm_qos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndsm_qos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

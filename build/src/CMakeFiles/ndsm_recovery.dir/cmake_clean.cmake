@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndsm_recovery.dir/recovery/store.cpp.o"
+  "CMakeFiles/ndsm_recovery.dir/recovery/store.cpp.o.d"
+  "CMakeFiles/ndsm_recovery.dir/recovery/wal.cpp.o"
+  "CMakeFiles/ndsm_recovery.dir/recovery/wal.cpp.o.d"
+  "libndsm_recovery.a"
+  "libndsm_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndsm_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/routing/distance_vector.cpp" "src/CMakeFiles/ndsm_routing.dir/routing/distance_vector.cpp.o" "gcc" "src/CMakeFiles/ndsm_routing.dir/routing/distance_vector.cpp.o.d"
+  "/root/repo/src/routing/flooding.cpp" "src/CMakeFiles/ndsm_routing.dir/routing/flooding.cpp.o" "gcc" "src/CMakeFiles/ndsm_routing.dir/routing/flooding.cpp.o.d"
+  "/root/repo/src/routing/geographic.cpp" "src/CMakeFiles/ndsm_routing.dir/routing/geographic.cpp.o" "gcc" "src/CMakeFiles/ndsm_routing.dir/routing/geographic.cpp.o.d"
+  "/root/repo/src/routing/global.cpp" "src/CMakeFiles/ndsm_routing.dir/routing/global.cpp.o" "gcc" "src/CMakeFiles/ndsm_routing.dir/routing/global.cpp.o.d"
+  "/root/repo/src/routing/location.cpp" "src/CMakeFiles/ndsm_routing.dir/routing/location.cpp.o" "gcc" "src/CMakeFiles/ndsm_routing.dir/routing/location.cpp.o.d"
+  "/root/repo/src/routing/router.cpp" "src/CMakeFiles/ndsm_routing.dir/routing/router.cpp.o" "gcc" "src/CMakeFiles/ndsm_routing.dir/routing/router.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ndsm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ndsm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ndsm_serialize.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ndsm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

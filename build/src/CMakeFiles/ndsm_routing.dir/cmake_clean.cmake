@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndsm_routing.dir/routing/distance_vector.cpp.o"
+  "CMakeFiles/ndsm_routing.dir/routing/distance_vector.cpp.o.d"
+  "CMakeFiles/ndsm_routing.dir/routing/flooding.cpp.o"
+  "CMakeFiles/ndsm_routing.dir/routing/flooding.cpp.o.d"
+  "CMakeFiles/ndsm_routing.dir/routing/geographic.cpp.o"
+  "CMakeFiles/ndsm_routing.dir/routing/geographic.cpp.o.d"
+  "CMakeFiles/ndsm_routing.dir/routing/global.cpp.o"
+  "CMakeFiles/ndsm_routing.dir/routing/global.cpp.o.d"
+  "CMakeFiles/ndsm_routing.dir/routing/location.cpp.o"
+  "CMakeFiles/ndsm_routing.dir/routing/location.cpp.o.d"
+  "CMakeFiles/ndsm_routing.dir/routing/router.cpp.o"
+  "CMakeFiles/ndsm_routing.dir/routing/router.cpp.o.d"
+  "libndsm_routing.a"
+  "libndsm_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndsm_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

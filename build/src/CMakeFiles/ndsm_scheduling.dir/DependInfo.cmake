@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scheduling/grid.cpp" "src/CMakeFiles/ndsm_scheduling.dir/scheduling/grid.cpp.o" "gcc" "src/CMakeFiles/ndsm_scheduling.dir/scheduling/grid.cpp.o.d"
+  "/root/repo/src/scheduling/handoff.cpp" "src/CMakeFiles/ndsm_scheduling.dir/scheduling/handoff.cpp.o" "gcc" "src/CMakeFiles/ndsm_scheduling.dir/scheduling/handoff.cpp.o.d"
+  "/root/repo/src/scheduling/tx_scheduler.cpp" "src/CMakeFiles/ndsm_scheduling.dir/scheduling/tx_scheduler.cpp.o" "gcc" "src/CMakeFiles/ndsm_scheduling.dir/scheduling/tx_scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ndsm_transactions.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ndsm_discovery.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ndsm_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ndsm_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ndsm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ndsm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ndsm_qos.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ndsm_interop.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ndsm_serialize.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ndsm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

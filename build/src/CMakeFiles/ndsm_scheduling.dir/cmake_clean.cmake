@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndsm_scheduling.dir/scheduling/grid.cpp.o"
+  "CMakeFiles/ndsm_scheduling.dir/scheduling/grid.cpp.o.d"
+  "CMakeFiles/ndsm_scheduling.dir/scheduling/handoff.cpp.o"
+  "CMakeFiles/ndsm_scheduling.dir/scheduling/handoff.cpp.o.d"
+  "CMakeFiles/ndsm_scheduling.dir/scheduling/tx_scheduler.cpp.o"
+  "CMakeFiles/ndsm_scheduling.dir/scheduling/tx_scheduler.cpp.o.d"
+  "libndsm_scheduling.a"
+  "libndsm_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndsm_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndsm_serialize.dir/serialize/codec.cpp.o"
+  "CMakeFiles/ndsm_serialize.dir/serialize/codec.cpp.o.d"
+  "CMakeFiles/ndsm_serialize.dir/serialize/value.cpp.o"
+  "CMakeFiles/ndsm_serialize.dir/serialize/value.cpp.o.d"
+  "libndsm_serialize.a"
+  "libndsm_serialize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndsm_serialize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

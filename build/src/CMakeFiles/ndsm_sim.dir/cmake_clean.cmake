@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndsm_sim.dir/sim/simulator.cpp.o"
+  "CMakeFiles/ndsm_sim.dir/sim/simulator.cpp.o.d"
+  "libndsm_sim.a"
+  "libndsm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndsm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transactions/bridge.cpp" "src/CMakeFiles/ndsm_transactions.dir/transactions/bridge.cpp.o" "gcc" "src/CMakeFiles/ndsm_transactions.dir/transactions/bridge.cpp.o.d"
+  "/root/repo/src/transactions/events.cpp" "src/CMakeFiles/ndsm_transactions.dir/transactions/events.cpp.o" "gcc" "src/CMakeFiles/ndsm_transactions.dir/transactions/events.cpp.o.d"
+  "/root/repo/src/transactions/manager.cpp" "src/CMakeFiles/ndsm_transactions.dir/transactions/manager.cpp.o" "gcc" "src/CMakeFiles/ndsm_transactions.dir/transactions/manager.cpp.o.d"
+  "/root/repo/src/transactions/pubsub.cpp" "src/CMakeFiles/ndsm_transactions.dir/transactions/pubsub.cpp.o" "gcc" "src/CMakeFiles/ndsm_transactions.dir/transactions/pubsub.cpp.o.d"
+  "/root/repo/src/transactions/rpc.cpp" "src/CMakeFiles/ndsm_transactions.dir/transactions/rpc.cpp.o" "gcc" "src/CMakeFiles/ndsm_transactions.dir/transactions/rpc.cpp.o.d"
+  "/root/repo/src/transactions/tuple_space.cpp" "src/CMakeFiles/ndsm_transactions.dir/transactions/tuple_space.cpp.o" "gcc" "src/CMakeFiles/ndsm_transactions.dir/transactions/tuple_space.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ndsm_discovery.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ndsm_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ndsm_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ndsm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ndsm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ndsm_qos.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ndsm_interop.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ndsm_serialize.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ndsm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

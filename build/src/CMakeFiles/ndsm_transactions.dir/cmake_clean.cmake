@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndsm_transactions.dir/transactions/bridge.cpp.o"
+  "CMakeFiles/ndsm_transactions.dir/transactions/bridge.cpp.o.d"
+  "CMakeFiles/ndsm_transactions.dir/transactions/events.cpp.o"
+  "CMakeFiles/ndsm_transactions.dir/transactions/events.cpp.o.d"
+  "CMakeFiles/ndsm_transactions.dir/transactions/manager.cpp.o"
+  "CMakeFiles/ndsm_transactions.dir/transactions/manager.cpp.o.d"
+  "CMakeFiles/ndsm_transactions.dir/transactions/pubsub.cpp.o"
+  "CMakeFiles/ndsm_transactions.dir/transactions/pubsub.cpp.o.d"
+  "CMakeFiles/ndsm_transactions.dir/transactions/rpc.cpp.o"
+  "CMakeFiles/ndsm_transactions.dir/transactions/rpc.cpp.o.d"
+  "CMakeFiles/ndsm_transactions.dir/transactions/tuple_space.cpp.o"
+  "CMakeFiles/ndsm_transactions.dir/transactions/tuple_space.cpp.o.d"
+  "libndsm_transactions.a"
+  "libndsm_transactions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndsm_transactions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transport/reliable.cpp" "src/CMakeFiles/ndsm_transport.dir/transport/reliable.cpp.o" "gcc" "src/CMakeFiles/ndsm_transport.dir/transport/reliable.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ndsm_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ndsm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ndsm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ndsm_serialize.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ndsm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndsm_transport.dir/transport/reliable.cpp.o"
+  "CMakeFiles/ndsm_transport.dir/transport/reliable.cpp.o.d"
+  "libndsm_transport.a"
+  "libndsm_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndsm_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/biblio_test.dir/biblio_test.cpp.o"
+  "CMakeFiles/biblio_test.dir/biblio_test.cpp.o.d"
+  "biblio_test"
+  "biblio_test.pdb"
+  "biblio_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/biblio_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interop_test.dir/interop_test.cpp.o"
+  "CMakeFiles/interop_test.dir/interop_test.cpp.o.d"
+  "interop_test"
+  "interop_test.pdb"
+  "interop_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interop_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

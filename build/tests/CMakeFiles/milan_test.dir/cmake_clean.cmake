@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/milan_test.dir/milan_test.cpp.o"
+  "CMakeFiles/milan_test.dir/milan_test.cpp.o.d"
+  "milan_test"
+  "milan_test.pdb"
+  "milan_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/milan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transactions_test.dir/transactions_test.cpp.o"
+  "CMakeFiles/transactions_test.dir/transactions_test.cpp.o.d"
+  "transactions_test"
+  "transactions_test.pdb"
+  "transactions_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transactions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
