@@ -129,6 +129,9 @@ int main() {
   bench::row_sep();
   std::printf("degradation-onset gain from route control: %.2fx\n",
               base > 0 ? managed / base : 0.0);
+  bench::emit_json("ablation_milan_routing", "base_degradation_s", base,
+                   "managed_degradation_s", managed, "degradation_gain",
+                   base > 0 ? managed / base : 0.0);
   std::printf("note: lifetime and samples are conserved (each sample costs one rx+tx\n"
               "at a sink-adjacent relay; the pooled ingress energy is fixed), and\n"
               "MiLAN's sensor rotation already spreads relay load — so the routing\n"

@@ -78,13 +78,24 @@ int main() {
   std::printf("%-10s %-10s %10s %16s %16s %12s\n", "BER", "frag B", "delivered",
               "bytes/message", "retransmits", "latency ms");
   bench::row_sep();
+  int total_delivered = 0;
+  int best_frag_noisy = 0;
+  int best_delivered_noisy = -1;
   for (const double ber : {0.0, 2e-5, 1e-4}) {
     for (const std::size_t frag : {32u, 96u, 256u, 1000u}) {
       const Outcome o = run(frag, ber, 42);
       std::printf("%-10.0e %-10zu %10d %16.0f %16.0f %12.2f\n", ber, frag, o.delivered,
                   o.bytes_per_msg, o.retransmissions, o.latency_ms);
+      total_delivered += o.delivered;
+      if (ber == 1e-4 && o.delivered > best_delivered_noisy) {
+        best_delivered_noisy = o.delivered;
+        best_frag_noisy = static_cast<int>(frag);
+      }
     }
     bench::row_sep();
   }
+  bench::emit_json("ablation_transport", "total_delivered", total_delivered,
+                   "best_fragment_bytes_at_ber_1e4", best_frag_noisy,
+                   "best_delivered_at_ber_1e4", best_delivered_noisy);
   return 0;
 }

@@ -88,14 +88,26 @@ int main() {
   std::printf("%-14s %18s %18s %18s %14s\n", "organisation", "first death s",
               "alive @ 15 min", "bytes on wire", "sink packets");
   bench::row_sep();
+  Outcome direct;
+  Outcome clustered_out;
   for (const bool clustered : {false, true}) {
     const Outcome o = run(clustered, 42);
     std::printf("%-14s %18.1f %18zu %18llu %14llu\n",
                 clustered ? "clustered" : "direct", o.first_death_s, o.alive_at_end,
                 static_cast<unsigned long long>(o.bytes_on_wire),
                 static_cast<unsigned long long>(o.sink_packets));
+    (clustered ? clustered_out : direct) = o;
   }
   bench::row_sep();
+  bench::emit_json("clustering", "direct_first_death_s", direct.first_death_s,
+                   "clustered_first_death_s", clustered_out.first_death_s,
+                   "wire_bytes_ratio",
+                   clustered_out.bytes_on_wire > 0
+                       ? static_cast<double>(direct.bytes_on_wire) /
+                             static_cast<double>(clustered_out.bytes_on_wire)
+                       : 0.0,
+                   "clustered_alive_at_end",
+                   static_cast<std::uint64_t>(clustered_out.alive_at_end));
   std::printf("note: clustered sink packets are aggregates (one per head per 2 s\n"
               "frame), each summarizing a frame's readings from its cluster.\n");
   return 0;

@@ -98,13 +98,24 @@ int main() {
   std::printf("%-10s %-10s %14s %18s %12s\n", "mirrors", "rate Hz", "latency ms",
               "max queries/dir", "answered%");
   bench::row_sep();
+  Outcome single_hot;
+  Outcome mirrored_hot;
   for (const std::size_t mirrors : {1u, 2u, 4u, 8u}) {
     for (const double rate : {20.0, 80.0, 200.0}) {
       const Outcome o = run(mirrors, rate);
       std::printf("%-10zu %-10.0f %14.2f %18llu %12.1f\n", mirrors, rate, o.latency_ms,
                   static_cast<unsigned long long>(o.max_dir_load), o.answered_pct);
+      if (rate == 200.0) {
+        if (mirrors == 1) single_hot = o;
+        if (mirrors == 8) mirrored_hot = o;
+      }
     }
     bench::row_sep();
   }
+  bench::emit_json("discovery_mirroring", "latency_ms_1mirror_200hz",
+                   single_hot.latency_ms, "latency_ms_8mirrors_200hz",
+                   mirrored_hot.latency_ms, "answered_pct_8mirrors_200hz",
+                   mirrored_hot.answered_pct, "max_dir_load_8mirrors_200hz",
+                   mirrored_hot.max_dir_load);
   return 0;
 }

@@ -133,11 +133,15 @@ int main() {
   std::printf("%-6s %-13s %16s %12s %10s %s\n", "N", "mode", "bytes/query", "latency ms",
               "answered%", "adaptive-choice");
   bench::row_sep();
+  double min_answered_pct = 100.0;
+  std::string adaptive_choice_n64;
   for (const std::size_t n : {4u, 16u, 36u, 64u}) {
     for (const std::string mode : {"distributed", "centralized", "gossip", "adaptive"}) {
       const Outcome o = run(n, mode, 4.0);
       std::printf("%-6zu %-13s %16.0f %12.2f %10.1f %s\n", n, mode.c_str(),
                   o.bytes_per_query, o.latency_ms, o.answered_pct, o.mode_note.c_str());
+      if (o.answered_pct < min_answered_pct) min_answered_pct = o.answered_pct;
+      if (n == 64 && mode == "adaptive") adaptive_choice_n64 = o.mode_note;
     }
     bench::row_sep();
   }
@@ -180,5 +184,7 @@ int main() {
                     ? "  (reactive mode: registrations stay node-local)"
                     : "");
   }
+  bench::emit_json("discovery_modes", "min_answered_pct", min_answered_pct,
+                   "adaptive_choice_n64", adaptive_choice_n64);
   return 0;
 }

@@ -37,5 +37,11 @@ int main() {
               corpus.correlation({"middleware"}, {"distributed systems"}, 1989, 2001));
   std::printf("  corr(middleware, wireless network)    = %.3f\n",
               corpus.correlation({"middleware"}, {"wireless network"}, 1989, 2001));
+  bench::emit_json(
+      "fig1_literature", "corpus_size", static_cast<std::uint64_t>(corpus.size()),
+      "refs_2001", histogram.at(2001), "corr_network",
+      corpus.correlation({"middleware"}, {"network"}, 1989, 2001),
+      "corr_distributed_systems",
+      corpus.correlation({"middleware"}, {"distributed systems"}, 1989, 2001));
   return 0;
 }

@@ -5,6 +5,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_util.hpp"
 #include "common/rng.hpp"
 #include "interop/markup.hpp"
 #include "qos/matcher.hpp"
@@ -120,4 +121,14 @@ BENCHMARK(BM_WalRecordRoundTrip);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN() so we can append the machine-readable summary
+// line after google-benchmark's own report.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  const std::size_t ran = benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  bench::emit_json("micro_dataplane", "benchmarks_run",
+                   static_cast<std::uint64_t>(ran));
+  return 0;
+}

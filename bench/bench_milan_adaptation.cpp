@@ -135,5 +135,8 @@ int main() {
   bench::row_sep();
   std::printf("lifetime gain, MiLAN optimal vs all-on: %.2fx\n",
               all_on_lifetime > 0 ? optimal_lifetime / all_on_lifetime : 0.0);
+  bench::emit_json("milan_adaptation", "optimal_lifetime_s", optimal_lifetime,
+                   "all_on_lifetime_s", all_on_lifetime, "lifetime_gain",
+                   all_on_lifetime > 0 ? optimal_lifetime / all_on_lifetime : 0.0);
   return 0;
 }

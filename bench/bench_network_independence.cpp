@@ -125,8 +125,10 @@ int main() {
   bench::row_sep();
   const net::LinkSpec specs[] = {net::ethernet100(), net::atm155(), net::wifi80211(100, 0.01),
                                  net::bluetooth(10, 0.02)};
+  int correct_count = 0;
   for (const auto& spec : specs) {
     const Outcome o = run(spec);
+    if (o.correct) correct_count++;
     std::printf("%-16s %10s %16.3f %14llu %14.3f\n", spec.name.c_str(),
                 o.correct ? "yes" : "NO", o.rpc_latency_ms,
                 static_cast<unsigned long long>(o.bytes), o.energy_mj);
@@ -134,5 +136,7 @@ int main() {
   bench::row_sep();
   std::printf("note: the application code above this line never mentions the\n"
               "technology; the LinkSpec is the only difference between rows.\n");
+  bench::emit_json("network_independence", "technologies", 4, "all_correct",
+                   correct_count == 4);
   return 0;
 }

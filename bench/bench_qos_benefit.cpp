@@ -82,6 +82,8 @@ int main() {
   std::printf("%-8s %-10s %18s %18s %14s\n", "load", "policy", "realtime util %",
               "relaxed util %", "total util");
   bench::row_sep();
+  double fifo_rt_overload = 0;
+  double priority_rt_overload = 0;
   for (const double load : {0.5, 1.0, 2.0, 4.0}) {
     for (const auto policy :
          {scheduling::SchedulingPolicy::kFifo, scheduling::SchedulingPolicy::kPriority}) {
@@ -98,8 +100,17 @@ int main() {
       std::printf("%-8.1f %-10s %18.1f %18.1f %14.0f\n", load,
                   policy == scheduling::SchedulingPolicy::kFifo ? "fifo" : "priority",
                   rt / kTrials, rel / kTrials, tot / kTrials);
+      if (load == 4.0) {
+        if (policy == scheduling::SchedulingPolicy::kFifo) {
+          fifo_rt_overload = rt / kTrials;
+        } else {
+          priority_rt_overload = rt / kTrials;
+        }
+      }
     }
     bench::row_sep();
   }
+  bench::emit_json("qos_benefit", "fifo_realtime_util_pct_4x", fifo_rt_overload,
+                   "priority_realtime_util_pct_4x", priority_rt_overload);
   return 0;
 }

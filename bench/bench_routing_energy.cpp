@@ -86,6 +86,8 @@ int main() {
   std::printf("%-6s %-14s %18s %14s %20s %16s\n", "N", "metric", "first death s",
               "dead@10min", "delivered@1stdeath", "delivered total");
   bench::row_sep();
+  double gain_n49 = 0;
+  double base_n49 = 0;
   for (const std::size_t n : {25u, 49u}) {
     double gain = 0;
     double base = 0;
@@ -104,6 +106,13 @@ int main() {
     }
     std::printf("  -> first-death lifetime gain: %.2fx\n", base > 0 ? gain / base : 0.0);
     bench::row_sep();
+    if (n == 49) {
+      base_n49 = base;
+      gain_n49 = gain;
+    }
   }
+  bench::emit_json("routing_energy", "hop_first_death_s_n49", base_n49,
+                   "energy_first_death_s_n49", gain_n49, "lifetime_gain_n49",
+                   base_n49 > 0 ? gain_n49 / base_n49 : 0.0);
   return 0;
 }

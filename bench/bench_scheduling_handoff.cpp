@@ -94,6 +94,8 @@ int main() {
   std::printf("%-8s %-17s %22s %18s %14s\n", "load", "policy", "departing done %",
               "other done %", "utility");
   bench::row_sep();
+  double fifo_departing_2x = 0;
+  double aware_departing_2x = 0;
   for (const double load : {0.5, 1.0, 2.0}) {
     for (const auto policy :
          {scheduling::SchedulingPolicy::kFifo, scheduling::SchedulingPolicy::kPriority,
@@ -109,8 +111,18 @@ int main() {
       std::printf("%-8.1f %-17s %22.1f %18.1f %14.0f\n", load, name_of(policy),
                   sum.departing_completed_pct / kTrials, sum.other_completed_pct / kTrials,
                   sum.total_utility / kTrials);
+      if (load == 2.0) {
+        if (policy == scheduling::SchedulingPolicy::kFifo) {
+          fifo_departing_2x = sum.departing_completed_pct / kTrials;
+        } else if (policy == scheduling::SchedulingPolicy::kDepartureAware) {
+          aware_departing_2x = sum.departing_completed_pct / kTrials;
+        }
+      }
     }
     bench::row_sep();
   }
+  bench::emit_json("scheduling_handoff", "fifo_departing_done_pct_2x",
+                   fifo_departing_2x, "departure_aware_done_pct_2x",
+                   aware_departing_2x);
   return 0;
 }

@@ -232,6 +232,9 @@ int main() {
       {"pub-sub", run_pubsub},      {"tuple-space", run_tuple_space},
       {"rpc-poll", run_rpc_poll},
   };
+  obs::JsonObject summary;
+  summary.field("bench", std::string_view{"transaction_styles"});
+  int fully_delivered = 0;
   for (const auto& e : entries) {
     const Outcome o = e.fn();
     std::printf("%-14s %10d %14llu %12llu %14.0f %14.2f\n", e.name, o.delivered,
@@ -239,7 +242,13 @@ int main() {
                 static_cast<unsigned long long>(o.frames),
                 o.delivered > 0 ? static_cast<double>(o.bytes) / o.delivered : 0.0,
                 o.latency_ms);
+    if (o.delivered >= kReadings) fully_delivered++;
+    summary.field(std::string(e.name) + "_bytes_per_reading",
+                  o.delivered > 0 ? static_cast<double>(o.bytes) / o.delivered : 0.0);
   }
   bench::row_sep();
+  summary.field("styles_fully_delivered", fully_delivered);
+  std::printf("\nBENCH_JSON %s\n", summary.str().c_str());
+  std::fflush(stdout);
   return 0;
 }

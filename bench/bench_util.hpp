@@ -11,6 +11,7 @@
 
 #include "net/link_spec.hpp"
 #include "net/world.hpp"
+#include "obs/json.hpp"
 #include "routing/flooding.hpp"
 #include "routing/global.hpp"
 #include "sim/simulator.hpp"
@@ -23,6 +24,27 @@ inline void header(const std::string& id, const std::string& claim) {
   std::printf("%s\n", id.c_str());
   std::printf("claim: %s\n", claim.c_str());
   std::printf("================================================================\n");
+}
+
+// Machine-readable bench summary: every bench binary ends by emitting
+// exactly one line of the form
+//   BENCH_JSON {"bench":"milan_adaptation","lifetime_gain":1.42,...}
+// run_benches.sh strips the prefix and collects the JSON objects into
+// bench_metrics.jsonl. Keys alternate with values:
+//   emit_json("routing_energy", "lifetime_gain", 1.5, "nodes", 100);
+inline void emit_json_fields(obs::JsonObject&) {}
+template <class V, class... Rest>
+void emit_json_fields(obs::JsonObject& o, std::string_view key, V value, Rest&&... rest) {
+  o.field(key, value);
+  emit_json_fields(o, std::forward<Rest>(rest)...);
+}
+template <class... Fields>
+void emit_json(const std::string& bench, Fields&&... fields) {
+  obs::JsonObject o;
+  o.field("bench", bench);
+  emit_json_fields(o, std::forward<Fields>(fields)...);
+  std::printf("\nBENCH_JSON %s\n", o.str().c_str());
+  std::fflush(stdout);
 }
 
 inline void row_sep() {

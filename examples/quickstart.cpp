@@ -13,6 +13,8 @@
 #include "discovery/directory_server.hpp"
 #include "net/link_spec.hpp"
 #include "net/world.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "routing/global.hpp"
 #include "sim/simulator.hpp"
 #include "transactions/rpc.hpp"
@@ -21,6 +23,11 @@
 using namespace ndsm;
 
 int main() {
+  // Route log records onto the trace timeline (they come back out of
+  // trace.jsonl as "log" events with virtual-time stamps).
+  Logger::instance().set_level(LogLevel::kInfo);
+  Logger::instance().set_sink(obs::trace_log_sink());
+
   // --- substrate: a simulated network ---------------------------------------
   sim::Simulator sim{/*seed=*/1};
   net::World world{sim};
@@ -77,6 +84,8 @@ int main() {
           std::cout << "discovered " << best.qos.service_type << " on node "
                     << best.provider.value() << " (reliability "
                     << best.qos.reliability << ")\n";
+          NDSM_INFO("example.quickstart",
+                    "discovered thermometer on node " << best.provider.value());
           client.call(best.provider, "read", {}, [&](Result<Bytes> reply) {
             if (reply.is_ok()) {
               std::cout << "temperature: " << to_string(reply.value()) << " at t="
@@ -89,7 +98,24 @@ int main() {
         /*max_results=*/4, /*timeout=*/duration::seconds(2));
   });
 
-  sim.run_until(duration::seconds(5));
+  // Record the discovery round-trip as a trace span so trace.jsonl has a
+  // timed application-level event alongside the middleware's own events.
+  {
+    obs::SpanScope span{"example.quickstart", "run"};
+    span.kv("nodes", static_cast<std::uint64_t>(nodes.size()));
+    sim.run_until(duration::seconds(5));
+  }
   std::cout << "frames on the wire: " << world.stats().frames_sent << "\n";
+
+  // --- observability: dump every registered metric and the trace ring ------
+  obs::MetricsRegistry::instance().write_table(std::cout);
+  if (obs::MetricsRegistry::instance().dump_jsonl("metrics.jsonl")) {
+    std::cout << "wrote metrics.jsonl ("
+              << obs::MetricsRegistry::instance().snapshot().size() << " metrics)\n";
+  }
+  if (obs::Tracer::instance().dump_jsonl("trace.jsonl")) {
+    std::cout << "wrote trace.jsonl (" << obs::Tracer::instance().size()
+              << " events)\n";
+  }
   return 0;
 }

@@ -1,11 +1,30 @@
 #!/bin/bash
-# Regenerates every table/figure (DESIGN.md experiment index) into bench_output.txt.
+# Regenerates every table/figure (DESIGN.md experiment index) into
+# bench_output.txt, and collects each bench's machine-readable BENCH_JSON
+# summary line into bench_metrics.jsonl. Exits nonzero (listing the
+# offenders) if any bench fails.
 cd /root/repo
 : > bench_output.txt
+: > bench_metrics.jsonl
+failed=()
 for b in build/bench/*; do
   [ -x "$b" ] && [ -f "$b" ] || continue
-  echo "######## $(basename $b)" >> bench_output.txt
-  timeout 900 "$b" >> bench_output.txt 2>&1
-  echo "" >> bench_output.txt
+  name=$(basename "$b")
+  echo "######## $name" >> bench_output.txt
+  out=$(timeout 900 "$b" 2>&1)
+  status=$?
+  printf '%s\n\n' "$out" >> bench_output.txt
+  if [ $status -ne 0 ]; then
+    failed+=("$name (exit $status)")
+    continue
+  fi
+  printf '%s\n' "$out" | sed -n 's/^BENCH_JSON //p' >> bench_metrics.jsonl
 done
+if [ ${#failed[@]} -gt 0 ]; then
+  echo "BENCH FAILURES:" >&2
+  printf '  %s\n' "${failed[@]}" >&2
+  echo "BENCHES_FAILED" >> bench_output.txt
+  exit 1
+fi
 echo "ALL_BENCHES_DONE" >> bench_output.txt
+echo "wrote bench_output.txt and bench_metrics.jsonl ($(wc -l < bench_metrics.jsonl) summaries)"

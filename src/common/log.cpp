@@ -1,11 +1,13 @@
 #include "common/log.hpp"
 
-#include <iostream>
+#include <cstdio>
+
+#include "common/clock.hpp"
+#include "common/time.hpp"
 
 namespace ndsm {
-namespace {
 
-const char* level_name(LogLevel level) {
+const char* log_level_name(LogLevel level) {
   switch (level) {
     case LogLevel::kTrace: return "TRACE";
     case LogLevel::kDebug: return "DEBUG";
@@ -17,15 +19,36 @@ const char* level_name(LogLevel level) {
   return "?";
 }
 
-}  // namespace
-
 Logger& Logger::instance() {
   static Logger logger;
   return logger;
 }
 
+void Logger::flush() { std::fflush(stderr); }
+
 void Logger::write(LogLevel level, const std::string& component, const std::string& message) {
-  std::cerr << "[" << level_name(level) << "] " << component << ": " << message << "\n";
+  // Render the whole record into one buffer so concurrent/interleaved
+  // writers emit whole lines, then hand it off in a single call.
+  std::string line;
+  line.reserve(32 + component.size() + message.size());
+  const Time now = global_sim_time();
+  if (now != kClockUnbound) {
+    line += "[";
+    line += format_time(now);
+    line += "] ";
+  }
+  line += "[";
+  line += log_level_name(level);
+  line += "] ";
+  line += component;
+  line += ": ";
+  line += message;
+  if (sink_) {
+    sink_(level, component, line);
+    return;
+  }
+  line += "\n";
+  std::fwrite(line.data(), 1, line.size(), stderr);
 }
 
 }  // namespace ndsm

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/log.hpp"
+#include "obs/trace.hpp"
 
 namespace ndsm::discovery {
 
@@ -22,6 +23,11 @@ AdaptiveDiscovery::AdaptiveDiscovery(transport::ReliableTransport& transport,
       return static_cast<double>(distributed_.cache_size() + registrations_.size() + 2);
     };
   }
+  register_stats_metrics("adaptive", static_cast<std::int64_t>(transport.self().value()));
+  metrics_.counter("discovery.adaptive.mode_switches", &switches_);
+  metrics_.gauge("discovery.adaptive.mode", [this] {
+    return mode_ == DiscoveryMode::kCentralized ? 0.0 : 1.0;
+  });
   evaluator_.start();
 }
 
@@ -105,6 +111,11 @@ void AdaptiveDiscovery::switch_mode(DiscoveryMode to) {
   }
   mode_ = to;
   switches_++;
+  obs::Tracer::instance().event(
+      "discovery.adaptive", "mode_switch", static_cast<std::int64_t>(transport_.self().value()),
+      {{"to", to == DiscoveryMode::kCentralized ? "centralized" : "distributed"},
+       {"query_rate", std::to_string(query_rate_)},
+       {"churn_rate", std::to_string(churn_rate_)}});
   for (auto& [facade_id, reg] : registrations_) {
     reg.sub_id = active().register_service(reg.qos, reg.lease);
   }

@@ -13,6 +13,7 @@ CentralizedDiscovery::CentralizedDiscovery(transport::ReliableTransport& transpo
   // Stagger round-robin start positions across clients so synchronized
   // query waves do not all land on the same mirror.
   rr_next_ = static_cast<std::size_t>(transport.self().value());
+  register_stats_metrics("centralized", static_cast<std::int64_t>(transport.self().value()));
   transport_.set_receiver(transport::ports::kDiscoveryReplyCent,
                           [this](NodeId src, const Bytes& b) { on_message(src, b); });
 }

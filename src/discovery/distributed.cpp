@@ -14,6 +14,7 @@ DistributedDiscovery::DistributedDiscovery(transport::ReliableTransport& transpo
                   config.advertise_period > 0 ? config.advertise_period
                                               : duration::seconds(1),
                   [this] { advertise(); }) {
+  register_stats_metrics("distributed", static_cast<std::int64_t>(transport.self().value()));
   transport_.router().set_delivery_handler(
       routing::Proto::kDiscovery,
       [this](NodeId origin, const Bytes& b) { on_flood(origin, b); });

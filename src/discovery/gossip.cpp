@@ -18,6 +18,12 @@ GossipDiscovery::GossipDiscovery(transport::ReliableTransport& transport,
       peers_(std::move(seed_peers)),
       timer_(transport.router().world().sim(), config.gossip_period, [this] { gossip(); }) {
   peers_.erase(std::remove(peers_.begin(), peers_.end(), transport_.self()), peers_.end());
+  register_stats_metrics("gossip", static_cast<std::int64_t>(transport.self().value()));
+  metrics_.counter("discovery.gossip.rounds", &rounds_);
+  metrics_.gauge("discovery.gossip.cache_size",
+                 [this] { return static_cast<double>(cache_.size()); });
+  metrics_.gauge("discovery.gossip.peers",
+                 [this] { return static_cast<double>(peers_.size()); });
   transport_.set_receiver(kGossipPort,
                           [this](NodeId src, const Bytes& b) { on_gossip(src, b); });
   timer_.start(duration::millis(rng_.uniform_int(1, 1000)));

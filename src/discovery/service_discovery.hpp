@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "discovery/record.hpp"
+#include "obs/metrics.hpp"
 #include "qos/spec.hpp"
 
 namespace ndsm::discovery {
@@ -43,7 +44,21 @@ class ServiceDiscovery {
   [[nodiscard]] const DiscoveryStats& stats() const { return stats_; }
 
  protected:
+  // Each concrete mode calls this from its constructor to publish the
+  // shared stats under `discovery.<mode>.*` with its own node label.
+  void register_stats_metrics(const std::string& mode, std::int64_t node) {
+    const std::string prefix = "discovery." + mode;
+    metrics_.set_labels(prefix, node);
+    metrics_.counter(prefix + ".registrations", &stats_.registrations);
+    metrics_.counter(prefix + ".unregistrations", &stats_.unregistrations);
+    metrics_.counter(prefix + ".queries_issued", &stats_.queries_issued);
+    metrics_.counter(prefix + ".queries_answered", &stats_.queries_answered);
+    metrics_.counter(prefix + ".queries_empty", &stats_.queries_empty);
+    metrics_.counter(prefix + ".records_received", &stats_.records_received);
+  }
+
   DiscoveryStats stats_;
+  obs::MetricGroup metrics_;
 };
 
 // Globally-unique service ids minted client-side: provider node id in the

@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "common/log.hpp"
+#include "obs/trace.hpp"
 #include "serialize/codec.hpp"
 
 namespace ndsm::milan {
@@ -22,6 +23,29 @@ MilanEngine::MilanEngine(net::World& world, NodeId sink,
       state_(app_.initial_state),
       replanner_(world.sim(), config.replan_interval, [this] { replan(); }) {
   assert(app_.states.count(state_) > 0 && "initial state must exist");
+  register_metrics();
+}
+
+void MilanEngine::register_metrics() {
+  metrics_.set_labels("milan.engine", static_cast<std::int64_t>(sink_.value()));
+  metrics_.counter("milan.engine.plans", &stats_.plans);
+  metrics_.counter("milan.engine.replans_on_death", &stats_.replans_on_death);
+  metrics_.counter("milan.engine.replans_on_state", &stats_.replans_on_state);
+  metrics_.counter("milan.engine.samples_sent", &stats_.samples_sent);
+  metrics_.counter("milan.engine.samples_delivered", &stats_.samples_delivered);
+  metrics_.gauge("milan.engine.feasible", [this] { return plan_.feasible ? 1.0 : 0.0; });
+  metrics_.gauge("milan.engine.active_components",
+                 [this] { return static_cast<double>(plan_.active.size()); });
+  metrics_.gauge("milan.engine.estimated_lifetime_s",
+                 [this] { return plan_.estimated_lifetime_s; });
+  metrics_.gauge("milan.engine.plan_benefit", [this] {
+    // Mean per-variable achieved reliability of the current plan — the
+    // paper's application-QoS "benefit" of the active set.
+    if (!plan_.feasible || plan_.achieved.empty()) return 0.0;
+    double sum = 0.0;
+    for (const auto& [variable, reliability] : plan_.achieved) sum += reliability;
+    return sum / static_cast<double>(plan_.achieved.size());
+  });
 }
 
 MilanEngine::~MilanEngine() { stop(); }
@@ -140,10 +164,16 @@ void MilanEngine::on_node_death(NodeId node) {
 
 void MilanEngine::replan() {
   if (!running_) return;
+  obs::SpanScope span("milan.engine", "replan", static_cast<std::int64_t>(sink_.value()));
   routes_->invalidate();  // plan against fresh routes and batteries
   const PlanInput input = make_plan_input();
   plan_ = plan_components(input, config_.strategy, &rng_);
   stats_.plans++;
+  span.kv("state", state_);
+  span.kv("feasible", plan_.feasible);
+  span.kv("active", static_cast<std::uint64_t>(plan_.active.size()));
+  span.kv("candidates", static_cast<std::uint64_t>(input.components.size()));
+  span.kv("lifetime_s", plan_.estimated_lifetime_s);
   if (!plan_.feasible && stats_.first_infeasible_at < 0) {
     stats_.first_infeasible_at = world_.sim().now();
     NDSM_INFO("milan", "application infeasible at " << format_time(world_.sim().now()));

@@ -18,6 +18,7 @@
 
 #include "milan/planner.hpp"
 #include "net/world.hpp"
+#include "obs/metrics.hpp"
 #include "routing/global.hpp"
 #include "sim/simulator.hpp"
 #include "transactions/events.hpp"
@@ -79,6 +80,7 @@ class MilanEngine {
   void set_event_channel(transactions::EventChannel* channel) { events_ = channel; }
 
  private:
+  void register_metrics();
   void replan();
   void activate(const Plan& plan);
   void sample(ComponentId id);
@@ -99,6 +101,7 @@ class MilanEngine {
   Plan plan_;
   bool running_ = false;
   EngineStats stats_;
+  obs::MetricGroup metrics_;
   std::function<void(const Plan&)> on_replan_;
   transactions::EventChannel* events_ = nullptr;
   net::World::DeathHandler chained_death_;

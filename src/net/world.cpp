@@ -6,17 +6,60 @@
 #include <limits>
 
 #include "common/log.hpp"
+#include "obs/trace.hpp"
 
 namespace ndsm::net {
+
+void World::register_metrics() {
+  metrics_.set_labels("net.world");
+  metrics_.counter("net.world.frames_sent", &stats_.frames_sent);
+  metrics_.counter("net.world.frames_delivered", &stats_.frames_delivered);
+  metrics_.counter("net.world.frames_lost", &stats_.frames_lost);
+  metrics_.counter("net.world.bytes_on_wire", &stats_.bytes_on_wire);
+  metrics_.gauge("net.world.nodes_alive", [this] {
+    double alive = 0;
+    for (const Node& n : nodes_) alive += n.alive ? 1 : 0;
+    return alive;
+  });
+  metrics_.gauge("net.world.energy_consumed_j", [this] {
+    double consumed = 0;
+    for (const Node& n : nodes_) {
+      if (n.battery.finite()) consumed += n.battery.initial() - n.battery.remaining();
+    }
+    return consumed;
+  });
+}
 
 MediumId World::add_medium(LinkSpec spec) {
   media_.push_back(Medium{std::move(spec), {}});
   return MediumId{media_.size() - 1};
 }
 
+// Per-node series. The Node lives in a reallocating vector, so these are
+// pull callbacks through the stable (World*, NodeId) pair rather than
+// field pointers.
+void World::register_node_metrics(NodeId id) {
+  obs::MetricGroup& g = metrics_;  // node metrics share the World's lifetime
+  const obs::MetricLabels saved = g.labels();
+  g.set_labels("net.world", static_cast<std::int64_t>(id.value()));
+  g.counter_fn("net.world.node.frames_sent", [this, id] { return node(id).stats.frames_sent; });
+  g.counter_fn("net.world.node.frames_received",
+               [this, id] { return node(id).stats.frames_received; });
+  g.counter_fn("net.world.node.bytes_sent", [this, id] { return node(id).stats.bytes_sent; });
+  g.counter_fn("net.world.node.bytes_received",
+               [this, id] { return node(id).stats.bytes_received; });
+  g.gauge("net.world.node.battery_j", [this, id] {
+    const Battery& b = node(id).battery;
+    return b.finite() ? b.remaining() : -1.0;
+  });
+  g.set_labels(saved.component, saved.node);
+}
+
 NodeId World::add_node(Vec2 position, Battery battery) {
   nodes_.push_back(Node{position, battery, true, {}, {}, {}, EventId::invalid()});
-  return NodeId{nodes_.size() - 1};
+  const NodeId id{nodes_.size() - 1};
+  register_node_metrics(id);
+  return id;
 }
 
 void World::attach(NodeId node_id, MediumId medium_id) {
@@ -89,6 +132,9 @@ void World::kill(NodeId id) {
     n.motion = EventId::invalid();
   }
   NDSM_DEBUG("net", "node " << id.value() << " died at " << format_time(sim_.now()));
+  obs::Tracer::instance().event("net.world", "node_death",
+                                static_cast<std::int64_t>(id.value()),
+                                {{"battery_depleted", n.battery.depleted() ? "true" : "false"}});
   if (on_death_) on_death_(id);
 }
 

@@ -17,6 +17,7 @@
 #include "common/vec2.hpp"
 #include "net/energy.hpp"
 #include "net/link_spec.hpp"
+#include "obs/metrics.hpp"
 #include "sim/simulator.hpp"
 
 namespace ndsm::net {
@@ -60,7 +61,9 @@ class World {
   using LinkHandler = std::function<void(const LinkFrame&)>;
   using DeathHandler = std::function<void(NodeId)>;
 
-  explicit World(sim::Simulator& sim) : sim_(sim), rng_(sim.rng().fork(0x9e11d)) {}
+  explicit World(sim::Simulator& sim) : sim_(sim), rng_(sim.rng().fork(0x9e11d)) {
+    register_metrics();
+  }
 
   World(const World&) = delete;
   World& operator=(const World&) = delete;
@@ -166,6 +169,8 @@ class World {
   void deliver(NodeId dst, LinkFrame frame, Time delay, std::size_t wire_bytes);
   bool charge_tx(NodeId src, const LinkSpec& spec, std::size_t wire_bytes, double distance_m);
   void charge_rx(NodeId dst, const LinkSpec& spec, std::size_t wire_bytes);
+  void register_metrics();
+  void register_node_metrics(NodeId id);
 
   sim::Simulator& sim_;
   Rng rng_;
@@ -174,6 +179,8 @@ class World {
   std::vector<Medium> media_;
   WorldStats stats_;
   DeathHandler on_death_;
+  // Declared last: the registry views point at stats_/nodes_ above.
+  obs::MetricGroup metrics_;
 };
 
 }  // namespace ndsm::net

@@ -1,0 +1,52 @@
+#pragma once
+// Minimal JSON emission for the observability exporters and the bench
+// harness. Only what the JSON-lines formats need: escaped strings and a
+// flat single-object builder. No parsing, no nesting (exporters emit one
+// object per line; nested data is flattened into dotted keys upstream).
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace ndsm::obs {
+
+// RFC 8259 string escaping (quotes, backslash, control characters).
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+// Doubles rendered so that round numbers stay short ("3" not "3.000000")
+// and NaN/Inf — which JSON cannot represent — degrade to null.
+[[nodiscard]] std::string json_number(double v);
+
+// Builds one flat JSON object, field insertion order preserved.
+//
+//   JsonObject o;
+//   o.field("bench", "E6").field("nodes", 100).field("gain", 1.42);
+//   o.str()  ->  {"bench":"E6","nodes":100,"gain":1.42}
+class JsonObject {
+ public:
+  JsonObject& field(std::string_view key, std::string_view value);
+  JsonObject& field(std::string_view key, const char* value) {
+    return field(key, std::string_view{value});
+  }
+  JsonObject& field(std::string_view key, double value);
+  JsonObject& field(std::string_view key, std::int64_t value);
+  JsonObject& field(std::string_view key, std::uint64_t value);
+  JsonObject& field(std::string_view key, int value) {
+    return field(key, static_cast<std::int64_t>(value));
+  }
+  JsonObject& field(std::string_view key, unsigned value) {
+    return field(key, static_cast<std::uint64_t>(value));
+  }
+  JsonObject& field(std::string_view key, bool value);
+  // Pre-rendered JSON (arrays, nested objects) spliced in verbatim.
+  JsonObject& raw_field(std::string_view key, std::string_view json);
+
+  [[nodiscard]] std::string str() const { return body_ + "}"; }
+  [[nodiscard]] bool empty() const { return body_.size() == 1; }
+
+ private:
+  void key(std::string_view k);
+  std::string body_ = "{";
+};
+
+}  // namespace ndsm::obs

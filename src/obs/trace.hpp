@@ -1,0 +1,123 @@
+#pragma once
+// Sim-time tracer: a bounded ring buffer of typed trace records stamped
+// with *virtual* time (the bound Simulator's clock via common/clock), so a
+// trace from a 10-hour simulated run reads in simulated seconds no matter
+// how fast wall-clock execution was.
+//
+// Two record shapes share one type:
+//   * instant events  — duration < 0 (node death, replan, query answered)
+//   * spans           — duration >= 0, written by the RAII SpanScope whose
+//                       destructor measures elapsed virtual time
+//
+// The ring holds the most recent `capacity` records; older records are
+// overwritten (recorded() keeps the lifetime total so wraparound is
+// detectable). Control-plane events only — per-packet hot paths use
+// metrics, not trace records.
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/log.hpp"
+#include "common/time.hpp"
+
+namespace ndsm::obs {
+
+struct TraceEvent {
+  Time at = 0;         // virtual time the event fired (span: start time)
+  Time duration = -1;  // virtual-time span length; -1 for instant events
+  std::string component;
+  std::string name;
+  std::int64_t node = -1;
+  std::vector<std::pair<std::string, std::string>> kv;
+
+  [[nodiscard]] bool is_span() const { return duration >= 0; }
+};
+
+class Tracer {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 4096;
+
+  explicit Tracer(std::size_t capacity = kDefaultCapacity);
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  // Process-wide default tracer used by the instrumented layers.
+  static Tracer& instance();
+
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  // Push a fully-formed record (caller fills `at`; event() and SpanScope
+  // stamp virtual time for you).
+  void record(TraceEvent ev);
+
+  // Convenience: instant event stamped now.
+  void event(std::string component, std::string name, std::int64_t node = -1,
+             std::vector<std::pair<std::string, std::string>> kv = {});
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  // Drops all buffered records.
+  void set_capacity(std::size_t capacity);
+  [[nodiscard]] std::size_t size() const;
+  // Lifetime total, including records already overwritten by wraparound.
+  [[nodiscard]] std::uint64_t recorded() const { return total_; }
+  void clear();
+
+  // Buffered records, oldest first.
+  [[nodiscard]] std::vector<TraceEvent> snapshot() const;
+
+  // One JSON object per line:
+  //   {"t_us":1523000,"component":"milan.engine","name":"replan",
+  //    "dur_us":0,"kv":{"feasible":"true","active":"3"}}
+  void write_jsonl(std::ostream& out) const;
+  bool dump_jsonl(const std::string& path) const;
+
+ private:
+  bool enabled_ = true;
+  std::size_t capacity_;
+  std::vector<TraceEvent> ring_;
+  std::size_t head_ = 0;     // next write position once the ring is full
+  std::uint64_t total_ = 0;  // lifetime record count
+};
+
+// RAII span: measures elapsed virtual time between construction and
+// destruction and records one span event.
+//
+//   { obs::SpanScope span("milan.engine", "replan", node);
+//     span.kv("state", state_);  ...  }
+class SpanScope {
+ public:
+  SpanScope(std::string component, std::string name, std::int64_t node = -1,
+            Tracer& tracer = Tracer::instance());
+  ~SpanScope();
+
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+
+  void kv(std::string key, std::string value) {
+    ev_.kv.emplace_back(std::move(key), std::move(value));
+  }
+  void kv(std::string key, std::int64_t value) { kv(std::move(key), std::to_string(value)); }
+  void kv(std::string key, std::uint64_t value) { kv(std::move(key), std::to_string(value)); }
+  void kv(std::string key, double value);
+  void kv(std::string key, bool value) {
+    kv(std::move(key), std::string(value ? "true" : "false"));
+  }
+
+ private:
+  Tracer& tracer_;
+  TraceEvent ev_;
+};
+
+// Logger sink that turns every log record into a trace event (name "log",
+// kv: level + message), so log output lands on the same virtual timeline
+// as spans and metrics events:
+//   Logger::instance().set_sink(obs::trace_log_sink());
+[[nodiscard]] Logger::Sink trace_log_sink(Tracer& tracer = Tracer::instance());
+
+}  // namespace ndsm::obs

@@ -167,6 +167,7 @@ void DistanceVectorRouter::on_frame(const net::LinkFrame& frame) {
       break;
     case RoutingKind::kData:
       if (h.dst == self_) {
+        record_delivery_hops(kDefaultTtl - static_cast<int>(h.ttl) + 1);
         deliver_local(h.origin, h.upper, payload);
         return;
       }

@@ -130,6 +130,7 @@ void GeoRouter::on_frame(const net::LinkFrame& frame) {
     }
     case RoutingKind::kData:
       if (h.dst == self_) {
+        record_delivery_hops(kDefaultTtl - static_cast<int>(h.ttl) + 1);
         deliver_local(h.origin, h.upper, payload);
         return;
       }

@@ -12,7 +12,11 @@ GlobalRoutingTable::GlobalRoutingTable(net::World& world, Metric metric,
     : world_(world),
       metric_(metric),
       reference_payload_(reference_payload_bytes),
-      refresh_interval_(refresh_interval) {}
+      refresh_interval_(refresh_interval) {
+  metrics_.set_labels("routing.global");
+  metrics_.counter("routing.global.recomputations", &recomputations_);
+  metrics_.counter("routing.global.invalidations", &invalidations_);
+}
 
 double GlobalRoutingTable::link_cost(NodeId a, NodeId b) const {
   switch (metric_) {
@@ -86,7 +90,10 @@ bool GlobalRoutingTable::reachable(NodeId from, NodeId to) {
   return from == to || next_hop(from, to).valid();
 }
 
-void GlobalRoutingTable::invalidate() { cache_.clear(); }
+void GlobalRoutingTable::invalidate() {
+  invalidations_++;
+  cache_.clear();
+}
 
 GlobalRouter::GlobalRouter(net::World& world, NodeId self,
                            std::shared_ptr<GlobalRoutingTable> table)
@@ -163,6 +170,9 @@ void GlobalRouter::on_frame(const net::LinkFrame& frame) {
   switch (h.kind) {
     case RoutingKind::kData:
       if (h.dst == self_) {
+        // TTL is decremented per relay, so remaining TTL gives link hops:
+        // direct neighbour = 1 hop (no decrement), each relay adds one.
+        record_delivery_hops(kDefaultTtl - static_cast<int>(h.ttl) + 1);
         deliver_local(h.origin, h.upper, payload);
         return;
       }

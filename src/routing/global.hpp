@@ -62,6 +62,8 @@ class GlobalRoutingTable {
   Time refresh_interval_;
   std::unordered_map<NodeId, SourceRoutes> cache_;
   std::uint64_t recomputations_ = 0;
+  std::uint64_t invalidations_ = 0;
+  obs::MetricGroup metrics_;
 };
 
 class GlobalRouter : public Router {

@@ -19,6 +19,7 @@
 #include "common/ids.hpp"
 #include "common/status.hpp"
 #include "net/world.hpp"
+#include "obs/metrics.hpp"
 
 namespace ndsm::routing {
 
@@ -53,7 +54,8 @@ class Router {
   // origin = the node that sent the payload end-to-end.
   using DeliveryHandler = std::function<void(NodeId origin, const Bytes& payload)>;
 
-  Router(net::World& world, NodeId self) : world_(world), self_(self) {}
+  Router(net::World& world, NodeId self)
+      : world_(world), self_(self), hops_hist_(register_metrics()) {}
   virtual ~Router() = default;
 
   Router(const Router&) = delete;
@@ -86,10 +88,29 @@ class Router {
     if (it != handlers_.end()) it->second(origin, payload);
   }
 
+  // Subclasses call this where the hop count of a delivered data packet is
+  // known (typically kDefaultTtl minus the remaining TTL).
+  void record_delivery_hops(int hops) { hops_hist_.observe(static_cast<double>(hops)); }
+
   net::World& world_;
   NodeId self_;
   std::map<Proto, DeliveryHandler> handlers_;
   RouterStats stats_;
+  obs::MetricGroup metrics_;
+  obs::Histogram& hops_hist_;
+
+ private:
+  obs::Histogram& register_metrics() {
+    metrics_.set_labels("routing.router", static_cast<std::int64_t>(self_.value()));
+    metrics_.counter("routing.router.data_sent", &stats_.data_sent);
+    metrics_.counter("routing.router.data_forwarded", &stats_.data_forwarded);
+    metrics_.counter("routing.router.data_delivered", &stats_.data_delivered);
+    metrics_.counter("routing.router.control_packets", &stats_.control_packets);
+    metrics_.counter("routing.router.control_bytes", &stats_.control_bytes);
+    metrics_.counter("routing.router.drops", &stats_.drops);
+    return metrics_.histogram("routing.router.hops",
+                              {0, 1, 2, 3, 4, 6, 8, 12, 16, 24, 32});
+  }
 };
 
 }  // namespace ndsm::routing

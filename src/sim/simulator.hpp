@@ -11,6 +11,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/clock.hpp"
 #include "common/ids.hpp"
 #include "common/rng.hpp"
 #include "common/time.hpp"
@@ -19,7 +20,14 @@ namespace ndsm::sim {
 
 class Simulator {
  public:
-  explicit Simulator(std::uint64_t seed = 42) : rng_(seed) {}
+  explicit Simulator(std::uint64_t seed = 42) : rng_(seed) {
+    // Publish this simulator's virtual clock so the logger and the obs
+    // tracer stamp records with sim time (last-constructed wins).
+    bind_sim_clock(this, [](const void* s) {
+      return static_cast<const Simulator*>(s)->now();
+    });
+  }
+  ~Simulator() { unbind_sim_clock(this); }
 
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;

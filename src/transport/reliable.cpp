@@ -7,11 +7,26 @@
 namespace ndsm::transport {
 
 ReliableTransport::ReliableTransport(Router& router, TransportConfig config)
-    : router_(router), config_(config) {
+    : router_(router), config_(config), rtt_ms_(register_metrics()) {
   assert(config_.max_fragment_bytes > 0);
   router_.set_delivery_handler(
       routing::Proto::kTransport,
       [this](NodeId src, const Bytes& frame) { on_frame(src, frame); });
+}
+
+obs::Histogram& ReliableTransport::register_metrics() {
+  metrics_.set_labels("transport.reliable", static_cast<std::int64_t>(router_.self().value()));
+  metrics_.counter("transport.reliable.messages_sent", &stats_.messages_sent);
+  metrics_.counter("transport.reliable.messages_delivered", &stats_.messages_delivered);
+  metrics_.counter("transport.reliable.messages_failed", &stats_.messages_failed);
+  metrics_.counter("transport.reliable.fragments_sent", &stats_.fragments_sent);
+  metrics_.counter("transport.reliable.retransmissions", &stats_.retransmissions);
+  metrics_.counter("transport.reliable.acks_sent", &stats_.acks_sent);
+  metrics_.counter("transport.reliable.duplicates_dropped", &stats_.duplicates_dropped);
+  metrics_.counter("transport.reliable.payload_bytes_sent", &stats_.payload_bytes_sent);
+  metrics_.counter("transport.reliable.payload_bytes_delivered",
+                   &stats_.payload_bytes_delivered);
+  return metrics_.histogram("transport.reliable.rtt_ms", obs::latency_ms_bounds());
 }
 
 ReliableTransport::~ReliableTransport() {
@@ -50,6 +65,7 @@ Status ReliableTransport::send(NodeId dst, Port port, Bytes payload, CompletionH
   msg.acked.assign(frags, false);
   msg.unacked = frags;
   msg.rto = config_.initial_rto;
+  msg.sent_at = router_.world().sim().now();
   msg.done = std::move(done);
   auto [it, inserted] = outbox_.emplace(id, std::move(msg));
   assert(inserted);
@@ -104,7 +120,11 @@ void ReliableTransport::finish(std::uint64_t msg_id, Status status) {
   if (it == outbox_.end()) return;
   if (it->second.timer.valid()) router_.world().sim().cancel(it->second.timer);
   auto done = std::move(it->second.done);
-  if (!status.is_ok()) stats_.messages_failed++;
+  if (status.is_ok()) {
+    rtt_ms_.observe(to_seconds(router_.world().sim().now() - it->second.sent_at) * 1e3);
+  } else {
+    stats_.messages_failed++;
+  }
   outbox_.erase(it);
   if (done) done(status);
 }

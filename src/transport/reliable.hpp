@@ -15,6 +15,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "obs/metrics.hpp"
 #include "routing/router.hpp"
 #include "serialize/codec.hpp"
 #include "sim/simulator.hpp"
@@ -82,6 +83,8 @@ class ReliableTransport {
   [[nodiscard]] Router& router() { return router_; }
   [[nodiscard]] const TransportStats& stats() const { return stats_; }
   [[nodiscard]] const TransportConfig& config() const { return config_; }
+  // Message round-trip time (send to final ack), milliseconds.
+  [[nodiscard]] const obs::Histogram& rtt_histogram() const { return rtt_ms_; }
 
  private:
   enum class FrameKind : std::uint8_t { kFragment = 1, kAck = 2 };
@@ -94,6 +97,7 @@ class ReliableTransport {
     std::size_t unacked = 0;
     int attempts = 0;
     Time rto;
+    Time sent_at = 0;  // first transmission, for the RTT histogram
     EventId timer = EventId::invalid();
     CompletionHandler done;
   };
@@ -116,9 +120,15 @@ class ReliableTransport {
   void remember_completed(NodeId src, std::uint64_t msg_id);
   [[nodiscard]] bool already_completed(NodeId src, std::uint64_t msg_id) const;
 
+  // Registers all counter views, returns the RTT histogram (called from
+  // the ctor init list to seed rtt_ms_).
+  obs::Histogram& register_metrics();
+
   Router& router_;
   TransportConfig config_;
   TransportStats stats_;
+  obs::MetricGroup metrics_;
+  obs::Histogram& rtt_ms_;  // registry-owned, registered via metrics_
   std::uint64_t next_msg_id_ = 1;
   std::unordered_map<std::uint64_t, OutMessage> outbox_;
   // Keyed by (src, msg_id).

@@ -1,0 +1,318 @@
+// Observability layer: metrics registry semantics, the sim-time tracer's
+// ring buffer, JSON-lines emission, and — the migration contract — that the
+// subsystem *Stats accessors and the registry views report identical values.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "milan/engine.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "test_helpers.hpp"
+
+namespace ndsm {
+namespace {
+
+using obs::Histogram;
+using obs::MetricGroup;
+using obs::MetricKind;
+using obs::MetricSample;
+using obs::MetricsRegistry;
+using obs::TraceEvent;
+using obs::Tracer;
+
+const MetricSample* find_sample(const std::vector<MetricSample>& samples,
+                                const std::string& name, std::int64_t node = -1) {
+  for (const auto& s : samples) {
+    if (s.name == name && s.labels.node == node) return &s;
+  }
+  return nullptr;
+}
+
+TEST(Metrics, CounterViewTracksSource) {
+  MetricsRegistry reg;
+  std::uint64_t hits = 0;
+  reg.add_counter("test.hits", {"test", 3}, &hits);
+  hits = 41;
+  hits++;
+  const auto samples = reg.snapshot();
+  ASSERT_EQ(samples.size(), 1u);
+  EXPECT_EQ(samples[0].kind, MetricKind::kCounter);
+  EXPECT_EQ(samples[0].name, "test.hits");
+  EXPECT_EQ(samples[0].labels.component, "test");
+  EXPECT_EQ(samples[0].labels.node, 3);
+  EXPECT_DOUBLE_EQ(samples[0].value, 42.0);
+}
+
+TEST(Metrics, CounterFnAndGaugeArePullBased) {
+  MetricsRegistry reg;
+  std::uint64_t pulls = 0;
+  reg.add_counter_fn("test.pulls", {}, [&] { return ++pulls; });
+  double level = 0.25;
+  reg.add_gauge("test.level", {}, [&] { return level; });
+  auto samples = reg.snapshot();
+  EXPECT_DOUBLE_EQ(find_sample(samples, "test.pulls")->value, 1.0);
+  EXPECT_DOUBLE_EQ(find_sample(samples, "test.level")->value, 0.25);
+  level = 0.75;
+  samples = reg.snapshot();
+  EXPECT_DOUBLE_EQ(find_sample(samples, "test.pulls")->value, 2.0);
+  EXPECT_DOUBLE_EQ(find_sample(samples, "test.level")->value, 0.75);
+}
+
+TEST(Metrics, SnapshotSortedByNameComponentNode) {
+  MetricsRegistry reg;
+  std::uint64_t v = 0;
+  reg.add_counter("b.metric", {"x", 2}, &v);
+  reg.add_counter("a.metric", {"x", -1}, &v);
+  reg.add_counter("b.metric", {"x", 1}, &v);
+  const auto samples = reg.snapshot();
+  ASSERT_EQ(samples.size(), 3u);
+  EXPECT_EQ(samples[0].name, "a.metric");
+  EXPECT_EQ(samples[1].labels.node, 1);
+  EXPECT_EQ(samples[2].labels.node, 2);
+}
+
+TEST(Metrics, GroupUnregistersOnDestruction) {
+  MetricsRegistry reg;
+  std::uint64_t v = 7;
+  {
+    MetricGroup group{reg};
+    group.set_labels("scoped", 5);
+    group.counter("test.scoped", &v);
+    group.gauge("test.scoped_gauge", [] { return 1.0; });
+    group.histogram("test.scoped_hist", {1.0, 2.0});
+    EXPECT_EQ(reg.size(), 3u);
+  }
+  EXPECT_EQ(reg.size(), 0u);
+  EXPECT_TRUE(reg.snapshot().empty());
+}
+
+TEST(Metrics, HistogramBucketsAndOverflow) {
+  Histogram h{{1.0, 5.0, 10.0}};
+  h.observe(0.5);   // bucket 0 (<=1)
+  h.observe(1.0);   // bucket 0 (inclusive upper edge)
+  h.observe(3.0);   // bucket 1
+  h.observe(100.0); // +inf bucket
+  ASSERT_EQ(h.counts().size(), 4u);
+  EXPECT_EQ(h.counts()[0], 2u);
+  EXPECT_EQ(h.counts()[1], 1u);
+  EXPECT_EQ(h.counts()[2], 0u);
+  EXPECT_EQ(h.counts()[3], 1u);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 104.5);
+  EXPECT_DOUBLE_EQ(h.mean(), 104.5 / 4.0);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+  EXPECT_EQ(h.counts()[0], 0u);
+}
+
+TEST(Metrics, JsonlEscapesAndRendersHistograms) {
+  MetricsRegistry reg;
+  std::uint64_t v = 3;
+  reg.add_counter("test.weird", {"comp\"quote\\slash\n", 1}, &v);
+  Histogram* h = reg.add_histogram("test.hist", {}, {1.0, 2.0});
+  h->observe(1.5);
+  std::ostringstream out;
+  reg.write_jsonl(out);
+  const std::string text = out.str();
+  // The component label must arrive escaped, never raw.
+  EXPECT_NE(text.find("comp\\\"quote\\\\slash\\n"), std::string::npos);
+  EXPECT_NE(text.find("\"type\":\"counter\""), std::string::npos);
+  EXPECT_NE(text.find("\"type\":\"histogram\""), std::string::npos);
+  EXPECT_NE(text.find("\"le\":\"inf\""), std::string::npos);
+  // One object per line, every line closes its braces.
+  std::istringstream lines{text};
+  std::string line;
+  int count = 0;
+  while (std::getline(lines, line)) {
+    count++;
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_EQ(line.find('\n'), std::string::npos);
+  }
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Json, EscapeAndNumbers) {
+  EXPECT_EQ(obs::json_escape("plain"), "plain");
+  EXPECT_EQ(obs::json_escape("a\"b\\c\n\t"), "a\\\"b\\\\c\\n\\t");
+  EXPECT_EQ(obs::json_escape(std::string_view{"\x01", 1}), "\\u0001");
+  EXPECT_EQ(obs::json_number(3.0), "3");
+  EXPECT_EQ(obs::json_number(0.0 / 0.0), "null");
+  obs::JsonObject o;
+  o.field("s", "x\"y").field("n", 2).field("b", true);
+  EXPECT_EQ(o.str(), "{\"s\":\"x\\\"y\",\"n\":2,\"b\":true}");
+}
+
+TEST(Trace, RingBufferWrapsAndKeepsNewest) {
+  Tracer tracer{4};
+  for (int i = 0; i < 10; ++i) {
+    TraceEvent ev;
+    ev.at = i * 1000;
+    ev.component = "t";
+    ev.name = "e" + std::to_string(i);
+    tracer.record(std::move(ev));
+  }
+  EXPECT_EQ(tracer.size(), 4u);
+  EXPECT_EQ(tracer.recorded(), 10u);  // wraparound is detectable
+  const auto events = tracer.snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest-first, and only the newest four survive.
+  EXPECT_EQ(events.front().name, "e6");
+  EXPECT_EQ(events.back().name, "e9");
+  tracer.clear();
+  EXPECT_EQ(tracer.size(), 0u);
+}
+
+TEST(Trace, EventsStampVirtualTime) {
+  Tracer tracer{16};
+  sim::Simulator sim{1};  // binds the global sim clock
+  sim.schedule_at(duration::millis(250),
+                  [&] { tracer.event("test", "tick", 7, {{"k", "v"}}); });
+  sim.run_until(duration::seconds(1));
+  const auto events = tracer.snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].at, duration::millis(250));
+  EXPECT_EQ(events[0].node, 7);
+  EXPECT_FALSE(events[0].is_span());
+  ASSERT_EQ(events[0].kv.size(), 1u);
+  EXPECT_EQ(events[0].kv[0].first, "k");
+}
+
+TEST(Trace, SpanMeasuresElapsedVirtualTime) {
+  Tracer tracer{16};
+  sim::Simulator sim{1};
+  sim.schedule_at(0, [&] {
+    auto span = std::make_shared<obs::SpanScope>("test", "work", -1, tracer);
+    sim.schedule_at(duration::millis(300), [span] {});  // destroyed at +300ms
+  });
+  sim.run_until(duration::seconds(1));
+  const auto events = tracer.snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_TRUE(events[0].is_span());
+  EXPECT_EQ(events[0].at, 0);
+  EXPECT_EQ(events[0].duration, duration::millis(300));
+}
+
+TEST(Trace, JsonlRoundTripShape) {
+  Tracer tracer{8};
+  TraceEvent ev;
+  ev.at = 1'500'000;
+  ev.duration = 2000;
+  ev.component = "milan.engine";
+  ev.name = "replan";
+  ev.kv = {{"feasible", "true"}};
+  tracer.record(std::move(ev));
+  std::ostringstream out;
+  tracer.write_jsonl(out);
+  EXPECT_NE(out.str().find("\"t_us\":1500000"), std::string::npos);
+  EXPECT_NE(out.str().find("\"dur_us\":2000"), std::string::npos);
+  EXPECT_NE(out.str().find("\"feasible\":\"true\""), std::string::npos);
+}
+
+TEST(Trace, LogSinkForwardsRecords) {
+  Tracer tracer{8};
+  Logger::instance().set_sink(obs::trace_log_sink(tracer));
+  Logger::instance().set_level(LogLevel::kInfo);
+  NDSM_INFO("obs_test", "hello sink");
+  Logger::instance().set_sink({});  // restore stderr default
+  Logger::instance().set_level(LogLevel::kWarn);
+  const auto events = tracer.snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "log");
+  EXPECT_EQ(events[0].component, "obs_test");
+}
+
+// Migration contract: the legacy accessors (world.stats(), engine.stats(),
+// transport.stats()) and the registry views must agree exactly.
+TEST(MetricsMigration, WorldStatsMatchRegistryViews) {
+  testing::Lan lan{3};
+  lan.transport(0).send(lan.nodes[2], transport::ports::kApp, Bytes(200, 0x1), nullptr);
+  lan.sim.run_until(duration::seconds(2));
+
+  const auto& stats = lan.world.stats();
+  ASSERT_GT(stats.frames_sent, 0u);
+  const auto samples = MetricsRegistry::instance().snapshot();
+  const auto* sent = find_sample(samples, "net.world.frames_sent");
+  const auto* delivered = find_sample(samples, "net.world.frames_delivered");
+  const auto* bytes = find_sample(samples, "net.world.bytes_on_wire");
+  ASSERT_NE(sent, nullptr);
+  ASSERT_NE(delivered, nullptr);
+  ASSERT_NE(bytes, nullptr);
+  EXPECT_DOUBLE_EQ(sent->value, static_cast<double>(stats.frames_sent));
+  EXPECT_DOUBLE_EQ(delivered->value, static_cast<double>(stats.frames_delivered));
+  EXPECT_DOUBLE_EQ(bytes->value, static_cast<double>(stats.bytes_on_wire));
+
+  // Per-node counters agree with the per-node stats accessors.
+  const auto node0 = static_cast<std::int64_t>(lan.nodes[0].value());
+  const auto* node_sent = find_sample(samples, "net.world.node.frames_sent", node0);
+  ASSERT_NE(node_sent, nullptr);
+  EXPECT_DOUBLE_EQ(node_sent->value,
+                   static_cast<double>(lan.world.stats(lan.nodes[0]).frames_sent));
+
+  // Transport counters ride the same registry.
+  const auto& tstats = lan.transport(0).stats();
+  bool found_transport = false;
+  for (const auto& s : samples) {
+    if (s.name == "transport.reliable.messages_sent" &&
+        s.value == static_cast<double>(tstats.messages_sent) && tstats.messages_sent > 0) {
+      found_transport = true;
+    }
+  }
+  EXPECT_TRUE(found_transport);
+}
+
+TEST(MetricsMigration, EngineStatsMatchRegistryViews) {
+  testing::Lan lan{3};
+  milan::ApplicationSpec app;
+  app.variables = {"temperature"};
+  app.states["on"] = {{"temperature", 0.8}};
+  app.initial_state = "on";
+  std::vector<milan::Component> components;
+  milan::Component c;
+  c.id = ComponentId{1};
+  c.node = lan.nodes[1];
+  c.qos["temperature"] = 0.9;
+  c.sample_period = duration::millis(200);
+  components.push_back(c);
+  milan::MilanEngine engine{
+      lan.world,          lan.nodes[0],
+      lan.table,          [&](NodeId n) -> routing::Router* {
+        for (std::size_t i = 0; i < lan.nodes.size(); ++i) {
+          if (lan.nodes[i] == n) return lan.routers[i].get();
+        }
+        return nullptr;
+      },
+      app,                components};
+  engine.start();
+  lan.sim.run_until(duration::seconds(3));
+
+  const auto& stats = engine.stats();
+  ASSERT_GT(stats.plans, 0u);
+  ASSERT_GT(stats.samples_delivered, 0u);
+  const auto sink = static_cast<std::int64_t>(lan.nodes[0].value());
+  const auto samples = MetricsRegistry::instance().snapshot();
+  EXPECT_DOUBLE_EQ(find_sample(samples, "milan.engine.plans", sink)->value,
+                   static_cast<double>(stats.plans));
+  EXPECT_DOUBLE_EQ(find_sample(samples, "milan.engine.samples_delivered", sink)->value,
+                   static_cast<double>(stats.samples_delivered));
+  EXPECT_DOUBLE_EQ(find_sample(samples, "milan.engine.feasible", sink)->value, 1.0);
+  const auto* benefit = find_sample(samples, "milan.engine.plan_benefit", sink);
+  ASSERT_NE(benefit, nullptr);
+  EXPECT_GE(benefit->value, 0.8);
+
+  // Replans leave spans on the tracer with sim-time stamps.
+  const auto events = Tracer::instance().snapshot();
+  const auto replan = std::find_if(events.begin(), events.end(), [](const TraceEvent& e) {
+    return e.component == "milan.engine" && e.name == "replan";
+  });
+  ASSERT_NE(replan, events.end());
+  EXPECT_TRUE(replan->is_span());
+}
+
+}  // namespace
+}  // namespace ndsm
