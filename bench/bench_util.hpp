@@ -5,6 +5,7 @@
 // paper value exists.
 
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
@@ -45,6 +46,13 @@ void emit_json(const std::string& bench, Fields&&... fields) {
   emit_json_fields(o, std::forward<Fields>(fields)...);
   std::printf("\nBENCH_JSON %s\n", o.str().c_str());
   std::fflush(stdout);
+}
+
+// Set by `run_benches.sh --quick`: benches shrink sizes/iterations to one
+// pass but still emit their BENCH_JSON summary line.
+inline bool quick_mode() {
+  const char* q = std::getenv("NDSM_BENCH_QUICK");
+  return q != nullptr && *q != '\0' && *q != '0';
 }
 
 inline void row_sep() {

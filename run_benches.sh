@@ -3,7 +3,22 @@
 # bench_output.txt, and collects each bench's machine-readable BENCH_JSON
 # summary line into bench_metrics.jsonl. Exits nonzero (listing the
 # offenders) if any bench fails.
+#
+# Usage: ./run_benches.sh [--quick]
+#   --quick  sets NDSM_BENCH_QUICK=1 so benches run reduced workloads —
+#            smoke-testing the harness, not producing publishable numbers.
 cd /root/repo
+quick=0
+for arg in "$@"; do
+  case "$arg" in
+    --quick) quick=1 ;;
+    *) echo "unknown option: $arg" >&2; exit 2 ;;
+  esac
+done
+if [ "$quick" -eq 1 ]; then
+  export NDSM_BENCH_QUICK=1
+  echo "quick mode: reduced workloads (NDSM_BENCH_QUICK=1)"
+fi
 : > bench_output.txt
 : > bench_metrics.jsonl
 failed=()

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Compare two bench_metrics.jsonl files and flag regressions.
+
+Usage: bench_compare.py BASELINE.jsonl CURRENT.jsonl [--threshold PCT]
+
+Each input line is one BENCH_JSON object keyed by its "bench" field.
+Numeric fields present in both files are diffed; a change worse than
+--threshold percent (default 10) in the bad direction is a regression and
+makes the script exit 1. Throughput-style fields (*_per_s, *_ops, *_gain,
+*_throughput, *_ratio) are higher-better; everything else (latencies,
+counts of lost frames, ...) is treated as lower-better.
+
+Exit codes: 0 ok, 1 regressions found, 2 usage/parse error.
+"""
+
+import argparse
+import json
+import sys
+
+HIGHER_BETTER_SUFFIXES = ("_per_s", "_ops", "_gain", "_throughput", "_ratio")
+
+
+def higher_is_better(field: str) -> bool:
+    return field.endswith(HIGHER_BETTER_SUFFIXES)
+
+
+def load(path: str) -> dict:
+    """Map bench name -> merged dict of its numeric fields."""
+    benches = {}
+    try:
+        with open(path, encoding="utf-8") as f:
+            for lineno, line in enumerate(f, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    obj = json.loads(line)
+                except json.JSONDecodeError as e:
+                    print(f"{path}:{lineno}: bad JSON: {e}", file=sys.stderr)
+                    sys.exit(2)
+                name = obj.get("bench")
+                if not name:
+                    print(f"{path}:{lineno}: missing 'bench' key", file=sys.stderr)
+                    sys.exit(2)
+                fields = benches.setdefault(name, {})
+                for k, v in obj.items():
+                    if k != "bench" and isinstance(v, (int, float)) and not isinstance(v, bool):
+                        fields[k] = float(v)
+    except OSError as e:
+        print(f"cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    return benches
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--threshold", type=float, default=10.0,
+                    help="regression threshold in percent (default 10)")
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    curr = load(args.current)
+
+    regressions = []
+    rows = []
+    for bench in sorted(base.keys() | curr.keys()):
+        if bench not in curr:
+            rows.append((bench, "-", "missing from current", "", ""))
+            continue
+        if bench not in base:
+            rows.append((bench, "-", "new (no baseline)", "", ""))
+            continue
+        for field in sorted(base[bench].keys() & curr[bench].keys()):
+            b, c = base[bench][field], curr[bench][field]
+            if b == 0:
+                delta_pct = 0.0 if c == 0 else float("inf")
+            else:
+                delta_pct = (c - b) / abs(b) * 100.0
+            hb = higher_is_better(field)
+            regressed = (delta_pct < -args.threshold) if hb else (delta_pct > args.threshold)
+            mark = "REGRESSION" if regressed else ""
+            rows.append((bench, field, f"{b:.6g}", f"{c:.6g}",
+                         f"{delta_pct:+.1f}%{' ' + mark if mark else ''}"))
+            if regressed:
+                regressions.append(f"{bench}.{field}: {b:.6g} -> {c:.6g} ({delta_pct:+.1f}%)")
+
+    widths = [max(len(r[i]) for r in rows + [("bench", "field", "baseline", "current", "delta")])
+              for i in range(5)] if rows else [5] * 5
+    header = ("bench", "field", "baseline", "current", "delta")
+    for r in [header] + rows:
+        print("  ".join(str(r[i]).ljust(widths[i]) for i in range(5)).rstrip())
+
+    if regressions:
+        print(f"\n{len(regressions)} regression(s) beyond {args.threshold:.0f}%:", file=sys.stderr)
+        for r in regressions:
+            print(f"  {r}", file=sys.stderr)
+        return 1
+    print(f"\nno regressions beyond {args.threshold:.0f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

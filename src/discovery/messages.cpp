@@ -3,8 +3,11 @@
 namespace ndsm::discovery {
 
 namespace {
-serialize::Writer header(MsgKind kind) {
+// `body_hint` is the expected encoded size of everything after the kind
+// byte, so each message encode allocates at most once.
+serialize::Writer header(MsgKind kind, std::size_t body_hint = 0) {
   serialize::Writer w;
+  w.reserve(1 + body_hint);
   w.u8(static_cast<std::uint8_t>(kind));
   return w;
 }
@@ -28,7 +31,7 @@ std::optional<ServiceRecord> decode_register(serialize::Reader& r) {
 }
 
 Bytes encode_register_ack(ServiceId id, bool accepted) {
-  auto w = header(MsgKind::kRegisterAck);
+  auto w = header(MsgKind::kRegisterAck, 9);  // u64 id + bool
   w.id(id);
   w.boolean(accepted);
   return std::move(w).take();
@@ -42,7 +45,7 @@ std::optional<std::pair<ServiceId, bool>> decode_register_ack(serialize::Reader&
 }
 
 Bytes encode_unregister(ServiceId id) {
-  auto w = header(MsgKind::kUnregister);
+  auto w = header(MsgKind::kUnregister, 8);  // u64 id
   w.id(id);
   return std::move(w).take();
 }

@@ -16,6 +16,9 @@ void World::register_metrics() {
   metrics_.counter("net.world.frames_delivered", &stats_.frames_delivered);
   metrics_.counter("net.world.frames_lost", &stats_.frames_lost);
   metrics_.counter("net.world.bytes_on_wire", &stats_.bytes_on_wire);
+  metrics_.counter("net.world.grid_cells_scanned", &stats_.grid_cells_scanned);
+  metrics_.counter("net.world.grid_candidates", &stats_.grid_candidates);
+  metrics_.counter("net.world.payload_copies_avoided", &stats_.payload_copies_avoided);
   metrics_.gauge("net.world.nodes_alive", [this] {
     double alive = 0;
     for (const Node& n : nodes_) alive += n.alive ? 1 : 0;
@@ -31,7 +34,9 @@ void World::register_metrics() {
 }
 
 MediumId World::add_medium(LinkSpec spec) {
-  media_.push_back(Medium{std::move(spec), {}});
+  Medium m{std::move(spec), {}, 0.0, {}};
+  if (m.spec.wireless) m.cell_m = m.spec.range_m > 0 ? m.spec.range_m : 1.0;
+  media_.push_back(std::move(m));
   return MediumId{media_.size() - 1};
 }
 
@@ -56,7 +61,10 @@ void World::register_node_metrics(NodeId id) {
 }
 
 NodeId World::add_node(Vec2 position, Battery battery) {
-  nodes_.push_back(Node{position, battery, true, {}, {}, {}, EventId::invalid()});
+  Node n;
+  n.position = position;
+  n.battery = battery;
+  nodes_.push_back(std::move(n));
   const NodeId id{nodes_.size() - 1};
   register_node_metrics(id);
   return id;
@@ -65,14 +73,22 @@ NodeId World::add_node(Vec2 position, Battery battery) {
 void World::attach(NodeId node_id, MediumId medium_id) {
   auto& n = node(node_id);
   if (std::find(n.media.begin(), n.media.end(), medium_id) != n.media.end()) return;
+  Medium& m = medium(medium_id);
+  m.members.push_back(node_id);
+  std::uint64_t key = 0;
+  if (m.spec.wireless) {
+    key = cell_key(n.position, m.cell_m);
+    grid_insert(m, node_id, key);
+  }
   n.media.push_back(medium_id);
-  medium(medium_id).members.push_back(node_id);
+  n.cell_keys.push_back(key);
 }
 
 const LinkSpec& World::medium_spec(MediumId id) const { return medium(id).spec; }
 
 void World::set_medium_range(MediumId id, double range_m) {
   medium(id).spec.range_m = range_m;
+  rebuild_grid(id);
 }
 
 std::vector<MediumId> World::media_of(NodeId id) const { return node(id).media; }
@@ -84,9 +100,93 @@ std::vector<NodeId> World::all_nodes() const {
   return out;
 }
 
+// --- spatial index ----------------------------------------------------------
+
+namespace {
+// Pack signed cell coordinates into one hashable key.
+std::uint64_t pack_cell(std::int64_t cx, std::int64_t cy) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(cx)) << 32) |
+         static_cast<std::uint32_t>(cy);
+}
+}  // namespace
+
+std::uint64_t World::cell_key(Vec2 p, double cell_m) {
+  const double cell = cell_m > 0 ? cell_m : 1.0;
+  return pack_cell(static_cast<std::int64_t>(std::floor(p.x / cell)),
+                   static_cast<std::int64_t>(std::floor(p.y / cell)));
+}
+
+void World::grid_insert(Medium& m, NodeId id, std::uint64_t key) {
+  m.cells[key].push_back(id);
+}
+
+void World::grid_erase(Medium& m, NodeId id, std::uint64_t key) {
+  const auto it = m.cells.find(key);
+  assert(it != m.cells.end() && "node missing from its grid cell");
+  auto& bucket = it->second;
+  const auto pos = std::find(bucket.begin(), bucket.end(), id);
+  assert(pos != bucket.end() && "node missing from its grid cell");
+  *pos = bucket.back();
+  bucket.pop_back();
+  if (bucket.empty()) m.cells.erase(it);
+}
+
+void World::update_cells(NodeId id) {
+  Node& n = node(id);
+  for (std::size_t i = 0; i < n.media.size(); ++i) {
+    Medium& m = medium(n.media[i]);
+    if (!m.spec.wireless) continue;
+    const std::uint64_t key = cell_key(n.position, m.cell_m);
+    if (key == n.cell_keys[i]) continue;
+    grid_erase(m, id, n.cell_keys[i]);
+    grid_insert(m, id, key);
+    n.cell_keys[i] = key;
+  }
+}
+
+void World::rebuild_grid(MediumId id) {
+  Medium& m = medium(id);
+  if (!m.spec.wireless) return;
+  m.cell_m = m.spec.range_m > 0 ? m.spec.range_m : 1.0;
+  m.cells.clear();
+  for (const NodeId member : m.members) {
+    Node& n = node(member);
+    const std::uint64_t key = cell_key(n.position, m.cell_m);
+    grid_insert(m, member, key);
+    for (std::size_t i = 0; i < n.media.size(); ++i) {
+      if (n.media[i] == id) n.cell_keys[i] = key;
+    }
+  }
+}
+
+void World::gather_grid_candidates(const Medium& m, Vec2 center, NodeId exclude,
+                                   std::vector<NodeId>& out) const {
+  const double cell = m.cell_m > 0 ? m.cell_m : 1.0;
+  const auto cx = static_cast<std::int64_t>(std::floor(center.x / cell));
+  const auto cy = static_cast<std::int64_t>(std::floor(center.y / cell));
+  const std::size_t before = out.size();
+  for (std::int64_t dx = -1; dx <= 1; ++dx) {
+    for (std::int64_t dy = -1; dy <= 1; ++dy) {
+      stats_.grid_cells_scanned++;
+      const auto it = m.cells.find(pack_cell(cx + dx, cy + dy));
+      if (it == m.cells.end()) continue;
+      for (const NodeId member : it->second) {
+        if (member != exclude) out.push_back(member);
+      }
+    }
+  }
+  stats_.grid_candidates += out.size() - before;
+  // Bucket contents are in move/attach order; sort so downstream delivery
+  // and loss draws are a deterministic function of the node set alone.
+  std::sort(out.begin() + static_cast<std::ptrdiff_t>(before), out.end());
+}
+
 Vec2 World::position(NodeId id) const { return node(id).position; }
 
-void World::set_position(NodeId id, Vec2 position) { node(id).position = position; }
+void World::set_position(NodeId id, Vec2 position) {
+  node(id).position = position;
+  update_cells(id);
+}
 
 void World::move_linear(NodeId id, Vec2 destination, double speed_m_per_s, Time tick) {
   assert(speed_m_per_s > 0);
@@ -97,7 +197,8 @@ void World::move_linear(NodeId id, Vec2 destination, double speed_m_per_s, Time 
   }
   const double step_m = speed_m_per_s * to_seconds(tick);
   // Self-rescheduling step; recaptures the node each tick (the node vector
-  // may reallocate between ticks).
+  // may reallocate between ticks). Position updates go through
+  // set_position so the spatial index follows the node.
   struct Mover {
     World* world;
     NodeId id;
@@ -111,10 +212,10 @@ void World::move_linear(NodeId id, Vec2 destination, double speed_m_per_s, Time 
       const Vec2 delta = dest - n.position;
       const double dist = delta.norm();
       if (dist <= step_m) {
-        n.position = dest;
+        world->set_position(id, dest);
         return;
       }
-      n.position = n.position + delta * (step_m / dist);
+      world->set_position(id, n.position + delta * (step_m / dist));
       n.motion = world->sim_.schedule_after(tick, *this);
     }
   };
@@ -224,10 +325,28 @@ void World::deliver(NodeId dst, LinkFrame frame, Time delay, std::size_t wire_by
     charge_rx(dst, medium(frame.medium).spec, wire_bytes);
     if (!receiver.alive) return;  // rx cost may have killed it
     receiver.stats.frames_received++;
-    receiver.stats.bytes_received += frame.payload.size();
+    receiver.stats.bytes_received += frame.payload().size();
     stats_.frames_delivered++;
     const auto it = receiver.handlers.find(frame.proto);
     if (it != receiver.handlers.end()) it->second(frame);
+  });
+}
+
+void World::deliver_broadcast(std::vector<NodeId> receivers, LinkFrame frame, Time delay,
+                              std::size_t wire_bytes) {
+  sim_.schedule_after(delay, [this, receivers = std::move(receivers),
+                              frame = std::move(frame), wire_bytes]() {
+    for (const NodeId dst : receivers) {
+      Node& receiver = node(dst);
+      if (!receiver.alive) continue;  // may have died in flight (or mid-batch)
+      charge_rx(dst, medium(frame.medium).spec, wire_bytes);
+      if (!receiver.alive) continue;  // rx cost may have killed it
+      receiver.stats.frames_received++;
+      receiver.stats.bytes_received += frame.payload().size();
+      stats_.frames_delivered++;
+      const auto it = receiver.handlers.find(frame.proto);
+      if (it != receiver.handlers.end()) it->second(frame);
+    }
   });
 }
 
@@ -236,7 +355,8 @@ Status World::link_send(NodeId src, NodeId dst, Proto proto, Bytes payload) {
   if (!sender.alive) return Status{ErrorCode::kResourceExhausted, "sender dead"};
   if (src == dst) {
     // Loopback: deliver immediately with no wire cost.
-    LinkFrame frame{src, dst, MediumId::invalid(), proto, std::move(payload)};
+    LinkFrame frame{src, dst, MediumId::invalid(), proto,
+                    std::make_shared<const Bytes>(std::move(payload))};
     sim_.schedule_after(0, [this, dst, frame = std::move(frame)]() {
       Node& receiver = node(dst);
       if (!receiver.alive) return;
@@ -265,21 +385,26 @@ Status World::link_send(NodeId src, NodeId dst, Proto proto, Bytes payload) {
     return Status::ok();  // silently lost; reliability is transport's job
   }
   const Time delay = transmission_delay(m.spec, payload.size());
-  deliver(dst, LinkFrame{src, dst, *m_id, proto, std::move(payload)}, delay, wire_bytes);
+  deliver(dst,
+          LinkFrame{src, dst, *m_id, proto, std::make_shared<const Bytes>(std::move(payload))},
+          delay, wire_bytes);
   return Status::ok();
 }
 
 Status World::link_broadcast(NodeId src, Proto proto, Bytes payload, MediumId medium_filter) {
   Node& sender = node(src);
   if (!sender.alive) return Status{ErrorCode::kResourceExhausted, "sender dead"};
+  // One immutable buffer for the whole fan-out: every receiver on every
+  // attached medium shares it instead of copying the payload.
+  const auto buf = std::make_shared<const Bytes>(std::move(payload));
   bool sent_any = false;
   for (const MediumId m_id : sender.media) {
     if (medium_filter.valid() && m_id != medium_filter) continue;
     const Medium& m = medium(m_id);
-    const std::size_t wire_bytes = payload.size() + m.spec.header_bytes;
+    const std::size_t wire_bytes = buf->size() + m.spec.header_bytes;
 
     sender.stats.frames_sent++;
-    sender.stats.bytes_sent += payload.size();
+    sender.stats.bytes_sent += buf->size();
     stats_.frames_sent++;
     stats_.bytes_on_wire += wire_bytes;
     // Broadcast transmits at full range power.
@@ -287,17 +412,33 @@ Status World::link_broadcast(NodeId src, Proto proto, Bytes payload, MediumId me
       return Status{ErrorCode::kResourceExhausted, "battery exhausted during tx"};
     }
     sent_any = true;
-    const Time delay = transmission_delay(m.spec, payload.size());
-    for (const NodeId member : m.members) {
-      if (member == src) continue;
+    const Time delay = transmission_delay(m.spec, buf->size());
+    scratch_.clear();
+    if (m.spec.wireless) {
+      // Only the 3x3 cell neighborhood can be in range: O(density) not O(N).
+      gather_grid_candidates(m, sender.position, src, scratch_);
+    } else {
+      for (const NodeId member : m.members) {
+        if (member != src) scratch_.push_back(member);
+      }
+    }
+    const double loss_p = frame_loss_probability(m.spec, wire_bytes);
+    std::vector<NodeId> receivers;
+    receivers.reserve(scratch_.size());
+    for (const NodeId member : scratch_) {
       const Node& receiver = node(member);
       if (!receiver.alive) continue;
       if (!reachable_on(m, sender, receiver)) continue;
-      if (rng_.bernoulli(frame_loss_probability(m.spec, wire_bytes))) {
+      if (rng_.bernoulli(loss_p)) {
         stats_.frames_lost++;
         continue;
       }
-      deliver(member, LinkFrame{src, kBroadcast, m_id, proto, payload}, delay, wire_bytes);
+      receivers.push_back(member);
+    }
+    if (receivers.size() > 1) stats_.payload_copies_avoided += receivers.size() - 1;
+    if (!receivers.empty()) {
+      deliver_broadcast(std::move(receivers), LinkFrame{src, kBroadcast, m_id, proto, buf},
+                        delay, wire_bytes);
     }
   }
   return sent_any ? Status::ok()
@@ -309,14 +450,24 @@ std::vector<NodeId> World::neighbors(NodeId id) const {
   std::vector<NodeId> out;
   for (const MediumId m_id : n.media) {
     const Medium& m = medium(m_id);
-    for (const NodeId member : m.members) {
-      if (member == id) continue;
-      const Node& peer = node(member);
-      if (!peer.alive || !reachable_on(m, n, peer)) continue;
-      if (std::find(out.begin(), out.end(), member) == out.end()) out.push_back(member);
+    if (m.spec.wireless) {
+      scratch_.clear();
+      gather_grid_candidates(m, n.position, id, scratch_);
+      for (const NodeId member : scratch_) {
+        const Node& peer = node(member);
+        if (!peer.alive || !reachable_on(m, n, peer)) continue;
+        out.push_back(member);
+      }
+    } else {
+      for (const NodeId member : m.members) {
+        if (member == id) continue;
+        if (!node(member).alive) continue;
+        out.push_back(member);
+      }
     }
   }
   std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
   return out;
 }
 

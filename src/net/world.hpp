@@ -4,9 +4,18 @@
 // range. Everything above (routing, transport, discovery, ...) is built on
 // this interface, which is all the "network independence" layer (§3.2)
 // assumes of an underlying network.
+//
+// Hot-path design: every wireless medium keeps a uniform-grid spatial
+// index (cell size = communication range) maintained by attach/
+// set_position/move_linear, so broadcast and neighbor queries scan only
+// the 3x3 cell neighborhood instead of every member. Broadcast payloads
+// are carried as one immutable shared buffer per transmission; the N
+// receivers of a fan-out share it instead of each copying the Bytes.
 
+#include <cmath>
 #include <functional>
 #include <map>
+#include <memory>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -38,7 +47,15 @@ struct LinkFrame {
   NodeId dst;  // kBroadcast for broadcast frames
   MediumId medium;
   Proto proto;
-  Bytes payload;
+  // One immutable buffer per transmission, shared by every receiver of a
+  // broadcast fan-out (zero per-recipient copies). Handlers that need the
+  // payload past the callback may retain the shared_ptr.
+  std::shared_ptr<const Bytes> payload_buf;
+
+  [[nodiscard]] const Bytes& payload() const {
+    static const Bytes empty;
+    return payload_buf ? *payload_buf : empty;
+  }
 };
 
 struct NodeStats {
@@ -54,6 +71,10 @@ struct WorldStats {
   std::uint64_t frames_delivered = 0;
   std::uint64_t frames_lost = 0;
   std::uint64_t bytes_on_wire = 0;  // payload + header, per delivery attempt
+  // Spatial-index effectiveness (how much work the grid saves).
+  std::uint64_t grid_cells_scanned = 0;     // cells visited by grid queries
+  std::uint64_t grid_candidates = 0;        // membership entries examined
+  std::uint64_t payload_copies_avoided = 0; // receivers sharing a broadcast buffer
 };
 
 class World {
@@ -77,7 +98,8 @@ class World {
 
   [[nodiscard]] const LinkSpec& medium_spec(MediumId medium) const;
   // Adjust a wireless medium's communication range (e.g. to model higher
-  // transmit power). Affects future reachability checks and sends.
+  // transmit power). Affects future reachability checks and sends; the
+  // medium's spatial index is rebuilt with the new cell size.
   void set_medium_range(MediumId medium, double range_m);
   [[nodiscard]] std::vector<MediumId> media_of(NodeId node) const;
   [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
@@ -146,6 +168,9 @@ class World {
     Battery battery;
     bool alive = true;
     std::vector<MediumId> media;
+    // Grid cell currently occupied on each attached medium (parallel to
+    // `media`; unused for wired entries).
+    std::vector<std::uint64_t> cell_keys;
     std::map<Proto, LinkHandler> handlers;
     NodeStats stats;
     EventId motion = EventId::invalid();
@@ -154,6 +179,10 @@ class World {
   struct Medium {
     LinkSpec spec;
     std::vector<NodeId> members;
+    // Uniform grid over positions (wireless only): cell size = range, so
+    // any node in range of a sender lies in the sender's 3x3 neighborhood.
+    double cell_m = 0.0;
+    std::unordered_map<std::uint64_t, std::vector<NodeId>> cells;
   };
 
   [[nodiscard]] Node& node(NodeId id);
@@ -165,8 +194,27 @@ class World {
   [[nodiscard]] std::optional<MediumId> shared_medium(NodeId a, NodeId b) const;
   [[nodiscard]] static bool reachable_on(const Medium& m, const Node& a, const Node& b);
 
+  // --- spatial index --------------------------------------------------------
+  [[nodiscard]] static std::uint64_t cell_key(Vec2 p, double cell_m);
+  static void grid_insert(Medium& m, NodeId id, std::uint64_t key);
+  static void grid_erase(Medium& m, NodeId id, std::uint64_t key);
+  // Re-bucket `id` on every attached wireless medium after a position change.
+  void update_cells(NodeId id);
+  void rebuild_grid(MediumId id);
+  // Alive nodes (except `exclude`) in the 3x3 cell neighborhood around
+  // `center` — the superset of nodes possibly in range. Sorted by id so
+  // delivery order is independent of grid bucket internals. Appends to
+  // `out` and bumps the grid counters.
+  void gather_grid_candidates(const Medium& m, Vec2 center, NodeId exclude,
+                              std::vector<NodeId>& out) const;
+
   [[nodiscard]] Time transmission_delay(const LinkSpec& spec, std::size_t payload_bytes) const;
   void deliver(NodeId dst, LinkFrame frame, Time delay, std::size_t wire_bytes);
+  // All receivers of one broadcast transmission arrive at the same instant;
+  // one simulator event delivers to all of them in (sorted) order — same
+  // sequence the per-receiver events produced, at 1/N the scheduling cost.
+  void deliver_broadcast(std::vector<NodeId> receivers, LinkFrame frame, Time delay,
+                         std::size_t wire_bytes);
   bool charge_tx(NodeId src, const LinkSpec& spec, std::size_t wire_bytes, double distance_m);
   void charge_rx(NodeId dst, const LinkSpec& spec, std::size_t wire_bytes);
   void register_metrics();
@@ -177,8 +225,10 @@ class World {
   EnergyModel energy_;
   std::vector<Node> nodes_;
   std::vector<Medium> media_;
-  WorldStats stats_;
+  // mutable: const queries (neighbors) still record grid scan counters.
+  mutable WorldStats stats_;
   DeathHandler on_death_;
+  mutable std::vector<NodeId> scratch_;  // candidate buffer for grid queries
   // Declared last: the registry views point at stats_/nodes_ above.
   obs::MetricGroup metrics_;
 };

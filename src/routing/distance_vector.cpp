@@ -160,7 +160,7 @@ Status DistanceVectorRouter::flood(Proto upper, Bytes payload, int ttl) {
 void DistanceVectorRouter::on_frame(const net::LinkFrame& frame) {
   RoutingHeader h;
   Bytes payload;
-  if (!decode_routing(frame.payload, h, payload)) return;
+  if (!decode_routing(frame.payload(), h, payload)) return;
   switch (h.kind) {
     case RoutingKind::kDvUpdate:
       on_update(h.origin, payload);

@@ -42,7 +42,7 @@ Status FloodingRouter::flood(Proto upper, Bytes payload, int ttl) {
 void FloodingRouter::on_frame(const net::LinkFrame& frame) {
   RoutingHeader h;
   Bytes payload;
-  if (!decode_routing(frame.payload, h, payload)) return;
+  if (!decode_routing(frame.payload(), h, payload)) return;
   if (h.kind != RoutingKind::kFlood) return;
   if (seen_before(h.origin, h.seq)) return;
 

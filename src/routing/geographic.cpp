@@ -119,7 +119,7 @@ Status GeoRouter::flood(Proto upper, Bytes payload, int ttl) {
 void GeoRouter::on_frame(const net::LinkFrame& frame) {
   RoutingHeader h;
   Bytes payload;
-  if (!decode_routing(frame.payload, h, payload)) return;
+  if (!decode_routing(frame.payload(), h, payload)) return;
   switch (h.kind) {
     case RoutingKind::kDvUpdate: {  // hello beacon
       serialize::Reader r{payload};

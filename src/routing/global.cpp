@@ -166,7 +166,7 @@ Status GlobalRouter::flood(Proto upper, Bytes payload, int ttl) {
 void GlobalRouter::on_frame(const net::LinkFrame& frame) {
   RoutingHeader h;
   Bytes payload;
-  if (!decode_routing(frame.payload, h, payload)) return;
+  if (!decode_routing(frame.payload(), h, payload)) return;
   switch (h.kind) {
     case RoutingKind::kData:
       if (h.dst == self_) {

@@ -6,6 +6,8 @@ namespace ndsm::routing {
 
 Bytes encode_routing(const RoutingHeader& header, const Bytes& payload) {
   serialize::Writer w;
+  // kind + origin + dst + seq + ttl + upper = 23 fixed bytes.
+  w.reserve(23 + serialize::varint_size(payload.size()) + payload.size());
   w.u8(static_cast<std::uint8_t>(header.kind));
   w.id(header.origin);
   w.id(header.dst);

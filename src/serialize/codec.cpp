@@ -41,11 +41,13 @@ void Writer::f64(double v) {
 }
 
 void Writer::str(std::string_view s) {
+  reserve(varint_size(s.size()) + s.size());
   varint(s.size());
   buf_.insert(buf_.end(), s.begin(), s.end());
 }
 
 void Writer::bytes(const Bytes& b) {
+  reserve(varint_size(b.size()) + b.size());
   varint(b.size());
   buf_.insert(buf_.end(), b.begin(), b.end());
 }
@@ -114,9 +116,15 @@ std::optional<bool> Reader::boolean() {
 }
 
 std::optional<std::string> Reader::str() {
+  const auto v = str_view();
+  if (!v) return std::nullopt;
+  return std::string{*v};
+}
+
+std::optional<std::string_view> Reader::str_view() {
   const auto n = varint();
   if (!n || !need(*n)) return std::nullopt;
-  std::string s(reinterpret_cast<const char*>(data_ + pos_), *n);
+  const std::string_view s{reinterpret_cast<const char*>(data_ + pos_), *n};
   pos_ += *n;
   return s;
 }

@@ -17,10 +17,31 @@
 
 namespace ndsm::serialize {
 
+// Encoded length of a LEB128 varint — lets encoders compute exact size
+// hints up front.
+[[nodiscard]] constexpr std::size_t varint_size(std::uint64_t v) {
+  std::size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+[[nodiscard]] constexpr std::size_t svarint_size(std::int64_t v) {
+  const auto uv = static_cast<std::uint64_t>(v);
+  return varint_size((uv << 1) ^ static_cast<std::uint64_t>(v >> 63));
+}
+
 class Writer {
  public:
   Writer() = default;
   explicit Writer(Bytes initial) : buf_(std::move(initial)) {}
+
+  // Size hint: ensure capacity for `additional` more bytes beyond what is
+  // already buffered. Encoders that know their encoded size call this once
+  // so the whole encode does at most one allocation.
+  void reserve(std::size_t additional) { buf_.reserve(buf_.size() + additional); }
 
   void u8(std::uint8_t v) { buf_.push_back(v); }
   void u16(std::uint16_t v);
@@ -67,6 +88,9 @@ class Reader {
   std::optional<double> f64();
   std::optional<bool> boolean();
   std::optional<std::string> str();
+  // Zero-copy read of a length-prefixed string: the view aliases the
+  // Reader's underlying buffer and is only valid while that buffer lives.
+  std::optional<std::string_view> str_view();
   std::optional<Bytes> bytes();
   std::optional<Vec2> vec2();
 

@@ -127,8 +127,51 @@ std::optional<Value> Value::decode(Reader& r) {
   return std::nullopt;
 }
 
+std::size_t Value::encoded_size() const {
+  std::size_t n = 1;  // type tag
+  switch (type()) {
+    case Type::kNil:
+    case Type::kWildcard:
+      break;
+    case Type::kTypeOnly:
+    case Type::kBool:
+      n += 1;
+      break;
+    case Type::kInt:
+      n += svarint_size(std::get<std::int64_t>(data_));
+      break;
+    case Type::kFloat:
+      n += 8;
+      break;
+    case Type::kString: {
+      const auto& s = std::get<std::string>(data_);
+      n += varint_size(s.size()) + s.size();
+      break;
+    }
+    case Type::kBytes: {
+      const auto& b = std::get<Bytes>(data_);
+      n += varint_size(b.size()) + b.size();
+      break;
+    }
+    case Type::kList: {
+      const auto& list = std::get<ValueList>(data_);
+      n += varint_size(list.size());
+      for (const auto& v : list) n += v.encoded_size();
+      break;
+    }
+    case Type::kMap: {
+      const auto& map = std::get<ValueMap>(data_);
+      n += varint_size(map.size());
+      for (const auto& [k, v] : map) n += varint_size(k.size()) + k.size() + v.encoded_size();
+      break;
+    }
+  }
+  return n;
+}
+
 Bytes Value::to_bytes() const {
   Writer w;
+  w.reserve(encoded_size());
   encode(w);
   return std::move(w).take();
 }
@@ -202,6 +245,9 @@ bool tuple_matches(const Tuple& tmpl, const Tuple& actual) {
 
 Bytes encode_tuple(const Tuple& t) {
   Writer w;
+  std::size_t hint = varint_size(t.size());
+  for (const auto& v : t) hint += v.encoded_size();
+  w.reserve(hint);
   w.varint(t.size());
   for (const auto& v : t) v.encode(w);
   return std::move(w).take();

@@ -82,6 +82,10 @@ class Value {
   void encode(Writer& w) const;
   static std::optional<Value> decode(Reader& r);
 
+  // Exact size of encode()'s output, computed without allocating — used to
+  // reserve the output buffer so a whole encode does one allocation.
+  [[nodiscard]] std::size_t encoded_size() const;
+
   [[nodiscard]] Bytes to_bytes() const;
   static Result<Value> from_bytes(const Bytes& data);
 

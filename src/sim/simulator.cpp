@@ -4,20 +4,50 @@
 
 namespace ndsm::sim {
 
+void Simulator::register_metrics() {
+  metrics_.set_labels("sim.simulator");
+  metrics_.counter("sim.simulator.executed_events", &executed_);
+  metrics_.gauge("sim.simulator.pending_events",
+                 [this] { return static_cast<double>(live_); });
+  metrics_.gauge("sim.simulator.slab_slots",
+                 [this] { return static_cast<double>(slots_.size()); });
+  metrics_.gauge("sim.simulator.heap_depth",
+                 [this] { return static_cast<double>(heap_.size()); });
+}
+
 EventId Simulator::schedule_at(Time at, std::function<void()> fn) {
   assert(at >= now_ && "cannot schedule in the past");
-  const std::uint64_t seq = next_seq_++;
-  const EventId id{seq};
-  heap_.push(Entry{at, seq, id});
-  handlers_.emplace(seq, std::move(fn));
-  return id;
+  std::uint32_t slot;
+  if (free_head_ != kNoSlot) {
+    slot = free_head_;
+    free_head_ = slots_[slot].next_free;
+    slots_[slot].fn = std::move(fn);
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.push_back(Slot{std::move(fn), 0, kNoSlot});
+  }
+  const std::uint32_t gen = slots_[slot].gen;
+  heap_.push(Entry{at, next_seq_++, slot, gen});
+  ++live_;
+  return EventId{(static_cast<std::uint64_t>(gen) << 32) | slot};
+}
+
+std::function<void()> Simulator::release_slot(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  std::function<void()> fn = std::move(s.fn);
+  s.fn = nullptr;  // moved-from functions are valid but unspecified; be explicit
+  s.gen++;         // invalidates the heap entry and any outstanding EventId
+  s.next_free = free_head_;
+  free_head_ = slot;
+  return fn;
 }
 
 bool Simulator::cancel(EventId id) {
-  const auto it = handlers_.find(id.value());
-  if (it == handlers_.end()) return false;
-  handlers_.erase(it);
-  cancelled_.insert(id.value());
+  const std::uint32_t slot = static_cast<std::uint32_t>(id.value() & 0xffffffffu);
+  const std::uint32_t gen = static_cast<std::uint32_t>(id.value() >> 32);
+  if (slot >= slots_.size() || slots_[slot].gen != gen) return false;
+  release_slot(slot);
+  --live_;
   return true;
 }
 
@@ -25,11 +55,10 @@ bool Simulator::step() {
   while (!heap_.empty()) {
     const Entry e = heap_.top();
     heap_.pop();
-    if (cancelled_.erase(e.seq) > 0) continue;
-    const auto it = handlers_.find(e.seq);
-    if (it == handlers_.end()) continue;  // defensive
-    auto fn = std::move(it->second);
-    handlers_.erase(it);
+    if (!entry_live(e)) continue;  // cancelled: the slot generation moved on
+    auto fn = release_slot(e.slot);
+    assert(fn && "live slab slot lost its handler");
+    --live_;
     assert(e.at >= now_);
     now_ = e.at;
     ++executed_;
@@ -42,10 +71,7 @@ bool Simulator::step() {
 void Simulator::run_until(Time deadline) {
   while (!heap_.empty()) {
     // Skip cancelled entries so top() reflects a live event.
-    while (!heap_.empty() && cancelled_.count(heap_.top().seq) > 0) {
-      cancelled_.erase(heap_.top().seq);
-      heap_.pop();
-    }
+    while (!heap_.empty() && !entry_live(heap_.top())) heap_.pop();
     if (heap_.empty() || heap_.top().at > deadline) break;
     step();
   }
@@ -77,7 +103,9 @@ void PeriodicTimer::arm(Time delay) {
     pending_ = EventId::invalid();
     if (!running_) return;
     fn_();
-    if (running_) arm(interval_);
+    // A handler that called start() already armed the next firing; arming
+    // again here would leave a duplicate, uncancellable event in flight.
+    if (running_ && !pending_.valid()) arm(interval_);
   });
 }
 

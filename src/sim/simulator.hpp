@@ -3,18 +3,26 @@
 // application activity is driven by events scheduled here; two runs with
 // the same seed execute the same event sequence bit-for-bit. Ties on the
 // event time are broken by insertion order.
+//
+// Hot-path design: events live in a slab (free-list vector of slots that
+// own the callbacks), and the priority heap holds 24-byte POD entries
+// (time, seq, slot, generation). Scheduling is a free-list pop plus a heap
+// push; step() is a heap pop plus a generation compare — no hashing
+// anywhere. cancel() bumps the slot generation, which turns the already
+// queued heap entry into a tombstone that step() skips for free. An
+// EventId packs (generation << 32 | slot), so a reused slot never honours
+// a stale cancel.
 
 #include <cstdint>
 #include <functional>
 #include <queue>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "common/clock.hpp"
 #include "common/ids.hpp"
 #include "common/rng.hpp"
 #include "common/time.hpp"
+#include "obs/metrics.hpp"
 
 namespace ndsm::sim {
 
@@ -26,6 +34,7 @@ class Simulator {
     bind_sim_clock(this, [](const void* s) {
       return static_cast<const Simulator*>(s)->now();
     });
+    register_metrics();
   }
   ~Simulator() { unbind_sim_clock(this); }
 
@@ -57,27 +66,54 @@ class Simulator {
   // the queue non-empty forever).
   void run_all(std::size_t max_events = SIZE_MAX);
 
-  [[nodiscard]] std::size_t pending() const { return heap_.size() - cancelled_.size(); }
+  // Exact count of live (scheduled, not yet fired or cancelled) events.
+  [[nodiscard]] std::size_t pending() const { return live_; }
   [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
 
+  // Slab introspection (exported as obs gauges; also used by tests).
+  [[nodiscard]] std::size_t slab_capacity() const { return slots_.size(); }
+  [[nodiscard]] std::size_t heap_depth() const { return heap_.size(); }
+
  private:
+  static constexpr std::uint32_t kNoSlot = 0xffffffffu;
+
+  // One slab slot per in-flight event; freed slots chain on a free list
+  // and recycle their callback capacity. `gen` increments on every
+  // release, so (slot, gen) pairs in the heap and in EventIds stay unique
+  // across reuse (wraps after 2^32 reuses of one slot).
+  struct Slot {
+    std::function<void()> fn;
+    std::uint32_t gen = 0;
+    std::uint32_t next_free = kNoSlot;
+  };
+
   struct Entry {
     Time at;
-    std::uint64_t seq;
-    EventId id;
+    std::uint64_t seq;  // global insertion order: deterministic tie-break
+    std::uint32_t slot;
+    std::uint32_t gen;
     // Ordered as a min-heap on (at, seq).
     friend bool operator>(const Entry& a, const Entry& b) {
       return a.at != b.at ? a.at > b.at : a.seq > b.seq;
     }
   };
 
+  [[nodiscard]] bool entry_live(const Entry& e) const {
+    return slots_[e.slot].gen == e.gen;
+  }
+  // Detach the callback, bump the generation and recycle the slot.
+  std::function<void()> release_slot(std::uint32_t slot);
+  void register_metrics();
+
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
+  std::size_t live_ = 0;
+  std::uint32_t free_head_ = kNoSlot;
   Rng rng_;
+  std::vector<Slot> slots_;
   std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
-  std::unordered_map<std::uint64_t, std::function<void()>> handlers_;
-  std::unordered_set<std::uint64_t> cancelled_;
+  obs::MetricGroup metrics_;
 };
 
 // Fires a callback every `interval` until stopped or destroyed. Used for
@@ -96,6 +132,8 @@ class PeriodicTimer {
   void start(Time initial_delay = -1);
   void stop();
   [[nodiscard]] bool running() const { return running_; }
+  // Takes effect when the timer next re-arms; an already-armed tick keeps
+  // its old deadline (pinned by EdgeTimer.SetIntervalTakesEffectNextArm).
   void set_interval(Time interval) { interval_ = interval; }
   [[nodiscard]] Time interval() const { return interval_; }
 

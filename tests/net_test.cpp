@@ -23,7 +23,7 @@ TEST_F(NetTest, UnicastDeliversOnSharedWiredMedium) {
   Bytes got;
   NodeId from;
   world.set_handler(b, Proto::kApp, [&](const LinkFrame& f) {
-    got = f.payload;
+    got = f.payload();
     from = f.src;
   });
   ASSERT_TRUE(world.link_send(a, b, Proto::kApp, to_bytes("ping")).is_ok());
@@ -191,7 +191,7 @@ TEST_F(NetTest, NeighborsReflectRangeAndLiveness) {
 TEST_F(NetTest, LoopbackDelivery) {
   const NodeId a = world.add_node({0, 0});
   Bytes got;
-  world.set_handler(a, Proto::kApp, [&](const LinkFrame& f) { got = f.payload; });
+  world.set_handler(a, Proto::kApp, [&](const LinkFrame& f) { got = f.payload(); });
   ASSERT_TRUE(world.link_send(a, a, Proto::kApp, to_bytes("self")).is_ok());
   sim.run_all();
   EXPECT_EQ(to_string(got), "self");
@@ -270,6 +270,143 @@ TEST_F(NetTest, ReviveRestoresDelivery) {
   ASSERT_TRUE(world.link_send(a, b, Proto::kApp, {}).is_ok());
   sim.run_all();
   EXPECT_EQ(received, 1);
+}
+
+// Brute-force reachability reference: the grid index must agree with an
+// all-pairs scan, including after mobility re-buckets nodes.
+TEST(SpatialIndex, NeighborsMatchBruteForceUnderMobility) {
+  sim::Simulator sim{11};
+  World world{sim};
+  const MediumId m = world.add_medium(wifi80211(/*range_m=*/35, /*loss=*/0));
+  Rng rng{77};
+  std::vector<NodeId> nodes;
+  for (int i = 0; i < 60; ++i) {
+    const NodeId id = world.add_node({rng.uniform(-120, 120), rng.uniform(-120, 120)});
+    world.attach(id, m);
+    nodes.push_back(id);
+  }
+  auto brute_neighbors = [&](NodeId a) {
+    std::vector<NodeId> out;
+    for (const NodeId b : nodes) {
+      if (b == a || !world.alive(b)) continue;
+      if (distance(world.position(a), world.position(b)) <= 35.0) out.push_back(b);
+    }
+    return out;  // already sorted: nodes is in id order
+  };
+  for (int round = 0; round < 5; ++round) {
+    for (const NodeId id : nodes) {
+      EXPECT_EQ(world.neighbors(id), brute_neighbors(id)) << "round " << round;
+    }
+    // Teleport a third of the nodes (exercises cell re-bucketing), walk
+    // another third across cell boundaries.
+    for (std::size_t i = 0; i < nodes.size(); i += 3) {
+      world.set_position(nodes[i], {rng.uniform(-120, 120), rng.uniform(-120, 120)});
+    }
+    for (std::size_t i = 1; i < nodes.size(); i += 3) {
+      world.move_linear(nodes[i], {rng.uniform(-120, 120), rng.uniform(-120, 120)}, 40.0);
+    }
+    sim.run_until(sim.now() + duration::seconds(1));
+  }
+  EXPECT_GT(world.stats().grid_cells_scanned, 0u);
+}
+
+TEST(SpatialIndex, RangeChangeRebuildsGrid) {
+  sim::Simulator sim{3};
+  World world{sim};
+  const MediumId m = world.add_medium(wifi80211(/*range_m=*/25, /*loss=*/0));
+  const NodeId a = world.add_node({0, 0});
+  const NodeId b = world.add_node({60, 0});
+  world.attach(a, m);
+  world.attach(b, m);
+  EXPECT_TRUE(world.neighbors(a).empty());
+  world.set_medium_range(m, 80);
+  EXPECT_EQ(world.neighbors(a), (std::vector<NodeId>{b}));
+  world.set_medium_range(m, 10);
+  EXPECT_TRUE(world.neighbors(a).empty());
+  // Mobility after a rebuild still tracks cells correctly.
+  world.set_position(b, {5, 0});
+  EXPECT_EQ(world.neighbors(a), (std::vector<NodeId>{b}));
+}
+
+TEST(SpatialIndex, BroadcastSharesOnePayloadBuffer) {
+  sim::Simulator sim{5};
+  World world{sim};
+  const MediumId m = world.add_medium(wifi80211(100, 0));
+  const NodeId src = world.add_node({0, 0});
+  world.attach(src, m);
+  std::vector<const Bytes*> seen;
+  std::shared_ptr<const Bytes> retained;
+  for (int i = 0; i < 4; ++i) {
+    const NodeId n = world.add_node({static_cast<double>(10 * (i + 1)), 0});
+    world.attach(n, m);
+    world.set_handler(n, Proto::kApp, [&](const LinkFrame& f) {
+      seen.push_back(&f.payload());
+      retained = f.payload_buf;  // handlers may retain past the callback
+    });
+  }
+  ASSERT_TRUE(world.link_broadcast(src, Proto::kApp, to_bytes("shared")).is_ok());
+  sim.run_all();
+  ASSERT_EQ(seen.size(), 4u);
+  for (const Bytes* p : seen) EXPECT_EQ(p, seen[0]);  // one buffer, zero copies
+  EXPECT_EQ(world.stats().payload_copies_avoided, 3u);
+  EXPECT_EQ(to_string(*retained), "shared");
+}
+
+// §3.6/ROADMAP determinism guarantee, at scale and under mobility: two
+// same-seed runs of a 200-node mobile broadcast scenario must execute the
+// identical event sequence, deliver in the identical order and agree on
+// every WorldStats counter.
+TEST(Determinism, TwinMobileBroadcastRuns) {
+  struct Trace {
+    std::uint64_t executed = 0;
+    std::vector<std::tuple<std::uint64_t, std::uint64_t, Time>> deliveries;
+    WorldStats stats;
+    bool operator==(const Trace& o) const {
+      return executed == o.executed && deliveries == o.deliveries &&
+             stats.frames_sent == o.stats.frames_sent &&
+             stats.frames_delivered == o.stats.frames_delivered &&
+             stats.frames_lost == o.stats.frames_lost &&
+             stats.bytes_on_wire == o.stats.bytes_on_wire &&
+             stats.grid_cells_scanned == o.stats.grid_cells_scanned &&
+             stats.grid_candidates == o.stats.grid_candidates &&
+             stats.payload_copies_avoided == o.stats.payload_copies_avoided;
+    }
+  };
+  auto run = [] {
+    sim::Simulator sim{20240806};
+    World world{sim};
+    const MediumId m = world.add_medium(wifi80211(/*range_m=*/50, /*loss=*/0.1));
+    Trace t;
+    std::vector<NodeId> nodes;
+    for (int i = 0; i < 200; ++i) {
+      const NodeId id = world.add_node(
+          {sim.rng().uniform(0, 400), sim.rng().uniform(0, 400)}, Battery{5.0});
+      world.attach(id, m);
+      world.set_handler(id, Proto::kApp, [&t, id, &sim](const LinkFrame& f) {
+        t.deliveries.emplace_back(id.value(), f.src.value(), sim.now());
+      });
+      world.move_linear(id, {sim.rng().uniform(0, 400), sim.rng().uniform(0, 400)},
+                        sim.rng().uniform(1.0, 15.0));
+      nodes.push_back(id);
+    }
+    // Every node broadcasts once, at an rng-staggered phase.
+    for (const NodeId id : nodes) {
+      const Time phase = duration::millis(sim.rng().uniform_int(0, 500));
+      sim.schedule_at(phase, [&world, id] {
+        world.link_broadcast(id, Proto::kApp, to_bytes("beacon"));
+      });
+    }
+    sim.run_until(duration::seconds(3));
+    t.executed = sim.executed_events();
+    t.stats = world.stats();
+    return t;
+  };
+  const Trace a = run();
+  const Trace b = run();
+  EXPECT_TRUE(a == b);
+  EXPECT_GT(a.deliveries.size(), 100u);       // scenario actually exercised fan-out
+  EXPECT_GT(a.stats.frames_lost, 0u);         // loss draws happened, same in both
+  EXPECT_GT(a.stats.payload_copies_avoided, 0u);
 }
 
 TEST(LossModel, BitErrorRateScalesWithFrameLength) {

@@ -210,6 +210,65 @@ TEST(TupleCodec, EmptyTuple) {
   EXPECT_TRUE(decoded.value().empty());
 }
 
+TEST(Codec, StrViewIsZeroCopy) {
+  Writer w;
+  w.str("hello view");
+  const Bytes buf = std::move(w).take();
+  Reader r{buf};
+  const auto v = r.str_view();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, "hello view");
+  // The view aliases the encoded buffer rather than copying out of it.
+  EXPECT_GE(reinterpret_cast<const std::uint8_t*>(v->data()), buf.data());
+  EXPECT_LE(reinterpret_cast<const std::uint8_t*>(v->data()) + v->size(),
+            buf.data() + buf.size());
+}
+
+TEST(Codec, StrViewTruncatedFails) {
+  Writer w;
+  w.varint(100);  // declares 100 bytes that are not there
+  Reader r{w.data()};
+  EXPECT_FALSE(r.str_view().has_value());
+}
+
+TEST(Value, EncodedSizeIsExact) {
+  ValueMap inner;
+  inner.emplace("pi", Value{3.14159});
+  const std::vector<Value> samples = {
+      Value{},
+      Value{true},
+      Value{std::int64_t{-1234567}},
+      Value{2.5},
+      Value{"a moderately sized string payload"},
+      Value{Bytes(300, 0x5a)},
+      Value{ValueList{Value{1}, Value{"two"}, Value{inner}}},
+      Value::wildcard(),
+      Value::type_only(Value::Type::kInt),
+  };
+  for (const auto& v : samples) {
+    EXPECT_EQ(v.encoded_size(), v.to_bytes().size()) << v.to_string();
+  }
+}
+
+// Satellite regression: encoding a flat map must not reallocate after the
+// single up-front reserve computed from encoded_size().
+TEST(Value, FlatMapEncodeReservesOnce) {
+  ValueMap m;
+  for (int i = 0; i < 32; ++i) {
+    m.emplace("key_" + std::to_string(i), Value{std::int64_t{i} * 1000});
+  }
+  const Value v{m};
+
+  Writer w;
+  w.reserve(v.encoded_size());
+  const auto* data_before = w.data().data();
+  const auto cap_before = w.data().capacity();
+  v.encode(w);
+  EXPECT_EQ(w.data().data(), data_before);       // buffer never moved
+  EXPECT_EQ(w.data().capacity(), cap_before);    // => zero reallocations
+  EXPECT_EQ(w.size(), v.encoded_size());
+}
+
 // Property sweep: random values round-trip through binary encoding.
 class ValueFuzzRoundTrip : public ::testing::TestWithParam<int> {};
 
@@ -253,7 +312,9 @@ TEST_P(ValueFuzzRoundTrip, EncodeDecodeIdentity) {
   Rng rng{static_cast<std::uint64_t>(GetParam())};
   for (int i = 0; i < 50; ++i) {
     const Value v = random_value(rng, 0);
-    auto decoded = Value::from_bytes(v.to_bytes());
+    const Bytes encoded = v.to_bytes();
+    EXPECT_EQ(v.encoded_size(), encoded.size()) << v.to_string();
+    auto decoded = Value::from_bytes(encoded);
     ASSERT_TRUE(decoded.is_ok()) << v.to_string();
     EXPECT_EQ(decoded.value(), v);
   }

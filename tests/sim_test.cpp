@@ -191,6 +191,117 @@ TEST(PeriodicTimer, RestartResetsPhase) {
   EXPECT_EQ(at, (std::vector<Time>{100, 250}));
 }
 
+TEST(Simulator, PendingIsExact) {
+  Simulator sim;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 5; ++i) ids.push_back(sim.schedule_at(10 * (i + 1), [] {}));
+  EXPECT_EQ(sim.pending(), 5u);
+  EXPECT_TRUE(sim.cancel(ids[1]));
+  EXPECT_TRUE(sim.cancel(ids[3]));
+  EXPECT_EQ(sim.pending(), 3u);  // tombstones in the heap do not count
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(sim.pending(), 2u);
+  sim.run_all();
+  EXPECT_EQ(sim.pending(), 0u);
+  EXPECT_EQ(sim.executed_events(), 3u);
+}
+
+TEST(Simulator, CancelInsideHandler) {
+  // A handler cancels a later event, and also one scheduled at the very
+  // same timestamp (already popped ordering must honour the cancel).
+  Simulator sim;
+  bool later_ran = false;
+  bool same_time_ran = false;
+  EventId later = EventId::invalid();
+  EventId same_time = EventId::invalid();
+  sim.schedule_at(100, [&] {
+    EXPECT_TRUE(sim.cancel(later));
+    EXPECT_TRUE(sim.cancel(same_time));
+  });
+  same_time = sim.schedule_at(100, [&] { same_time_ran = true; });
+  later = sim.schedule_at(200, [&] { later_ran = true; });
+  sim.run_all();
+  EXPECT_FALSE(later_ran);
+  EXPECT_FALSE(same_time_ran);
+  EXPECT_EQ(sim.executed_events(), 1u);
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(Simulator, CancelAlreadyFiredIdIsFalse) {
+  Simulator sim;
+  const EventId id = sim.schedule_at(10, [] {});
+  sim.run_all();
+  EXPECT_FALSE(sim.cancel(id));
+  // The slot is recycled; the stale id must not cancel the new occupant.
+  bool ran = false;
+  const EventId reused = sim.schedule_at(20, [&] { ran = true; });
+  EXPECT_FALSE(sim.cancel(id));
+  sim.run_all();
+  EXPECT_TRUE(ran);
+  (void)reused;
+}
+
+TEST(Simulator, SlabIdReuseAcrossGenerations) {
+  Simulator sim;
+  const EventId first = sim.schedule_at(10, [] {});
+  EXPECT_TRUE(sim.cancel(first));
+  // The freed slot is recycled with a new generation: ids differ even
+  // though the slot is the same, and the old id stays dead.
+  bool ran = false;
+  const EventId second = sim.schedule_at(10, [&] { ran = true; });
+  EXPECT_NE(first, second);
+  EXPECT_EQ(sim.slab_capacity(), 1u);  // one slot, reused
+  EXPECT_FALSE(sim.cancel(first));
+  sim.run_all();
+  EXPECT_TRUE(ran);
+  // Many generations on one slot keep working.
+  for (int i = 0; i < 100; ++i) {
+    const EventId id = sim.schedule_after(1, [] {});
+    EXPECT_TRUE(sim.cancel(id));
+    EXPECT_FALSE(sim.cancel(id));
+  }
+  EXPECT_EQ(sim.slab_capacity(), 1u);
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(Simulator, SlabGrowsOnlyWithConcurrency) {
+  Simulator sim;
+  for (int round = 0; round < 50; ++round) {
+    for (int i = 0; i < 4; ++i) sim.schedule_after(i + 1, [] {});
+    sim.run_all();
+  }
+  // 4 concurrent events at most -> at most 4 slots ever allocated.
+  EXPECT_LE(sim.slab_capacity(), 4u);
+  EXPECT_EQ(sim.executed_events(), 200u);
+}
+
+TEST(PeriodicTimer, SetIntervalMidFlight) {
+  // Changing the interval from inside the handler applies to the next
+  // re-arm; stop()+start() inside the handler resets the phase instead.
+  Simulator sim;
+  std::vector<Time> at;
+  PeriodicTimer timer{sim, 100, [&] {
+                        at.push_back(sim.now());
+                        if (at.size() == 2) timer.set_interval(50);
+                      }};
+  timer.start();
+  sim.run_until(400);
+  EXPECT_EQ(at, (std::vector<Time>{100, 200, 250, 300, 350, 400}));
+  EXPECT_EQ(timer.interval(), 50);
+}
+
+TEST(PeriodicTimer, RestartInsideHandlerKeepsSingleEvent) {
+  Simulator sim;
+  int fires = 0;
+  PeriodicTimer timer{sim, 100, [&] {
+                        if (++fires == 1) timer.start(30);  // restart mid-flight
+                      }};
+  timer.start();
+  sim.run_until(135);
+  EXPECT_EQ(fires, 2);  // 100, then 130 — no duplicate armed event
+  EXPECT_EQ(sim.pending(), 1u);
+}
+
 TEST(Determinism, SameSeedSameTrace) {
   auto run = [](std::uint64_t seed) {
     Simulator sim{seed};
