@@ -9,7 +9,7 @@
 #include <cstdio>
 
 #include "bench/bench_util.hpp"
-#include "routing/flooding.hpp"
+#include "node/runtime.hpp"
 
 using namespace ndsm;
 
@@ -28,31 +28,28 @@ Outcome run(std::size_t fragment_bytes, double ber, std::uint64_t seed) {
   net::LinkSpec spec = net::wifi80211(50, /*loss=*/0.0);
   spec.bit_error_rate = ber;
   const MediumId m = world.add_medium(spec);
-  const NodeId a = world.add_node({0, 0});
-  const NodeId b = world.add_node({30, 0});
-  world.attach(a, m);
-  world.attach(b, m);
-  routing::FloodingRouter ra{world, a};
-  routing::FloodingRouter rb{world, b};
-  transport::TransportConfig cfg;
-  cfg.max_fragment_bytes = fragment_bytes;
-  cfg.max_retries = 8;
-  transport::ReliableTransport ta{ra, cfg};
-  transport::ReliableTransport tb{rb, cfg};
+  node::StackConfig cfg;
+  cfg.router = node::RouterPolicy::kFlooding;
+  cfg.media = {m};
+  cfg.transport.max_fragment_bytes = fragment_bytes;
+  cfg.transport.max_retries = 8;
+  node::Runtime a{world, Vec2{0, 0}, cfg};
+  node::Runtime b{world, Vec2{30, 0}, cfg};
 
   constexpr int kMessages = 50;
   constexpr std::size_t kMessageBytes = 1000;
   int delivered = 0;
   Time latency_sum = 0;
+  // The first payload byte carries the message index; send times are on a
+  // fixed grid, so the receiver recovers each message's latency from it.
+  b.transport().set_receiver(transport::ports::kApp, [&](NodeId, const Bytes& p) {
+    delivered++;
+    latency_sum += sim.now() - p[0] * duration::millis(200);
+  });
   for (int i = 0; i < kMessages; ++i) {
     sim.schedule_at(i * duration::millis(200), [&, i] {
-      const Time sent = sim.now();
-      (void)i;
-      ta.send(b, transport::ports::kApp, Bytes(kMessageBytes, 0x11), nullptr);
-      tb.set_receiver(transport::ports::kApp, [&, sent](NodeId, const Bytes&) {
-        delivered++;
-        latency_sum += sim.now() - sent;
-      });
+      a.transport().send(b.id(), transport::ports::kApp,
+                         Bytes(kMessageBytes, static_cast<std::uint8_t>(i)), nullptr);
     });
   }
   sim.run_until(duration::seconds(120));
@@ -62,7 +59,7 @@ Outcome run(std::size_t fragment_bytes, double ber, std::uint64_t seed) {
   out.bytes_per_msg = delivered > 0
                           ? static_cast<double>(world.stats().bytes_on_wire) / delivered
                           : 0;
-  out.retransmissions = static_cast<double>(ta.stats().retransmissions);
+  out.retransmissions = static_cast<double>(a.transport().stats().retransmissions);
   out.latency_ms = delivered > 0
                        ? to_seconds(latency_sum) * 1000.0 / delivered
                        : -1;

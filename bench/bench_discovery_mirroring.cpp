@@ -34,7 +34,7 @@ Outcome run(std::size_t mirrors, double query_rate_hz) {
   std::vector<std::unique_ptr<discovery::DirectoryServer>> servers;
   for (std::size_t i = 0; i < mirrors; ++i) {
     directory_nodes.push_back(field.nodes[i]);
-    servers.push_back(std::make_unique<discovery::DirectoryServer>(*field.transports[i]));
+    servers.push_back(std::make_unique<discovery::DirectoryServer>(field.transport(i)));
     // Each directory serves at most 100 queries/s (10 ms of CPU per query).
     servers.back()->set_processing_time(duration::millis(10));
   }
@@ -44,7 +44,7 @@ Outcome run(std::size_t mirrors, double query_rate_hz) {
   std::vector<std::unique_ptr<discovery::CentralizedDiscovery>> clients;
   for (std::size_t i = mirrors; i < kNodes; ++i) {
     clients.push_back(std::make_unique<discovery::CentralizedDiscovery>(
-        *field.transports[i], directory_nodes, discovery::MirrorPolicy::kRoundRobin));
+        field.transport(i), directory_nodes, discovery::MirrorPolicy::kRoundRobin));
   }
 
   // 10 services registered through the primary, replicated to mirrors.

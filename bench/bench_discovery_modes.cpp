@@ -45,26 +45,26 @@ Outcome run(std::size_t n, const std::string& mode, double query_rate_hz) {
   // Node 0 hosts the directory in centralized/adaptive modes.
   std::unique_ptr<discovery::DirectoryServer> directory;
   if (mode != "distributed") {
-    directory = std::make_unique<discovery::DirectoryServer>(*field.transports[0]);
+    directory = std::make_unique<discovery::DirectoryServer>(field.transport(0));
   }
 
   std::vector<std::unique_ptr<discovery::ServiceDiscovery>> clients;
   for (std::size_t i = 0; i < n; ++i) {
     if (mode == "centralized") {
       clients.push_back(std::make_unique<discovery::CentralizedDiscovery>(
-          *field.transports[i], std::vector<NodeId>{field.nodes[0]}));
+          field.transport(i), std::vector<NodeId>{field.nodes[0]}));
     } else if (mode == "distributed") {
       clients.push_back(
-          std::make_unique<discovery::DistributedDiscovery>(*field.transports[i]));
+          std::make_unique<discovery::DistributedDiscovery>(field.transport(i)));
     } else if (mode == "gossip") {
       // Ring seeding; the epidemic closes the rest of the peer graph.
       clients.push_back(std::make_unique<discovery::GossipDiscovery>(
-          *field.transports[i], std::vector<NodeId>{field.nodes[(i + 1) % n]}));
+          field.transport(i), std::vector<NodeId>{field.nodes[(i + 1) % n]}));
     } else {
       discovery::AdaptiveConfig cfg;
       cfg.evaluation_period = duration::seconds(3);
       clients.push_back(std::make_unique<discovery::AdaptiveDiscovery>(
-          *field.transports[i], std::vector<NodeId>{field.nodes[0]}, cfg,
+          field.transport(i), std::vector<NodeId>{field.nodes[0]}, cfg,
           [n] { return static_cast<double>(n); }));
     }
   }
@@ -153,16 +153,16 @@ int main() {
     field.with_routers<routing::FloodingRouter>();
     std::unique_ptr<discovery::DirectoryServer> dir;
     if (mode == "centralized") {
-      dir = std::make_unique<discovery::DirectoryServer>(*field.transports[0]);
+      dir = std::make_unique<discovery::DirectoryServer>(field.transport(0));
     }
     std::vector<std::unique_ptr<discovery::ServiceDiscovery>> clients;
     for (std::size_t i = 0; i < 36; ++i) {
       if (mode == "centralized") {
         clients.push_back(std::make_unique<discovery::CentralizedDiscovery>(
-            *field.transports[i], std::vector<NodeId>{field.nodes[0]}));
+            field.transport(i), std::vector<NodeId>{field.nodes[0]}));
       } else {
         clients.push_back(
-            std::make_unique<discovery::DistributedDiscovery>(*field.transports[i]));
+            std::make_unique<discovery::DistributedDiscovery>(field.transport(i)));
       }
     }
     field.world.reset_stats();

@@ -35,28 +35,29 @@ Outcome run(const net::LinkSpec& spec) {
 
   // Six nodes 3 m apart: inside even Bluetooth range.
   std::vector<NodeId> nodes;
-  auto table = std::make_shared<routing::GlobalRoutingTable>(world, routing::Metric::kHopCount);
-  std::vector<std::unique_ptr<routing::GlobalRouter>> routers;
-  std::vector<std::unique_ptr<transport::ReliableTransport>> transports;
+  node::StackConfig cfg;
+  cfg.table = std::make_shared<routing::GlobalRoutingTable>(world, routing::Metric::kHopCount);
+  std::vector<std::unique_ptr<node::Runtime>> runtimes;
   for (int i = 0; i < 6; ++i) {
     const NodeId id = world.add_node(Vec2{static_cast<double>(i) * 3.0, 0.0},
                                      spec.wireless ? net::Battery{100.0}
                                                    : net::Battery::mains());
     world.attach(id, medium);
     nodes.push_back(id);
-    routers.push_back(std::make_unique<routing::GlobalRouter>(world, id, table));
-    transports.push_back(std::make_unique<transport::ReliableTransport>(*routers.back()));
+    runtimes.push_back(std::make_unique<node::Runtime>(world, id, cfg));
   }
 
   // --- the application (identical for every technology) ---------------------
-  discovery::DirectoryServer directory{*transports[0]};
-  transactions::PubSubBroker broker{*transports[0]};
-  discovery::CentralizedDiscovery supplier_disco{*transports[1], {nodes[0]}};
-  discovery::CentralizedDiscovery consumer_disco{*transports[2], {nodes[0]}};
-  transactions::RpcEndpoint server{*transports[1]};
-  transactions::RpcEndpoint client{*transports[2]};
-  transactions::PubSubClient publisher{*transports[3], nodes[0]};
-  transactions::PubSubClient subscriber{*transports[4], nodes[0]};
+  runtimes[0]->emplace_service<discovery::DirectoryServer>("directory");
+  runtimes[0]->emplace_service<transactions::PubSubBroker>("broker");
+  auto& supplier_disco = runtimes[1]->emplace_service<discovery::CentralizedDiscovery>(
+      "disco", std::vector<NodeId>{nodes[0]});
+  auto& consumer_disco = runtimes[2]->emplace_service<discovery::CentralizedDiscovery>(
+      "disco", std::vector<NodeId>{nodes[0]});
+  auto& server = runtimes[1]->emplace_service<transactions::RpcEndpoint>("rpc");
+  auto& client = runtimes[2]->emplace_service<transactions::RpcEndpoint>("rpc");
+  auto& publisher = runtimes[3]->emplace_service<transactions::PubSubClient>("pubsub", nodes[0]);
+  auto& subscriber = runtimes[4]->emplace_service<transactions::PubSubClient>("pubsub", nodes[0]);
 
   server.register_method("read", [](NodeId, const Bytes&) -> Result<Bytes> {
     return Bytes(200, 0x42);

@@ -79,8 +79,8 @@ Outcome measure(Line& line, int delivered, Time latency_sum) {
 
 Outcome run_rpc_poll() {
   Line line;
-  transactions::RpcEndpoint server{*line.transports[8]};
-  transactions::RpcEndpoint client{*line.transports[0]};
+  transactions::RpcEndpoint server{line.transport(8)};
+  transactions::RpcEndpoint client{line.transport(0)};
   server.register_method("read", [&](NodeId, const Bytes&) -> Result<Bytes> {
     return reading(line.sim.now());
   });
@@ -105,9 +105,9 @@ Outcome run_rpc_poll() {
 
 Outcome run_pubsub() {
   Line line;
-  transactions::PubSubBroker broker{*line.transports[4]};
-  transactions::PubSubClient pub{*line.transports[8], line.broker()};
-  transactions::PubSubClient sub{*line.transports[0], line.broker()};
+  transactions::PubSubBroker broker{line.transport(4)};
+  transactions::PubSubClient pub{line.transport(8), line.broker()};
+  transactions::PubSubClient sub{line.transport(0), line.broker()};
   int delivered = 0;
   Time latency_sum = 0;
   sub.subscribe("readings", [&](const std::string&, const Bytes& d, NodeId) {
@@ -128,9 +128,9 @@ Outcome run_pubsub() {
 
 Outcome run_tuple_space() {
   Line line;
-  transactions::TupleSpaceServer space{*line.transports[4]};
-  transactions::TupleSpaceClient writer{*line.transports[8], line.broker()};
-  transactions::TupleSpaceClient taker{*line.transports[0], line.broker()};
+  transactions::TupleSpaceServer space{line.transport(4)};
+  transactions::TupleSpaceClient writer{line.transport(8), line.broker()};
+  transactions::TupleSpaceClient taker{line.transport(0), line.broker()};
   int delivered = 0;
   Time latency_sum = 0;
   // Consumer: chained blocking IN.
@@ -161,8 +161,8 @@ Outcome run_tuple_space() {
 
 Outcome run_events() {
   Line line;
-  transactions::EventChannel producer{*line.transports[8]};
-  transactions::EventChannel listener{*line.transports[0]};
+  transactions::EventChannel producer{line.transport(8)};
+  transactions::EventChannel listener{line.transport(0)};
   int delivered = 0;
   Time latency_sum = 0;
   listener.attach(line.supplier(), "reading", [&](const transactions::Event& e) {
@@ -183,11 +183,11 @@ Outcome run_events() {
 
 Outcome run_txn_manager() {
   Line line;
-  discovery::DirectoryServer directory{*line.transports[4]};
-  discovery::CentralizedDiscovery supplier_disco{*line.transports[8], {line.broker()}};
-  discovery::CentralizedDiscovery consumer_disco{*line.transports[0], {line.broker()}};
-  transactions::TransactionManager supplier{*line.transports[8], supplier_disco};
-  transactions::TransactionManager consumer{*line.transports[0], consumer_disco};
+  discovery::DirectoryServer directory{line.transport(4)};
+  discovery::CentralizedDiscovery supplier_disco{line.transport(8), {line.broker()}};
+  discovery::CentralizedDiscovery consumer_disco{line.transport(0), {line.broker()}};
+  transactions::TransactionManager supplier{line.transport(8), supplier_disco};
+  transactions::TransactionManager consumer{line.transport(0), consumer_disco};
 
   supplier.serve("reading", [&] { return reading(line.sim.now()); });
   qos::SupplierQos s;

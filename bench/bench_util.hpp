@@ -12,8 +12,8 @@
 
 #include "net/link_spec.hpp"
 #include "net/world.hpp"
+#include "node/runtime.hpp"
 #include "obs/json.hpp"
-#include "routing/flooding.hpp"
 #include "routing/global.hpp"
 #include "sim/simulator.hpp"
 #include "transport/reliable.hpp"
@@ -82,29 +82,38 @@ struct Field {
   }
 
   template <class RouterT, class... Args>
-  void with_routers(Args&&... args) {
+  void with_routers(Args... args) {
+    node::StackConfig cfg;
+    cfg.router = node::RouterPolicy::kCustom;
+    cfg.router_factory = [args...](net::World& w, NodeId id) {
+      return std::make_unique<RouterT>(w, id, args...);
+    };
     for (const NodeId id : nodes) {
-      routers.push_back(std::make_unique<RouterT>(world, id, args...));
-      transports.push_back(std::make_unique<transport::ReliableTransport>(*routers.back()));
+      runtimes.push_back(std::make_unique<node::Runtime>(world, id, cfg));
     }
   }
 
-  void with_global_routers() { with_routers<routing::GlobalRouter>(table); }
-
-  routing::Router* router_of(NodeId id) {
-    for (std::size_t i = 0; i < nodes.size(); ++i) {
-      if (nodes[i] == id) return routers[i].get();
+  void with_global_routers() {
+    node::StackConfig cfg;
+    cfg.router = node::RouterPolicy::kGlobal;
+    cfg.table = table;
+    for (const NodeId id : nodes) {
+      runtimes.push_back(std::make_unique<node::Runtime>(world, id, cfg));
     }
-    return nullptr;
   }
+
+  node::Runtime& runtime(std::size_t i) { return *runtimes[i]; }
+  transport::ReliableTransport& transport(std::size_t i) { return runtimes[i]->transport(); }
+  routing::Router& router(std::size_t i) { return runtimes[i]->router(); }
+
+  routing::Router* router_of(NodeId id) { return node::router_of(runtimes, id); }
 
   sim::Simulator sim;
   net::World world;
   MediumId medium;
   std::shared_ptr<routing::GlobalRoutingTable> table;
   std::vector<NodeId> nodes;
-  std::vector<std::unique_ptr<routing::Router>> routers;
-  std::vector<std::unique_ptr<transport::ReliableTransport>> transports;
+  std::vector<std::unique_ptr<node::Runtime>> runtimes;
 };
 
 }  // namespace ndsm::bench

@@ -1,12 +1,15 @@
 // Adaptive tracking: mobility, plug-and-play rebinding and recovery
 // (§3.3, §3.6, §3.8) working together.
 //
-// A field of wireless nodes runs distance-vector routing. A monitoring
-// station opens a continuous transaction to a mobile temperature probe.
-// The probe drives out of radio range; the transaction manager detects the
-// starved flow and transparently rebinds to a fixed backup probe. Every
-// sample is journalled in a recoverable store; the station crashes halfway
-// through and recovers its sample count from the write-ahead log.
+// A field of wireless nodes runs distance-vector routing, one
+// node::Runtime per node. A monitoring station opens a continuous
+// transaction to a mobile temperature probe. The probe drives out of
+// radio range; the transaction manager detects the starved flow and
+// transparently rebinds to a fixed backup probe. Every sample is
+// journalled in a recoverable store built on the runtime's stable
+// storage; the station node crashes halfway through — its whole stack is
+// torn down — restarts, recovers its sample count from the write-ahead
+// log, and resumes the transaction.
 //
 // Build & run:  ./build/examples/adaptive_tracking
 
@@ -14,12 +17,9 @@
 
 #include "discovery/distributed.hpp"
 #include "net/link_spec.hpp"
-#include "net/world.hpp"
+#include "node/runtime.hpp"
 #include "recovery/store.hpp"
-#include "routing/distance_vector.hpp"
-#include "sim/simulator.hpp"
 #include "transactions/manager.hpp"
-#include "transport/reliable.hpp"
 
 using namespace ndsm;
 using serialize::Value;
@@ -29,22 +29,21 @@ int main() {
   net::World world{sim};
   const MediumId radio = world.add_medium(net::wifi80211(/*range_m=*/60, /*loss=*/0.02));
 
-  // A 2x3 relay backbone + station + two probes.
-  std::vector<NodeId> nodes;
-  std::vector<std::unique_ptr<routing::DistanceVectorRouter>> routers;
-  std::vector<std::unique_ptr<transport::ReliableTransport>> transports;
-  std::vector<std::unique_ptr<discovery::DistributedDiscovery>> discos;
-  std::vector<std::unique_ptr<transactions::TransactionManager>> managers;
+  // A 2x3 relay backbone + station + two probes. Every node hosts
+  // distributed discovery and a transaction manager.
+  node::StackConfig cfg;
+  cfg.router = node::RouterPolicy::kDistanceVector;
+  cfg.dv_update_period = duration::seconds(2);
+  cfg.media = {radio};
+  std::vector<std::unique_ptr<node::Runtime>> nodes;
   auto add_node = [&](Vec2 at) {
-    const NodeId id = world.add_node(at);
-    world.attach(id, radio);
-    nodes.push_back(id);
-    routers.push_back(
-        std::make_unique<routing::DistanceVectorRouter>(world, id, duration::seconds(2)));
-    transports.push_back(std::make_unique<transport::ReliableTransport>(*routers.back()));
-    discos.push_back(std::make_unique<discovery::DistributedDiscovery>(*transports.back()));
-    managers.push_back(
-        std::make_unique<transactions::TransactionManager>(*transports.back(), *discos.back()));
+    nodes.push_back(std::make_unique<node::Runtime>(world, at, cfg));
+    node::Runtime& rt = *nodes.back();
+    rt.emplace_service<discovery::DistributedDiscovery>("disco");
+    rt.add_service<transactions::TransactionManager>("tx", [](node::Runtime& r) {
+      return std::make_unique<transactions::TransactionManager>(
+          r.transport(), *r.service<discovery::DistributedDiscovery>("disco"));
+    });
     return nodes.size() - 1;
   };
   for (int x = 0; x < 3; ++x) {
@@ -55,23 +54,27 @@ int main() {
   const std::size_t station = add_node({0, 25});
   const std::size_t mobile_probe = add_node({50, 25});
   const std::size_t fixed_probe = add_node({100, 25});
+  auto manager = [&](std::size_t i) {
+    return nodes[i]->service<transactions::TransactionManager>("tx");
+  };
 
   // Both probes serve "temperature".
   qos::SupplierQos probe;
   probe.service_type = "temperature";
   probe.reliability = 0.95;
   for (const std::size_t p : {mobile_probe, fixed_probe}) {
-    managers[p]->serve("temperature", [&sim, p] {
+    manager(p)->serve("temperature", [&sim, p] {
       return to_bytes("reading@" + std::to_string(to_seconds(sim.now())) + "/node" +
                       std::to_string(p));
     });
-    discos[p]->register_service(probe, duration::seconds(15));
+    nodes[p]->service<discovery::DistributedDiscovery>("disco")->register_service(
+        probe, duration::seconds(15));
   }
 
-  // The station journals every sample into a recoverable store (§3.8).
-  recovery::StableStorage log_disk;
-  recovery::StableStorage checkpoint_disk;
-  recovery::RecoverableStore journal{log_disk, checkpoint_disk};
+  // The station journals every sample into a recoverable store (§3.8)
+  // built on the runtime's stable storage, which survives crash().
+  recovery::RecoverableStore journal{nodes[station]->storage("log"),
+                                     nodes[station]->storage("checkpoint")};
 
   std::int64_t samples = 0;
   transactions::TransactionSpec spec;
@@ -79,8 +82,8 @@ int main() {
   spec.kind = transactions::TransactionKind::kContinuous;
   spec.period = duration::seconds(1);
 
-  sim.schedule_at(duration::seconds(8), [&] {  // let DV routing converge first
-    managers[station]->begin(spec, [&](const Bytes& data, NodeId supplier, Time) {
+  auto begin_tracking = [&] {
+    manager(station)->begin(spec, [&](const Bytes& data, NodeId supplier, Time) {
       samples++;
       journal.put("samples", Value{samples});
       journal.put("last", Value{to_string(data)});
@@ -89,34 +92,48 @@ int main() {
                   << " samples (current supplier: node " << supplier.value() << ")\n";
       }
     });
-  });
+  };
+  sim.schedule_at(duration::seconds(8), begin_tracking);  // let DV routing converge
 
   // The mobile probe drives away at t=30s.
   sim.schedule_at(duration::seconds(30), [&] {
     std::cout << "-- mobile probe drives out of range --\n";
-    world.move_linear(nodes[mobile_probe], Vec2{50, 1000}, 15.0);
+    world.move_linear(nodes[mobile_probe]->id(), Vec2{50, 1000}, 15.0);
   });
 
-  // The station crashes at t=70s and recovers from its log.
+  // The station node crashes at t=70s: router, transport and both hosted
+  // services are torn down and the node goes link-dead.
+  std::uint64_t rebinds_before_crash = 0;
   sim.schedule_at(duration::seconds(70), [&] {
-    std::cout << "-- station process crashes --\n";
-    journal.crash();
+    std::cout << "-- station node crashes --\n";
+    rebinds_before_crash = manager(station)->stats().rebinds;
+    nodes[station]->crash();
+    journal.crash();  // its in-memory cache dies with the node
+  });
+  // It reboots 5 s later and replays the WAL; the transaction resumes
+  // once distance-vector routing has re-converged around the reborn node.
+  sim.schedule_at(duration::seconds(75), [&] {
+    nodes[station]->restart();
     const auto report = journal.recover();
     const auto recovered = journal.get("samples");
-    std::cout << "-- recovered " << (recovered ? recovered->as_int() : 0) << " samples from "
+    samples = recovered ? recovered->as_int() : 0;
+    std::cout << "-- station restarted: recovered " << samples << " samples from "
               << report.log_records_replayed << " log records in "
               << format_time(report.modelled_time) << " of modelled disk time --\n";
   });
+  sim.schedule_at(duration::seconds(85), begin_tracking);
 
   sim.run_until(duration::minutes(2));
 
-  const auto& stats = managers[station]->stats();
+  const auto& stats = manager(station)->stats();
   std::cout << "\nsummary:\n"
-            << "  samples delivered:   " << stats.data_received << "\n"
-            << "  supplier rebinds:    " << stats.rebinds << "\n"
-            << "  journalled samples:  "
+            << "  samples after restart: " << stats.data_received << "\n"
+            << "  supplier rebinds:      " << rebinds_before_crash + stats.rebinds << "\n"
+            << "  node crashes/restarts: " << nodes[station]->stats().crashes << "/"
+            << nodes[station]->stats().restarts << "\n"
+            << "  journalled samples:    "
             << (journal.get("samples") ? journal.get("samples")->as_int() : 0) << "\n"
-            << "  last reading:        "
+            << "  last reading:          "
             << (journal.get("last") ? journal.get("last")->as_string() : "<none>") << "\n";
   return 0;
 }

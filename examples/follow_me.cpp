@@ -1,24 +1,23 @@
 // Follow-me session: application-session handoff across space (§3.7; the
 // paper cites "Handoff of Application Sessions Across Time and Space").
 //
-// A building with four room servers. A user walks through the rooms; a
-// media-playback session (position + playlist) always runs on the server
-// nearest the user: each time the user crosses into a new room, the
-// current server serializes the session and hands it off. The session
-// state is journalled so a server crash mid-stay loses nothing.
+// A building with four room servers, each a node::Runtime hosting a
+// HandoffManager. A user walks through the rooms; a media-playback
+// session (position + playlist) always runs on the server nearest the
+// user: each time the user crosses into a new room, the current server
+// serializes the session and hands it off. The session state is
+// journalled on each runtime's stable storage, so a full server crash —
+// stack torn down, node link-dead — loses nothing once it restarts.
 //
 // Build & run:  ./build/examples/follow_me
 
 #include <iostream>
 
 #include "net/link_spec.hpp"
-#include "net/world.hpp"
+#include "node/runtime.hpp"
 #include "recovery/store.hpp"
-#include "routing/global.hpp"
 #include "scheduling/handoff.hpp"
 #include "serialize/value.hpp"
-#include "sim/simulator.hpp"
-#include "transport/reliable.hpp"
 
 using namespace ndsm;
 using serialize::Value;
@@ -30,51 +29,49 @@ int main() {
 
   // Four room servers along a corridor + the user's badge node.
   const Vec2 rooms[] = {{0, 0}, {50, 0}, {100, 0}, {150, 0}};
-  std::vector<NodeId> nodes;
-  auto table = std::make_shared<routing::GlobalRoutingTable>(world, routing::Metric::kHopCount);
-  std::vector<std::unique_ptr<routing::GlobalRouter>> routers;
-  std::vector<std::unique_ptr<transport::ReliableTransport>> transports;
-  auto add_node = [&](Vec2 at) {
-    const NodeId id = world.add_node(at);
-    world.attach(id, wifi);
-    nodes.push_back(id);
-    routers.push_back(std::make_unique<routing::GlobalRouter>(world, id, table));
-    transports.push_back(std::make_unique<transport::ReliableTransport>(*routers.back()));
-    return id;
-  };
-  for (const Vec2 room : rooms) add_node(room);
-  const NodeId user = add_node({0, 5});
+  node::StackConfig cfg;
+  cfg.media = {wifi};
+  cfg.table = std::make_shared<routing::GlobalRoutingTable>(world, routing::Metric::kHopCount);
+  std::vector<std::unique_ptr<node::Runtime>> nodes;
+  for (const Vec2 room : rooms) {
+    nodes.push_back(std::make_unique<node::Runtime>(world, room, cfg));
+  }
+  nodes.push_back(std::make_unique<node::Runtime>(world, Vec2{0, 5}, cfg));
+  node::Runtime& user = *nodes.back();
 
-  // Each room server can resume "playback" sessions and journals the state.
-  std::vector<std::unique_ptr<scheduling::HandoffManager>> managers;
-  std::vector<std::unique_ptr<recovery::StableStorage>> disks;
+  // Each room server hosts a HandoffManager and journals the session
+  // state on its runtime's crash-proof storage.
   std::vector<std::unique_ptr<recovery::RecoverableStore>> journals;
   int session_at = 0;      // which server currently owns the session
   std::int64_t seconds_played = 0;
 
   for (int i = 0; i < 4; ++i) {
-    managers.push_back(
-        std::make_unique<scheduling::HandoffManager>(*transports[static_cast<std::size_t>(i)]));
-    disks.push_back(std::make_unique<recovery::StableStorage>());
-    disks.push_back(std::make_unique<recovery::StableStorage>());
+    auto& rt = *nodes[static_cast<std::size_t>(i)];
     journals.push_back(std::make_unique<recovery::RecoverableStore>(
-        *disks[disks.size() - 2], *disks[disks.size() - 1]));
+        rt.storage("log"), rt.storage("checkpoint")));
+    // Session types register inside the service factory so a restarted
+    // server comes back able to resume sessions.
+    rt.add_service<scheduling::HandoffManager>("handoff", [&, i](node::Runtime& r) {
+      auto manager = std::make_unique<scheduling::HandoffManager>(r.transport());
+      manager->register_session_type(
+          "playback", [&, i](NodeId from, const Bytes& state) {
+            serialize::Reader reader{state};
+            const auto position = reader.svarint();
+            if (!position) return Status{ErrorCode::kCorrupt, "bad session state"};
+            seconds_played = *position;
+            session_at = i;
+            journals[static_cast<std::size_t>(i)]->put("playback", Value{*position});
+            std::cout << "t=" << format_time(sim.now()) << " room " << i
+                      << " resumed playback at " << *position << "s (from node "
+                      << from.value() << ")\n";
+            return Status::ok();
+          });
+      return manager;
+    });
   }
-  for (int i = 0; i < 4; ++i) {
-    managers[static_cast<std::size_t>(i)]->register_session_type(
-        "playback", [&, i](NodeId from, const Bytes& state) {
-          serialize::Reader r{state};
-          const auto position = r.svarint();
-          if (!position) return Status{ErrorCode::kCorrupt, "bad session state"};
-          seconds_played = *position;
-          session_at = i;
-          journals[static_cast<std::size_t>(i)]->put("playback", Value{*position});
-          std::cout << "t=" << format_time(sim.now()) << " room " << i
-                    << " resumed playback at " << *position << "s (from node "
-                    << from.value() << ")\n";
-          return Status::ok();
-        });
-  }
+  auto handoff_manager = [&](int i) {
+    return nodes[static_cast<std::size_t>(i)]->service<scheduling::HandoffManager>("handoff");
+  };
 
   // Playback advances one second per second on whichever server owns it.
   sim::PeriodicTimer playback{sim, duration::seconds(1), [&] {
@@ -86,12 +83,12 @@ int main() {
   journals[0]->put("playback", Value{std::int64_t{0}});
   std::cout << "t=0 session starts in room 0\n";
 
-  // The user walks the corridor; every 100 ms check which room is nearest
+  // The user walks the corridor; every 500 ms check which room is nearest
   // and hand the session off when it changes.
-  world.move_linear(user, Vec2{150, 5}, /*speed=*/2.0);
+  world.move_linear(user.id(), Vec2{150, 5}, /*speed=*/2.0);
   sim::PeriodicTimer follow{
       sim, duration::millis(500), [&] {
-        const Vec2 at = world.position(user);
+        const Vec2 at = world.position(user.id());
         int nearest = 0;
         double best = 1e18;
         for (int i = 0; i < 4; ++i) {
@@ -102,13 +99,14 @@ int main() {
           }
         }
         if (nearest == session_at) return;
+        if (!nodes[static_cast<std::size_t>(session_at)]->up()) return;
         // Freeze, transfer, resume.
         serialize::Writer w;
         w.svarint(seconds_played);
         const int from = session_at;
-        managers[static_cast<std::size_t>(from)]->handoff(
-            "playback", std::move(w).take(), nodes[static_cast<std::size_t>(nearest)],
-            [&, from](Status s) {
+        handoff_manager(from)->handoff(
+            "playback", std::move(w).take(),
+            nodes[static_cast<std::size_t>(nearest)]->id(), [&, from](Status s) {
               if (!s.is_ok()) {
                 std::cout << "handoff failed: " << s.to_string() << " (session stays in room "
                           << from << ")\n";
@@ -117,24 +115,31 @@ int main() {
       }};
   follow.start();
 
-  // One server crashes and recovers from its journal mid-run.
+  // The server owning the session crashes mid-run — the whole node stack
+  // goes down — then restarts and recovers the position from its journal
+  // (the runtime's stable storage survived the crash).
   sim.schedule_at(duration::seconds(40), [&] {
     const auto room = static_cast<std::size_t>(session_at);
     std::cout << "t=" << format_time(sim.now()) << " room " << session_at
               << " server crashes!\n";
+    nodes[room]->crash();
     journals[room]->crash();
-    const auto report = journals[room]->recover();
-    const auto recovered = journals[room]->get("playback");
-    seconds_played = recovered ? recovered->as_int() : 0;
-    std::cout << "   recovered playback position " << seconds_played << "s from "
-              << report.log_records_replayed << " log records\n";
+    sim.schedule_after(duration::seconds(2), [&, room] {
+      nodes[room]->restart();
+      const auto report = journals[room]->recover();
+      const auto recovered = journals[room]->get("playback");
+      seconds_played = recovered ? recovered->as_int() : 0;
+      std::cout << "   room " << room << " restarted: recovered playback position "
+                << seconds_played << "s from " << report.log_records_replayed
+                << " log records\n";
+    });
   });
 
   sim.run_until(duration::seconds(90));
   std::cout << "\nfinal: session in room " << session_at << ", position " << seconds_played
             << "s, handoffs completed: ";
   std::uint64_t total = 0;
-  for (const auto& m : managers) total += m->stats().completed;
+  for (int i = 0; i < 4; ++i) total += handoff_manager(i)->stats().completed;
   std::cout << total << "\n";
   return 0;
 }

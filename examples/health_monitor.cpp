@@ -11,9 +11,7 @@
 
 #include "milan/engine.hpp"
 #include "net/link_spec.hpp"
-#include "net/world.hpp"
-#include "routing/global.hpp"
-#include "sim/simulator.hpp"
+#include "node/runtime.hpp"
 
 using namespace ndsm;
 
@@ -50,21 +48,20 @@ int main() {
   net::World world{sim};
   const MediumId ban = world.add_medium(net::sensor_radio(/*range_m=*/3.0));
 
-  // Sink (PDA on the belt, mains/big battery) + 7 sensor nodes on the body.
+  // Sink (PDA on the belt, mains/big battery) + 7 sensor nodes on the body,
+  // each a node::Runtime sharing one energy-aware routing table.
+  node::StackConfig cfg;
+  cfg.media = {ban};
+  cfg.table =
+      std::make_shared<routing::GlobalRoutingTable>(world, routing::Metric::kEnergyAware);
+  std::vector<std::unique_ptr<node::Runtime>> runtimes;
   std::vector<NodeId> nodes;
   const Vec2 positions[] = {{0, 0},    {0.5, 1.2}, {-0.5, 1.2}, {0.3, 0.7},
                             {-0.3, 0.7}, {0.2, 1.6}, {-0.2, 1.6}, {0.0, 1.0}};
   for (int i = 0; i < 8; ++i) {
-    nodes.push_back(world.add_node(positions[i],
-                                   i == 0 ? net::Battery::mains() : net::Battery{5.0}));
-    world.attach(nodes.back(), ban);
-  }
-
-  auto table =
-      std::make_shared<routing::GlobalRoutingTable>(world, routing::Metric::kEnergyAware);
-  std::vector<std::unique_ptr<routing::GlobalRouter>> routers;
-  for (const NodeId n : nodes) {
-    routers.push_back(std::make_unique<routing::GlobalRouter>(world, n, table));
+    cfg.battery = i == 0 ? net::Battery::mains() : net::Battery{5.0};
+    runtimes.push_back(std::make_unique<node::Runtime>(world, positions[i], cfg));
+    nodes.push_back(runtimes.back()->id());
   }
 
   // Redundant sensors: two of each vital sign, with different quality/cost.
@@ -89,18 +86,17 @@ int main() {
                              {"respiration", 0.8}};
   app.initial_state = "rest";
 
-  milan::MilanEngine engine{
-      world, nodes[0], table,
-      [&](NodeId n) -> routing::Router* {
-        for (std::size_t i = 0; i < nodes.size(); ++i) {
-          if (nodes[i] == n) return routers[i].get();
-        }
-        return nullptr;
-      },
-      app, sensors, milan::EngineConfig{milan::Strategy::kOptimal, duration::seconds(30), 1}};
+  // MiLAN runs as a hosted service on the sink's runtime: add_service
+  // constructs it and calls start() (the initial plan) immediately.
+  auto& engine = runtimes[0]->add_service<milan::MilanEngine>(
+      "milan", [&](node::Runtime& rt) {
+        return std::make_unique<milan::MilanEngine>(
+            world, rt.id(), cfg.table,
+            [&](NodeId n) { return node::router_of(runtimes, n); }, app, sensors,
+            milan::EngineConfig{milan::Strategy::kOptimal, duration::seconds(30), 1});
+      });
 
   std::cout << "== personal health monitor (MiLAN) ==\n";
-  engine.start();
   print_plan(engine, "t=0 start");
 
   sim.schedule_at(duration::seconds(20), [&] {

@@ -5,6 +5,10 @@
 //   * node 1 offers a "thermometer" service and an RPC method to read it,
 //   * node 2 discovers the service by QoS-matched query and calls it.
 //
+// Each node is one node::Runtime: the runtime owns the router, the
+// reliable transport and the hosted services, and could crash()/restart()
+// any of them mid-run.
+//
 // Build & run:  ./build/examples/quickstart
 
 #include <iostream>
@@ -12,13 +16,10 @@
 #include "discovery/centralized.hpp"
 #include "discovery/directory_server.hpp"
 #include "net/link_spec.hpp"
-#include "net/world.hpp"
+#include "node/runtime.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
-#include "routing/global.hpp"
-#include "sim/simulator.hpp"
 #include "transactions/rpc.hpp"
-#include "transport/reliable.hpp"
 
 using namespace ndsm;
 
@@ -28,29 +29,25 @@ int main() {
   Logger::instance().set_level(LogLevel::kInfo);
   Logger::instance().set_sink(obs::trace_log_sink());
 
-  // --- substrate: a simulated network ---------------------------------------
+  // --- substrate: a simulated network, one Runtime per node -----------------
   sim::Simulator sim{/*seed=*/1};
   net::World world{sim};
-  const MediumId lan = world.add_medium(net::ethernet100());
-
-  std::vector<NodeId> nodes;
-  auto table = std::make_shared<routing::GlobalRoutingTable>(world, routing::Metric::kHopCount);
-  std::vector<std::unique_ptr<routing::GlobalRouter>> routers;
-  std::vector<std::unique_ptr<transport::ReliableTransport>> transports;
+  node::StackConfig cfg;
+  cfg.media = {world.add_medium(net::ethernet100())};
+  cfg.table = std::make_shared<routing::GlobalRoutingTable>(world, routing::Metric::kHopCount);
+  std::vector<std::unique_ptr<node::Runtime>> nodes;
   for (int i = 0; i < 3; ++i) {
-    const NodeId id = world.add_node(Vec2{static_cast<double>(i) * 5.0, 0.0});
-    world.attach(id, lan);
-    nodes.push_back(id);
-    routers.push_back(std::make_unique<routing::GlobalRouter>(world, id, table));
-    transports.push_back(std::make_unique<transport::ReliableTransport>(*routers.back()));
+    nodes.push_back(std::make_unique<node::Runtime>(world, Vec2{i * 5.0, 0.0}, cfg));
   }
 
   // --- middleware services ----------------------------------------------------
-  discovery::DirectoryServer directory{*transports[0]};
-  discovery::CentralizedDiscovery supplier_disco{*transports[1], {nodes[0]}};
-  discovery::CentralizedDiscovery consumer_disco{*transports[2], {nodes[0]}};
-  transactions::RpcEndpoint thermometer{*transports[1]};
-  transactions::RpcEndpoint client{*transports[2]};
+  nodes[0]->emplace_service<discovery::DirectoryServer>("directory");
+  auto& supplier_disco = nodes[1]->emplace_service<discovery::CentralizedDiscovery>(
+      "discovery", std::vector<NodeId>{nodes[0]->id()});
+  auto& consumer_disco = nodes[2]->emplace_service<discovery::CentralizedDiscovery>(
+      "discovery", std::vector<NodeId>{nodes[0]->id()});
+  auto& thermometer = nodes[1]->emplace_service<transactions::RpcEndpoint>("rpc");
+  auto& client = nodes[2]->emplace_service<transactions::RpcEndpoint>("rpc");
 
   // Supplier: describe the service (§3.4 QoS spec) and register it (§3.3).
   qos::SupplierQos service;
@@ -58,7 +55,7 @@ int main() {
   service.attributes = {{"unit", serialize::Value{"celsius"}},
                         {"resolution", serialize::Value{0.1}}};
   service.reliability = 0.98;
-  service.position = world.position(nodes[1]);
+  service.position = world.position(nodes[1]->id());
   supplier_disco.register_service(service, duration::seconds(60));
 
   thermometer.register_method("read", [](NodeId, const Bytes&) -> Result<Bytes> {

@@ -13,12 +13,9 @@
 #include "discovery/centralized.hpp"
 #include "discovery/directory_server.hpp"
 #include "net/link_spec.hpp"
-#include "net/world.hpp"
-#include "routing/global.hpp"
+#include "node/runtime.hpp"
 #include "scheduling/tx_scheduler.hpp"
-#include "sim/simulator.hpp"
 #include "transactions/pubsub.hpp"
-#include "transport/reliable.hpp"
 
 using namespace ndsm;
 using serialize::Value;
@@ -42,29 +39,25 @@ int main() {
       {{80, 60}, 600, true, false},
   };
 
-  std::vector<NodeId> nodes;
-  auto table = std::make_shared<routing::GlobalRoutingTable>(world, routing::Metric::kHopCount);
-  std::vector<std::unique_ptr<routing::GlobalRouter>> routers;
-  std::vector<std::unique_ptr<transport::ReliableTransport>> transports;
-  auto add_node = [&](Vec2 at) {
-    const NodeId id = world.add_node(at);
-    world.attach(id, wifi);
-    nodes.push_back(id);
-    routers.push_back(std::make_unique<routing::GlobalRouter>(world, id, table));
-    transports.push_back(std::make_unique<transport::ReliableTransport>(*routers.back()));
-    return id;
+  node::StackConfig cfg;
+  cfg.media = {wifi};
+  cfg.table = std::make_shared<routing::GlobalRoutingTable>(world, routing::Metric::kHopCount);
+  std::vector<std::unique_ptr<node::Runtime>> nodes;
+  auto add_node = [&](Vec2 at) -> node::Runtime& {
+    nodes.push_back(std::make_unique<node::Runtime>(world, at, cfg));
+    return *nodes.back();
   };
-  add_node({50, 25});                         // infrastructure node
+  node::Runtime& infra = add_node({50, 25});  // directory + broker live here
   for (const auto& p : printers) add_node(p.at);
-  const NodeId user = add_node({12, 10});     // user sits near printer 1
+  node::Runtime& user_rt = add_node({12, 10});  // user sits near printer 1
+  const NodeId user = user_rt.id();
 
-  discovery::DirectoryServer directory{*transports[0]};
-  transactions::PubSubBroker broker{*transports[0]};
+  infra.emplace_service<discovery::DirectoryServer>("directory");
+  infra.emplace_service<transactions::PubSubBroker>("broker");
 
-  std::vector<std::unique_ptr<discovery::CentralizedDiscovery>> discos;
   for (int i = 1; i <= 4; ++i) {
-    discos.push_back(std::make_unique<discovery::CentralizedDiscovery>(
-        *transports[static_cast<std::size_t>(i)], std::vector<NodeId>{nodes[0]}));
+    auto& disco = nodes[static_cast<std::size_t>(i)]->emplace_service<
+        discovery::CentralizedDiscovery>("discovery", std::vector<NodeId>{infra.id()});
     qos::SupplierQos s;
     s.service_type = "printer";
     s.attributes = {{"dpi", Value{printers[i - 1].dpi}},
@@ -73,12 +66,15 @@ int main() {
     s.power_w = 30.0;
     s.position = printers[i - 1].at;
     if (printers[i - 1].secured) s.set_password("office-secret");
-    discos.back()->register_service(s, duration::seconds(600));
+    disco.register_service(s, duration::seconds(600));
   }
 
-  discovery::CentralizedDiscovery user_disco{*transports[5], {nodes[0]}};
-  transactions::PubSubClient user_events{*transports[5], nodes[0]};
-  transactions::PubSubClient printer_events{*transports[1], nodes[0]};
+  auto& user_disco = user_rt.emplace_service<discovery::CentralizedDiscovery>(
+      "discovery", std::vector<NodeId>{infra.id()});
+  auto& user_events =
+      user_rt.emplace_service<transactions::PubSubClient>("events", infra.id());
+  auto& printer_events =
+      nodes[1]->emplace_service<transactions::PubSubClient>("events", infra.id());
   scheduling::TxScheduler print_queue{sim, scheduling::SchedulingPolicy::kPriority,
                                       /*bytes_per_tick=*/5000, duration::millis(100)};
 

@@ -43,3 +43,14 @@ if [ ${#failed[@]} -gt 0 ]; then
 fi
 echo "ALL_BENCHES_DONE" >> bench_output.txt
 echo "wrote bench_output.txt and bench_metrics.jsonl ($(wc -l < bench_metrics.jsonl) summaries)"
+
+# Regression gate: diff against the committed baseline (10% threshold).
+# Quick-mode numbers are not comparable, so the gate only runs full-size.
+if [ "$quick" -eq 0 ] && [ -f bench/baseline_metrics.jsonl ]; then
+  if python3 scripts/bench_compare.py bench/baseline_metrics.jsonl bench_metrics.jsonl; then
+    echo "BENCH_COMPARE_OK: within 10% of bench/baseline_metrics.jsonl"
+  else
+    echo "BENCH_COMPARE_REGRESSION: see above" >&2
+    exit 1
+  fi
+fi

@@ -1,0 +1,19 @@
+#!/bin/bash
+# CI gate: build the whole tree with AddressSanitizer + UBSan (asserts
+# re-enabled) and run the tier-1 test suite under it. A separate build
+# directory keeps the sanitized tree from invalidating the normal one.
+#
+# Usage: ./scripts/check.sh [ctest-args...]
+set -e
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=build-san
+cmake -B "$BUILD_DIR" -S . -DNDSM_SANITIZE=address,undefined \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+export ASAN_OPTIONS=detect_leaks=1:strict_string_checks=1
+export UBSAN_OPTIONS=print_stacktrace=1:halt_on_error=1
+cd "$BUILD_DIR"
+ctest --output-on-failure -j "$(nproc)" "$@"
+echo "CHECK_OK: tier-1 green under ASan+UBSan"

@@ -1,17 +1,56 @@
 #include "discovery/directory_server.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "qos/matcher.hpp"
 
 namespace ndsm::discovery {
 
-DirectoryServer::DirectoryServer(transport::ReliableTransport& transport, Time sweep_period)
+DirectoryServer::DirectoryServer(transport::ReliableTransport& transport, Time sweep_period,
+                                 recovery::StableStorage* stable)
     : transport_(transport),
       sweeper_(transport.router().world().sim(), sweep_period, [this] { sweep_leases(); }) {
+  if (stable != nullptr) {
+    wal_ = std::make_unique<recovery::WriteAheadLog>(*stable);
+    rehydrate();
+  }
   transport_.set_receiver(transport::ports::kDiscovery,
                           [this](NodeId src, const Bytes& b) { on_message(src, b); });
   sweeper_.start();
+}
+
+void DirectoryServer::log_mutation(recovery::LogKind kind, const ServiceRecord* record,
+                                   ServiceId id) {
+  if (!wal_) return;
+  serialize::Value value;
+  if (record != nullptr) {
+    serialize::Writer w;
+    record->encode(w);
+    value = serialize::Value{std::move(w).take()};
+  }
+  wal_->append(kind, /*tx=*/0, id.to_string(), value);
+}
+
+void DirectoryServer::rehydrate() {
+  const Time now = transport_.router().world().sim().now();
+  for (const auto& rec : wal_->replay()) {
+    switch (rec.kind) {
+      case recovery::LogKind::kPut: {
+        if (rec.value.type() != serialize::Value::Type::kBytes) break;
+        serialize::Reader r{rec.value.as_bytes()};
+        auto record = ServiceRecord::decode(r);
+        if (record && !record->expired(now)) records_[record->id] = std::move(*record);
+        break;
+      }
+      case recovery::LogKind::kErase:
+        records_.erase(ServiceId{std::strtoull(rec.key.c_str(), nullptr, 10)});
+        break;
+      default:
+        break;  // tx framing records: directory mutations are auto-committed
+    }
+  }
+  stats_.records_rehydrated = records_.size();
 }
 
 DirectoryServer::~DirectoryServer() {
@@ -29,6 +68,7 @@ std::vector<ServiceRecord> DirectoryServer::snapshot() const {
 
 void DirectoryServer::apply_register(ServiceRecord record, bool replicate_out) {
   stats_.registers++;
+  log_mutation(recovery::LogKind::kPut, &record, record.id);
   if (replicate_out) replicate(record, /*removal=*/false);
   records_[record.id] = std::move(record);
 }
@@ -37,6 +77,7 @@ void DirectoryServer::apply_unregister(ServiceId id, bool replicate_out) {
   const auto it = records_.find(id);
   if (it == records_.end()) return;
   stats_.unregisters++;
+  log_mutation(recovery::LogKind::kErase, nullptr, id);
   if (replicate_out) replicate(it->second, /*removal=*/true);
   records_.erase(it);
 }
@@ -140,8 +181,10 @@ void DirectoryServer::on_message(NodeId src, const Bytes& frame) {
       if (!rep) return;
       stats_.replications_applied++;
       if (rep->second) {
+        log_mutation(recovery::LogKind::kErase, nullptr, rep->first.id);
         records_.erase(rep->first.id);
       } else {
+        log_mutation(recovery::LogKind::kPut, &rep->first, rep->first.id);
         records_[rep->first.id] = std::move(rep->first);
       }
       break;

@@ -5,10 +5,12 @@
 // further increase scalability, mirroring approaches can be introduced").
 
 #include <deque>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
 #include "discovery/messages.hpp"
+#include "recovery/wal.hpp"
 #include "transport/reliable.hpp"
 
 namespace ndsm::discovery {
@@ -21,12 +23,19 @@ struct DirectoryStats {
   std::uint64_t replications_sent = 0;
   std::uint64_t replications_applied = 0;
   std::uint64_t leases_expired = 0;
+  std::uint64_t records_rehydrated = 0;  // recovered from the WAL at start
 };
 
 class DirectoryServer {
  public:
+  // With `stable` set, every registration mutation is appended to a
+  // write-ahead log on that storage before being applied, and a freshly
+  // constructed server rehydrates its record table by replaying the log
+  // (§3.8 "a simple log-based scheme"): a directory that crashes and
+  // restarts on the same storage comes back knowing every live lease.
   explicit DirectoryServer(transport::ReliableTransport& transport,
-                           Time sweep_period = duration::seconds(1));
+                           Time sweep_period = duration::seconds(1),
+                           recovery::StableStorage* stable = nullptr);
   ~DirectoryServer();
 
   DirectoryServer(const DirectoryServer&) = delete;
@@ -59,8 +68,11 @@ class DirectoryServer {
   void drain_query_queue();
   void sweep_leases();
   void replicate(const ServiceRecord& record, bool removal);
+  void log_mutation(recovery::LogKind kind, const ServiceRecord* record, ServiceId id);
+  void rehydrate();
 
   transport::ReliableTransport& transport_;
+  std::unique_ptr<recovery::WriteAheadLog> wal_;  // null = no persistence
   std::unordered_map<ServiceId, ServiceRecord> records_;
   std::vector<NodeId> mirrors_;
   DirectoryStats stats_;

@@ -6,10 +6,6 @@
 
 namespace ndsm::discovery {
 
-namespace {
-constexpr transport::Port kGossipPort = 11;
-}  // namespace
-
 GossipDiscovery::GossipDiscovery(transport::ReliableTransport& transport,
                                  std::vector<NodeId> seed_peers, GossipConfig config)
     : transport_(transport),
@@ -24,12 +20,12 @@ GossipDiscovery::GossipDiscovery(transport::ReliableTransport& transport,
                  [this] { return static_cast<double>(cache_.size()); });
   metrics_.gauge("discovery.gossip.peers",
                  [this] { return static_cast<double>(peers_.size()); });
-  transport_.set_receiver(kGossipPort,
+  transport_.set_receiver(transport::ports::kGossip,
                           [this](NodeId src, const Bytes& b) { on_gossip(src, b); });
   timer_.start(duration::millis(rng_.uniform_int(1, 1000)));
 }
 
-GossipDiscovery::~GossipDiscovery() { transport_.clear_receiver(kGossipPort); }
+GossipDiscovery::~GossipDiscovery() { transport_.clear_receiver(transport::ports::kGossip); }
 
 ServiceId GossipDiscovery::register_service(qos::SupplierQos qos, Time lease) {
   auto& world = transport_.router().world();
@@ -91,7 +87,7 @@ void GossipDiscovery::gossip() {
   for (std::size_t k = 0; k < config_.fanout && !pool.empty(); ++k) {
     const auto pick = static_cast<std::size_t>(
         rng_.uniform_int(0, static_cast<std::int64_t>(pool.size()) - 1));
-    transport_.send(pool[pick], kGossipPort, payload);
+    transport_.send(pool[pick], transport::ports::kGossip, payload);
     pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(pick));
   }
 }

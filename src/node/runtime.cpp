@@ -1,0 +1,139 @@
+#include "node/runtime.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+#include "obs/trace.hpp"
+
+namespace ndsm::node {
+
+Runtime::Runtime(net::World& world, Vec2 position, StackConfig config)
+    : world_(world), id_(world.add_node(position, config.battery)), config_(std::move(config)) {
+  for (const MediumId m : config_.media) world_.attach(id_, m);
+  register_metrics();
+  bring_up();
+}
+
+Runtime::Runtime(net::World& world, NodeId existing, StackConfig config)
+    : world_(world), id_(existing), config_(std::move(config)) {
+  register_metrics();
+  bring_up();
+}
+
+Runtime::~Runtime() {
+  if (up_) tear_down();
+}
+
+void Runtime::register_metrics() {
+  metrics_.set_labels("node.runtime", static_cast<std::int64_t>(id_.value()));
+  metrics_.counter("node.runtime.crashes", &stats_.crashes);
+  metrics_.counter("node.runtime.restarts", &stats_.restarts);
+  metrics_.counter("node.runtime.service_starts", &stats_.service_starts);
+  metrics_.counter("node.runtime.service_stops", &stats_.service_stops);
+  metrics_.gauge("node.runtime.up", [this] { return up_ ? 1.0 : 0.0; });
+  metrics_.gauge("node.runtime.services",
+                 [this] { return static_cast<double>(slots_.size()); });
+}
+
+std::unique_ptr<routing::Router> Runtime::make_router() {
+  if (config_.router_factory) return config_.router_factory(world_, id_);
+  switch (config_.router) {
+    case RouterPolicy::kGlobal:
+      if (!config_.table) {
+        config_.table =
+            std::make_shared<routing::GlobalRoutingTable>(world_, config_.metric);
+      }
+      return std::make_unique<routing::GlobalRouter>(world_, id_, config_.table);
+    case RouterPolicy::kDistanceVector:
+      return std::make_unique<routing::DistanceVectorRouter>(world_, id_,
+                                                             config_.dv_update_period);
+    case RouterPolicy::kFlooding:
+      return std::make_unique<routing::FloodingRouter>(world_, id_);
+    case RouterPolicy::kGeographic:
+      return std::make_unique<routing::GeoRouter>(world_, id_, config_.geo_hello_period);
+    case RouterPolicy::kCustom:
+      break;
+  }
+  assert(false && "RouterPolicy::kCustom requires a router_factory");
+  return std::make_unique<routing::FloodingRouter>(world_, id_);
+}
+
+void Runtime::bring_up() {
+  assert(!up_);
+  router_ = make_router();
+  transport_ = std::make_unique<transport::ReliableTransport>(*router_, config_.transport);
+  up_ = true;
+  for (Slot& slot : slots_) {
+    slot.service->start(*this);
+    stats_.service_starts++;
+  }
+}
+
+void Runtime::tear_down() {
+  assert(up_);
+  // Services stop in reverse start order (dependents before providers),
+  // then the transport (cancels retransmission timers, unbinds ports),
+  // then the router (unhooks the link layer, stops protocol timers).
+  for (auto it = slots_.rbegin(); it != slots_.rend(); ++it) {
+    it->service->stop();
+    stats_.service_stops++;
+  }
+  transport_.reset();
+  router_.reset();
+  up_ = false;
+}
+
+void Runtime::remove_service(const std::string& name) {
+  const auto it = std::find_if(slots_.begin(), slots_.end(),
+                               [&](const Slot& s) { return s.name == name; });
+  if (it == slots_.end()) return;
+  if (it->service->running()) {
+    it->service->stop();
+    stats_.service_stops++;
+  }
+  slots_.erase(it);
+}
+
+recovery::StableStorage& Runtime::storage(const std::string& name) {
+  auto& slot = storage_[name];
+  if (!slot) slot = std::make_unique<recovery::StableStorage>();
+  return *slot;
+}
+
+void Runtime::crash() {
+  if (!up_) return;
+  stats_.crashes++;
+  NDSM_INFO("node", "node " << id_.value() << " crashes at "
+                            << format_time(world_.sim().now()));
+  obs::Tracer::instance().event("node.runtime", "crash",
+                                static_cast<std::int64_t>(id_.value()));
+  tear_down();
+  // Go link-dead last: handlers are already detached, so the World-level
+  // death event (which notifies e.g. MiLAN's supervisor) observes a node
+  // with no half-dismantled stack.
+  world_.kill(id_);
+  // Middleware-computed routes through this node are stale immediately.
+  if (config_.table) config_.table->invalidate();
+}
+
+void Runtime::restart() {
+  if (up_) return;
+  world_.revive(id_);
+  if (!world_.alive(id_)) return;  // battery exhausted: cannot reboot
+  stats_.restarts++;
+  NDSM_INFO("node", "node " << id_.value() << " restarts at "
+                            << format_time(world_.sim().now()));
+  obs::Tracer::instance().event("node.runtime", "restart",
+                                static_cast<std::int64_t>(id_.value()));
+  bring_up();
+  if (config_.table) config_.table->invalidate();
+}
+
+routing::Router* router_of(const std::vector<std::unique_ptr<Runtime>>& fleet, NodeId id) {
+  for (const auto& rt : fleet) {
+    if (rt && rt->id() == id) return rt->router_ptr();
+  }
+  return nullptr;
+}
+
+}  // namespace ndsm::node

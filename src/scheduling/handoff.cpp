@@ -4,18 +4,14 @@
 
 namespace ndsm::scheduling {
 
-namespace {
-constexpr transport::Port kHandoffPort = 10;
-}  // namespace
-
 HandoffManager::HandoffManager(transport::ReliableTransport& transport)
     : transport_(transport) {
-  transport_.set_receiver(kHandoffPort,
+  transport_.set_receiver(transport::ports::kHandoff,
                           [this](NodeId src, const Bytes& b) { on_message(src, b); });
 }
 
 HandoffManager::~HandoffManager() {
-  transport_.clear_receiver(kHandoffPort);
+  transport_.clear_receiver(transport::ports::kHandoff);
   auto& sim = transport_.router().world().sim();
   for (auto& [id, pending] : pending_) {
     if (pending.timer.valid()) sim.cancel(pending.timer);
@@ -49,7 +45,7 @@ void HandoffManager::handoff(const std::string& session_type, Bytes state, NodeI
   w.varint(transfer_id);
   w.str(session_type);
   w.bytes(state);
-  transport_.send(target, kHandoffPort, std::move(w).take());
+  transport_.send(target, transport::ports::kHandoff, std::move(w).take());
 }
 
 void HandoffManager::finish(std::uint64_t transfer_id, Status status) {
@@ -96,7 +92,7 @@ void HandoffManager::on_message(NodeId src, const Bytes& frame) {
           reply.str(accepted.message());
         }
       }
-      transport_.send(src, kHandoffPort, std::move(reply).take());
+      transport_.send(src, transport::ports::kHandoff, std::move(reply).take());
       break;
     }
     case Kind::kAccept: {

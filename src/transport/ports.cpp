@@ -1,0 +1,23 @@
+#include "transport/ports.hpp"
+
+namespace ndsm::transport::ports {
+
+const char* name(Port port) {
+  switch (port) {
+    case kDiscovery: return "discovery";
+    case kRpc: return "rpc";
+    case kPubSub: return "pubsub";
+    case kTupleSpace: return "tuple-space";
+    case kEvents: return "events";
+    case kTransactions: return "transactions";
+    case kMilan: return "milan";
+    case kDiscoveryReplyCent: return "discovery-reply-centralized";
+    case kDiscoveryReplyDist: return "discovery-reply-distributed";
+    case kHandoff: return "handoff";
+    case kGossip: return "gossip";
+    case kApp: return "app";
+    default: return "unassigned";
+  }
+}
+
+}  // namespace ndsm::transport::ports

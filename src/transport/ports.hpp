@@ -1,0 +1,39 @@
+#pragma once
+// Central registry of the application-level ports demultiplexed above the
+// reliable transport (like a /etc/services for the middleware). Every
+// subsystem's well-known port lives here, next to a human-readable name
+// used in diagnostics, instead of being scattered as bare integers.
+//
+// The registry also backs the transport's debug-mode duplicate-bind
+// check: binding a receiver to a port that already has one used to
+// silently overwrite the previous handler — a classic source of "service
+// stopped hearing its replies" bugs when two components on one node pick
+// the same port.
+
+#include <cstdint>
+
+namespace ndsm::transport {
+
+// Application-level demux above the transport (like a UDP port).
+using Port = std::uint16_t;
+
+namespace ports {
+constexpr Port kDiscovery = 1;           // directory-server inbound
+constexpr Port kRpc = 2;
+constexpr Port kPubSub = 3;
+constexpr Port kTupleSpace = 4;
+constexpr Port kEvents = 5;
+constexpr Port kTransactions = 6;
+constexpr Port kMilan = 7;
+constexpr Port kDiscoveryReplyCent = 8;  // centralized-client replies
+constexpr Port kDiscoveryReplyDist = 9;  // distributed-client replies
+constexpr Port kHandoff = 10;
+constexpr Port kGossip = 11;
+constexpr Port kApp = 100;
+
+// Human-readable name for a well-known port ("app+N" ports and unknown
+// values return "unassigned"); used by bind diagnostics.
+[[nodiscard]] const char* name(Port port);
+}  // namespace ports
+
+}  // namespace ndsm::transport

@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "common/log.hpp"
 #include "serialize/codec.hpp"
 
 namespace ndsm::transport {
@@ -23,6 +24,7 @@ obs::Histogram& ReliableTransport::register_metrics() {
   metrics_.counter("transport.reliable.retransmissions", &stats_.retransmissions);
   metrics_.counter("transport.reliable.acks_sent", &stats_.acks_sent);
   metrics_.counter("transport.reliable.duplicates_dropped", &stats_.duplicates_dropped);
+  metrics_.counter("transport.reliable.reassemblies_expired", &stats_.reassemblies_expired);
   metrics_.counter("transport.reliable.payload_bytes_sent", &stats_.payload_bytes_sent);
   metrics_.counter("transport.reliable.payload_bytes_delivered",
                    &stats_.payload_bytes_delivered);
@@ -34,6 +36,19 @@ ReliableTransport::~ReliableTransport() {
   for (auto& [id, msg] : outbox_) {
     if (msg.timer.valid()) router_.world().sim().cancel(msg.timer);
   }
+  for (auto& [key, in] : inbox_) {
+    if (in.gc.valid()) router_.world().sim().cancel(in.gc);
+  }
+}
+
+void ReliableTransport::set_receiver(Port port, Receiver receiver) {
+  if (receivers_.count(port) != 0) {
+    NDSM_ERROR("transport", "node " << self().value() << ": duplicate bind on port " << port
+                                    << " (" << ports::name(port)
+                                    << ") would silently drop the previous receiver");
+    assert(false && "duplicate transport port bind");
+  }
+  receivers_[port] = std::move(receiver);
 }
 
 std::size_t ReliableTransport::fragment_count(std::size_t payload_size) const {
@@ -183,8 +198,15 @@ void ReliableTransport::on_fragment(NodeId src, serialize::Reader& r) {
     in.fragments.resize(*count);
     in.have.assign(*count, false);
     in.port = *port;
+    // Arm the reassembly GC: if the sender gives up (retries exhausted)
+    // with this message half-received, the state must not leak.
+    const std::uint64_t id = *msg_id;
+    in.gc = router_.world().sim().schedule_after(
+        config_.reassembly_timeout,
+        [this, src, id] { on_reassembly_timeout(src, id); });
   }
   if (*count != in.fragments.size()) return;  // inconsistent sender
+  in.last_fragment_at = router_.world().sim().now();
   if (in.have[*index]) {
     stats_.duplicates_dropped++;
     return;
@@ -200,12 +222,31 @@ void ReliableTransport::on_fragment(NodeId src, serialize::Reader& r) {
     payload.insert(payload.end(), frag.begin(), frag.end());
   }
   const Port dst_port = in.port;
+  if (in.gc.valid()) router_.world().sim().cancel(in.gc);
   inbox_.erase({src, *msg_id});
   remember_completed(src, *msg_id);
   stats_.messages_delivered++;
   stats_.payload_bytes_delivered += payload.size();
   const auto it = receivers_.find(dst_port);
   if (it != receivers_.end()) it->second(src, payload);
+}
+
+void ReliableTransport::on_reassembly_timeout(NodeId src, std::uint64_t msg_id) {
+  const auto it = inbox_.find({src, msg_id});
+  if (it == inbox_.end()) return;
+  InMessage& in = it->second;
+  in.gc = EventId::invalid();
+  const Time now = router_.world().sim().now();
+  const Time idle = now - in.last_fragment_at;
+  if (idle < config_.reassembly_timeout) {
+    // Fragments still trickling in; re-check when the timeout could next expire.
+    in.gc = router_.world().sim().schedule_after(
+        config_.reassembly_timeout - idle,
+        [this, src, msg_id] { on_reassembly_timeout(src, msg_id); });
+    return;
+  }
+  stats_.reassemblies_expired++;
+  inbox_.erase(it);
 }
 
 void ReliableTransport::on_ack(NodeId /*src*/, serialize::Reader& r) {

@@ -19,26 +19,11 @@
 #include "routing/router.hpp"
 #include "serialize/codec.hpp"
 #include "sim/simulator.hpp"
+#include "transport/ports.hpp"
 
 namespace ndsm::transport {
 
 using routing::Router;
-
-// Application-level demux above the transport (like a UDP port).
-using Port = std::uint16_t;
-
-namespace ports {
-constexpr Port kDiscovery = 1;           // directory-server inbound
-constexpr Port kDiscoveryReplyCent = 8;  // centralized-client replies
-constexpr Port kDiscoveryReplyDist = 9;  // distributed-client replies
-constexpr Port kRpc = 2;
-constexpr Port kPubSub = 3;
-constexpr Port kTupleSpace = 4;
-constexpr Port kEvents = 5;
-constexpr Port kTransactions = 6;
-constexpr Port kMilan = 7;
-constexpr Port kApp = 100;
-}  // namespace ports
 
 struct TransportConfig {
   std::size_t max_fragment_bytes = 96;  // payload bytes per fragment
@@ -46,6 +31,11 @@ struct TransportConfig {
   double rto_backoff = 2.0;
   int max_retries = 5;
   std::size_t dedup_window = 1024;  // completed-message ids remembered per peer
+  // A partially reassembled inbound message whose sender has gone quiet
+  // for this long is discarded (the sender has exhausted its retries long
+  // before; without this, one lost tail fragment leaks reassembly state
+  // forever). Must exceed the worst-case retry schedule.
+  Time reassembly_timeout = duration::seconds(30);
 };
 
 struct TransportStats {
@@ -56,6 +46,7 @@ struct TransportStats {
   std::uint64_t retransmissions = 0;
   std::uint64_t acks_sent = 0;
   std::uint64_t duplicates_dropped = 0;
+  std::uint64_t reassemblies_expired = 0;  // half-received messages GC'd
   std::uint64_t payload_bytes_sent = 0;
   std::uint64_t payload_bytes_delivered = 0;
 };
@@ -76,7 +67,11 @@ class ReliableTransport {
   // error after retries are exhausted.
   Status send(NodeId dst, Port port, Bytes payload, CompletionHandler done = nullptr);
 
-  void set_receiver(Port port, Receiver receiver) { receivers_[port] = std::move(receiver); }
+  // Bind the inbound handler for `port`. Binding a port that already has
+  // a receiver is a wiring bug (the old handler would silently stop
+  // hearing its messages): it logs an error and, in debug builds, aborts.
+  // Use clear_receiver first to intentionally rebind.
+  void set_receiver(Port port, Receiver receiver);
   void clear_receiver(Port port) { receivers_.erase(port); }
 
   [[nodiscard]] NodeId self() const { return router_.self(); }
@@ -85,6 +80,10 @@ class ReliableTransport {
   [[nodiscard]] const TransportConfig& config() const { return config_; }
   // Message round-trip time (send to final ack), milliseconds.
   [[nodiscard]] const obs::Histogram& rtt_histogram() const { return rtt_ms_; }
+  // In-flight state introspection (tests of the failure path assert both
+  // drain to zero after retries exhaust).
+  [[nodiscard]] std::size_t outbox_size() const { return outbox_.size(); }
+  [[nodiscard]] std::size_t reassembly_count() const { return inbox_.size(); }
 
  private:
   enum class FrameKind : std::uint8_t { kFragment = 1, kAck = 2 };
@@ -107,11 +106,14 @@ class ReliableTransport {
     std::vector<bool> have;
     std::size_t received = 0;
     Port port = 0;
+    Time last_fragment_at = 0;        // refreshed per fragment; drives the GC
+    EventId gc = EventId::invalid();  // reassembly-timeout timer
   };
 
   void on_frame(NodeId src, const Bytes& frame);
   void on_fragment(NodeId src, serialize::Reader& r);
   void on_ack(NodeId src, serialize::Reader& r);
+  void on_reassembly_timeout(NodeId src, std::uint64_t msg_id);
   void transmit_fragments(std::uint64_t msg_id, OutMessage& msg, bool only_unacked);
   void arm_timer(std::uint64_t msg_id);
   void on_timeout(std::uint64_t msg_id);

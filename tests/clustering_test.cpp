@@ -20,13 +20,7 @@ struct ClusterField : WirelessGrid {
     std::vector<NodeId> members{nodes.begin() + 1, nodes.end()};
     manager = std::make_unique<ClusterManager>(
         world, nodes[0], members,
-        [this](NodeId n) -> routing::Router* {
-          for (std::size_t i = 0; i < nodes.size(); ++i) {
-            if (nodes[i] == n) return routers[i].get();
-          }
-          return nullptr;
-        },
-        cfg);
+        [this](NodeId n) { return node::router_of(runtimes, n); }, cfg);
   }
   std::shared_ptr<routing::GlobalRoutingTable> table;
   std::unique_ptr<ClusterManager> manager;
@@ -75,8 +69,8 @@ TEST(Clustering, MembersAssignedToNearestHead) {
 TEST(Clustering, SamplesAggregateToSink) {
   ClusterField field{9};
   std::uint64_t sink_packets = 0;
-  field.routers[0]->set_delivery_handler(routing::Proto::kApp,
-                                         [&](NodeId, const Bytes&) { sink_packets++; });
+  field.router(0).set_delivery_handler(routing::Proto::kApp,
+                                       [&](NodeId, const Bytes&) { sink_packets++; });
   field.manager->start();
   // Every member samples 5 times over one frame.
   for (int k = 0; k < 5; ++k) {

@@ -22,7 +22,7 @@ struct GeoGrid : WirelessGrid {
     sim.run_until(duration::seconds(3));  // let hello beacons populate tables
   }
   routing::GeoRouter& geo(std::size_t i) {
-    return static_cast<routing::GeoRouter&>(*routers[i]);
+    return static_cast<routing::GeoRouter&>(router(i));
   }
 };
 
@@ -277,12 +277,7 @@ TEST(MilanEvents, EngineEmitsPlanAndStateEvents) {
   app.initial_state = "low";
 
   milan::MilanEngine engine{grid.world, grid.nodes[0], table,
-                            [&](NodeId n) -> routing::Router* {
-                              for (std::size_t i = 0; i < grid.nodes.size(); ++i) {
-                                if (grid.nodes[i] == n) return grid.routers[i].get();
-                              }
-                              return nullptr;
-                            },
+                            [&](NodeId n) { return node::router_of(grid.runtimes, n); },
                             app, sensors};
   engine.set_event_channel(&channel);
 
@@ -322,12 +317,7 @@ TEST(MilanEvents, PlanPayloadCarriesSummary) {
   app.states["on"] = {{"temp", 0.8}};
   app.initial_state = "on";
   milan::MilanEngine engine{grid.world, grid.nodes[0], table,
-                            [&](NodeId n) -> routing::Router* {
-                              for (std::size_t i = 0; i < grid.nodes.size(); ++i) {
-                                if (grid.nodes[i] == n) return grid.routers[i].get();
-                              }
-                              return nullptr;
-                            },
+                            [&](NodeId n) { return node::router_of(grid.runtimes, n); },
                             app, {c}};
   engine.set_event_channel(&channel);
   Value payload;

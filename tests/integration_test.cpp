@@ -118,12 +118,7 @@ TEST(Integration, MilanOverLiveNetworkSurvivesDeath) {
   milan::MilanEngine engine{grid.world,
                             grid.nodes[0],
                             table,
-                            [&](NodeId n) -> routing::Router* {
-                              for (std::size_t i = 0; i < grid.nodes.size(); ++i) {
-                                if (grid.nodes[i] == n) return grid.routers[i].get();
-                              }
-                              return nullptr;
-                            },
+                            [&](NodeId n) { return node::router_of(grid.runtimes, n); },
                             app,
                             sensors,
                             cfg};
@@ -231,14 +226,13 @@ TEST(Integration, CrossTechnologyBridging) {
   // Wired: directory (0) + office client (1) + gateway (2).
   // Wireless: gateway (2) + two sensor nodes (3, 4).
   std::vector<NodeId> nodes;
-  auto table = std::make_shared<routing::GlobalRoutingTable>(world, routing::Metric::kHopCount);
-  std::vector<std::unique_ptr<routing::GlobalRouter>> routers;
-  std::vector<std::unique_ptr<transport::ReliableTransport>> transports;
+  node::StackConfig cfg;
+  cfg.table = std::make_shared<routing::GlobalRoutingTable>(world, routing::Metric::kHopCount);
+  std::vector<std::unique_ptr<node::Runtime>> runtimes;
   auto add = [&](Vec2 at) {
     const NodeId id = world.add_node(at);
     nodes.push_back(id);
-    routers.push_back(std::make_unique<routing::GlobalRouter>(world, id, table));
-    transports.push_back(std::make_unique<transport::ReliableTransport>(*routers.back()));
+    runtimes.push_back(std::make_unique<node::Runtime>(world, id, cfg));
     return id;
   };
   add({0, 0});
@@ -253,11 +247,11 @@ TEST(Integration, CrossTechnologyBridging) {
   world.attach(nodes[3], radio);
   world.attach(nodes[4], radio);
 
-  discovery::DirectoryServer directory{*transports[0]};
-  discovery::CentralizedDiscovery sensor_disco{*transports[3], {nodes[0]}};
-  discovery::CentralizedDiscovery office_disco{*transports[1], {nodes[0]}};
-  transactions::RpcEndpoint sensor_rpc{*transports[3]};
-  transactions::RpcEndpoint office_rpc{*transports[1]};
+  discovery::DirectoryServer directory{runtimes[0]->transport()};
+  discovery::CentralizedDiscovery sensor_disco{runtimes[3]->transport(), {nodes[0]}};
+  discovery::CentralizedDiscovery office_disco{runtimes[1]->transport(), {nodes[0]}};
+  transactions::RpcEndpoint sensor_rpc{runtimes[3]->transport()};
+  transactions::RpcEndpoint office_rpc{runtimes[1]->transport()};
 
   // A sensor on the wireless side registers across the bridge.
   qos::SupplierQos s;
@@ -286,7 +280,7 @@ TEST(Integration, CrossTechnologyBridging) {
   sim.run_until(duration::seconds(5));
   EXPECT_EQ(reading, "42%");
   // The path really crossed the gateway: it forwarded data both ways.
-  EXPECT_GT(routers[2]->stats().data_forwarded, 0u);
+  EXPECT_GT(runtimes[2]->router().stats().data_forwarded, 0u);
 }
 
 // §3.3/§3.9: a service described in markup text (the XML-style interface

@@ -183,12 +183,7 @@ struct MilanField : ndsm::testing::WirelessGrid {
   }
 
   MilanEngine::RouterOf router_of() {
-    return [this](NodeId node) -> routing::Router* {
-      for (std::size_t i = 0; i < nodes.size(); ++i) {
-        if (nodes[i] == node) return routers[i].get();
-      }
-      return nullptr;
-    };
+    return [this](NodeId node) { return ndsm::node::router_of(runtimes, node); };
   }
 
   ApplicationSpec health_app() {

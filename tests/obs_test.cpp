@@ -281,12 +281,7 @@ TEST(MetricsMigration, EngineStatsMatchRegistryViews) {
   components.push_back(c);
   milan::MilanEngine engine{
       lan.world,          lan.nodes[0],
-      lan.table,          [&](NodeId n) -> routing::Router* {
-        for (std::size_t i = 0; i < lan.nodes.size(); ++i) {
-          if (lan.nodes[i] == n) return lan.routers[i].get();
-        }
-        return nullptr;
-      },
+      lan.table,          [&](NodeId n) { return node::router_of(lan.runtimes, n); },
       app,                components};
   engine.start();
   lan.sim.run_until(duration::seconds(3));

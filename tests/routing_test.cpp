@@ -125,7 +125,7 @@ struct DvGrid : WirelessGrid {
     with_routers<DistanceVectorRouter>(duration::seconds(1));
   }
   DistanceVectorRouter& dv(std::size_t i) {
-    return static_cast<DistanceVectorRouter&>(*routers[i]);
+    return static_cast<DistanceVectorRouter&>(router(i));
   }
 };
 

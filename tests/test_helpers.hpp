@@ -1,45 +1,49 @@
 #pragma once
 // Shared fixtures: small simulated networks used across test suites.
+// Both fixtures host one node::Runtime per node — tests reach subsystems
+// through runtime(i)/router(i)/transport(i) and can crash()/restart()
+// any node mid-test.
 
 #include <memory>
 #include <vector>
 
 #include "net/link_spec.hpp"
 #include "net/world.hpp"
-#include "routing/distance_vector.hpp"
-#include "routing/flooding.hpp"
+#include "node/runtime.hpp"
 #include "routing/global.hpp"
 #include "sim/simulator.hpp"
 #include "transport/reliable.hpp"
 
 namespace ndsm::testing {
 
-// A wired LAN: `n` mains-powered nodes on one ethernet segment, each with
-// a GlobalRouter and a ReliableTransport.
+// A wired LAN: `n` mains-powered nodes on one ethernet segment, each
+// running a full stack (GlobalRouter + ReliableTransport) in a Runtime.
 struct Lan {
   explicit Lan(std::size_t n, std::uint64_t seed = 42,
                net::LinkSpec spec = net::ethernet100())
       : sim(seed), world(sim) {
     const MediumId medium = world.add_medium(std::move(spec));
     table = std::make_shared<routing::GlobalRoutingTable>(world, routing::Metric::kHopCount);
+    node::StackConfig cfg;
+    cfg.router = node::RouterPolicy::kGlobal;
+    cfg.table = table;
     for (std::size_t i = 0; i < n; ++i) {
       const NodeId id = world.add_node(Vec2{static_cast<double>(i) * 10.0, 0.0});
       world.attach(id, medium);
       nodes.push_back(id);
-      routers.push_back(std::make_unique<routing::GlobalRouter>(world, id, table));
-      transports.push_back(std::make_unique<transport::ReliableTransport>(*routers.back()));
+      runtimes.push_back(std::make_unique<node::Runtime>(world, id, cfg));
     }
   }
 
-  transport::ReliableTransport& transport(std::size_t i) { return *transports[i]; }
-  routing::Router& router(std::size_t i) { return *routers[i]; }
+  node::Runtime& runtime(std::size_t i) { return *runtimes[i]; }
+  transport::ReliableTransport& transport(std::size_t i) { return runtimes[i]->transport(); }
+  routing::Router& router(std::size_t i) { return runtimes[i]->router(); }
 
   sim::Simulator sim;
   net::World world;
   std::shared_ptr<routing::GlobalRoutingTable> table;
   std::vector<NodeId> nodes;
-  std::vector<std::unique_ptr<routing::GlobalRouter>> routers;
-  std::vector<std::unique_ptr<transport::ReliableTransport>> transports;
+  std::vector<std::unique_ptr<node::Runtime>> runtimes;
 };
 
 // A wireless multi-hop grid: nodes on a sqrt(n) x sqrt(n) lattice with
@@ -62,24 +66,28 @@ struct WirelessGrid {
     }
   }
 
-  // Attach routers after construction so tests can pick the router type.
+  // Bring stacks up after construction so tests can pick the router type.
   template <class RouterT, class... Args>
-  void with_routers(Args&&... args) {
+  void with_routers(Args... args) {
+    node::StackConfig cfg;
+    cfg.router = node::RouterPolicy::kCustom;
+    cfg.router_factory = [args...](net::World& w, NodeId id) {
+      return std::make_unique<RouterT>(w, id, args...);
+    };
     for (const NodeId id : nodes) {
-      routers.push_back(std::make_unique<RouterT>(world, id, args...));
-      transports.push_back(std::make_unique<transport::ReliableTransport>(*routers.back()));
+      runtimes.push_back(std::make_unique<node::Runtime>(world, id, cfg));
     }
   }
 
-  transport::ReliableTransport& transport(std::size_t i) { return *transports[i]; }
-  routing::Router& router(std::size_t i) { return *routers[i]; }
+  node::Runtime& runtime(std::size_t i) { return *runtimes[i]; }
+  transport::ReliableTransport& transport(std::size_t i) { return runtimes[i]->transport(); }
+  routing::Router& router(std::size_t i) { return runtimes[i]->router(); }
 
   sim::Simulator sim;
   net::World world;
   MediumId medium;
   std::vector<NodeId> nodes;
-  std::vector<std::unique_ptr<routing::Router>> routers;
-  std::vector<std::unique_ptr<transport::ReliableTransport>> transports;
+  std::vector<std::unique_ptr<node::Runtime>> runtimes;
 };
 
 }  // namespace ndsm::testing

@@ -191,5 +191,84 @@ TEST(Transport, RtoBackoffBoundsAttempts) {
   EXPECT_EQ(stats.fragments_sent, 1u + 5u);  // initial + retries
 }
 
+TEST(Transport, RetryExhaustionReportsOnceAndFreesAllState) {
+  // Regression for the failure path: a multi-fragment message is cut off
+  // mid-flight (the radio range collapses), the sender exhausts
+  // max_retries, and then (1) the completion callback fires exactly once
+  // with an error, (2) the sender's outbox is empty, and (3) the
+  // receiver's half-assembled message is GC'd by the reassembly timeout
+  // instead of leaking forever.
+  sim::Simulator sim{5};
+  net::World world{sim};
+  // A lossy radio drops part of the opening salvo, so the receiver is
+  // left holding a genuinely partial reassembly when the link dies.
+  const MediumId radio = world.add_medium(net::sensor_radio(/*range_m=*/30, /*loss=*/0.4));
+  node::StackConfig cfg;
+  cfg.router = node::RouterPolicy::kFlooding;
+  cfg.media = {radio};
+  cfg.transport.max_retries = 3;
+  cfg.transport.initial_rto = duration::millis(100);
+  cfg.transport.reassembly_timeout = duration::seconds(5);
+  node::Runtime a{world, Vec2{0, 0}, cfg};
+  node::Runtime b{world, Vec2{20, 0}, cfg};
+  b.transport().set_receiver(ports::kApp, [](NodeId, const Bytes&) {});
+
+  int completions = 0;
+  Status result = Status::ok();
+  // 21 fragments leave in one salvo at t=10ms; ~40% never land. The link
+  // dies before the first retransmission (rto 100ms), so the message is
+  // stuck partly across forever.
+  sim.schedule_at(duration::millis(10), [&] {
+    a.transport().send(b.id(), ports::kApp, Bytes(2000, 0x5a), [&](Status s) {
+      completions++;
+      result = s;
+    });
+  });
+  sim.schedule_at(duration::millis(50), [&] { world.set_medium_range(radio, 0.01); });
+  sim.run_until(duration::seconds(30));
+
+  EXPECT_EQ(completions, 1);
+  EXPECT_FALSE(result.is_ok());
+  EXPECT_EQ(a.transport().stats().messages_failed, 1u);
+  EXPECT_EQ(a.transport().outbox_size(), 0u);
+  EXPECT_GE(b.transport().stats().reassemblies_expired, 1u);
+  EXPECT_EQ(b.transport().reassembly_count(), 0u);
+}
+
+TEST(Transport, ReassemblyGcSparesLiveTransfers) {
+  // A slow but alive multi-fragment transfer under loss must NOT be
+  // garbage-collected: the idle clock resets on every fragment, so a
+  // transfer that outlives the reassembly timeout still completes.
+  sim::Simulator sim{7};
+  net::World world{sim};
+  const MediumId radio = world.add_medium(net::wifi80211(/*range_m=*/50, /*loss=*/0.3));
+  node::StackConfig cfg;
+  cfg.router = node::RouterPolicy::kFlooding;
+  cfg.media = {radio};
+  cfg.transport.initial_rto = duration::millis(150);
+  cfg.transport.rto_backoff = 1.0;  // constant-rate salvos: gaps stay < timeout
+  cfg.transport.max_retries = 30;
+  cfg.transport.reassembly_timeout = duration::millis(500);
+  node::Runtime a{world, Vec2{0, 0}, cfg};
+  node::Runtime b{world, Vec2{20, 0}, cfg};
+  Bytes got;
+  b.transport().set_receiver(ports::kApp, [&](NodeId, const Bytes& p) { got = p; });
+  Bytes payload(5000, 0x7e);
+  bool ok = false;
+  Time done_at = 0;
+  a.transport().send(b.id(), ports::kApp, payload, [&](Status s) {
+    ok = s.is_ok();
+    done_at = sim.now();
+  });
+  sim.run_until(duration::minutes(2));
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(got, payload);
+  // The transfer really did straddle the timeout window...
+  EXPECT_GT(done_at, cfg.transport.reassembly_timeout);
+  // ...yet nothing was expired out from under it.
+  EXPECT_EQ(b.transport().stats().reassemblies_expired, 0u);
+  EXPECT_EQ(b.transport().reassembly_count(), 0u);
+}
+
 }  // namespace
 }  // namespace ndsm::transport
