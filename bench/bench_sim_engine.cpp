@@ -21,6 +21,7 @@ namespace {
 
 double now_s() {
   return std::chrono::duration<double>(
+             // ndsm-lint: allow(wall-clock): measuring real engine throughput is this bench's whole purpose; nothing feeds back into simulated behaviour
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
 }

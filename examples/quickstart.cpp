@@ -11,6 +11,7 @@
 //
 // Build & run:  ./build/examples/quickstart
 
+#include <filesystem>
 #include <iostream>
 
 #include "discovery/centralized.hpp"
@@ -105,13 +106,15 @@ int main() {
   std::cout << "frames on the wire: " << world.stats().frames_sent << "\n";
 
   // --- observability: dump every registered metric and the trace ring ------
+  // Run artifacts land in the gitignored out/ directory, not the repo root.
   obs::MetricsRegistry::instance().write_table(std::cout);
-  if (obs::MetricsRegistry::instance().dump_jsonl("metrics.jsonl")) {
-    std::cout << "wrote metrics.jsonl ("
+  std::filesystem::create_directories("out");
+  if (obs::MetricsRegistry::instance().dump_jsonl("out/metrics.jsonl")) {
+    std::cout << "wrote out/metrics.jsonl ("
               << obs::MetricsRegistry::instance().snapshot().size() << " metrics)\n";
   }
-  if (obs::Tracer::instance().dump_jsonl("trace.jsonl")) {
-    std::cout << "wrote trace.jsonl (" << obs::Tracer::instance().size()
+  if (obs::Tracer::instance().dump_jsonl("out/trace.jsonl")) {
+    std::cout << "wrote out/trace.jsonl (" << obs::Tracer::instance().size()
               << " events)\n";
   }
   return 0;

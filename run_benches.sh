@@ -1,8 +1,9 @@
 #!/bin/bash
 # Regenerates every table/figure (DESIGN.md experiment index) into
-# bench_output.txt, and collects each bench's machine-readable BENCH_JSON
-# summary line into bench_metrics.jsonl. Exits nonzero (listing the
-# offenders) if any bench fails.
+# out/bench_output.txt, and collects each bench's machine-readable
+# BENCH_JSON summary line into out/bench_metrics.jsonl (out/ is the
+# gitignored run-artifact directory; the work tree stays clean). Exits
+# nonzero (listing the offenders) if any bench fails.
 #
 # Usage: ./run_benches.sh [--quick]
 #   --quick  sets NDSM_BENCH_QUICK=1 so benches run reduced workloads —
@@ -19,35 +20,36 @@ if [ "$quick" -eq 1 ]; then
   export NDSM_BENCH_QUICK=1
   echo "quick mode: reduced workloads (NDSM_BENCH_QUICK=1)"
 fi
-: > bench_output.txt
-: > bench_metrics.jsonl
+mkdir -p out
+: > out/bench_output.txt
+: > out/bench_metrics.jsonl
 failed=()
 for b in build/bench/*; do
   [ -x "$b" ] && [ -f "$b" ] || continue
   name=$(basename "$b")
-  echo "######## $name" >> bench_output.txt
+  echo "######## $name" >> out/bench_output.txt
   out=$(timeout 900 "$b" 2>&1)
   status=$?
-  printf '%s\n\n' "$out" >> bench_output.txt
+  printf '%s\n\n' "$out" >> out/bench_output.txt
   if [ $status -ne 0 ]; then
     failed+=("$name (exit $status)")
     continue
   fi
-  printf '%s\n' "$out" | sed -n 's/^BENCH_JSON //p' >> bench_metrics.jsonl
+  printf '%s\n' "$out" | sed -n 's/^BENCH_JSON //p' >> out/bench_metrics.jsonl
 done
 if [ ${#failed[@]} -gt 0 ]; then
   echo "BENCH FAILURES:" >&2
   printf '  %s\n' "${failed[@]}" >&2
-  echo "BENCHES_FAILED" >> bench_output.txt
+  echo "BENCHES_FAILED" >> out/bench_output.txt
   exit 1
 fi
-echo "ALL_BENCHES_DONE" >> bench_output.txt
-echo "wrote bench_output.txt and bench_metrics.jsonl ($(wc -l < bench_metrics.jsonl) summaries)"
+echo "ALL_BENCHES_DONE" >> out/bench_output.txt
+echo "wrote out/bench_output.txt and out/bench_metrics.jsonl ($(wc -l < out/bench_metrics.jsonl) summaries)"
 
 # Regression gate: diff against the committed baseline (10% threshold).
 # Quick-mode numbers are not comparable, so the gate only runs full-size.
 if [ "$quick" -eq 0 ] && [ -f bench/baseline_metrics.jsonl ]; then
-  if python3 scripts/bench_compare.py bench/baseline_metrics.jsonl bench_metrics.jsonl; then
+  if python3 scripts/bench_compare.py bench/baseline_metrics.jsonl out/bench_metrics.jsonl; then
     echo "BENCH_COMPARE_OK: within 10% of bench/baseline_metrics.jsonl"
   else
     echo "BENCH_COMPARE_REGRESSION: see above" >&2

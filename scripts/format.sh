@@ -1,0 +1,58 @@
+#!/bin/bash
+# clang-format gate over *changed* files only (vs the merge base with the
+# default branch, falling back to HEAD for a dirty tree). There is no
+# whole-tree mode on purpose: a mass reformat would bury real changes.
+#
+#   ./scripts/format.sh --check   report violations, exit 1 if any
+#   ./scripts/format.sh --fix     reformat the changed files in place
+#
+# If clang-format is not installed the script prints FORMAT_SKIPPED and
+# exits 0, so minimal containers still run the rest of the gate.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mode="${1:---check}"
+case "$mode" in
+  --check|--fix) ;;
+  *) echo "usage: $0 [--check|--fix]" >&2; exit 2 ;;
+esac
+
+if ! command -v clang-format >/dev/null 2>&1; then
+  echo "FORMAT_SKIPPED: clang-format not installed; format check skipped"
+  exit 0
+fi
+
+# Changed C++ files: committed-but-unmerged work vs origin's default
+# branch if such a ref exists, plus anything staged or dirty right now.
+base=$(git merge-base HEAD origin/main 2>/dev/null \
+       || git merge-base HEAD main 2>/dev/null \
+       || echo HEAD)
+mapfile -t files < <( { git diff --name-only --diff-filter=d "$base";
+                        git diff --name-only --diff-filter=d --cached;
+                        git diff --name-only --diff-filter=d; } \
+                      | sort -u | grep -E '\.(cpp|hpp)$' || true)
+
+if [ ${#files[@]} -eq 0 ]; then
+  echo "FORMAT_OK: no changed C++ files"
+  exit 0
+fi
+
+if [ "$mode" = "--fix" ]; then
+  clang-format -i "${files[@]}"
+  echo "FORMAT_FIXED: ${#files[@]} file(s) reformatted"
+  exit 0
+fi
+
+bad=()
+for f in "${files[@]}"; do
+  if ! clang-format --dry-run --Werror "$f" >/dev/null 2>&1; then
+    bad+=("$f")
+  fi
+done
+if [ ${#bad[@]} -gt 0 ]; then
+  echo "FORMAT_VIOLATIONS in ${#bad[@]} file(s):" >&2
+  printf '  %s\n' "${bad[@]}" >&2
+  echo "run ./scripts/format.sh --fix" >&2
+  exit 1
+fi
+echo "FORMAT_OK: ${#files[@]} changed file(s) clean"

@@ -1,0 +1,427 @@
+#!/usr/bin/env python3
+"""ndsm_lint.py — repo-specific determinism & hygiene lint for NDSM.
+
+Scans src/, tests/, bench/, examples/ (*.cpp, *.hpp) and enforces the
+rules the simulator's bit-determinism argument rests on:
+
+  wall-clock          No wall-clock reads (std::chrono::{system,steady,
+                      high_resolution}_clock, gettimeofday, clock_gettime,
+                      time(nullptr), localtime, gmtime) outside src/sim/
+                      and src/common/clock.* — all simulation time comes
+                      from sim::Simulator.
+  raw-random          No std::random_device / rand() / srand() outside
+                      src/sim/ and src/common/clock.* — all randomness
+                      comes from the seeded common/rng PCG streams.
+  unordered-iter      No iteration over std::unordered_map/_set in the
+                      message-ordering paths (src/net, src/routing,
+                      src/discovery, src/transactions, src/scheduling):
+                      hash-bucket order would leak into packet order and
+                      break twin-run determinism.
+  raw-new-delete      No raw new/delete anywhere scanned — ownership goes
+                      through unique_ptr/shared_ptr/containers.
+  assert-side-effect  assert() arguments must be effect-free: NDEBUG
+                      builds strip them, so `assert(x++)` changes
+                      behaviour between build types.
+  metric-name         Metric registrations in src/ follow the dotted
+                      `component.metric` convention from src/obs
+                      (lowercase, digits, underscores, >= one dot).
+
+Any finding can be suppressed with a written reason, on the same line or
+the line directly above the construct:
+
+    // ndsm-lint: allow(<rule>): <non-empty reason>
+
+An allow() with an empty reason is itself a violation (bare-allow).
+
+Usage:
+    ndsm_lint.py [--root DIR]      lint the tree, exit 1 on violations
+    ndsm_lint.py --self-test       inject one violation per rule into a
+                                   temp tree and assert each is caught
+"""
+
+import argparse
+import os
+import re
+import sys
+import tempfile
+
+SCAN_DIRS = ("src", "tests", "bench", "examples")
+CXX_EXTENSIONS = (".cpp", ".hpp")
+
+# Paths (relative, / separators) where simulated-time and RNG plumbing
+# legitimately touches the forbidden primitives.
+CLOCK_EXEMPT_PREFIXES = ("src/sim/", "src/common/clock")
+
+# Directories where container iteration order becomes packet order.
+ORDERING_DIRS = ("src/net/", "src/routing/", "src/discovery/",
+                 "src/transactions/", "src/scheduling/")
+
+ANNOTATION_RE = re.compile(r"ndsm-lint:\s*allow\(([a-z-]+)\)\s*:?\s*(.*)")
+
+WALL_CLOCK_RE = re.compile(
+    r"std::chrono::(?:system|steady|high_resolution)_clock"
+    r"|\bgettimeofday\b|\bclock_gettime\b"
+    r"|\btime\s*\(\s*(?:nullptr|NULL|0)\s*\)"
+    r"|\blocaltime\b|\bgmtime\b")
+RAW_RANDOM_RE = re.compile(r"std::random_device|\bsrand\s*\(|\brand\s*\(")
+UNORDERED_DECL_RE = re.compile(r"unordered_(?:map|set)\s*<.*>\s*(\w+)\s*(?:;|=|\{)")
+RANGE_FOR_RE = re.compile(r"\bfor\s*\(.*?:\s*(?:\w+\s*(?:\.|->)\s*)*(\w+)\s*\)")
+BEGIN_CALL_RE = re.compile(r"(\w+)\s*(?:\.|->)\s*c?begin\s*\(")
+NEW_RE = re.compile(r"\bnew\b")
+DELETE_RE = re.compile(r"\bdelete\b")
+DELETED_FN_RE = re.compile(r"=\s*delete\b|\boperator\s+(?:new|delete)\b")
+ASSERT_RE = re.compile(r"\bassert\s*\(")
+METRIC_CALL_RE = re.compile(r"\.(?:counter|gauge|histogram|set_labels)\(\s*\"([^\"]*)\"")
+METRIC_STRIPPED_RE = re.compile(r"\.(?:counter|gauge|histogram|set_labels)\(")
+METRIC_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z0-9_]+)+$")
+COMPARISON_RE = re.compile(r"==|!=|<=|>=")
+SIDE_EFFECT_RE = re.compile(r"\+\+|--|=")
+
+
+class Violation:
+    def __init__(self, path, line, rule, message):
+        self.path, self.line, self.rule, self.message = path, line, rule, message
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_comments_and_strings(text):
+    """Blank out comments and string/char literals, preserving line structure."""
+    out = []
+    i, n = 0, len(text)
+    state = None  # None | 'line' | 'block' | '"' | "'"
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state is None:
+            if c == "/" and nxt == "/":
+                state = "line"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block"
+                out.append("  ")
+                i += 2
+                continue
+            if c in ('"', "'"):
+                state = c
+                out.append(" ")
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line":
+            if c == "\n":
+                state = None
+                out.append(c)
+            else:
+                out.append(" ")
+        elif state == "block":
+            if c == "*" and nxt == "/":
+                state = None
+                out.append("  ")
+                i += 2
+                continue
+            out.append(c if c == "\n" else " ")
+        else:  # inside a string/char literal
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == state:
+                state = None
+            out.append(c if c == "\n" else " ")
+        i += 1
+    return "".join(out)
+
+
+def parse_annotations(lines, path, violations):
+    """Map line number -> set of allowed rules; flag reason-less allows."""
+    allows = {}
+    for ln, line in enumerate(lines, 1):
+        m = ANNOTATION_RE.search(line)
+        if not m:
+            continue
+        rule, reason = m.group(1), m.group(2).strip()
+        if not reason:
+            violations.append(Violation(
+                path, ln, "bare-allow",
+                f"allow({rule}) without a written reason"))
+            continue
+        allows.setdefault(ln, set()).add(rule)
+    return allows
+
+
+def allowed(allows, ln, rule):
+    return rule in allows.get(ln, ()) or rule in allows.get(ln - 1, ())
+
+
+def extract_assert_arg(code_lines, ln, col):
+    """Balanced-paren argument of an assert starting at (ln, col), joined."""
+    depth = 0
+    arg = []
+    for row in range(ln - 1, min(ln + 4, len(code_lines))):
+        text = code_lines[row]
+        start = col if row == ln - 1 else 0
+        for i in range(start, len(text)):
+            ch = text[i]
+            if ch == "(":
+                depth += 1
+                if depth == 1:
+                    continue
+            elif ch == ")":
+                depth -= 1
+                if depth == 0:
+                    return "".join(arg)
+            if depth >= 1:
+                arg.append(ch)
+    return "".join(arg)
+
+
+def unordered_decls_for(path, cache):
+    """Names declared as unordered containers in `path` and its .hpp/.cpp twin."""
+    names = set()
+    stem, _ = os.path.splitext(path)
+    for ext in CXX_EXTENSIONS:
+        twin = stem + ext
+        if twin in cache:
+            names |= cache[twin]
+    return names
+
+
+def collect_decls(code_text):
+    return set(UNORDERED_DECL_RE.findall(code_text))
+
+
+def lint_file(root, rel, decl_cache, violations):
+    path = os.path.join(root, rel)
+    try:
+        with open(path, encoding="utf-8") as f:
+            raw = f.read()
+    except OSError as e:
+        violations.append(Violation(rel, 0, "io", f"cannot read: {e}"))
+        return
+    raw_lines = raw.splitlines()
+    allows = parse_annotations(raw_lines, rel, violations)
+    code = strip_comments_and_strings(raw)
+    code_lines = code.splitlines()
+
+    clock_exempt = rel.startswith(CLOCK_EXEMPT_PREFIXES)
+    ordering = rel.startswith(ORDERING_DIRS)
+    in_src = rel.startswith("src/")
+    unordered_names = unordered_decls_for(rel, decl_cache) if ordering else set()
+
+    for ln, line in enumerate(code_lines, 1):
+        if not clock_exempt:
+            m = WALL_CLOCK_RE.search(line)
+            if m and not allowed(allows, ln, "wall-clock"):
+                violations.append(Violation(
+                    rel, ln, "wall-clock",
+                    f"wall-clock read `{m.group(0)}` outside src/sim — "
+                    "use sim::Simulator::now()"))
+            m = RAW_RANDOM_RE.search(line)
+            if m and not allowed(allows, ln, "raw-random"):
+                violations.append(Violation(
+                    rel, ln, "raw-random",
+                    f"non-deterministic source `{m.group(0).strip()}` — "
+                    "use a seeded common/rng stream"))
+
+        if ordering:
+            iter_names = ([m.group(1) for m in RANGE_FOR_RE.finditer(line)]
+                          + [m.group(1) for m in BEGIN_CALL_RE.finditer(line)])
+            for name in iter_names:
+                if name in unordered_names and not allowed(allows, ln, "unordered-iter"):
+                    violations.append(Violation(
+                        rel, ln, "unordered-iter",
+                        f"iteration over unordered container `{name}` in a "
+                        "message-ordering path — hash-bucket order leaks into "
+                        "packet order; use std::map or annotate with a reason"))
+
+        if not DELETED_FN_RE.search(line):
+            if NEW_RE.search(line) and not allowed(allows, ln, "raw-new-delete"):
+                violations.append(Violation(
+                    rel, ln, "raw-new-delete",
+                    "raw `new` — use std::make_unique/make_shared"))
+            if DELETE_RE.search(line) and not allowed(allows, ln, "raw-new-delete"):
+                violations.append(Violation(
+                    rel, ln, "raw-new-delete",
+                    "raw `delete` — owning pointers must be smart pointers"))
+
+        for m in ASSERT_RE.finditer(line):
+            arg = extract_assert_arg(code_lines, ln, m.end() - 1)
+            neutral = COMPARISON_RE.sub(" ", arg)
+            if SIDE_EFFECT_RE.search(neutral) and not allowed(allows, ln, "assert-side-effect"):
+                violations.append(Violation(
+                    rel, ln, "assert-side-effect",
+                    "assert() argument has a side effect — NDEBUG builds "
+                    "strip it, changing behaviour between build types"))
+
+        if in_src and METRIC_STRIPPED_RE.search(line):
+            # The call is detected on comment-stripped code, but the name
+            # itself must come from the raw line (literals are blanked).
+            for m in METRIC_CALL_RE.finditer(raw_lines[ln - 1]):
+                name = m.group(1)
+                if not METRIC_NAME_RE.match(name) and not allowed(allows, ln, "metric-name"):
+                    violations.append(Violation(
+                        rel, ln, "metric-name",
+                        f'metric name "{name}" does not follow the dotted '
+                        "lowercase `component.metric` convention"))
+
+
+def scan_tree(root):
+    """All lintable files under root, relative with / separators."""
+    rels = []
+    for top in SCAN_DIRS:
+        for dirpath, _dirnames, filenames in os.walk(os.path.join(root, top)):
+            for fn in sorted(filenames):
+                if fn.endswith(CXX_EXTENSIONS):
+                    rel = os.path.relpath(os.path.join(dirpath, fn), root)
+                    rels.append(rel.replace(os.sep, "/"))
+    return sorted(rels)
+
+
+def run_lint(root, rels=None):
+    rels = rels if rels is not None else scan_tree(root)
+    decl_cache = {}
+    # Load declarations for every linted file AND its .hpp/.cpp twin, so
+    # a members-in-header / loop-in-source pair is caught even when only
+    # one of the two files was passed on the command line.
+    to_parse = set(rels)
+    for rel in rels:
+        stem, _ = os.path.splitext(rel)
+        for ext in CXX_EXTENSIONS:
+            if os.path.isfile(os.path.join(root, stem + ext)):
+                to_parse.add(stem + ext)
+    for rel in sorted(to_parse):
+        try:
+            with open(os.path.join(root, rel), encoding="utf-8") as f:
+                decl_cache[rel] = collect_decls(strip_comments_and_strings(f.read()))
+        except OSError:
+            decl_cache[rel] = set()
+    violations = []
+    for rel in rels:
+        lint_file(root, rel, decl_cache, violations)
+    return violations
+
+
+# --- self-test ---------------------------------------------------------------
+
+SELF_TEST_CASES = [
+    # (relative path, content, set of rules expected to fire)
+    ("src/milan/clocky.cpp",
+     "void f() { auto t = std::chrono::steady_clock::now(); }\n",
+     {"wall-clock"}),
+    ("tests/rng_test.cpp",
+     "int f() { return rand(); }\n",
+     {"raw-random"}),
+    ("src/routing/bad_iter.cpp",
+     "#include <unordered_map>\n"
+     "std::unordered_map<int, int> table_;\n"
+     "int f() { int s = 0; for (auto& [k, v] : table_) s += v; return s; }\n",
+     {"unordered-iter"}),
+    ("src/routing/iter_via_header.cpp",
+     "#include \"iter_via_header.hpp\"\n"
+     "int g(C& c) { int s = 0; for (auto& [k, v] : c.seen_) s += v; return s; }\n",
+     {"unordered-iter"}),
+    ("src/net/leaky.cpp",
+     "int* f() { return new int(7); }\n"
+     "void g(int* p) { delete p; }\n",
+     {"raw-new-delete"}),
+    ("src/common/sneaky.cpp",
+     "#include <cassert>\n"
+     "void f(int x) { assert(x++ > 0); }\n",
+     {"assert-side-effect"}),
+    ("src/obs/badmetric.cpp",
+     "void f(M& metrics_) { metrics_.counter(\"BadName\", nullptr); }\n",
+     {"metric-name"}),
+    ("src/net/bare.cpp",
+     "// ndsm-lint: allow(raw-new-delete):\n"
+     "int* f() { return new int; }\n",
+     {"bare-allow", "raw-new-delete"}),
+    # Suppressions with reasons, and clean code: nothing may fire.
+    ("src/net/clean.cpp",
+     "#include <map>\n"
+     "#include <memory>\n"
+     "std::map<int, int> table_;\n"
+     "// ndsm-lint: allow(raw-new-delete): exercising the annotation path\n"
+     "int* f() { return new int; }\n"
+     "int g() { int s = 0; for (auto& [k, v] : table_) s += v; return s; }\n"
+     "auto h() { return std::make_unique<int>(3); }\n",
+     set()),
+    ("src/discovery/annotated_iter.cpp",
+     "#include <unordered_map>\n"
+     "std::unordered_map<int, int> pending_;\n"
+     "// ndsm-lint: allow(unordered-iter): order-insensitive teardown\n"
+     "int f() { int s = 0; for (auto& [k, v] : pending_) s += v; return s; }\n",
+     set()),
+    # The sim/clock exemption: same constructs, exempt path.
+    ("src/sim/clock_src.cpp",
+     "void f() { auto t = std::chrono::steady_clock::now(); (void)rand(); }\n",
+     set()),
+]
+
+SELF_TEST_HEADERS = {
+    "src/routing/iter_via_header.hpp":
+        "#include <unordered_map>\n"
+        "struct C { std::unordered_map<int, int> seen_; };\n",
+}
+
+
+def self_test():
+    failures = []
+    with tempfile.TemporaryDirectory(prefix="ndsm_lint_selftest_") as tmp:
+        for rel, content in SELF_TEST_HEADERS.items():
+            os.makedirs(os.path.join(tmp, os.path.dirname(rel)), exist_ok=True)
+            with open(os.path.join(tmp, rel), "w", encoding="utf-8") as f:
+                f.write(content)
+        for rel, content, _expected in SELF_TEST_CASES:
+            os.makedirs(os.path.join(tmp, os.path.dirname(rel)), exist_ok=True)
+            with open(os.path.join(tmp, rel), "w", encoding="utf-8") as f:
+                f.write(content)
+        violations = run_lint(tmp)
+        by_file = {}
+        for v in violations:
+            by_file.setdefault(v.path, set()).add(v.rule)
+        for rel, _content, expected in SELF_TEST_CASES:
+            got = by_file.get(rel, set())
+            if got != expected:
+                failures.append(f"{rel}: expected rules {sorted(expected)}, got {sorted(got)}")
+        for rel in SELF_TEST_HEADERS:
+            if by_file.get(rel):
+                failures.append(f"{rel}: header unexpectedly flagged {sorted(by_file[rel])}")
+    if failures:
+        print("ndsm_lint self-test FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print(f"ndsm_lint self-test OK ({len(SELF_TEST_CASES)} cases)")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--root", default=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+                    help="repo root to lint (default: the script's parent repo)")
+    ap.add_argument("--self-test", action="store_true",
+                    help="inject one violation per rule and assert each is caught")
+    ap.add_argument("files", nargs="*",
+                    help="optional root-relative files to lint instead of the whole tree")
+    args = ap.parse_args()
+
+    if args.self_test:
+        return self_test()
+
+    rels = [f.replace(os.sep, "/") for f in args.files] or None
+    violations = run_lint(args.root, rels)
+    for v in violations:
+        print(v)
+    if violations:
+        print(f"\nndsm_lint: {len(violations)} violation(s)", file=sys.stderr)
+        return 1
+    print(f"ndsm_lint: clean ({len(rels if rels is not None else scan_tree(args.root))} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Exit-code contract tests for scripts/bench_compare.py.
+
+Runs the comparer as a subprocess (the way run_benches.sh and CI invoke
+it) and pins down the three paths the regression gate depends on:
+  * missing baseline file           -> exit 2 (usage/parse error)
+  * bench present only in current   -> exit 0 ("new, no baseline" is fine)
+  * >threshold regression           -> exit 1, offender named on stderr
+plus the non-regression directions (improvements, sub-threshold drift,
+higher-better vs lower-better field polarity).
+
+Stdlib-only; invoked from ctest as `bench_compare_selftest`.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+SCRIPT = os.path.join(os.path.dirname(os.path.abspath(__file__)), "bench_compare.py")
+
+
+def write_jsonl(path, rows):
+    with open(path, "w", encoding="utf-8") as f:
+        for row in rows:
+            f.write(json.dumps(row) + "\n")
+
+
+def run_compare(baseline, current, *extra):
+    return subprocess.run(
+        [sys.executable, SCRIPT, baseline, current, *extra],
+        capture_output=True, text=True, check=False)
+
+
+class BenchCompareExitCodes(unittest.TestCase):
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory(prefix="bench_compare_test_")
+        self.addCleanup(self.tmp.cleanup)
+
+    def path(self, name):
+        return os.path.join(self.tmp.name, name)
+
+    def test_missing_baseline_is_usage_error(self):
+        current = self.path("current.jsonl")
+        write_jsonl(current, [{"bench": "a", "lat_us": 1.0}])
+        result = run_compare(self.path("does_not_exist.jsonl"), current)
+        self.assertEqual(result.returncode, 2)
+        self.assertIn("cannot read", result.stderr)
+
+    def test_malformed_baseline_is_usage_error(self):
+        baseline, current = self.path("base.jsonl"), self.path("current.jsonl")
+        with open(baseline, "w", encoding="utf-8") as f:
+            f.write("{not json\n")
+        write_jsonl(current, [{"bench": "a", "lat_us": 1.0}])
+        result = run_compare(baseline, current)
+        self.assertEqual(result.returncode, 2)
+        self.assertIn("bad JSON", result.stderr)
+
+    def test_newly_added_bench_passes(self):
+        baseline, current = self.path("base.jsonl"), self.path("current.jsonl")
+        write_jsonl(baseline, [{"bench": "old", "lat_us": 10.0}])
+        write_jsonl(current, [{"bench": "old", "lat_us": 10.0},
+                              {"bench": "brand_new", "lat_us": 500.0}])
+        result = run_compare(baseline, current)
+        self.assertEqual(result.returncode, 0, result.stderr)
+        self.assertIn("new (no baseline)", result.stdout)
+
+    def test_regression_beyond_threshold_fails(self):
+        baseline, current = self.path("base.jsonl"), self.path("current.jsonl")
+        write_jsonl(baseline, [{"bench": "hot", "lat_us": 100.0}])
+        write_jsonl(current, [{"bench": "hot", "lat_us": 120.0}])  # +20% latency
+        result = run_compare(baseline, current)
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("hot.lat_us", result.stderr)
+
+    def test_drift_within_threshold_passes(self):
+        baseline, current = self.path("base.jsonl"), self.path("current.jsonl")
+        write_jsonl(baseline, [{"bench": "hot", "lat_us": 100.0}])
+        write_jsonl(current, [{"bench": "hot", "lat_us": 105.0}])  # +5% < 10%
+        result = run_compare(baseline, current)
+        self.assertEqual(result.returncode, 0, result.stderr)
+
+    def test_throughput_fields_are_higher_better(self):
+        baseline, current = self.path("base.jsonl"), self.path("current.jsonl")
+        # ops_per_s dropping 20% is a regression; rising 20% is not.
+        write_jsonl(baseline, [{"bench": "tput", "msgs_per_s": 1000.0}])
+        write_jsonl(current, [{"bench": "tput", "msgs_per_s": 800.0}])
+        self.assertEqual(run_compare(baseline, current).returncode, 1)
+        write_jsonl(current, [{"bench": "tput", "msgs_per_s": 1200.0}])
+        self.assertEqual(run_compare(baseline, current).returncode, 0)
+
+    def test_custom_threshold_is_respected(self):
+        baseline, current = self.path("base.jsonl"), self.path("current.jsonl")
+        write_jsonl(baseline, [{"bench": "hot", "lat_us": 100.0}])
+        write_jsonl(current, [{"bench": "hot", "lat_us": 108.0}])  # +8%
+        self.assertEqual(run_compare(baseline, current, "--threshold", "5").returncode, 1)
+        self.assertEqual(run_compare(baseline, current, "--threshold", "10").returncode, 0)
+
+    def test_bench_missing_from_current_is_reported_not_fatal(self):
+        baseline, current = self.path("base.jsonl"), self.path("current.jsonl")
+        write_jsonl(baseline, [{"bench": "gone", "lat_us": 10.0},
+                               {"bench": "kept", "lat_us": 10.0}])
+        write_jsonl(current, [{"bench": "kept", "lat_us": 10.0}])
+        result = run_compare(baseline, current)
+        self.assertEqual(result.returncode, 0, result.stderr)
+        self.assertIn("missing from current", result.stdout)
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)

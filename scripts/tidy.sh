@@ -1,0 +1,52 @@
+#!/bin/bash
+# Stand-alone clang-tidy runner for the curated .clang-tidy pass.
+#
+#   ./scripts/tidy.sh              tidy every src/ translation unit
+#   ./scripts/tidy.sh FILES...     tidy just the given files
+#   ./scripts/tidy.sh --self-test  inject a known violation and assert
+#                                  the pass catches it
+#
+# Findings are errors (--warnings-as-errors=* via .clang-tidy). If
+# clang-tidy is not installed the script prints TIDY_SKIPPED and exits 0,
+# so environments without LLVM tooling (including this repo's minimal CI
+# containers) still run the rest of the gate; CI images with clang-tidy
+# get the full pass. The same pass runs inline during compilation with
+# cmake -DNDSM_TIDY=ON.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "TIDY_SKIPPED: clang-tidy not installed; static-analysis pass skipped"
+  exit 0
+fi
+
+if [ "${1:-}" = "--self-test" ]; then
+  tmpdir=$(mktemp -d)
+  trap 'rm -rf "$tmpdir"' EXIT
+  # One unambiguous finding per family we rely on.
+  cat > "$tmpdir/violation.cpp" <<'EOF'
+#include <memory>
+int* zero_as_pointer() { return 0; }          // modernize-use-nullptr
+std::unique_ptr<int> raw() { return std::unique_ptr<int>(new int(4)); }  // modernize-make-unique
+EOF
+  if clang-tidy --quiet "$tmpdir/violation.cpp" -- -std=c++20 >/dev/null 2>&1; then
+    echo "TIDY_SELFTEST_FAILED: injected violations were not flagged" >&2
+    exit 1
+  fi
+  echo "TIDY_SELFTEST_OK: injected violations caught"
+  exit 0
+fi
+
+# clang-tidy needs a compilation database; a configure-only CMake run in
+# a dedicated directory is cheap and never disturbs build/.
+BUILD_DIR=build-tidy
+cmake -B "$BUILD_DIR" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+
+if [ "$#" -gt 0 ]; then
+  files=("$@")
+else
+  mapfile -t files < <(git ls-files 'src/**/*.cpp' 'src/*.cpp')
+fi
+
+clang-tidy --quiet -p "$BUILD_DIR" "${files[@]}"
+echo "TIDY_OK: ${#files[@]} translation units clean"

@@ -1,0 +1,15 @@
+#include "common/audit.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ndsm::audit {
+
+void fail(const char* expr, const char* file, int line, const char* msg) {
+  std::fprintf(stderr, "NDSM_AUDIT violation at %s:%d: %s\n  check: %s\n", file, line, msg,
+               expr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace ndsm::audit

@@ -16,7 +16,7 @@
 
 #include <functional>
 #include <memory>
-#include <unordered_map>
+#include <map>
 
 #include "discovery/centralized.hpp"
 #include "discovery/distributed.hpp"
@@ -71,7 +71,10 @@ class AdaptiveDiscovery : public ServiceDiscovery {
   DiscoveryMode mode_ = DiscoveryMode::kDistributed;
   std::uint64_t switches_ = 0;
   std::uint32_t next_id_ = 1;
-  std::unordered_map<ServiceId, Registration> registrations_;
+  // Ordered: switch_mode() re-registers every entry with the new
+  // mechanism, and the registration order decides the sub-ids it hands
+  // out and the order registration messages hit the network.
+  std::map<ServiceId, Registration> registrations_;
 
   // Traffic observation.
   std::uint64_t window_queries_ = 0;

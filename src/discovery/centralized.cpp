@@ -21,9 +21,11 @@ CentralizedDiscovery::CentralizedDiscovery(transport::ReliableTransport& transpo
 CentralizedDiscovery::~CentralizedDiscovery() {
   transport_.clear_receiver(transport::ports::kDiscoveryReplyCent);
   auto& sim = transport_.router().world().sim();
+  // ndsm-lint: allow(unordered-iter): cancel order is irrelevant — cancel() is an O(1) tombstone with no observable ordering effect
   for (auto& [id, reg] : registered_) {
     if (reg.renewal.valid()) sim.cancel(reg.renewal);
   }
+  // ndsm-lint: allow(unordered-iter): cancel order is irrelevant — cancel() is an O(1) tombstone with no observable ordering effect
   for (auto& [id, pending] : pending_) {
     if (pending.timer.valid()) sim.cancel(pending.timer);
   }

@@ -60,9 +60,8 @@ DirectoryServer::~DirectoryServer() {
 std::vector<ServiceRecord> DirectoryServer::snapshot() const {
   std::vector<ServiceRecord> out;
   out.reserve(records_.size());
+  // records_ is id-ordered, so the snapshot comes out sorted.
   for (const auto& [id, rec] : records_) out.push_back(rec);
-  std::sort(out.begin(), out.end(),
-            [](const auto& a, const auto& b) { return a.id < b.id; });
   return out;
 }
 

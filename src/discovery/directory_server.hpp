@@ -5,8 +5,8 @@
 // further increase scalability, mirroring approaches can be introduced").
 
 #include <deque>
+#include <map>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "discovery/messages.hpp"
@@ -73,7 +73,10 @@ class DirectoryServer {
 
   transport::ReliableTransport& transport_;
   std::unique_ptr<recovery::WriteAheadLog> wal_;  // null = no persistence
-  std::unordered_map<ServiceId, ServiceRecord> records_;
+  // Ordered: match() and sweep_leases() iterate the table; an id-ordered
+  // map keeps lease-expiry sequence and equal-score match order a pure
+  // function of the record set (and lets snapshot() skip sorting).
+  std::map<ServiceId, ServiceRecord> records_;
   std::vector<NodeId> mirrors_;
   DirectoryStats stats_;
   Time processing_time_ = 0;

@@ -31,6 +31,7 @@ DistributedDiscovery::~DistributedDiscovery() {
   transport_.router().clear_delivery_handler(routing::Proto::kDiscovery);
   transport_.clear_receiver(transport::ports::kDiscoveryReplyDist);
   auto& sim = transport_.router().world().sim();
+  // ndsm-lint: allow(unordered-iter): cancel order is irrelevant — cancel() is an O(1) tombstone with no observable ordering effect
   for (auto& [id, pending] : pending_) {
     if (pending.timer.valid()) sim.cancel(pending.timer);
   }

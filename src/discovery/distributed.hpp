@@ -58,9 +58,12 @@ class DistributedDiscovery : public ServiceDiscovery {
   DistributedConfig config_;
   std::uint32_t next_service_ = 1;
   std::uint64_t next_query_ = 1;
-  std::unordered_map<ServiceId, ServiceRecord> local_;
-  std::unordered_map<ServiceId, Time> local_lease_;  // for automatic renewal
-  std::unordered_map<ServiceId, ServiceRecord> cache_;  // from advertisements
+  // Ordered: advertise() serializes local_ straight into flooded
+  // advertisement packets, so iteration order is wire bytes. cache_
+  // matches local_ for symmetry (its matches are re-sorted by score).
+  std::map<ServiceId, ServiceRecord> local_;
+  std::map<ServiceId, Time> local_lease_;  // for automatic renewal
+  std::map<ServiceId, ServiceRecord> cache_;  // from advertisements
   std::unordered_map<std::uint64_t, PendingQuery> pending_;
   sim::PeriodicTimer advertiser_;
 };

@@ -10,7 +10,7 @@
 // Peers are learned two ways: a seed list at construction, and the source
 // of any gossip we receive (push gossip is self-bootstrapping once seeded).
 
-#include <unordered_map>
+#include <map>
 #include <vector>
 
 #include "discovery/messages.hpp"
@@ -55,9 +55,11 @@ class GossipDiscovery : public ServiceDiscovery {
   GossipConfig config_;
   Rng rng_;
   std::uint32_t next_service_ = 1;
-  std::unordered_map<ServiceId, ServiceRecord> local_;
-  std::unordered_map<ServiceId, Time> local_lease_;
-  std::unordered_map<ServiceId, ServiceRecord> cache_;
+  // Ordered: known_records() serializes local_ then cache_ straight into
+  // gossip payloads, so iteration order is wire bytes.
+  std::map<ServiceId, ServiceRecord> local_;
+  std::map<ServiceId, Time> local_lease_;
+  std::map<ServiceId, ServiceRecord> cache_;
   std::vector<NodeId> peers_;
   std::uint64_t rounds_ = 0;
   sim::PeriodicTimer timer_;

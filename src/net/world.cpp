@@ -5,6 +5,7 @@
 #include <cmath>
 #include <limits>
 
+#include "common/audit.hpp"
 #include "common/log.hpp"
 #include "obs/trace.hpp"
 
@@ -179,6 +180,50 @@ void World::gather_grid_candidates(const Medium& m, Vec2 center, NodeId exclude,
   // Bucket contents are in move/attach order; sort so downstream delivery
   // and loss draws are a deterministic function of the node set alone.
   std::sort(out.begin() + static_cast<std::ptrdiff_t>(before), out.end());
+#if NDSM_AUDIT_ENABLED
+  // Sampled cross-check: the grid must never miss a node in range (the
+  // 3x3 neighborhood is a superset of the range disc when cell >= range).
+  // Counter-based sampling keeps the event/RNG sequence identical to an
+  // unaudited run.
+  if (++audit_grid_queries_ % kGridAuditSample == 0) {
+    for (const NodeId member : m.members) {
+      if (member == exclude) continue;
+      if (distance(node(member).position, center) > m.spec.range_m) continue;
+      NDSM_INVARIANT(
+          std::binary_search(out.begin() + static_cast<std::ptrdiff_t>(before), out.end(),
+                             member),
+          "spatial grid missed a node in communication range");
+    }
+  }
+#endif
+}
+
+void World::audit_verify_grid(MediumId id) const {
+  const Medium& m = medium(id);
+  if (!m.spec.wireless) return;
+  std::size_t bucketed = 0;
+  // ndsm-lint: allow(unordered-iter): membership counting and per-entry checks only; no ordering-sensitive effect
+  for (const auto& [key, bucket] : m.cells) {
+    NDSM_INVARIANT(!bucket.empty(), "spatial grid retains an empty cell bucket");
+    for (const NodeId member : bucket) {
+      bucketed++;
+      const Node& n = node(member);
+      NDSM_INVARIANT(cell_key(n.position, m.cell_m) == key,
+                     "grid member bucketed under a stale cell key");
+      // The node's cached key for this medium must match the bucket.
+      bool attached = false;
+      for (std::size_t i = 0; i < n.media.size(); ++i) {
+        if (medium(n.media[i]).spec.wireless && &medium(n.media[i]) == &m) {
+          attached = true;
+          NDSM_INVARIANT(n.cell_keys[i] == key,
+                         "node's cached cell key disagrees with its grid bucket");
+        }
+      }
+      NDSM_INVARIANT(attached, "grid bucket holds a node not attached to the medium");
+    }
+  }
+  NDSM_INVARIANT(bucketed == m.members.size(),
+                 "grid bucket population disagrees with medium membership");
 }
 
 Vec2 World::position(NodeId id) const { return node(id).position; }
@@ -186,6 +231,14 @@ Vec2 World::position(NodeId id) const { return node(id).position; }
 void World::set_position(NodeId id, Vec2 position) {
   node(id).position = position;
   update_cells(id);
+#if NDSM_AUDIT_ENABLED
+  // Position updates are the only operation that migrates nodes between
+  // grid buckets; every kGridAuditSample-th one re-verifies the full
+  // index of each medium the moved node participates in.
+  if (++audit_moves_ % kGridAuditSample == 0) {
+    for (const MediumId m : node(id).media) audit_verify_grid(m);
+  }
+#endif
 }
 
 void World::move_linear(NodeId id, Vec2 destination, double speed_m_per_s, Time tick) {

@@ -162,6 +162,16 @@ class World {
   [[nodiscard]] static double frame_loss_probability(const LinkSpec& spec,
                                                      std::size_t wire_bytes);
 
+  // Spatial-index consistency verifier (the NDSM_AUDIT hook; callable
+  // from any build): every member of a wireless medium sits in exactly
+  // the grid bucket its position maps to, and the per-node cached cell
+  // keys agree. Aborts with a diagnostic on violation. NDSM_AUDIT builds
+  // additionally cross-check sampled grid queries against a brute-force
+  // range scan (every kGridAuditSample-th query).
+  void audit_verify_grid(MediumId medium) const;
+
+  static constexpr std::uint64_t kGridAuditSample = 64;
+
  private:
   struct Node {
     Vec2 position;
@@ -227,6 +237,8 @@ class World {
   std::vector<Medium> media_;
   // mutable: const queries (neighbors) still record grid scan counters.
   mutable WorldStats stats_;
+  mutable std::uint64_t audit_grid_queries_ = 0;  // sampling counter (NDSM_AUDIT)
+  std::uint64_t audit_moves_ = 0;                 // sampling counter (NDSM_AUDIT)
   DeathHandler on_death_;
   mutable std::vector<NodeId> scratch_;  // candidate buffer for grid queries
   // Declared last: the registry views point at stats_/nodes_ above.

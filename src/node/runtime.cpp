@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/audit.hpp"
 #include "common/log.hpp"
 #include "obs/trace.hpp"
 
@@ -59,23 +60,31 @@ std::unique_ptr<routing::Router> Runtime::make_router() {
 }
 
 void Runtime::bring_up() {
-  assert(!up_);
+  // Lifecycle state machine: DOWN -> (bring_up) -> UP -> (tear_down) ->
+  // DOWN. The transitions are invariant-checked in every build — a stack
+  // half-built or doubly-built is never recoverable, only exploitable.
+  NDSM_INVARIANT(!up_, "bring_up on a node whose stack is already up");
+  NDSM_INVARIANT(!router_ && !transport_,
+                 "crashed node retained stack layers (teardown leak)");
   router_ = make_router();
   transport_ = std::make_unique<transport::ReliableTransport>(*router_, config_.transport);
   up_ = true;
   for (Slot& slot : slots_) {
+    NDSM_AUDIT_ASSERT(!slot.service->running(),
+                      "service survived the previous teardown");
     slot.service->start(*this);
     stats_.service_starts++;
   }
 }
 
 void Runtime::tear_down() {
-  assert(up_);
+  NDSM_INVARIANT(up_, "tear_down on a node whose stack is already down");
   // Services stop in reverse start order (dependents before providers),
   // then the transport (cancels retransmission timers, unbinds ports),
   // then the router (unhooks the link layer, stops protocol timers).
   for (auto it = slots_.rbegin(); it != slots_.rend(); ++it) {
     it->service->stop();
+    NDSM_AUDIT_ASSERT(!it->service->running(), "service still running after stop()");
     stats_.service_stops++;
   }
   transport_.reset();
@@ -112,6 +121,7 @@ void Runtime::crash() {
   // death event (which notifies e.g. MiLAN's supervisor) observes a node
   // with no half-dismantled stack.
   world_.kill(id_);
+  NDSM_AUDIT_ASSERT(!world_.alive(id_), "crashed node still alive in the World");
   // Middleware-computed routes through this node are stale immediately.
   if (config_.table) config_.table->invalidate();
 }
@@ -126,6 +136,7 @@ void Runtime::restart() {
   obs::Tracer::instance().event("node.runtime", "restart",
                                 static_cast<std::int64_t>(id_.value()));
   bring_up();
+  NDSM_AUDIT_ASSERT(up_ && router_ && transport_, "restart left the stack half-built");
   if (config_.table) config_.table->invalidate();
 }
 

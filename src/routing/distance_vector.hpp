@@ -6,6 +6,7 @@
 // for a destination can refresh a route, so routes to dead nodes age out
 // instead of ping-ponging upward.
 
+#include <map>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -49,7 +50,10 @@ class DistanceVectorRouter : public Router {
   Time update_period_;
   Time route_ttl_;
   std::uint32_t own_seq_ = 0;  // incremented on every advertisement
-  std::unordered_map<NodeId, Route> table_;
+  // Ordered: encode_table() serializes the table straight into broadcast
+  // advertisements, so iteration order is packet bytes. An unordered map
+  // here made the wire format depend on hash-bucket layout.
+  std::map<NodeId, Route> table_;
   sim::PeriodicTimer timer_;
 
   // Flood machinery reused for flood().

@@ -11,6 +11,7 @@
 // would fix; documented as future work in DESIGN.md.
 
 #include <functional>
+#include <map>
 #include <optional>
 #include <unordered_map>
 #include <unordered_set>
@@ -54,7 +55,11 @@ class GeoRouter : public Router {
   Time hello_period_;
   Time neighbor_ttl_;
   PositionResolver resolve_;
-  std::unordered_map<NodeId, NeighborInfo> neighbors_;
+  // Ordered: best_hop_toward() scans this map and breaks equal-distance
+  // ties by first-seen order, so iteration order decides the next hop.
+  // With a NodeId-ordered map the tie goes to the smallest id, a pure
+  // function of the neighbor set rather than of hash-bucket layout.
+  std::map<NodeId, NeighborInfo> neighbors_;
   std::uint32_t next_seq_ = 1;
   std::unordered_map<NodeId, std::unordered_set<std::uint32_t>> seen_;
   std::uint64_t local_minimum_drops_ = 0;

@@ -13,6 +13,7 @@ HandoffManager::HandoffManager(transport::ReliableTransport& transport)
 HandoffManager::~HandoffManager() {
   transport_.clear_receiver(transport::ports::kHandoff);
   auto& sim = transport_.router().world().sim();
+  // ndsm-lint: allow(unordered-iter): cancel order is irrelevant — cancel() is an O(1) tombstone with no observable ordering effect
   for (auto& [id, pending] : pending_) {
     if (pending.timer.valid()) sim.cancel(pending.timer);
   }

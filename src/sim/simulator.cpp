@@ -7,6 +7,7 @@ namespace ndsm::sim {
 void Simulator::register_metrics() {
   metrics_.set_labels("sim.simulator");
   metrics_.counter("sim.simulator.executed_events", &executed_);
+  metrics_.counter("sim.simulator.event_digest", &digest_);
   metrics_.gauge("sim.simulator.pending_events",
                  [this] { return static_cast<double>(live_); });
   metrics_.gauge("sim.simulator.slab_slots",
@@ -62,10 +63,39 @@ bool Simulator::step() {
     assert(e.at >= now_);
     now_ = e.at;
     ++executed_;
+    digest_mix(static_cast<std::uint64_t>(e.at));
+    digest_mix(e.seq);
+#if NDSM_AUDIT_ENABLED
+    if (executed_ % kAuditInterval == 0) audit_verify();
+#endif
     fn();
     return true;
   }
   return false;
+}
+
+void Simulator::audit_verify() const {
+  // Heap side: count entries whose generation still matches their slot.
+  std::size_t heap_live = 0;
+  for (const Entry& e : heap_.entries()) {
+    NDSM_INVARIANT(e.slot < slots_.size(), "heap entry references a slot outside the slab");
+    if (!entry_live(e)) continue;
+    heap_live++;
+    NDSM_INVARIANT(static_cast<bool>(slots_[e.slot].fn),
+                   "live slab slot lost its handler (scheduled event with no callback)");
+  }
+  NDSM_INVARIANT(heap_live == live_,
+                 "live heap entry count disagrees with the pending-event counter");
+  // Slab side: the free list plus the live events must cover the slab
+  // exactly; a longer walk than the slab has slots means a cycle.
+  std::size_t free_len = 0;
+  for (std::uint32_t s = free_head_; s != kNoSlot; s = slots_[s].next_free) {
+    NDSM_INVARIANT(s < slots_.size(), "free list references a slot outside the slab");
+    free_len++;
+    NDSM_INVARIANT(free_len <= slots_.size(), "free list is cyclic");
+  }
+  NDSM_INVARIANT(free_len + live_ == slots_.size(),
+                 "slab slots leaked: free list + live events do not cover the slab");
 }
 
 void Simulator::run_until(Time deadline) {

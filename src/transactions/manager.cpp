@@ -24,7 +24,9 @@ TransactionManager::TransactionManager(transport::ReliableTransport& transport,
 
 TransactionManager::~TransactionManager() {
   transport_.clear_receiver(transport::ports::kTransactions);
+  // ndsm-lint: allow(unordered-iter): cancel order is irrelevant — cancel() is an O(1) tombstone with no observable ordering effect
   for (auto& [id, tx] : consumers_) cancel_timers(tx);
+  // ndsm-lint: allow(unordered-iter): cancel order is irrelevant — cancel() is an O(1) tombstone with no observable ordering effect
   for (auto& [key, flow] : flows_) {
     if (flow.push_timer.valid()) sim().cancel(flow.push_timer);
   }

@@ -12,6 +12,7 @@ RpcEndpoint::RpcEndpoint(transport::ReliableTransport& transport) : transport_(t
 RpcEndpoint::~RpcEndpoint() {
   transport_.clear_receiver(transport::ports::kRpc);
   auto& sim = transport_.router().world().sim();
+  // ndsm-lint: allow(unordered-iter): cancel order is irrelevant — cancel() is an O(1) tombstone with no observable ordering effect
   for (auto& [id, pending] : pending_) {
     if (pending.timer.valid()) sim.cancel(pending.timer);
   }

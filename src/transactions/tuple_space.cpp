@@ -124,6 +124,7 @@ TupleSpaceClient::TupleSpaceClient(transport::ReliableTransport& transport, Node
 TupleSpaceClient::~TupleSpaceClient() {
   transport_.clear_receiver(transport::ports::kTupleSpace);
   auto& sim = transport_.router().world().sim();
+  // ndsm-lint: allow(unordered-iter): cancel order is irrelevant — cancel() is an O(1) tombstone with no observable ordering effect
   for (auto& [id, pending] : pending_) {
     if (pending.timer.valid()) sim.cancel(pending.timer);
   }

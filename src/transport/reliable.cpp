@@ -1,6 +1,8 @@
 #include "transport/reliable.hpp"
 
 #include <cassert>
+#include <stdexcept>
+#include <string>
 
 #include "common/log.hpp"
 #include "serialize/codec.hpp"
@@ -43,10 +45,14 @@ ReliableTransport::~ReliableTransport() {
 
 void ReliableTransport::set_receiver(Port port, Receiver receiver) {
   if (receivers_.count(port) != 0) {
+    // Hard error in every build type: an assert-only check let release
+    // builds silently overwrite the old handler, which then just stopped
+    // hearing its messages — the worst kind of wiring bug to debug.
     NDSM_ERROR("transport", "node " << self().value() << ": duplicate bind on port " << port
                                     << " (" << ports::name(port)
                                     << ") would silently drop the previous receiver");
-    assert(false && "duplicate transport port bind");
+    throw std::logic_error("duplicate transport port bind on port " +
+                           std::string(ports::name(port)));
   }
   receivers_[port] = std::move(receiver);
 }

@@ -69,8 +69,8 @@ class ReliableTransport {
 
   // Bind the inbound handler for `port`. Binding a port that already has
   // a receiver is a wiring bug (the old handler would silently stop
-  // hearing its messages): it logs an error and, in debug builds, aborts.
-  // Use clear_receiver first to intentionally rebind.
+  // hearing its messages): it logs an error and throws std::logic_error
+  // in every build type. Use clear_receiver first to intentionally rebind.
   void set_receiver(Port port, Receiver receiver);
   void clear_receiver(Port port) { receivers_.erase(port); }
 

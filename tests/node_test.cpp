@@ -262,8 +262,11 @@ std::string churn_run(std::uint64_t seed) {
   lan.sim.run_until(duration::seconds(40));
 
   std::ostringstream out;
-  out << lan.sim.now() << ':' << lan.world.stats().frames_sent << ':'
-      << lan.world.stats().bytes_on_wire << ':' << lan.world.stats().frames_delivered;
+  // The event-order digest leads the dump: one value that witnesses the
+  // whole (time, insertion-seq) execution sequence, so a divergence shows
+  // up even for runs whose aggregate counters happen to collide.
+  out << lan.sim.digest() << ':' << lan.sim.now() << ':' << lan.world.stats().frames_sent
+      << ':' << lan.world.stats().bytes_on_wire << ':' << lan.world.stats().frames_delivered;
   for (std::size_t i = 0; i < lan.nodes.size(); ++i) {
     const auto& t = lan.transport(i).stats();
     const auto& r = lan.runtime(i).stats();

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "test_helpers.hpp"
 #include "transport/reliable.hpp"
 
@@ -21,6 +23,29 @@ TEST(Transport, BasicDelivery) {
   lan.sim.run_until(duration::seconds(1));
   EXPECT_EQ(to_string(got), "hello");
   EXPECT_EQ(from, lan.nodes[0]);
+}
+
+TEST(Transport, DuplicatePortBindIsHardErrorInAllBuilds) {
+  // Regression: this used to be assert-only, so release builds silently
+  // overwrote the old handler. Now it throws in every build type, and
+  // the original binding keeps receiving.
+  Lan lan{2};
+  std::uint64_t first = 0;
+  std::uint64_t second = 0;
+  lan.transport(1).set_receiver(ports::kApp, [&](NodeId, const Bytes&) { first++; });
+  EXPECT_THROW(
+      lan.transport(1).set_receiver(ports::kApp, [&](NodeId, const Bytes&) { second++; }),
+      std::logic_error);
+  ASSERT_TRUE(lan.transport(0).send(lan.nodes[1], ports::kApp, to_bytes("x")).is_ok());
+  lan.sim.run_until(duration::seconds(1));
+  EXPECT_EQ(first, 1u);
+  EXPECT_EQ(second, 0u);
+  // clear_receiver is the sanctioned rebind path.
+  lan.transport(1).clear_receiver(ports::kApp);
+  lan.transport(1).set_receiver(ports::kApp, [&](NodeId, const Bytes&) { second++; });
+  ASSERT_TRUE(lan.transport(0).send(lan.nodes[1], ports::kApp, to_bytes("y")).is_ok());
+  lan.sim.run_until(duration::seconds(2));
+  EXPECT_EQ(second, 1u);
 }
 
 TEST(Transport, CompletionCallbackFiresOnAck) {
