@@ -324,6 +324,15 @@ SELF_TEST_CASES = [
      "#include \"iter_via_header.hpp\"\n"
      "int g(C& c) { int s = 0; for (auto& [k, v] : c.seen_) s += v; return s; }\n",
      {"unordered-iter"}),
+    # The fault-injection layer must stay deterministic: src/net/faults.*
+    # is NOT clock-exempt, so wall-clock reads and raw randomness there
+    # are violations (fault draws must come from the forked sim RNG).
+    ("src/net/faults_clock.cpp",
+     "#include <chrono>\n"
+     "#include <random>\n"
+     "long f() { return std::chrono::system_clock::now().time_since_epoch().count(); }\n"
+     "unsigned g() { std::random_device rd; return rd(); }\n",
+     {"wall-clock", "raw-random"}),
     ("src/net/leaky.cpp",
      "int* f() { return new int(7); }\n"
      "void g(int* p) { delete p; }\n",

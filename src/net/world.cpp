@@ -20,6 +20,9 @@ void World::register_metrics() {
   metrics_.counter("net.world.grid_cells_scanned", &stats_.grid_cells_scanned);
   metrics_.counter("net.world.grid_candidates", &stats_.grid_candidates);
   metrics_.counter("net.world.payload_copies_avoided", &stats_.payload_copies_avoided);
+  metrics_.counter("net.world.fault_drops", &stats_.fault_drops);
+  metrics_.counter("net.world.fault_duplicates", &stats_.fault_duplicates);
+  metrics_.counter("net.world.fault_delays", &stats_.fault_delays);
   metrics_.gauge("net.world.nodes_alive", [this] {
     double alive = 0;
     for (const Node& n : nodes_) alive += n.alive ? 1 : 0;
@@ -437,10 +440,31 @@ Status World::link_send(NodeId src, NodeId dst, Proto proto, Bytes payload) {
     stats_.frames_lost++;
     return Status::ok();  // silently lost; reliability is transport's job
   }
-  const Time delay = transmission_delay(m.spec, payload.size());
-  deliver(dst,
-          LinkFrame{src, dst, *m_id, proto, std::make_shared<const Bytes>(std::move(payload))},
-          delay, wire_bytes);
+  Time delay = transmission_delay(m.spec, payload.size());
+  FaultDecision fault;
+  if (faults_ != nullptr) {
+    fault = faults_->on_frame(src, dst, *m_id, wire_bytes);
+    if (fault.drop) {
+      sender.stats.frames_dropped++;
+      stats_.frames_lost++;
+      stats_.fault_drops++;
+      return Status::ok();
+    }
+    if (fault.extra_delay > 0) {
+      delay += fault.extra_delay;
+      stats_.fault_delays++;
+    }
+  }
+  LinkFrame frame{src, dst, *m_id, proto, std::make_shared<const Bytes>(std::move(payload))};
+  if (fault.duplicate) {
+    stats_.fault_duplicates++;
+    // Original first, copy second (at >= its time): a duplicate delivered
+    // at the same instant still executes after the frame it copies.
+    deliver(dst, frame, delay, wire_bytes);
+    deliver(dst, std::move(frame), delay + fault.duplicate_extra_delay, wire_bytes);
+  } else {
+    deliver(dst, std::move(frame), delay, wire_bytes);
+  }
   return Status::ok();
 }
 
@@ -485,6 +509,29 @@ Status World::link_broadcast(NodeId src, Proto proto, Bytes payload, MediumId me
       if (rng_.bernoulli(loss_p)) {
         stats_.frames_lost++;
         continue;
+      }
+      if (faults_ != nullptr) {
+        const FaultDecision fault = faults_->on_frame(src, member, m_id, wire_bytes);
+        if (fault.drop) {
+          stats_.frames_lost++;
+          stats_.fault_drops++;
+          continue;
+        }
+        if (fault.extra_delay > 0 || fault.duplicate) {
+          // Jittered or duplicated receivers leave the batched fan-out and
+          // get their own delivery event(s), original before duplicate.
+          if (fault.extra_delay > 0) stats_.fault_delays++;
+          LinkFrame one{src, kBroadcast, m_id, proto, buf};
+          const Time when = delay + fault.extra_delay;
+          if (fault.duplicate) {
+            stats_.fault_duplicates++;
+            deliver(member, one, when, wire_bytes);
+            deliver(member, std::move(one), when + fault.duplicate_extra_delay, wire_bytes);
+          } else {
+            deliver(member, std::move(one), when, wire_bytes);
+          }
+          continue;
+        }
       }
       receivers.push_back(member);
     }

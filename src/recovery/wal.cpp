@@ -1,6 +1,14 @@
 #include "recovery/wal.hpp"
 
+#include "common/log.hpp"
+
 namespace ndsm::recovery {
+
+void WriteAheadLog::register_metrics() {
+  metrics_.set_labels("recovery.wal");
+  metrics_.counter("recovery.wal.records_dropped", &total_records_dropped_);
+  metrics_.counter("recovery.wal.bytes_dropped", &total_bytes_dropped_);
+}
 
 Bytes LogRecord::encode() const {
   serialize::Writer w;
@@ -55,12 +63,36 @@ std::uint64_t WriteAheadLog::append(LogKind kind, std::uint64_t tx, const std::s
 
 std::vector<LogRecord> WriteAheadLog::replay() {
   std::vector<LogRecord> out;
-  for (std::size_t i = 0; i < storage_.size(); ++i) {
+  last_replay_ = WalReplayStats{};
+  std::size_t i = 0;
+  for (; i < storage_.size(); ++i) {
     auto rec = LogRecord::decode(storage_.read(i));
     if (!rec) break;  // torn tail: stop at the first corrupt record
     // Keep next_lsn monotone across restarts.
     if (rec->lsn >= next_lsn_) next_lsn_ = rec->lsn + 1;
     out.push_back(std::move(*rec));
+  }
+  last_replay_.records_replayed = out.size();
+  // Account for everything past the tear instead of dropping it silently:
+  // still-decodable records there mean mid-log corruption, not a benign
+  // interrupted final append.
+  for (std::size_t j = i; j < storage_.size(); ++j) {
+    const Bytes& entry = storage_.read(j);
+    last_replay_.records_dropped++;
+    last_replay_.bytes_dropped += entry.size();
+    if (j > i && LogRecord::decode(entry).has_value()) {
+      last_replay_.records_dropped_valid++;
+    }
+  }
+  total_records_dropped_ += last_replay_.records_dropped;
+  total_bytes_dropped_ += last_replay_.bytes_dropped;
+  if (last_replay_.mid_log_corruption()) {
+    NDSM_ERROR("recovery", "WAL mid-log corruption: tear at entry " << i << " dropped "
+                           << last_replay_.records_dropped_valid << " valid record(s), "
+                           << last_replay_.bytes_dropped << " bytes");
+  } else if (last_replay_.torn()) {
+    NDSM_WARN("recovery", "WAL torn tail: dropped " << last_replay_.records_dropped
+                          << " entr(ies), " << last_replay_.bytes_dropped << " bytes");
   }
   return out;
 }

@@ -8,6 +8,7 @@
 #include <string>
 
 #include "common/ids.hpp"
+#include "obs/metrics.hpp"
 #include "recovery/storage.hpp"
 #include "serialize/value.hpp"
 
@@ -33,17 +34,32 @@ struct LogRecord {
   static std::optional<LogRecord> decode(const Bytes& data);
 };
 
+// What the last replay() discarded, distinguishing the benign case (a
+// torn tail: the crash interrupted the final append) from mid-log
+// corruption (decodable records existed past the tear and were lost).
+struct WalReplayStats {
+  std::uint64_t records_replayed = 0;
+  std::uint64_t records_dropped = 0;  // total entries discarded at/after the tear
+  std::uint64_t records_dropped_valid = 0;  // of those, still-decodable records
+  std::uint64_t bytes_dropped = 0;
+  [[nodiscard]] bool torn() const { return records_dropped > 0; }
+  [[nodiscard]] bool mid_log_corruption() const { return records_dropped_valid > 0; }
+};
+
 class WriteAheadLog {
  public:
-  explicit WriteAheadLog(StableStorage& storage) : storage_(storage) {}
+  explicit WriteAheadLog(StableStorage& storage) : storage_(storage) { register_metrics(); }
 
   // Append and return the assigned LSN.
   std::uint64_t append(LogKind kind, std::uint64_t tx, const std::string& key = "",
                        const serialize::Value& value = {});
 
-  // Read every decodable record currently in the log, in order. Corrupt
-  // records (and everything after the first corruption) are skipped —
-  // torn-tail semantics.
+  // Read every decodable record up to the first corrupt one, in order —
+  // stop-at-tear semantics (a record after a tear may depend on state the
+  // torn record carried, so replaying past it is unsound). Everything at
+  // and after the tear is counted into last_replay()/cumulative counters
+  // and logged, so a clean torn tail (one interrupted append) is
+  // distinguishable from mid-log corruption (valid records lost).
   [[nodiscard]] std::vector<LogRecord> replay();
 
   // Discard log records already covered by a checkpoint.
@@ -51,10 +67,19 @@ class WriteAheadLog {
 
   [[nodiscard]] std::uint64_t next_lsn() const { return next_lsn_; }
   [[nodiscard]] std::size_t record_count() const { return storage_.size(); }
+  [[nodiscard]] const WalReplayStats& last_replay() const { return last_replay_; }
 
  private:
+  void register_metrics();
+
   StableStorage& storage_;
   std::uint64_t next_lsn_ = 1;
+  WalReplayStats last_replay_;
+  // Cumulative across replays (metric sources; a restart loop that keeps
+  // losing records keeps counting up).
+  std::uint64_t total_records_dropped_ = 0;
+  std::uint64_t total_bytes_dropped_ = 0;
+  obs::MetricGroup metrics_;
 };
 
 }  // namespace ndsm::recovery

@@ -54,8 +54,12 @@ TransactionId TransactionManager::begin(TransactionSpec spec, DataSink sink,
   tx.on_end = std::move(on_end);
   tx.rebinds_left = supervision_.max_rebinds;
   if (tx.spec.lifetime != kTimeNever) {
-    tx.lifetime_timer =
-        sim().schedule_after(tx.spec.lifetime, [this, id] { finish(id, Status::ok()); });
+    tx.lifetime_timer = sim().schedule_after(tx.spec.lifetime, [this, id] {
+      auto it = consumers_.find(id);
+      if (it == consumers_.end()) return;
+      it->second.lifetime_timer = EventId::invalid();  // firing now; nothing to cancel
+      finish(id, Status::ok());
+    });
   }
   consumers_.emplace(id, std::move(tx));
   stats_.begun++;
@@ -66,13 +70,17 @@ TransactionId TransactionManager::begin(TransactionSpec spec, DataSink sink,
 void TransactionManager::bind(TransactionId id) {
   auto it = consumers_.find(id);
   if (it == consumers_.end()) return;
+  // At most one discovery query in flight per transaction: a second bind
+  // (e.g. a watchdog re-armed by a flapping supplier's late data) would
+  // race two query callbacks into on_bound and double-send kStart.
+  if (it->second.binding) return;
   it->second.binding = true;
   const auto consumer_qos = it->second.spec.consumer;
   discovery_.query(
       consumer_qos,
       [this, id](std::vector<discovery::ServiceRecord> records) {
         auto it = consumers_.find(id);
-        if (it == consumers_.end()) return;
+        if (it == consumers_.end()) return;  // finished while the query was in flight
         ConsumerTx& tx = it->second;
         tx.binding = false;
         // Skip suppliers that already failed this transaction.
@@ -84,7 +92,12 @@ void TransactionManager::bind(TransactionId id) {
         }
         if (chosen == nullptr) {
           if (tx.rebinds_left-- > 0) {
-            sim().schedule_after(supervision_.rebind_backoff, [this, id] { bind(id); });
+            tx.rebind_timer = sim().schedule_after(supervision_.rebind_backoff, [this, id] {
+              auto it = consumers_.find(id);
+              if (it == consumers_.end()) return;
+              it->second.rebind_timer = EventId::invalid();
+              bind(id);
+            });
           } else {
             stats_.bind_failures++;
             finish(id, Status{ErrorCode::kUnavailable, "no matching supplier"});
@@ -179,6 +192,10 @@ void TransactionManager::supplier_lost(TransactionId id) {
   auto it = consumers_.find(id);
   if (it == consumers_.end()) return;
   ConsumerTx& tx = it->second;
+  // A rebind is already in flight (flapping supplier: late data re-armed
+  // the watchdog mid-query). Re-entering would double-decrement
+  // rebinds_left and race a second query callback against the first.
+  if (tx.binding) return;
   NDSM_INFO("txn", "tx " << id.value() << " lost supplier " << tx.supplier.value()
                          << ", rebinding");
   if (tx.supplier.valid()) tx.blacklist.insert(tx.supplier);
@@ -195,7 +212,7 @@ void TransactionManager::supplier_lost(TransactionId id) {
 }
 
 void TransactionManager::cancel_timers(ConsumerTx& tx) {
-  for (EventId* timer : {&tx.watchdog, &tx.pull_timer, &tx.lifetime_timer}) {
+  for (EventId* timer : {&tx.watchdog, &tx.pull_timer, &tx.lifetime_timer, &tx.rebind_timer}) {
     if (timer->valid()) {
       sim().cancel(*timer);
       *timer = EventId::invalid();
@@ -296,8 +313,10 @@ void TransactionManager::on_message(NodeId src, const Bytes& frame) {
       flow.service_type = *type;
       flows_[key] = std::move(flow);
       if (static_cast<TransactionKind>(*tx_kind) != TransactionKind::kOnDemand) {
-        // First sample immediately, then on the period.
-        sim().schedule_after(0, [this, key] { push_sample(key); });
+        // First sample immediately, then on the period. Tracked in
+        // push_timer so teardown (node crash) cancels it — an untracked
+        // event here would fire into a destroyed manager.
+        flows_[key].push_timer = sim().schedule_after(0, [this, key] { push_sample(key); });
       }
       break;
     }

@@ -112,7 +112,11 @@ class TransactionManager {
     EventId watchdog = EventId::invalid();
     EventId pull_timer = EventId::invalid();
     EventId lifetime_timer = EventId::invalid();
-    bool binding = false;
+    // Scheduled rebind backoff. Tracked like every other timer: an
+    // untracked backoff event would outlive finish()/the manager itself
+    // and fire into freed state after a node crash.
+    EventId rebind_timer = EventId::invalid();
+    bool binding = false;  // a discovery query for this tx is in flight
   };
 
   struct SupplierFlow {

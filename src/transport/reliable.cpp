@@ -1,5 +1,6 @@
 #include "transport/reliable.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 #include <string>
@@ -10,7 +11,8 @@
 namespace ndsm::transport {
 
 ReliableTransport::ReliableTransport(Router& router, TransportConfig config)
-    : router_(router), config_(config), rtt_ms_(register_metrics()) {
+    : router_(router), config_(config), rtt_ms_(register_metrics()),
+      epoch_(router.world().sim().executed_events()) {
   assert(config_.max_fragment_bytes > 0);
   router_.set_delivery_handler(
       routing::Proto::kTransport,
@@ -26,6 +28,7 @@ obs::Histogram& ReliableTransport::register_metrics() {
   metrics_.counter("transport.reliable.retransmissions", &stats_.retransmissions);
   metrics_.counter("transport.reliable.acks_sent", &stats_.acks_sent);
   metrics_.counter("transport.reliable.duplicates_dropped", &stats_.duplicates_dropped);
+  metrics_.counter("transport.reliable.stale_epoch_dropped", &stats_.stale_epoch_dropped);
   metrics_.counter("transport.reliable.reassemblies_expired", &stats_.reassemblies_expired);
   metrics_.counter("transport.reliable.payload_bytes_sent", &stats_.payload_bytes_sent);
   metrics_.counter("transport.reliable.payload_bytes_delivered",
@@ -104,6 +107,7 @@ void ReliableTransport::transmit_fragments(std::uint64_t msg_id, OutMessage& msg
     const std::size_t end = std::min(msg.payload.size(), begin + config_.max_fragment_bytes);
     serialize::Writer w;
     w.u8(static_cast<std::uint8_t>(FrameKind::kFragment));
+    w.varint(epoch_);
     w.varint(msg_id);
     w.u16(msg.port);
     w.varint(i);
@@ -166,30 +170,73 @@ void ReliableTransport::on_frame(NodeId src, const Bytes& frame) {
 
 void ReliableTransport::remember_completed(NodeId src, std::uint64_t msg_id) {
   auto& window = completed_[src];
+  if (msg_id <= window.floor) return;
   if (!window.set.insert(msg_id).second) return;
   window.order.push_back(msg_id);
+  // Advance the monotone floor over contiguously completed ids; the set
+  // then only holds out-of-order completions (entries the floor absorbed
+  // stay in `order` and are ignored at eviction time).
+  while (window.set.count(window.floor + 1) > 0) {
+    window.set.erase(window.floor + 1);
+    window.floor++;
+  }
+  // Bounded memory: evicting id X abandons every id <= X still incomplete
+  // (they would need > dedup_window concurrently outstanding messages from
+  // one peer, which the sender's retry schedule cannot produce).
   while (window.order.size() > config_.dedup_window) {
-    window.set.erase(window.order.front());
+    const std::uint64_t evicted = window.order.front();
     window.order.pop_front();
+    window.set.erase(evicted);
+    window.floor = std::max(window.floor, evicted);
   }
 }
 
 bool ReliableTransport::already_completed(NodeId src, std::uint64_t msg_id) const {
   const auto it = completed_.find(src);
-  return it != completed_.end() && it->second.set.count(msg_id) > 0;
+  if (it == completed_.end()) return false;
+  return msg_id <= it->second.floor || it->second.set.count(msg_id) > 0;
+}
+
+void ReliableTransport::purge_inbox(NodeId src) {
+  auto it = inbox_.lower_bound({src, 0});
+  while (it != inbox_.end() && it->first.first == src) {
+    if (it->second.gc.valid()) router_.world().sim().cancel(it->second.gc);
+    it = inbox_.erase(it);
+  }
 }
 
 void ReliableTransport::on_fragment(NodeId src, serialize::Reader& r) {
+  const auto epoch = r.varint();
   const auto msg_id = r.varint();
   const auto port = r.u16();
   const auto index = r.varint();
   const auto count = r.varint();
   auto data = r.bytes();
-  if (!msg_id || !port || !index || !count || !data || *count == 0 || *index >= *count) return;
+  if (!epoch || !msg_id || !port || !index || !count || !data || *count == 0 ||
+      *index >= *count) {
+    return;
+  }
+
+  auto& window = completed_[src];
+  if (*epoch < window.epoch) {
+    // Delayed frame from a pre-restart incarnation of the peer; its msg-id
+    // space has been reused, so it must not touch current state (and the
+    // sender it came from is gone, so no ack either).
+    stats_.stale_epoch_dropped++;
+    return;
+  }
+  if (*epoch > window.epoch) {
+    // The peer restarted: fresh id sequence, fresh dedup state, and any
+    // half-reassembled messages from the old incarnation are garbage.
+    window = CompletedWindow{};
+    window.epoch = *epoch;
+    purge_inbox(src);
+  }
 
   // Always ack, even for duplicates (the ack may have been lost).
   serialize::Writer ack;
   ack.u8(static_cast<std::uint8_t>(FrameKind::kAck));
+  ack.varint(*epoch);
   ack.varint(*msg_id);
   ack.varint(*index);
   stats_.acks_sent++;
@@ -256,9 +303,16 @@ void ReliableTransport::on_reassembly_timeout(NodeId src, std::uint64_t msg_id) 
 }
 
 void ReliableTransport::on_ack(NodeId /*src*/, serialize::Reader& r) {
+  const auto epoch = r.varint();
   const auto msg_id = r.varint();
   const auto index = r.varint();
-  if (!msg_id || !index) return;
+  if (!epoch || !msg_id || !index) return;
+  if (*epoch != epoch_) {
+    // An ack echoing another incarnation's epoch (delayed from before our
+    // restart); our id space restarted, so it must not ack anything now.
+    stats_.stale_epoch_dropped++;
+    return;
+  }
   const auto it = outbox_.find(*msg_id);
   if (it == outbox_.end()) return;
   OutMessage& msg = it->second;

@@ -8,6 +8,19 @@
 // guarantee (each message is independent, matching the paper's requirement
 // for "asynchronous connections"). Senders may register a completion
 // callback to learn whether the message was fully acknowledged.
+//
+// Duplicate suppression: message ids are per-sender monotone, and every
+// frame carries the sender incarnation's epoch. The receiver keeps, per
+// (peer, epoch), a completed-id window plus a monotone id floor: the floor
+// advances over contiguously completed ids and over ids evicted from the
+// window, so a frame duplicated arbitrarily late (e.g. by delay-jitter
+// faults) is still rejected — the guarantee is not bounded by the window
+// any more. The only way a completed message can be re-delivered is a gap
+// of more than `dedup_window` concurrently incomplete smaller ids, which
+// the sender's retry schedule cannot produce. A new (higher) epoch —
+// the sender crashed and restarted, restarting its id sequence — resets
+// the peer's window; frames and acks from older epochs are dropped, so a
+// delayed pre-crash ack can never acknowledge a post-restart message.
 
 #include <deque>
 #include <functional>
@@ -46,6 +59,7 @@ struct TransportStats {
   std::uint64_t retransmissions = 0;
   std::uint64_t acks_sent = 0;
   std::uint64_t duplicates_dropped = 0;
+  std::uint64_t stale_epoch_dropped = 0;   // frames/acks from a pre-restart peer incarnation
   std::uint64_t reassemblies_expired = 0;  // half-received messages GC'd
   std::uint64_t payload_bytes_sent = 0;
   std::uint64_t payload_bytes_delivered = 0;
@@ -113,6 +127,9 @@ class ReliableTransport {
   void on_frame(NodeId src, const Bytes& frame);
   void on_fragment(NodeId src, serialize::Reader& r);
   void on_ack(NodeId src, serialize::Reader& r);
+  // Drop all reassembly state for `src` (stale partials from an older
+  // sender incarnation whose msg ids may collide with the new one's).
+  void purge_inbox(NodeId src);
   void on_reassembly_timeout(NodeId src, std::uint64_t msg_id);
   void transmit_fragments(std::uint64_t msg_id, OutMessage& msg, bool only_unacked);
   void arm_timer(std::uint64_t msg_id);
@@ -131,13 +148,20 @@ class ReliableTransport {
   TransportStats stats_;
   obs::MetricGroup metrics_;
   obs::Histogram& rtt_ms_;  // registry-owned, registered via metrics_
+  // Incarnation epoch stamped on every outbound frame and echoed in acks.
+  // Derived from the simulator's executed-event count at construction:
+  // strictly greater after any crash/restart (the restart runs in a later
+  // event), and a pure function of the event sequence, so twin runs agree.
+  std::uint64_t epoch_;
   std::uint64_t next_msg_id_ = 1;
   std::unordered_map<std::uint64_t, OutMessage> outbox_;
   // Keyed by (src, msg_id).
   std::map<std::pair<NodeId, std::uint64_t>, InMessage> inbox_;
   struct CompletedWindow {
-    std::unordered_set<std::uint64_t> set;
-    std::deque<std::uint64_t> order;
+    std::uint64_t epoch = 0;  // peer incarnation this window belongs to
+    std::uint64_t floor = 0;  // every id <= floor is completed or abandoned
+    std::unordered_set<std::uint64_t> set;  // completed ids above the floor
+    std::deque<std::uint64_t> order;        // completion order, for eviction
   };
   std::unordered_map<NodeId, CompletedWindow> completed_;
   std::unordered_map<Port, Receiver> receivers_;

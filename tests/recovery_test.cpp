@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "recovery/store.hpp"
+#include "recovery/wal.hpp"
 
 namespace ndsm::recovery {
 namespace {
@@ -130,6 +131,58 @@ TEST_F(StoreTest, TornLogTailIgnored) {
   EXPECT_EQ(store.get("good"), Value{1});
   EXPECT_FALSE(store.get("torn").has_value());
   EXPECT_EQ(report.log_records_replayed, 1u);
+}
+
+// Regression: a corrupt record in the *middle* of the log used to be
+// indistinguishable from a benign torn tail — replay() silently stopped and
+// the still-valid records after the tear vanished without a trace. Replay
+// still stops at the tear (replaying past it is unsound), but now accounts
+// for every dropped record and flags the decodable ones as mid-log
+// corruption.
+TEST(WalReplay, CorruptMiddleStopsAtTearAndCountsDroppedValidRecords) {
+  StableStorage storage;
+  WriteAheadLog wal(storage);
+  for (int i = 0; i < 5; ++i) {
+    wal.append(LogKind::kPut, 0, "k" + std::to_string(i), Value{i});
+  }
+  storage.corrupt(2);  // records 0,1 intact; 2 torn; 3,4 valid but stranded
+  const auto records = wal.replay();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[1].key, "k1");
+  const auto& report = wal.last_replay();
+  EXPECT_EQ(report.records_replayed, 2u);
+  EXPECT_EQ(report.records_dropped, 3u);
+  EXPECT_EQ(report.records_dropped_valid, 2u);
+  EXPECT_GT(report.bytes_dropped, 0u);
+  EXPECT_TRUE(report.torn());
+  EXPECT_TRUE(report.mid_log_corruption());
+}
+
+TEST(WalReplay, TornFinalRecordIsNotMidLogCorruption) {
+  StableStorage storage;
+  WriteAheadLog wal(storage);
+  for (int i = 0; i < 3; ++i) {
+    wal.append(LogKind::kPut, 0, "k" + std::to_string(i), Value{i});
+  }
+  storage.corrupt(storage.size() - 1);  // crash mid-append of the last record
+  const auto records = wal.replay();
+  EXPECT_EQ(records.size(), 2u);
+  const auto& report = wal.last_replay();
+  EXPECT_EQ(report.records_dropped, 1u);
+  EXPECT_EQ(report.records_dropped_valid, 0u);
+  EXPECT_TRUE(report.torn());
+  EXPECT_FALSE(report.mid_log_corruption());
+}
+
+TEST(WalReplay, CleanLogReportsNothingDropped) {
+  StableStorage storage;
+  WriteAheadLog wal(storage);
+  wal.append(LogKind::kPut, 0, "k", Value{1});
+  (void)wal.replay();
+  const auto& report = wal.last_replay();
+  EXPECT_EQ(report.records_replayed, 1u);
+  EXPECT_FALSE(report.torn());
+  EXPECT_FALSE(report.mid_log_corruption());
 }
 
 TEST_F(StoreTest, CorruptCheckpointFallsBackToOlder) {

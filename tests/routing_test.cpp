@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
+#include "net/faults.hpp"
 #include "routing/distance_vector.hpp"
 #include "routing/flooding.hpp"
+#include "routing/geographic.hpp"
 #include "routing/global.hpp"
 #include "routing/location.hpp"
 #include "test_helpers.hpp"
@@ -324,6 +326,77 @@ TEST(RouterStats, CountsSentAndForwarded) {
   std::uint64_t forwards = 0;
   for (std::size_t i = 0; i < 9; ++i) forwards += grid.router(i).stats().data_forwarded;
   EXPECT_EQ(forwards, 3u);
+}
+
+// --- partition/heal coverage (driven by the net::FaultPlan layer) -----------
+
+TEST(DistanceVector, PartitionExpiresRoutesAndHealReconverges) {
+  DvGrid grid{9};
+  net::FaultPlan faults{grid.world};
+  grid.sim.run_until(duration::seconds(10));
+  ASSERT_LT(grid.dv(0).route_metric(grid.nodes[8]), DistanceVectorRouter::kInfinity);
+
+  // Split off the left column for 15s, starting now. Route TTL at 1s
+  // updates is 3.5s, so cross-partition routes age out well within it.
+  faults.partition(0, {grid.nodes[0], grid.nodes[3], grid.nodes[6]}, duration::seconds(15));
+  grid.sim.run_until(duration::seconds(20));
+  EXPECT_GT(faults.stats().partition_drops, 0u);
+  EXPECT_EQ(faults.active_partitions(), 1u);
+  EXPECT_EQ(grid.dv(0).route_metric(grid.nodes[8]), DistanceVectorRouter::kInfinity);
+  EXPECT_LT(grid.dv(0).route_metric(grid.nodes[6]), DistanceVectorRouter::kInfinity)
+      << "routes inside the island must survive the partition";
+
+  // Undeliverable sends during the outage surface in routing.* stats.
+  const std::uint64_t drops_before = grid.dv(0).stats().drops;
+  ASSERT_TRUE(grid.router(0).send(grid.nodes[8], Proto::kApp, to_bytes("void")).is_ok());
+  grid.sim.run_until(duration::seconds(21));
+  EXPECT_GT(grid.dv(0).stats().drops, drops_before);
+
+  // Heal fired at t=25s; tables re-converge and data flows again.
+  grid.sim.run_until(duration::seconds(40));
+  EXPECT_EQ(faults.active_partitions(), 0u);
+  EXPECT_EQ(faults.stats().partitions_healed, 1u);
+  EXPECT_LT(grid.dv(0).route_metric(grid.nodes[8]), DistanceVectorRouter::kInfinity);
+  Bytes got;
+  grid.router(8).set_delivery_handler(Proto::kApp, [&](NodeId, const Bytes& b) { got = b; });
+  ASSERT_TRUE(grid.router(0).send(grid.nodes[8], Proto::kApp, to_bytes("healed")).is_ok());
+  grid.sim.run_until(duration::seconds(41));
+  EXPECT_EQ(to_string(got), "healed");
+}
+
+TEST(GeoRouting, PartitionBlocksGreedyForwardingUntilHeal) {
+  WirelessGrid grid{9};
+  grid.with_routers<GeoRouter>(duration::seconds(1));
+  net::FaultPlan faults{grid.world};
+  grid.sim.run_until(duration::seconds(3));  // hello beacons populate tables
+
+  Bytes got;
+  grid.router(8).set_delivery_handler(Proto::kApp, [&](NodeId, const Bytes& b) { got = b; });
+
+  // Island the far corner's row for 10s: hellos across the cut stop, the
+  // sender's candidates toward node 8 go stale, and greedy forwarding has
+  // no live next hop past the cut.
+  faults.partition(0, {grid.nodes[6], grid.nodes[7], grid.nodes[8]}, duration::seconds(10));
+  grid.sim.run_until(duration::seconds(8));  // stale out cross-cut neighbors (ttl 3.3s)
+  const std::uint64_t drops_before =
+      grid.router(3).stats().drops + grid.router(4).stats().drops +
+      grid.router(5).stats().drops + grid.router(0).stats().drops;
+  ASSERT_TRUE(grid.router(0).send(grid.nodes[8], Proto::kApp, to_bytes("cut")).is_ok());
+  grid.sim.run_until(duration::seconds(9));
+  EXPECT_TRUE(got.empty()) << "frame crossed an active partition";
+  const std::uint64_t drops_after =
+      grid.router(3).stats().drops + grid.router(4).stats().drops +
+      grid.router(5).stats().drops + grid.router(0).stats().drops;
+  EXPECT_GT(drops_after, drops_before)
+      << "the outage must surface in routing.* drop counters";
+  EXPECT_GT(faults.stats().partition_drops, 0u);
+
+  // After the heal, beacons re-cross the cut and delivery resumes.
+  grid.sim.run_until(duration::seconds(18));  // heal at 10s + re-beacon slack
+  ASSERT_TRUE(grid.router(0).send(grid.nodes[8], Proto::kApp, to_bytes("rejoined")).is_ok());
+  grid.sim.run_until(duration::seconds(20));
+  EXPECT_EQ(to_string(got), "rejoined");
+  EXPECT_EQ(faults.stats().partitions_healed, 1u);
 }
 
 }  // namespace

@@ -22,7 +22,7 @@ struct Lan {
   explicit Lan(std::size_t n, std::uint64_t seed = 42,
                net::LinkSpec spec = net::ethernet100())
       : sim(seed), world(sim) {
-    const MediumId medium = world.add_medium(std::move(spec));
+    medium = world.add_medium(std::move(spec));
     table = std::make_shared<routing::GlobalRoutingTable>(world, routing::Metric::kHopCount);
     node::StackConfig cfg;
     cfg.router = node::RouterPolicy::kGlobal;
@@ -41,6 +41,7 @@ struct Lan {
 
   sim::Simulator sim;
   net::World world;
+  MediumId medium;
   std::shared_ptr<routing::GlobalRoutingTable> table;
   std::vector<NodeId> nodes;
   std::vector<std::unique_ptr<node::Runtime>> runtimes;

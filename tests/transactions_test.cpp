@@ -2,6 +2,7 @@
 
 #include "discovery/directory_server.hpp"
 #include "discovery/centralized.hpp"
+#include "net/faults.hpp"
 #include "test_helpers.hpp"
 #include "transactions/bridge.hpp"
 #include "transactions/events.hpp"
@@ -507,6 +508,52 @@ TEST(Manager, RebindsWhenSupplierDies) {
   const NodeId rebound = setup.manager(2).supplier_of(tx);
   EXPECT_TRUE(rebound.valid());
   EXPECT_NE(rebound, bound);
+}
+
+TEST(Manager, FlappingSupplierEndsExactlyOnce) {
+  // Regression for the double-finish audit: a supplier that goes dark
+  // long enough to trip supervision and then comes back mid-rebind used
+  // to re-arm the watchdog with its late data while a discovery query was
+  // in flight — double-decrementing rebinds_left and racing two query
+  // callbacks (double kStart, and in the worst case two finish() paths).
+  // With the binding guard, however hard the supplier flaps, the
+  // EndCallback fires exactly once and every timer dies with the tx.
+  ManagerSetup setup;
+  setup.manager(1).serve("temperature", [] { return to_bytes("primary"); });
+  setup.manager(3).serve("temperature", [] { return to_bytes("backup"); });
+  setup.disco(1).register_service(temp_service(), duration::seconds(300));
+  setup.disco(3).register_service(temp_service(), duration::seconds(300));
+  setup.sim.run_until(duration::seconds(1));
+
+  net::FaultPlan faults{setup.world};
+  // Each cycle pauses the primary just long enough to trip supervision
+  // (3 missed 500ms periods), then resumes it so its late pushes land
+  // while the consumer's rebind query is in flight.
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    faults.pause(duration::seconds(1) + duration::seconds(4) * cycle, setup.nodes[1],
+                 duration::millis(1800));
+  }
+
+  TransactionSpec spec = continuous_spec();
+  spec.lifetime = duration::seconds(12);  // expires while flaps are still scheduled
+  int ended = 0;
+  Status end_status{ErrorCode::kInternal, "never set"};
+  int samples = 0;
+  setup.manager(2).begin(
+      spec, [&](const Bytes&, NodeId, Time) { samples++; },
+      [&](Status s) {
+        ended++;
+        end_status = s;
+      });
+  setup.sim.run_until(duration::seconds(40));
+
+  EXPECT_EQ(ended, 1);
+  EXPECT_TRUE(end_status.is_ok());
+  EXPECT_EQ(setup.manager(2).active_count(), 0u);
+  EXPECT_GE(setup.manager(2).stats().rebinds, 1u);
+  EXPECT_GT(samples, 0);
+  EXPECT_EQ(setup.manager(2).stats().ended, 1u);
+  EXPECT_GE(faults.stats().pauses, 3u);
 }
 
 TEST(Manager, FailsWhenNoSupplierExists) {

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "net/faults.hpp"
 #include "test_helpers.hpp"
 #include "transport/reliable.hpp"
 
@@ -293,6 +294,77 @@ TEST(Transport, ReassemblyGcSparesLiveTransfers) {
   // ...yet nothing was expired out from under it.
   EXPECT_EQ(b.transport().stats().reassemblies_expired, 0u);
   EXPECT_EQ(b.transport().reassembly_count(), 0u);
+}
+
+TEST(Transport, LateDuplicatesBeyondDedupWindowStillSuppressed) {
+  // Regression: the dedup window only remembered the last `dedup_window`
+  // completed ids as a set, so a frame duplicated later than that (easy
+  // for a delay-jitter fault to arrange) was re-delivered to the
+  // application. The monotone per-peer floor closes the hole: every id at
+  // or below the floor stays rejected forever, so shrinking the window to
+  // 2 while the fault layer duplicates *every* frame with up to 800ms of
+  // extra delay must still deliver each payload exactly once.
+  sim::Simulator sim{42};
+  net::World world{sim};
+  const MediumId medium = world.add_medium(net::ethernet100());
+  auto table = std::make_shared<routing::GlobalRoutingTable>(world, routing::Metric::kHopCount);
+  node::StackConfig cfg;
+  cfg.router = node::RouterPolicy::kGlobal;
+  cfg.table = table;
+  cfg.transport.dedup_window = 2;  // tiny: late duplicates outlive the set
+  cfg.media = {medium};
+  node::Runtime a{world, Vec2{0, 0}, cfg};
+  node::Runtime b{world, Vec2{10, 0}, cfg};
+
+  net::FaultPlan faults{world};
+  faults.duplication(/*probability=*/1.0, /*max_extra_delay=*/duration::millis(800));
+
+  std::unordered_map<std::string, int> deliveries;
+  b.transport().set_receiver(ports::kApp, [&](NodeId, const Bytes& p) {
+    deliveries[to_string(p)]++;
+  });
+  constexpr int kMessages = 20;
+  for (int i = 0; i < kMessages; ++i) {
+    sim.schedule_at(duration::millis(50) * (i + 1), [&, i] {
+      a.transport().send(b.id(), ports::kApp, to_bytes("msg-" + std::to_string(i)));
+    });
+  }
+  sim.run_until(duration::seconds(10));
+
+  ASSERT_EQ(deliveries.size(), static_cast<std::size_t>(kMessages));
+  for (const auto& [payload, count] : deliveries) {
+    EXPECT_EQ(count, 1) << payload << " delivered " << count << " times";
+  }
+  EXPECT_GT(faults.stats().duplicates_injected, 0u);
+  EXPECT_GT(b.transport().stats().duplicates_dropped, 0u);
+}
+
+TEST(Transport, SenderRestartReusedMessageIdsAreNotDuplicates) {
+  // Regression: message ids restart from 1 after a crash/restart, and the
+  // receiver's dedup state used to outlive the sender incarnation — every
+  // post-restart message re-using an already-seen id was acked but
+  // silently swallowed as a duplicate. Frames now carry the sender's
+  // epoch; a newer epoch resets the peer window.
+  Lan lan{2};
+  std::vector<std::string> got;
+  lan.transport(1).set_receiver(ports::kApp,
+                                [&](NodeId, const Bytes& p) { got.push_back(to_string(p)); });
+  ASSERT_TRUE(lan.transport(0).send(lan.nodes[1], ports::kApp, to_bytes("pre-crash")).is_ok());
+  lan.sim.run_until(duration::seconds(1));
+  ASSERT_EQ(got, (std::vector<std::string>{"pre-crash"}));
+
+  lan.sim.schedule_at(duration::seconds(2), [&] { lan.runtime(0).crash(); });
+  lan.sim.schedule_at(duration::seconds(3), [&] { lan.runtime(0).restart(); });
+  lan.sim.schedule_at(duration::seconds(4), [&] {
+    // Fresh incarnation, next_msg_id back at 1 — the same wire id as
+    // "pre-crash". Must be delivered, not deduped.
+    ASSERT_TRUE(
+        lan.transport(0).send(lan.nodes[1], ports::kApp, to_bytes("post-restart")).is_ok());
+  });
+  lan.sim.run_until(duration::seconds(6));
+
+  EXPECT_EQ(got, (std::vector<std::string>{"pre-crash", "post-restart"}));
+  EXPECT_EQ(lan.transport(1).stats().duplicates_dropped, 0u);
 }
 
 }  // namespace
