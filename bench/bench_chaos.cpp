@@ -11,12 +11,14 @@
 // event digest exactly.
 
 #include <cstdio>
+#include <filesystem>
 #include <map>
 #include <string>
 #include <vector>
 
 #include "bench/bench_util.hpp"
 #include "net/faults.hpp"
+#include "obs/trace.hpp"
 
 using namespace ndsm;
 
@@ -177,10 +179,41 @@ int main() {
               "one receiver incarnation — the transport's dedup floor plus sender\n"
               "epochs must hold it at zero at every fault level.\n");
 
+  // E14: re-run the severe level with the tracer armed and export the
+  // causal trace — jsonl for scripts/trace_analyze.py (critical-path
+  // breakdown: queue vs air vs retransmit vs processing) and Chrome
+  // trace_event JSON for ui.perfetto.dev. The ring keeps the most recent
+  // window, so the dump holds complete end-to-end message traces from the
+  // tail of the run, retransmissions and fault-injected delays included.
+  auto& tracer = obs::Tracer::instance();
+  const bool was_enabled = tracer.enabled();
+  tracer.set_enabled(true);
+  tracer.clear();
+  (void)run_level(levels.back(), n, run_for, 4242);
+  std::uint64_t traced_events = tracer.recorded();
+  bool trace_exported = false;
+  try {
+    std::filesystem::create_directories("out");
+    trace_exported = tracer.dump_jsonl("out/trace_chaos.jsonl") &&
+                     tracer.dump_perfetto("out/trace_chaos.perfetto.json");
+  } catch (...) {
+    trace_exported = false;
+  }
+  tracer.clear();
+  tracer.set_enabled(was_enabled);
+  bench::row_sep();
+  std::printf("E14 trace export: %s (%llu events recorded)\n",
+              trace_exported ? "out/trace_chaos.jsonl + out/trace_chaos.perfetto.json"
+                             : "FAILED",
+              static_cast<unsigned long long>(traced_events));
+  std::printf("  analyze: python3 scripts/trace_analyze.py out/trace_chaos.jsonl\n"
+              "  view:    load out/trace_chaos.perfetto.json at ui.perfetto.dev\n");
+
   bench::emit_json("chaos", "all_deterministic", all_deterministic,
                    "no_duplicate_deliveries", no_dup_deliveries,
                    "goodput_clean", goodput_none,
                    "goodput_severe", goodput_severe,
-                   "nodes", static_cast<std::uint64_t>(n));
-  return (all_deterministic && no_dup_deliveries) ? 0 : 1;
+                   "nodes", static_cast<std::uint64_t>(n),
+                   "trace_exported", trace_exported);
+  return (all_deterministic && no_dup_deliveries && trace_exported) ? 0 : 1;
 }

@@ -5,14 +5,19 @@
 // a regression here slows the whole harness (ROADMAP: "as fast as the
 // hardware allows"). Honors NDSM_BENCH_QUICK=1 (run_benches.sh --quick).
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <memory>
 #include <vector>
 
 #include "bench/bench_util.hpp"
 #include "common/rng.hpp"
 #include "net/link_spec.hpp"
 #include "net/world.hpp"
+#include "obs/trace.hpp"
 #include "sim/simulator.hpp"
 
 using namespace ndsm;
@@ -115,11 +120,76 @@ BroadcastResult bench_broadcast(std::size_t n, std::size_t rounds) {
   return out;
 }
 
+// Reliable-transport ping-pong over two wireless nodes: serialized
+// round-trips, so throughput is dominated by the per-message stack cost —
+// fragment encode (incl. the unconditional trace-context trailer), id
+// allocation, ack handling, and ring recording when tracing is enabled.
+// This is the sub-bench behind the tracing-overhead gate in
+// run_benches.sh. `keep` (optional) receives the field so the caller can
+// read live rtt histograms before teardown.
+double bench_transport_pingpong(std::size_t msgs,
+                                std::unique_ptr<bench::Field>* keep = nullptr) {
+  auto field = std::make_unique<bench::Field>(2, 10.0, /*seed=*/7, /*battery_j=*/0.0);
+  field->with_global_routers();
+  auto& transport = field->transport(0);
+  const NodeId peer = field->nodes[1];
+  std::size_t remaining = msgs;
+  std::function<void(Status)> pong = [&](Status) {
+    if (remaining == 0) return;
+    --remaining;
+    transport.send(peer, transport::ports::kApp, Bytes(64, 0x5a), pong);
+  };
+  const double t0 = now_s();
+  pong(Status::ok());
+  field->sim.run_all();
+  const double dt = now_s() - t0;
+  if (keep != nullptr) *keep = std::move(field);
+  return static_cast<double>(msgs) / dt;
+}
+
+// Tracing-overhead ratio (traced/untraced throughput, 1.0 = free):
+// back-to-back A/B pairs inside one process, median of the per-pair
+// ratios. Adjacent runs share machine state, so the ratio isolates the
+// ring-recording cost from wall-clock noise that would swamp a
+// cross-process comparison.
+double bench_tracing_overhead_ratio(std::size_t msgs, int pairs) {
+  auto& tracer = obs::Tracer::instance();
+  const bool was_enabled = tracer.enabled();
+  // Untimed warm run: fills the ring to capacity (steady-state operation
+  // is wraparound over already-built slots, not first-fill vector growth)
+  // and warms code/allocator caches so the first timed pair isn't biased
+  // against whichever side runs first.
+  tracer.set_enabled(true);
+  tracer.clear();
+  (void)bench_transport_pingpong(obs::Tracer::kDefaultCapacity);
+  std::vector<double> ratios;
+  for (int p = 0; p < pairs; ++p) {
+    tracer.set_enabled(true);
+    const double on = bench_transport_pingpong(msgs);
+    tracer.set_enabled(false);
+    const double off = bench_transport_pingpong(msgs);
+    ratios.push_back(on / off);
+  }
+  tracer.clear();
+  tracer.set_enabled(was_enabled);
+  std::sort(ratios.begin(), ratios.end());
+  return ratios[ratios.size() / 2];
+}
+
 }  // namespace
 
 int main() {
   bench::header("sim_engine", "event engine + broadcast fan-out hot-path throughput");
   const bool quick = bench::quick_mode();
+
+  // NDSM_TRACE=0 disables ring recording (context bytes still ride every
+  // frame — behaviour neutrality); NDSM_TRACE=1 forces it on. Unset keeps
+  // the build default.
+  const char* trace_env = std::getenv("NDSM_TRACE");
+  if (trace_env != nullptr && *trace_env != '\0') {
+    obs::Tracer::instance().set_enabled(*trace_env != '0');
+  }
+  const bool tracing = obs::Tracer::instance().enabled();
   const std::size_t ev_n = quick ? 100'000 : 1'000'000;
 
   const double sched = bench_schedule_step(ev_n);
@@ -146,6 +216,16 @@ int main() {
                 r.broadcasts_per_s, r.deliveries_per_s);
   }
 
+  bench::row_sep();
+  const std::size_t msgs = quick ? 2'000 : 20'000;
+  const double ratio = bench_tracing_overhead_ratio(quick ? 1'000 : 10'000, quick ? 3 : 5);
+  std::unique_ptr<bench::Field> field;
+  const double tput = bench_transport_pingpong(msgs, &field);
+  std::printf("transport pingpong %10.0f msgs/s  (%zu round-trips, tracing %s)\n", tput,
+              msgs, tracing ? "on" : "off");
+  std::printf("tracing overhead   %9.1f%%  (median of interleaved on/off pairs)\n",
+              (1.0 - ratio) * 100.0);
+
   bench::emit_json("sim_engine",
                    "sched_step_ops_per_s", sched,
                    "sched_cancel_ops_per_s", cancel,
@@ -155,5 +235,14 @@ int main() {
                    "bcast_10k_per_s", bcast[2],
                    "deliv_1k_per_s", deliv[1],
                    "quick", quick);
+  // Separate line for the tracing-overhead gate: run_benches.sh feeds it
+  // to bench_compare.py against an ideal ratio of 1.0 with --threshold 5,
+  // so recording spans costing more than ~5% of transport throughput
+  // fails the bench suite. Emitted while the last ping-pong field is
+  // still alive, so the rtt percentiles are the measured distribution.
+  bench::emit_json("transport_pingpong",
+                   "transport_msgs_per_s", tput,
+                   "trace_overhead_ratio", ratio,
+                   "trace_enabled", tracing);
   return 0;
 }

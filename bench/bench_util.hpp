@@ -14,6 +14,7 @@
 #include "net/world.hpp"
 #include "node/runtime.hpp"
 #include "obs/json.hpp"
+#include "obs/metrics.hpp"
 #include "routing/global.hpp"
 #include "sim/simulator.hpp"
 #include "transport/reliable.hpp"
@@ -39,11 +40,38 @@ void emit_json_fields(obs::JsonObject& o, std::string_view key, V value, Rest&&.
   o.field(key, value);
   emit_json_fields(o, std::forward<Rest>(rest)...);
 }
+// Fleet-wide RTT tail latency: every live ReliableTransport registers a
+// transport.reliable.rtt_ms histogram (identical bounds), so summing the
+// bucket arrays and interpolating gives the cross-node distribution. All
+// zeros when no transport has completed a message (or none is alive when
+// the bench emits).
+inline void append_rtt_percentiles(obs::JsonObject& o) {
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> counts;
+  for (const auto& s : obs::MetricsRegistry::instance().snapshot()) {
+    if (s.kind != obs::MetricKind::kHistogram || s.hist == nullptr ||
+        s.name != "transport.reliable.rtt_ms") {
+      continue;
+    }
+    if (bounds.empty()) {
+      bounds = s.hist->bounds();
+      counts.assign(s.hist->counts().size(), 0);
+    }
+    for (std::size_t i = 0; i < counts.size() && i < s.hist->counts().size(); ++i) {
+      counts[i] += s.hist->counts()[i];
+    }
+  }
+  o.field("rtt_p50_ms", bounds.empty() ? 0.0 : obs::quantile_from(bounds, counts, 0.50));
+  o.field("rtt_p95_ms", bounds.empty() ? 0.0 : obs::quantile_from(bounds, counts, 0.95));
+  o.field("rtt_p99_ms", bounds.empty() ? 0.0 : obs::quantile_from(bounds, counts, 0.99));
+}
+
 template <class... Fields>
 void emit_json(const std::string& bench, Fields&&... fields) {
   obs::JsonObject o;
   o.field("bench", bench);
   emit_json_fields(o, std::forward<Fields>(fields)...);
+  append_rtt_percentiles(o);
   std::printf("\nBENCH_JSON %s\n", o.str().c_str());
   std::fflush(stdout);
 }

@@ -56,3 +56,21 @@ if [ "$quick" -eq 0 ] && [ -f bench/baseline_metrics.jsonl ]; then
     exit 1
   fi
 fi
+
+# Tracing-overhead gate: bench_sim_engine's transport ping-pong with the
+# tracer recording must stay within 5% of the same run with recording
+# disabled (trace_overhead_ratio = traced/untraced throughput, ideal
+# 1.0). Compared against the ideal rather than a measured baseline so the
+# bound is absolute; quick-mode ratios are too noisy (single short pass)
+# to gate on.
+if [ "$quick" -eq 0 ] && grep -q '"bench":"transport_pingpong"' out/bench_metrics.jsonl; then
+  printf '{"bench":"transport_pingpong","trace_overhead_ratio":1.0}\n' > out/trace_overhead_ideal.jsonl
+  grep '"bench":"transport_pingpong"' out/bench_metrics.jsonl > out/trace_overhead_measured.jsonl
+  if python3 scripts/bench_compare.py --threshold 5 \
+      out/trace_overhead_ideal.jsonl out/trace_overhead_measured.jsonl; then
+    echo "TRACE_OVERHEAD_OK: tracing costs <5% of transport throughput"
+  else
+    echo "TRACE_OVERHEAD_REGRESSION: tracing costs >5% of transport throughput" >&2
+    exit 1
+  fi
+fi

@@ -368,6 +368,16 @@ SELF_TEST_CASES = [
     ("src/sim/clock_src.cpp",
      "void f() { auto t = std::chrono::steady_clock::now(); (void)rand(); }\n",
      set()),
+    # The tracing layer is NOT exempt: trace ids and event timestamps must
+    # come from the sim clock and the deterministic id allocator, never
+    # wall time or raw randomness — otherwise traced and untraced runs
+    # diverge and the ON-vs-OFF digest contract breaks.
+    ("src/obs/trace_wallclock.cpp",
+     "#include <chrono>\n"
+     "#include <random>\n"
+     "long stamp() { return std::chrono::steady_clock::now().time_since_epoch().count(); }\n"
+     "unsigned long span_id() { std::random_device rd; return rd(); }\n",
+     {"wall-clock", "raw-random"}),
 ]
 
 SELF_TEST_HEADERS = {

@@ -4,11 +4,23 @@
 #include <cstdlib>
 
 namespace ndsm::audit {
+namespace {
+
+FailureHook g_hook = nullptr;
+bool g_in_hook = false;
+
+}  // namespace
+
+void set_failure_hook(FailureHook hook) { g_hook = hook; }
 
 void fail(const char* expr, const char* file, int line, const char* msg) {
   std::fprintf(stderr, "NDSM_AUDIT violation at %s:%d: %s\n  check: %s\n", file, line, msg,
                expr);
   std::fflush(stderr);
+  if (g_hook != nullptr && !g_in_hook) {
+    g_in_hook = true;  // a failing hook must not recurse into itself
+    g_hook(expr, file, line, msg);
+  }
   std::abort();
 }
 

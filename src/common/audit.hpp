@@ -25,6 +25,13 @@ namespace ndsm::audit {
 // the macro expansion in hot paths stays a compare and a call.
 [[noreturn]] void fail(const char* expr, const char* file, int line, const char* msg);
 
+// Last-gasp hook run by fail() before aborting (flight-recorder dump).
+// common cannot depend on obs, so the observability layer installs this
+// function pointer at simulator construction. The hook must not throw;
+// re-entrant failures during the hook skip it and abort directly.
+using FailureHook = void (*)(const char* expr, const char* file, int line, const char* msg);
+void set_failure_hook(FailureHook hook);
+
 }  // namespace ndsm::audit
 
 // Always-armed invariant check used inside the audit verifiers (and at

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <limits>
 
+#include "obs/trace.hpp"
+
 namespace ndsm::discovery {
 
 CentralizedDiscovery::CentralizedDiscovery(transport::ReliableTransport& transport,
@@ -103,25 +105,53 @@ void CentralizedDiscovery::query(const qos::ConsumerQos& consumer, QueryCallback
   const std::uint64_t query_id = next_query_++;
   stats_.queries_issued++;
 
+  // The query gets its own span; the directory and the reply continue it,
+  // so the whole lookup reads as one causal chain.
+  const obs::TraceContext parent = obs::active_trace();
+  obs::TraceContext ctx;
+  ctx.span_id = transport_.trace_ids().next();
+  ctx.trace_id = parent.valid() ? parent.trace_id : ctx.span_id;
+
   QueryMessage msg;
   msg.query_id = query_id;
   msg.reply_to = transport_.self();
   msg.reply_port = transport::ports::kDiscoveryReplyCent;
   msg.consumer = consumer;
   msg.max_results = max_results;
+  msg.trace = ctx;
+
+  obs::Tracer& tracer = obs::Tracer::instance();
+  if (tracer.enabled()) {
+    tracer.event_traced("discovery.centralized", "query",
+                        static_cast<std::int64_t>(transport_.self().value()), ctx.trace_id,
+                        ctx.span_id, parent.span_id,
+                        {{"query_id", std::to_string(query_id)},
+                         {"type", msg.consumer.service_type}});
+  }
 
   PendingQuery pending;
   pending.callback = std::move(callback);
+  pending.trace = ctx;
   pending.timer = sim.schedule_after(timeout, [this, query_id] {
     const auto it = pending_.find(query_id);
     if (it == pending_.end()) return;
     auto cb = std::move(it->second.callback);
+    const obs::TraceContext qctx = it->second.trace;
     pending_.erase(it);
     stats_.queries_empty++;
+    obs::Tracer& tr = obs::Tracer::instance();
+    if (tr.enabled()) {
+      tr.event_traced("discovery.centralized", "query_timeout",
+                      static_cast<std::int64_t>(transport_.self().value()), qctx.trace_id,
+                      qctx.span_id, qctx.span_id,
+                      {{"query_id", std::to_string(query_id)}});
+    }
+    const obs::ScopedTrace scope(qctx);
     cb({});
   });
   pending_.emplace(query_id, std::move(pending));
 
+  const obs::ScopedTrace scope(ctx);
   transport_.send(pick_directory(), transport::ports::kDiscovery, encode_query(msg));
 }
 
@@ -138,6 +168,7 @@ void CentralizedDiscovery::on_message(NodeId /*src*/, const Bytes& frame) {
       if (it == pending_.end()) return;  // late reply after timeout
       if (it->second.timer.valid()) transport_.router().world().sim().cancel(it->second.timer);
       auto cb = std::move(it->second.callback);
+      const obs::TraceContext qctx = it->second.trace;
       pending_.erase(it);
       stats_.records_received += reply->records.size();
       if (reply->records.empty()) {
@@ -145,6 +176,18 @@ void CentralizedDiscovery::on_message(NodeId /*src*/, const Bytes& frame) {
       } else {
         stats_.queries_answered++;
       }
+      obs::Tracer& tracer = obs::Tracer::instance();
+      if (tracer.enabled() && qctx.valid()) {
+        // Parent on the directory's serve span when the reply carries it,
+        // else fall back to our own query span.
+        tracer.event_traced("discovery.centralized", "query_answered",
+                            static_cast<std::int64_t>(transport_.self().value()),
+                            qctx.trace_id, qctx.span_id,
+                            reply->trace.valid() ? reply->trace.span_id : qctx.span_id,
+                            {{"query_id", std::to_string(reply->query_id)},
+                             {"records", std::to_string(reply->records.size())}});
+      }
+      const obs::ScopedTrace scope(qctx);
       cb(std::move(reply->records));
       break;
     }

@@ -42,6 +42,8 @@ class CentralizedDiscovery : public ServiceDiscovery {
   struct PendingQuery {
     QueryCallback callback;
     EventId timer = EventId::invalid();
+    // Query span context, bridging the async gap to the reply/timeout.
+    obs::TraceContext trace;
   };
 
   void on_message(NodeId src, const Bytes& frame);

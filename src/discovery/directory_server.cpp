@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "obs/trace.hpp"
 #include "qos/matcher.hpp"
 
 namespace ndsm::discovery {
@@ -110,10 +111,27 @@ void DirectoryServer::replicate(const ServiceRecord& record, bool removal) {
 }
 
 void DirectoryServer::serve_query(const QueryMessage& query) {
+  // The serve step gets its own span under the client's query span; the
+  // reply carries it so the client can attribute the answer. Queued
+  // queries kept their context in query_queue_, so the gap between this
+  // event and the query span start is the directory queueing delay.
+  obs::TraceContext ctx = query.trace;
+  ctx.span_id = transport_.trace_ids().next();
+  if (ctx.trace_id == 0) ctx.trace_id = ctx.span_id;
+  obs::Tracer& tracer = obs::Tracer::instance();
+  if (tracer.enabled() && query.trace.valid()) {
+    tracer.event_traced("discovery.directory", "serve_query",
+                        static_cast<std::int64_t>(node().value()), ctx.trace_id, ctx.span_id,
+                        query.trace.span_id,
+                        {{"query_id", std::to_string(query.query_id)},
+                         {"records", std::to_string(records_.size())}});
+  }
   QueryReply reply;
   reply.query_id = query.query_id;
   reply.records = match(query.consumer, query.max_results);
+  reply.trace = ctx;
   stats_.records_returned += reply.records.size();
+  const obs::ScopedTrace scope(ctx);
   transport_.send(query.reply_to, query.reply_port, encode_query_reply(reply));
 }
 

@@ -4,6 +4,7 @@
 #include <optional>
 
 #include "discovery/record.hpp"
+#include "obs/trace_context.hpp"
 #include "qos/spec.hpp"
 
 namespace ndsm::discovery {
@@ -24,11 +25,15 @@ struct QueryMessage {
   std::uint16_t reply_port = 0;
   qos::ConsumerQos consumer;
   std::uint32_t max_results = 8;
+  // Causal context of the querying span; the responder continues it so
+  // query and reply land in one trace (versioned trailer on the wire).
+  obs::TraceContext trace;
 };
 
 struct QueryReply {
   std::uint64_t query_id = 0;
   std::vector<ServiceRecord> records;
+  obs::TraceContext trace;
 };
 
 [[nodiscard]] Bytes encode_register(const ServiceRecord& record);

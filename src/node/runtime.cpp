@@ -4,6 +4,7 @@
 
 #include "common/audit.hpp"
 #include "common/log.hpp"
+#include "obs/flight.hpp"
 #include "obs/trace.hpp"
 
 namespace ndsm::node {
@@ -116,6 +117,12 @@ void Runtime::crash() {
                             << format_time(world_.sim().now()));
   obs::Tracer::instance().event("node.runtime", "crash",
                                 static_cast<std::int64_t>(id_.value()));
+  // Simulated crashes are routine; dump the ring only when armed
+  // (NDSM_FLIGHTREC=1), e.g. while hunting a crash-correlated bug.
+  if (obs::flight_recorder_armed()) {
+    obs::flight_record("crash-node" + std::to_string(id_.value()),
+                       "Runtime::crash at t=" + std::to_string(world_.sim().now()));
+  }
   tear_down();
   // Go link-dead last: handlers are already detached, so the World-level
   // death event (which notifies e.g. MiLAN's supervisor) observes a node

@@ -1,0 +1,50 @@
+#include "obs/flight.hpp"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "common/audit.hpp"
+#include "obs/json.hpp"
+
+namespace ndsm::obs {
+namespace {
+
+void invariant_hook(const char* expr, const char* file, int line, const char* msg) {
+  JsonObject why;
+  why.field("check", expr).field("file", file).field("line", line).field("msg", msg);
+  flight_record("invariant", why.str());
+}
+
+}  // namespace
+
+std::string flight_record(const std::string& tag, const std::string& reason,
+                          const Tracer& tracer) {
+  try {
+    std::filesystem::create_directories("out");
+    const std::string path = "out/flightrec-" + tag + ".jsonl";
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) return {};
+    JsonObject header;
+    header.field("flightrec", tag)
+        .field("reason", reason)
+        .field("recorded", tracer.recorded())
+        .field("dropped", tracer.dropped())
+        .field("buffered", static_cast<std::uint64_t>(tracer.size()));
+    out << header.str() << "\n";
+    tracer.write_jsonl(out);
+    return out ? path : std::string{};
+  } catch (...) {
+    // Disk trouble during a crash dump must not mask the original failure.
+    return {};
+  }
+}
+
+bool flight_recorder_armed() {
+  const char* env = std::getenv("NDSM_FLIGHTREC");
+  return env != nullptr && env[0] == '1';
+}
+
+void install_invariant_flight_hook() { audit::set_failure_hook(&invariant_hook); }
+
+}  // namespace ndsm::obs

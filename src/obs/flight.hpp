@@ -1,0 +1,37 @@
+#pragma once
+// Flight recorder: snapshot the Tracer ring to disk at the moment
+// something goes wrong, so post-mortem debugging of a deterministic run
+// starts from the last `capacity` trace records instead of a rerun.
+//
+// Dump sites:
+//   * NDSM_INVARIANT failure — via the audit failure hook installed by
+//     install_invariant_flight_hook() (Simulator's ctor calls it; common
+//     cannot link obs, hence the function-pointer indirection)
+//   * chaos-soak / test assertion failure — tests call flight_record()
+//     from a HasFailure() check
+//   * node::Runtime::crash() — only when NDSM_FLIGHTREC=1 (routine
+//     simulated crashes are not emergencies; arm it when hunting one)
+//
+// Output: out/flightrec-<tag>.jsonl (Tracer jsonl format), created under
+// the current working directory.
+
+#include <string>
+
+#include "obs/trace.hpp"
+
+namespace ndsm::obs {
+
+// Write `tracer`'s ring to out/flightrec-<tag>.jsonl, prefixed with one
+// header line recording the reason and drop count. Returns the path, or
+// an empty string if the dump could not be written. Never throws.
+std::string flight_record(const std::string& tag, const std::string& reason,
+                          const Tracer& tracer = Tracer::instance());
+
+// True when NDSM_FLIGHTREC=1 arms the routine-crash dump sites.
+[[nodiscard]] bool flight_recorder_armed();
+
+// Install the audit failure hook that dumps the default tracer on any
+// NDSM_INVARIANT violation. Idempotent.
+void install_invariant_flight_hook();
+
+}  // namespace ndsm::obs

@@ -34,6 +34,33 @@ std::vector<double> latency_ms_bounds() {
   return {0.5, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000};
 }
 
+double quantile_from(const std::vector<double>& bounds, const std::vector<std::uint64_t>& counts,
+                     double q) {
+  std::uint64_t total = 0;
+  for (std::uint64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  const double target = q * static_cast<double>(total);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    const double before = static_cast<double>(cumulative);
+    cumulative += counts[i];
+    if (static_cast<double>(cumulative) < target) continue;
+    if (i >= bounds.size()) {
+      // Overflow bucket: no finite upper edge to interpolate towards.
+      return bounds.empty() ? 0.0 : bounds.back();
+    }
+    const double lo = i == 0 ? 0.0 : bounds[i - 1];
+    const double hi = bounds[i];
+    const double frac = (target - before) / static_cast<double>(counts[i]);
+    return lo + (hi - lo) * std::min(1.0, std::max(0.0, frac));
+  }
+  return bounds.empty() ? 0.0 : bounds.back();
+}
+
+double Histogram::quantile(double q) const { return quantile_from(bounds_, counts_, q); }
+
 MetricsRegistry& MetricsRegistry::instance() {
   static MetricsRegistry registry;
   return registry;
@@ -152,7 +179,10 @@ void MetricsRegistry::write_table(std::ostream& out) const {
     }
     if (s.kind == MetricKind::kHistogram) {
       out << "count=" << s.hist->count() << " mean=" << json_number(s.hist->mean())
-          << " sum=" << json_number(s.hist->sum());
+          << " sum=" << json_number(s.hist->sum())
+          << " p50=" << json_number(s.hist->quantile(0.50))
+          << " p95=" << json_number(s.hist->quantile(0.95))
+          << " p99=" << json_number(s.hist->quantile(0.99));
     } else {
       out << json_number(s.value);
     }

@@ -58,6 +58,11 @@ class Histogram {
   [[nodiscard]] std::uint64_t count() const { return count_; }
   [[nodiscard]] double sum() const { return sum_; }
   [[nodiscard]] double mean() const { return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_); }
+  // q-quantile (q in [0,1]) with linear interpolation inside the bucket
+  // that crosses the target rank. Bucket 0 interpolates from 0; the +inf
+  // overflow bucket reports the last finite bound (the histogram cannot
+  // resolve beyond it). 0 when empty.
+  [[nodiscard]] double quantile(double q) const;
   [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
   // counts().size() == bounds().size() + 1; the last bucket is +inf.
   [[nodiscard]] const std::vector<std::uint64_t>& counts() const { return counts_; }
@@ -72,6 +77,12 @@ class Histogram {
 
 // Canonical millisecond-latency bounds (values observed in milliseconds).
 [[nodiscard]] std::vector<double> latency_ms_bounds();
+
+// Quantile over raw bucket arrays (same semantics as Histogram::quantile);
+// lets offline consumers (bench aggregation, trace analysis) reuse the
+// interpolation without reconstructing a Histogram.
+[[nodiscard]] double quantile_from(const std::vector<double>& bounds,
+                                   const std::vector<std::uint64_t>& counts, double q);
 
 using MetricId = std::uint64_t;
 

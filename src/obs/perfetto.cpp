@@ -1,0 +1,167 @@
+// Chrome trace_event ("Trace Event Format") exporter for the Tracer ring.
+// The output loads directly in ui.perfetto.dev / chrome://tracing:
+//
+//   * pid   = node id (so a 100-node field renders as 100 process lanes;
+//             node-less events land in a synthetic "global" process)
+//   * tid   = per-node component lane ("transport.reliable", ...)
+//   * spans carrying a causal span id become *nestable async* events
+//     ("b"/"e" keyed by the span id) — unlike "X" complete events, async
+//     pairs render correctly when a transport message span overlaps the
+//     next one on the same lane
+//   * spans without ids stay "X" complete events, instants become "i"
+//   * parent links become flow events ("s" at the parent, "f" at the
+//     child), drawing the cross-node causal arrows
+//
+// Sim time is microseconds, the trace_event default unit, so timestamps
+// pass through unscaled.
+
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <string>
+
+#include "obs/json.hpp"
+#include "obs/trace.hpp"
+
+namespace ndsm::obs {
+namespace {
+
+// pid for events with no node label; far above any realistic field size.
+constexpr std::int64_t kGlobalPid = 1000000;
+
+std::int64_t pid_of(const TraceEvent& ev) { return ev.node >= 0 ? ev.node : kGlobalPid; }
+
+std::string args_json(const TraceEvent& ev) {
+  std::string out = "{";
+  for (std::size_t i = 0; i < ev.kv.size(); ++i) {
+    if (i > 0) out += ',';
+    out += "\"" + json_escape(ev.kv[i].first) + "\":\"" + json_escape(ev.kv[i].second) + "\"";
+  }
+  if (ev.trace_id != 0) {
+    if (!ev.kv.empty()) out += ',';
+    out += "\"trace_id\":\"" + std::to_string(ev.trace_id) + "\"";
+    out += ",\"span_id\":\"" + std::to_string(ev.span_id) + "\"";
+    if (ev.parent_span != 0) out += ",\"parent_span\":\"" + std::to_string(ev.parent_span) + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+JsonObject base_event(const TraceEvent& ev, std::int64_t tid, const char* ph) {
+  JsonObject o;
+  o.field("name", ev.name).field("cat", ev.component).field("ph", ph);
+  o.field("ts", static_cast<std::int64_t>(ev.at));
+  o.field("pid", pid_of(ev)).field("tid", tid);
+  return o;
+}
+
+void emit(std::ostream& out, bool& first, const std::string& event) {
+  if (!first) out << ",\n";
+  first = false;
+  out << "  " << event;
+}
+
+}  // namespace
+
+void Tracer::write_perfetto(std::ostream& out) const {
+  const auto events = snapshot();
+
+  // Stable per-(pid, component) thread lanes, in first-appearance order.
+  std::map<std::pair<std::int64_t, std::string>, std::int64_t> lanes;
+  for (const TraceEvent& ev : events) {
+    const auto key = std::make_pair(pid_of(ev), ev.component);
+    if (lanes.find(key) == lanes.end()) {
+      lanes.emplace(key, static_cast<std::int64_t>(lanes.size()) + 1);
+    }
+  }
+
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  bool first = true;
+
+  // Metadata: process and thread names.
+  std::map<std::int64_t, bool> named_pids;
+  for (const auto& [key, tid] : lanes) {
+    const auto& [pid, component] = key;
+    if (!named_pids[pid]) {
+      named_pids[pid] = true;
+      JsonObject o;
+      o.field("name", "process_name")
+          .field("ph", "M")
+          .field("pid", pid)
+          .field("tid", static_cast<std::int64_t>(0));
+      o.raw_field("args", "{\"name\":\"" +
+                              json_escape(pid == kGlobalPid ? std::string("global")
+                                                            : "node " + std::to_string(pid)) +
+                              "\"}");
+      emit(out, first, o.str());
+    }
+    JsonObject o;
+    o.field("name", "thread_name").field("ph", "M").field("pid", pid).field("tid", tid);
+    o.raw_field("args", "{\"name\":\"" + json_escape(component) + "\"}");
+    emit(out, first, o.str());
+  }
+
+  for (const TraceEvent& ev : events) {
+    const std::int64_t tid = lanes.at(std::make_pair(pid_of(ev), ev.component));
+    const std::string args = args_json(ev);
+    if (!ev.is_span()) {
+      JsonObject o = base_event(ev, tid, "i");
+      o.field("s", "t");
+      o.raw_field("args", args);
+      emit(out, first, o.str());
+    } else if (ev.span_id != 0) {
+      // Nestable async pair keyed by the span id.
+      JsonObject b = base_event(ev, tid, "b");
+      b.field("id", std::to_string(ev.span_id));
+      b.raw_field("args", args);
+      emit(out, first, b.str());
+      JsonObject e;
+      e.field("name", ev.name).field("cat", ev.component).field("ph", "e");
+      e.field("ts", static_cast<std::int64_t>(ev.at + ev.duration));
+      e.field("pid", pid_of(ev)).field("tid", tid);
+      e.field("id", std::to_string(ev.span_id));
+      emit(out, first, e.str());
+    } else {
+      JsonObject o = base_event(ev, tid, "X");
+      o.field("dur", static_cast<std::int64_t>(ev.duration));
+      o.raw_field("args", args);
+      emit(out, first, o.str());
+    }
+    // Causal arrow from the parent span to this event.
+    if (ev.trace_id != 0 && ev.parent_span != 0) {
+      JsonObject f = base_event(ev, tid, "f");
+      f.field("id", std::to_string(ev.parent_span));
+      f.field("bp", "e");
+      emit(out, first, f.str());
+    }
+  }
+
+  // Flow origins: one "s" per span that has children referencing it.
+  std::map<std::uint64_t, const TraceEvent*> spans_by_id;
+  for (const TraceEvent& ev : events) {
+    if (ev.span_id != 0 && ev.is_span()) spans_by_id[ev.span_id] = &ev;
+  }
+  std::map<std::uint64_t, bool> emitted_flow;
+  for (const TraceEvent& ev : events) {
+    if (ev.trace_id == 0 || ev.parent_span == 0) continue;
+    auto it = spans_by_id.find(ev.parent_span);
+    if (it == spans_by_id.end() || emitted_flow[ev.parent_span]) continue;
+    emitted_flow[ev.parent_span] = true;
+    const TraceEvent& parent = *it->second;
+    JsonObject s = base_event(parent, lanes.at(std::make_pair(pid_of(parent), parent.component)),
+                              "s");
+    s.field("id", std::to_string(ev.parent_span));
+    emit(out, first, s.str());
+  }
+
+  out << "\n]}\n";
+}
+
+bool Tracer::dump_perfetto(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  write_perfetto(out);
+  return static_cast<bool>(out);
+}
+
+}  // namespace ndsm::obs

@@ -23,6 +23,15 @@ Tracer::Tracer(std::size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {
 
 Tracer& Tracer::instance() {
   static Tracer tracer;
+  static bool registered = [] {
+    // Only the process-wide instance exports metrics; test-local tracers
+    // would otherwise pile up duplicate obs.tracer.* registrations.
+    tracer.metrics_.set_labels("obs.tracer");
+    tracer.metrics_.counter_fn("obs.tracer.dropped", [] { return tracer.dropped_; });
+    tracer.metrics_.counter_fn("obs.tracer.recorded", [] { return tracer.total_; });
+    return true;
+  }();
+  (void)registered;
   return tracer;
 }
 
@@ -34,8 +43,21 @@ void Tracer::record(TraceEvent ev) {
     return;
   }
   // Full: overwrite the oldest record.
+  dropped_++;
   ring_[head_] = std::move(ev);
   head_ = (head_ + 1) % capacity_;
+}
+
+TraceEvent* Tracer::begin_record() {
+  if (!enabled_) return nullptr;
+  total_++;
+  if (ring_.size() < capacity_) {
+    return &ring_.emplace_back();
+  }
+  dropped_++;
+  TraceEvent* ev = &ring_[head_];
+  head_ = (head_ + 1) % capacity_;
+  return ev;
 }
 
 void Tracer::event(std::string component, std::string name, std::int64_t node,
@@ -50,6 +72,39 @@ void Tracer::event(std::string component, std::string name, std::int64_t node,
   record(std::move(ev));
 }
 
+void Tracer::event_traced(std::string component, std::string name, std::int64_t node,
+                          std::uint64_t trace_id, std::uint64_t span_id,
+                          std::uint64_t parent_span,
+                          std::vector<std::pair<std::string, std::string>> kv) {
+  if (!enabled_) return;
+  TraceEvent ev;
+  ev.at = stamp_now();
+  ev.component = std::move(component);
+  ev.name = std::move(name);
+  ev.node = node;
+  ev.trace_id = trace_id;
+  ev.span_id = span_id;
+  ev.parent_span = parent_span;
+  ev.kv = std::move(kv);
+  record(std::move(ev));
+}
+
+void Tracer::event_traced(const char* component, const char* name, std::int64_t node,
+                          std::uint64_t trace_id, std::uint64_t span_id,
+                          std::uint64_t parent_span) {
+  TraceEvent* ev = begin_record();
+  if (ev == nullptr) return;
+  ev->at = stamp_now();
+  ev->duration = -1;
+  ev->component = component;
+  ev->name = name;
+  ev->node = node;
+  ev->trace_id = trace_id;
+  ev->span_id = span_id;
+  ev->parent_span = parent_span;
+  ev->kv.clear();
+}
+
 std::size_t Tracer::size() const { return ring_.size(); }
 
 void Tracer::set_capacity(std::size_t capacity) {
@@ -61,6 +116,7 @@ void Tracer::clear() {
   ring_.clear();
   head_ = 0;
   total_ = 0;
+  dropped_ = 0;
 }
 
 std::vector<TraceEvent> Tracer::snapshot() const {
@@ -80,6 +136,10 @@ void Tracer::write_jsonl(std::ostream& out) const {
     o.field("component", ev.component).field("name", ev.name);
     if (ev.node >= 0) o.field("node", ev.node);
     if (ev.is_span()) o.field("dur_us", static_cast<std::int64_t>(ev.duration));
+    if (ev.trace_id != 0) {
+      o.field("trace", ev.trace_id).field("span", ev.span_id);
+      if (ev.parent_span != 0) o.field("parent", ev.parent_span);
+    }
     if (!ev.kv.empty()) {
       std::string kv = "{";
       for (std::size_t i = 0; i < ev.kv.size(); ++i) {

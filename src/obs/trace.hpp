@@ -23,6 +23,7 @@
 #include "common/clock.hpp"
 #include "common/log.hpp"
 #include "common/time.hpp"
+#include "obs/metrics.hpp"
 
 namespace ndsm::obs {
 
@@ -32,6 +33,12 @@ struct TraceEvent {
   std::string component;
   std::string name;
   std::int64_t node = -1;
+  // Causal linkage (0 = not part of a wire-propagated trace): trace_id is
+  // shared by every event in one causal chain, span_id names this event,
+  // parent_span is the span that caused it (possibly on another node).
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_span = 0;
   std::vector<std::pair<std::string, std::string>> kv;
 
   [[nodiscard]] bool is_span() const { return duration >= 0; }
@@ -56,9 +63,25 @@ class Tracer {
   // stamp virtual time for you).
   void record(TraceEvent ev);
 
+  // Zero-allocation fast path for per-message hot events: returns the
+  // ring slot to fill in place (or nullptr when disabled), with recorded/
+  // dropped bookkeeping already done. Reused slots keep stale contents —
+  // the caller must overwrite every field it cares about (including
+  // duration = -1 for instants) and kv.clear(); string/vector assigns
+  // then reuse the slot's retained capacity instead of allocating.
+  TraceEvent* begin_record();
+
   // Convenience: instant event stamped now.
   void event(std::string component, std::string name, std::int64_t node = -1,
              std::vector<std::pair<std::string, std::string>> kv = {});
+  // Instant event with causal linkage (trace/span/parent ids).
+  void event_traced(std::string component, std::string name, std::int64_t node,
+                    std::uint64_t trace_id, std::uint64_t span_id, std::uint64_t parent_span,
+                    std::vector<std::pair<std::string, std::string>> kv = {});
+  // kv-less overload routed through begin_record(): allocation-free at
+  // steady state, for events on per-message paths.
+  void event_traced(const char* component, const char* name, std::int64_t node,
+                    std::uint64_t trace_id, std::uint64_t span_id, std::uint64_t parent_span);
 
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
   // Drops all buffered records.
@@ -66,6 +89,10 @@ class Tracer {
   [[nodiscard]] std::size_t size() const;
   // Lifetime total, including records already overwritten by wraparound.
   [[nodiscard]] std::uint64_t recorded() const { return total_; }
+  // Records lost to ring wraparound since the last clear() — the flight
+  // recorder's "how much history did I miss" gauge, exported as
+  // obs.tracer.dropped on the default instance.
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
   void clear();
 
   // Buffered records, oldest first.
@@ -77,12 +104,21 @@ class Tracer {
   void write_jsonl(std::ostream& out) const;
   bool dump_jsonl(const std::string& path) const;
 
+  // Chrome/Perfetto trace_event export (load at ui.perfetto.dev or
+  // chrome://tracing): pid = node, tid = per-node component lane, spans
+  // with causal ids become nestable async b/e events with flow arrows to
+  // their parents, untraced spans become complete ("X") events.
+  void write_perfetto(std::ostream& out) const;
+  bool dump_perfetto(const std::string& path) const;
+
  private:
   bool enabled_ = true;
   std::size_t capacity_;
   std::vector<TraceEvent> ring_;
-  std::size_t head_ = 0;     // next write position once the ring is full
-  std::uint64_t total_ = 0;  // lifetime record count
+  std::size_t head_ = 0;       // next write position once the ring is full
+  std::uint64_t total_ = 0;    // lifetime record count
+  std::uint64_t dropped_ = 0;  // records overwritten by wraparound
+  MetricGroup metrics_;        // populated only on the default instance
 };
 
 // RAII span: measures elapsed virtual time between construction and
@@ -107,6 +143,13 @@ class SpanScope {
   void kv(std::string key, double value);
   void kv(std::string key, bool value) {
     kv(std::move(key), std::string(value ? "true" : "false"));
+  }
+
+  // Attach causal ids so this span joins a wire-propagated trace.
+  void trace(std::uint64_t trace_id, std::uint64_t span_id, std::uint64_t parent_span = 0) {
+    ev_.trace_id = trace_id;
+    ev_.span_id = span_id;
+    ev_.parent_span = parent_span;
   }
 
  private:

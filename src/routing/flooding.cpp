@@ -21,6 +21,7 @@ Status FloodingRouter::originate(NodeId dst, Proto upper, Bytes payload, int ttl
   h.seq = next_seq_++;
   h.ttl = static_cast<std::uint8_t>(ttl);
   h.upper = upper;
+  stamp_trace(h);
   (void)seen_before(self_, h.seq);  // never re-forward our own packet
   if (dst == net::kBroadcast) deliver_local(self_, upper, payload);  // local subscribers too
   stats_.data_sent++;
@@ -47,7 +48,7 @@ void FloodingRouter::on_frame(const net::LinkFrame& frame) {
   if (seen_before(h.origin, h.seq)) return;
 
   const bool for_us = h.dst == self_ || h.dst == net::kBroadcast;
-  if (for_us) deliver_local(h.origin, h.upper, payload);
+  if (for_us) deliver_local(h, payload);
   if (h.dst == self_) return;  // unicast reached its target: stop the flood
   if (h.ttl == 0) {
     stats_.drops++;
@@ -55,6 +56,7 @@ void FloodingRouter::on_frame(const net::LinkFrame& frame) {
   }
   h.ttl--;
   stats_.data_forwarded++;
+  record_forward(h, "flood_forward");
   world_.link_broadcast(self_, Proto::kRouting, encode_routing(h, payload));
 }
 

@@ -68,6 +68,7 @@ Status GeoRouter::send(NodeId dst, Proto upper, Bytes payload) {
   h.seq = next_seq_++;
   h.ttl = static_cast<std::uint8_t>(kDefaultTtl);
   h.upper = upper;
+  stamp_trace(h);
   stats_.data_sent++;
   forward_data(h, payload);
   return Status::ok();
@@ -110,6 +111,7 @@ Status GeoRouter::flood(Proto upper, Bytes payload, int ttl) {
   h.seq = next_seq_++;
   h.ttl = static_cast<std::uint8_t>(ttl);
   h.upper = upper;
+  stamp_trace(h);
   seen_[self_].insert(h.seq);
   deliver_local(self_, upper, payload);
   stats_.data_sent++;
@@ -131,7 +133,7 @@ void GeoRouter::on_frame(const net::LinkFrame& frame) {
     case RoutingKind::kData:
       if (h.dst == self_) {
         record_delivery_hops(kDefaultTtl - static_cast<int>(h.ttl) + 1);
-        deliver_local(h.origin, h.upper, payload);
+        deliver_local(h, payload);
         return;
       }
       if (h.ttl == 0) {
@@ -140,14 +142,16 @@ void GeoRouter::on_frame(const net::LinkFrame& frame) {
       }
       h.ttl--;
       stats_.data_forwarded++;
+      record_forward(h, "forward");
       forward_data(h, payload);
       break;
     case RoutingKind::kFlood: {
       if (!seen_[h.origin].insert(h.seq).second) return;
-      deliver_local(h.origin, h.upper, payload);
+      deliver_local(h, payload);
       if (h.ttl == 0) return;
       h.ttl--;
       stats_.data_forwarded++;
+      record_forward(h, "flood_forward");
       world_.link_broadcast(self_, Proto::kRouting, encode_routing(h, payload));
       break;
     }

@@ -6,8 +6,10 @@ namespace ndsm::routing {
 
 Bytes encode_routing(const RoutingHeader& header, const Bytes& payload) {
   serialize::Writer w;
-  // kind + origin + dst + seq + ttl + upper = 23 fixed bytes.
-  w.reserve(23 + serialize::varint_size(payload.size()) + payload.size());
+  // kind + origin + dst + seq + ttl + upper = 23 fixed bytes, plus the
+  // trace-context trailer.
+  w.reserve(23 + serialize::varint_size(payload.size()) + payload.size() +
+            obs::kTraceWireMax);
   w.u8(static_cast<std::uint8_t>(header.kind));
   w.id(header.origin);
   w.id(header.dst);
@@ -15,6 +17,7 @@ Bytes encode_routing(const RoutingHeader& header, const Bytes& payload) {
   w.u8(header.ttl);
   w.u8(static_cast<std::uint8_t>(header.upper));
   w.bytes(payload);
+  obs::encode_trace(w, header.trace);
   return std::move(w).take();
 }
 
@@ -28,6 +31,7 @@ bool decode_routing(const Bytes& frame, RoutingHeader& header, Bytes& payload) {
   const auto upper = r.u8();
   auto body = r.bytes();
   if (!kind || !origin || !dst || !seq || !ttl || !upper || !body) return false;
+  header.trace = obs::decode_trace(r);
   header.kind = static_cast<RoutingKind>(*kind);
   header.origin = *origin;
   header.dst = *dst;

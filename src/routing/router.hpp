@@ -20,6 +20,8 @@
 #include "common/status.hpp"
 #include "net/world.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_context.hpp"
 
 namespace ndsm::routing {
 
@@ -35,6 +37,10 @@ struct RoutingHeader {
   std::uint32_t seq = 0;  // per-origin sequence for duplicate suppression
   std::uint8_t ttl = 0;
   Proto upper = Proto::kApp;  // which upper-layer protocol the payload is for
+  // Causal context stamped at originate time (versioned optional trailer
+  // on the wire; hops incremented at each forward). Encoded even when
+  // invalid so frame size never depends on tracing state.
+  obs::TraceContext trace;
 };
 
 [[nodiscard]] Bytes encode_routing(const RoutingHeader& header, const Bytes& payload);
@@ -86,6 +92,35 @@ class Router {
     stats_.data_delivered++;
     const auto it = handlers_.find(upper);
     if (it != handlers_.end()) it->second(origin, payload);
+  }
+
+  // Delivery with the frame's causal context active, so upper layers that
+  // send from their handler continue the trace.
+  void deliver_local(const RoutingHeader& h, const Bytes& payload) {
+    const obs::ScopedTrace scope(h.trace);
+    deliver_local(h.origin, h.upper, payload);
+  }
+
+  // Stamp the caller's active context onto a header about to be
+  // originated (hop count starts at zero here).
+  static void stamp_trace(RoutingHeader& h) {
+    h.trace = obs::active_trace();
+    h.trace.hops = 0;
+  }
+
+  // Account a forward: bump the wire hop count and leave a causal instant
+  // so per-hop relays show up in the trace timeline.
+  void record_forward(RoutingHeader& h, const char* name) {
+    if (h.trace.hops < 255) h.trace.hops++;
+    obs::Tracer& tracer = obs::Tracer::instance();
+    if (tracer.enabled() && h.trace.valid()) {
+      tracer.event_traced("routing.router", name, static_cast<std::int64_t>(self_.value()),
+                          h.trace.trace_id, 0, h.trace.span_id,
+                          {{"origin", std::to_string(h.origin.value())},
+                           {"dst", std::to_string(h.dst.value())},
+                           {"hops", std::to_string(h.trace.hops)},
+                           {"ttl", std::to_string(h.ttl)}});
+    }
   }
 
   // Subclasses call this where the hop count of a delivered data packet is

@@ -23,6 +23,7 @@
 #include "common/ids.hpp"
 #include "common/rng.hpp"
 #include "common/time.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 
 namespace ndsm::sim {
@@ -35,6 +36,10 @@ class Simulator {
     bind_sim_clock(this, [](const void* s) {
       return static_cast<const Simulator*>(s)->now();
     });
+    // Any NDSM_INVARIANT failure from here on dumps the tracer ring to
+    // out/flightrec-invariant.jsonl before aborting (sim links obs;
+    // common, where the invariant lives, cannot).
+    obs::install_invariant_flight_hook();
     register_metrics();
   }
   ~Simulator() { unbind_sim_clock(this); }

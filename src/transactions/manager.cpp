@@ -53,6 +53,19 @@ TransactionId TransactionManager::begin(TransactionSpec spec, DataSink sink,
   tx.sink = std::move(sink);
   tx.on_end = std::move(on_end);
   tx.rebinds_left = supervision_.max_rebinds;
+  // Root span for the whole transaction; binds, starts, and pushes all
+  // join it (id drawn unconditionally — behaviour neutrality).
+  const obs::TraceContext parent = obs::active_trace();
+  tx.trace.span_id = transport_.trace_ids().next();
+  tx.trace.trace_id = parent.valid() ? parent.trace_id : tx.trace.span_id;
+  obs::Tracer& tracer = obs::Tracer::instance();
+  if (tracer.enabled()) {
+    tracer.event_traced("transactions.manager", "begin",
+                        static_cast<std::int64_t>(transport_.self().value()),
+                        tx.trace.trace_id, tx.trace.span_id, parent.span_id,
+                        {{"tx", std::to_string(id.value())},
+                         {"type", tx.spec.consumer.service_type}});
+  }
   if (tx.spec.lifetime != kTimeNever) {
     tx.lifetime_timer = sim().schedule_after(tx.spec.lifetime, [this, id] {
       auto it = consumers_.find(id);
@@ -76,6 +89,8 @@ void TransactionManager::bind(TransactionId id) {
   if (it->second.binding) return;
   it->second.binding = true;
   const auto consumer_qos = it->second.spec.consumer;
+  // The discovery query (and its reply chain) continues the tx trace.
+  const obs::ScopedTrace scope(it->second.trace);
   discovery_.query(
       consumer_qos,
       [this, id](std::vector<discovery::ServiceRecord> records) {
@@ -123,6 +138,14 @@ void TransactionManager::on_bound(TransactionId id, NodeId supplier) {
   }
   NDSM_DEBUG("txn", "tx " << id.value() << (is_rebind ? " rebound to " : " bound to ")
                           << supplier.value());
+  obs::Tracer& tracer = obs::Tracer::instance();
+  if (tracer.enabled()) {
+    tracer.event_traced("transactions.manager", is_rebind ? "rebound" : "bound",
+                        static_cast<std::int64_t>(transport_.self().value()),
+                        tx.trace.trace_id, tx.trace.span_id, tx.trace.span_id,
+                        {{"tx", std::to_string(id.value())},
+                         {"supplier", std::to_string(supplier.value())}});
+  }
 
   serialize::Writer w;
   w.u8(static_cast<std::uint8_t>(Kind::kStart));
@@ -131,7 +154,13 @@ void TransactionManager::on_bound(TransactionId id, NodeId supplier) {
   w.svarint(tx.spec.period);
   w.u32(tx.spec.samples_per_burst);
   w.str(tx.spec.consumer.service_type);
-  transport_.send(supplier, transport::ports::kTransactions, std::move(w).take());
+  // Context trailer: the supplier stores it and threads every push of
+  // this flow back into the transaction's trace.
+  obs::encode_trace(w, tx.trace);
+  {
+    const obs::ScopedTrace scope(tx.trace);
+    transport_.send(supplier, transport::ports::kTransactions, std::move(w).take());
+  }
 
   if (tx.spec.kind == TransactionKind::kOnDemand) {
     arm_pull(id);
@@ -183,7 +212,10 @@ void TransactionManager::arm_pull(TransactionId id) {
     w.u8(static_cast<std::uint8_t>(Kind::kPull));
     w.id(id);
     stats_.pulls_sent++;
-    transport_.send(tx.supplier, transport::ports::kTransactions, std::move(w).take());
+    {
+      const obs::ScopedTrace scope(tx.trace);
+      transport_.send(tx.supplier, transport::ports::kTransactions, std::move(w).take());
+    }
     arm_pull(id);
   });
 }
@@ -231,6 +263,7 @@ void TransactionManager::finish(TransactionId id, Status status) {
     serialize::Writer w;
     w.u8(static_cast<std::uint8_t>(Kind::kStop));
     w.id(id);
+    const obs::ScopedTrace scope(tx.trace);
     transport_.send(tx.supplier, transport::ports::kTransactions, std::move(w).take());
   }
   if (tx.on_end) tx.on_end(status);
@@ -265,6 +298,11 @@ void TransactionManager::push_sample(std::uint64_t key) {
   for (std::uint32_t i = 0; i < burst; ++i) {
     Bytes data = source->second();
     if (flow.spec.payload_bytes > 0) data.resize(flow.spec.payload_bytes);
+    // Each sample is a child span of the consumer's transaction, bridging
+    // the push-timer gap back to the kStart context.
+    obs::TraceContext sample_ctx = flow.trace;
+    sample_ctx.span_id = transport_.trace_ids().next();
+    if (sample_ctx.trace_id == 0) sample_ctx.trace_id = sample_ctx.span_id;
     serialize::Writer w;
     w.u8(static_cast<std::uint8_t>(Kind::kData));
     w.id(flow.tx);
@@ -277,7 +315,17 @@ void TransactionManager::push_sample(std::uint64_t key) {
                   ? kTimeNever
                   : sim().now() + effective_period);
     w.bytes(data);
+    obs::encode_trace(w, sample_ctx);
     stats_.pushes_sent++;
+    obs::Tracer& tracer = obs::Tracer::instance();
+    if (tracer.enabled() && flow.trace.valid()) {
+      tracer.event_traced("transactions.manager", "push",
+                          static_cast<std::int64_t>(transport_.self().value()),
+                          sample_ctx.trace_id, sample_ctx.span_id, flow.trace.span_id,
+                          {{"tx", std::to_string(flow.tx.value())},
+                           {"seq", std::to_string(flow.seq - 1)}});
+    }
+    const obs::ScopedTrace scope(sample_ctx);
     transport_.send(flow.consumer, transport::ports::kTransactions, std::move(w).take());
   }
   if (flow.spec.kind != TransactionKind::kOnDemand) {
@@ -298,6 +346,7 @@ void TransactionManager::on_message(NodeId src, const Bytes& frame) {
       const auto burst = r.u32();
       const auto type = r.str();
       if (!tx || !tx_kind || !period || !burst || !type) return;
+      const obs::TraceContext start_ctx = obs::decode_trace(r);
       const std::uint64_t key = flow_key(src, *tx);
       // Replace any existing flow with the same key (consumer re-sent start).
       auto existing = flows_.find(key);
@@ -311,6 +360,16 @@ void TransactionManager::on_message(NodeId src, const Bytes& frame) {
       flow.spec.period = *period;
       flow.spec.samples_per_burst = *burst;
       flow.service_type = *type;
+      flow.trace = start_ctx;
+      obs::Tracer& tracer = obs::Tracer::instance();
+      if (tracer.enabled() && start_ctx.valid()) {
+        tracer.event_traced("transactions.manager", "flow_start",
+                            static_cast<std::int64_t>(transport_.self().value()),
+                            start_ctx.trace_id, start_ctx.span_id, start_ctx.span_id,
+                            {{"tx", std::to_string(tx->value())},
+                             {"consumer", std::to_string(src.value())},
+                             {"type", *type}});
+      }
       flows_[key] = std::move(flow);
       if (static_cast<TransactionKind>(*tx_kind) != TransactionKind::kOnDemand) {
         // First sample immediately, then on the period. Tracked in
@@ -342,6 +401,7 @@ void TransactionManager::on_message(NodeId src, const Bytes& frame) {
       const auto next_predicted = r.svarint();
       const auto data = r.bytes();
       if (!tx || !seq || !produced || !next_predicted || !data) return;
+      const obs::TraceContext sample_ctx = obs::decode_trace(r);
       auto it = consumers_.find(*tx);
       if (it == consumers_.end()) return;  // ended while data in flight
       ConsumerTx& ctx = it->second;
@@ -352,7 +412,19 @@ void TransactionManager::on_message(NodeId src, const Bytes& frame) {
       stats_.delivered_utility +=
           ctx.spec.consumer.timeliness.eval(sim().now() - *produced);
       if (ctx.spec.kind != TransactionKind::kOnDemand) arm_watchdog(*tx);
-      if (ctx.sink) ctx.sink(*data, src, *produced);
+      obs::Tracer& tracer = obs::Tracer::instance();
+      if (tracer.enabled() && sample_ctx.valid()) {
+        tracer.event_traced("transactions.manager", "data",
+                            static_cast<std::int64_t>(transport_.self().value()),
+                            sample_ctx.trace_id, /*span_id=*/0, sample_ctx.span_id,
+                            {{"tx", std::to_string(tx->value())},
+                             {"seq", std::to_string(*seq)},
+                             {"supplier", std::to_string(src.value())}});
+      }
+      if (ctx.sink) {
+        const obs::ScopedTrace scope(sample_ctx);
+        ctx.sink(*data, src, *produced);
+      }
       break;
     }
     case Kind::kStartAck:

@@ -117,6 +117,9 @@ class TransactionManager {
     // and fire into freed state after a node crash.
     EventId rebind_timer = EventId::invalid();
     bool binding = false;  // a discovery query for this tx is in flight
+    // The transaction's root span: bind queries, kStart, and supplier
+    // pushes all join this trace across the async timer gaps.
+    obs::TraceContext trace;
   };
 
   struct SupplierFlow {
@@ -126,6 +129,9 @@ class TransactionManager {
     std::string service_type;
     std::uint64_t seq = 0;
     EventId push_timer = EventId::invalid();
+    // Consumer's transaction context carried in kStart; every push
+    // continues it so the full flow is one causal graph.
+    obs::TraceContext trace;
   };
 
   void on_message(NodeId src, const Bytes& frame);

@@ -6,13 +6,15 @@
 #include <string>
 
 #include "common/log.hpp"
+#include "obs/trace.hpp"
 #include "serialize/codec.hpp"
 
 namespace ndsm::transport {
 
 ReliableTransport::ReliableTransport(Router& router, TransportConfig config)
     : router_(router), config_(config), rtt_ms_(register_metrics()),
-      epoch_(router.world().sim().executed_events()) {
+      epoch_(router.world().sim().executed_events()),
+      trace_ids_(router.self(), epoch_) {
   assert(config_.max_fragment_bytes > 0);
   router_.set_delivery_handler(
       routing::Proto::kTransport,
@@ -68,12 +70,27 @@ std::size_t ReliableTransport::fragment_count(std::size_t payload_size) const {
 Status ReliableTransport::send(NodeId dst, Port port, Bytes payload, CompletionHandler done) {
   stats_.messages_sent++;
   stats_.payload_bytes_sent += payload.size();
+  // Every send gets a wire span: continue the caller's trace if one is
+  // active, else root a new one (root trace id == root span id). Exactly
+  // one id per send, drawn unconditionally, so the allocator stream is
+  // identical whether tracing is on or off.
+  const obs::TraceContext parent = obs::active_trace();
+  obs::TraceContext ctx;
+  ctx.span_id = trace_ids_.next();
+  ctx.trace_id = parent.valid() ? parent.trace_id : ctx.span_id;
   if (dst == self()) {
     // Local delivery: immediate, always succeeds.
-    router_.world().sim().schedule_after(0, [this, port, payload = std::move(payload),
+    router_.world().sim().schedule_after(0, [this, port, ctx, payload = std::move(payload),
                                               done = std::move(done)]() {
       stats_.messages_delivered++;
       stats_.payload_bytes_delivered += payload.size();
+      obs::Tracer& tracer = obs::Tracer::instance();
+      if (tracer.enabled()) {
+        tracer.event_traced("transport", "deliver_local",
+                            static_cast<std::int64_t>(self().value()), ctx.trace_id,
+                            ctx.span_id, 0, {{"port", std::string(ports::name(port))}});
+      }
+      const obs::ScopedTrace scope(ctx);
       const auto it = receivers_.find(port);
       if (it != receivers_.end()) it->second(self(), payload);
       if (done) done(Status::ok());
@@ -91,6 +108,8 @@ Status ReliableTransport::send(NodeId dst, Port port, Bytes payload, CompletionH
   msg.rto = config_.initial_rto;
   msg.sent_at = router_.world().sim().now();
   msg.done = std::move(done);
+  msg.trace = ctx;
+  msg.parent_span = parent.span_id;
   auto [it, inserted] = outbox_.emplace(id, std::move(msg));
   assert(inserted);
   transmit_fragments(id, it->second, false);
@@ -114,8 +133,25 @@ void ReliableTransport::transmit_fragments(std::uint64_t msg_id, OutMessage& msg
     w.varint(frags);
     w.bytes(Bytes{msg.payload.begin() + static_cast<std::ptrdiff_t>(begin),
                   msg.payload.begin() + static_cast<std::ptrdiff_t>(end)});
+    // Context rides at the end of every fragment — unconditionally, so
+    // frame size (and thus delay/loss draws) never depends on tracing.
+    obs::encode_trace(w, msg.trace);
     stats_.fragments_sent++;
-    if (only_unacked) stats_.retransmissions++;
+    if (only_unacked) {
+      stats_.retransmissions++;
+      obs::Tracer& tracer = obs::Tracer::instance();
+      if (tracer.enabled()) {
+        tracer.event_traced("transport", "retransmit",
+                            static_cast<std::int64_t>(self().value()), msg.trace.trace_id,
+                            msg.trace.span_id, 0,
+                            {{"msg_id", std::to_string(msg_id)},
+                             {"fragment", std::to_string(i)},
+                             {"attempt", std::to_string(msg.attempts)}});
+      }
+    }
+    // Activate the message's context for the router so the routing header
+    // is stamped with the wire span (not whatever scope issued send()).
+    const obs::ScopedTrace scope(msg.trace);
     router_.send(msg.dst, routing::Proto::kTransport, std::move(w).take());
   }
 }
@@ -149,6 +185,29 @@ void ReliableTransport::finish(std::uint64_t msg_id, Status status) {
     rtt_ms_.observe(to_seconds(router_.world().sim().now() - it->second.sent_at) * 1e3);
   } else {
     stats_.messages_failed++;
+  }
+  // The message's wire span: first transmission to final ack (or retry
+  // exhaustion). Children on the receiver hang off its span id. Filled
+  // into the ring slot in place, and the clean single-fragment path skips
+  // the kv detail, so recording stays allocation-free at steady state —
+  // the tracing-overhead gate in run_benches.sh holds this to <5% of
+  // transport throughput.
+  if (obs::TraceEvent* ev = obs::Tracer::instance().begin_record()) {
+    ev->at = it->second.sent_at;
+    ev->duration = std::max<Time>(0, router_.world().sim().now() - it->second.sent_at);
+    ev->component = "transport";
+    ev->name = status.is_ok() ? "message" : "message_failed";
+    ev->node = static_cast<std::int64_t>(self().value());
+    ev->trace_id = it->second.trace.trace_id;
+    ev->span_id = it->second.trace.span_id;
+    ev->parent_span = it->second.parent_span;
+    ev->kv.clear();
+    if (it->second.acked.size() > 1 || it->second.attempts > 0 || !status.is_ok()) {
+      ev->kv = {{"msg_id", std::to_string(msg_id)},
+                {"dst", std::to_string(it->second.dst.value())},
+                {"fragments", std::to_string(it->second.acked.size())},
+                {"attempts", std::to_string(it->second.attempts)}};
+    }
   }
   outbox_.erase(it);
   if (done) done(status);
@@ -216,6 +275,7 @@ void ReliableTransport::on_fragment(NodeId src, serialize::Reader& r) {
       *index >= *count) {
     return;
   }
+  const obs::TraceContext ctx = obs::decode_trace(r);
 
   auto& window = completed_[src];
   if (*epoch < window.epoch) {
@@ -223,6 +283,16 @@ void ReliableTransport::on_fragment(NodeId src, serialize::Reader& r) {
     // space has been reused, so it must not touch current state (and the
     // sender it came from is gone, so no ack either).
     stats_.stale_epoch_dropped++;
+    obs::Tracer& tracer = obs::Tracer::instance();
+    if (tracer.enabled()) {
+      // Annotated drop: the pre-restart trace ends here, visibly.
+      tracer.event_traced("transport", "stale_epoch_drop",
+                          static_cast<std::int64_t>(self().value()), ctx.trace_id,
+                          ctx.span_id, ctx.span_id,
+                          {{"src", std::to_string(src.value())},
+                           {"frame_epoch", std::to_string(*epoch)},
+                           {"current_epoch", std::to_string(window.epoch)}});
+    }
     return;
   }
   if (*epoch > window.epoch) {
@@ -233,14 +303,19 @@ void ReliableTransport::on_fragment(NodeId src, serialize::Reader& r) {
     purge_inbox(src);
   }
 
-  // Always ack, even for duplicates (the ack may have been lost).
+  // Always ack, even for duplicates (the ack may have been lost). The ack
+  // echoes the fragment's context so the sender's on_ack can attribute it.
   serialize::Writer ack;
   ack.u8(static_cast<std::uint8_t>(FrameKind::kAck));
   ack.varint(*epoch);
   ack.varint(*msg_id);
   ack.varint(*index);
+  obs::encode_trace(ack, ctx);
   stats_.acks_sent++;
-  router_.send(src, routing::Proto::kTransport, std::move(ack).take());
+  {
+    const obs::ScopedTrace scope(ctx);
+    router_.send(src, routing::Proto::kTransport, std::move(ack).take());
+  }
 
   if (already_completed(src, *msg_id)) {
     stats_.duplicates_dropped++;
@@ -280,6 +355,19 @@ void ReliableTransport::on_fragment(NodeId src, serialize::Reader& r) {
   remember_completed(src, *msg_id);
   stats_.messages_delivered++;
   stats_.payload_bytes_delivered += payload.size();
+  // Delivery gets its own span id (drawn unconditionally) so work done in
+  // the receiver nests under "deliver" rather than the remote wire span.
+  // No kv: the sender is the parent span's node, and an empty kv keeps
+  // this per-message event allocation-free (tracing-overhead budget).
+  obs::TraceContext deliver_ctx = ctx;
+  deliver_ctx.span_id = trace_ids_.next();
+  obs::Tracer& tracer = obs::Tracer::instance();
+  if (tracer.enabled() && ctx.valid()) {
+    tracer.event_traced("transport", "deliver",
+                        static_cast<std::int64_t>(self().value()), ctx.trace_id,
+                        deliver_ctx.span_id, ctx.span_id);
+  }
+  const obs::ScopedTrace scope(deliver_ctx);
   const auto it = receivers_.find(dst_port);
   if (it != receivers_.end()) it->second(src, payload);
 }
@@ -302,15 +390,25 @@ void ReliableTransport::on_reassembly_timeout(NodeId src, std::uint64_t msg_id) 
   inbox_.erase(it);
 }
 
-void ReliableTransport::on_ack(NodeId /*src*/, serialize::Reader& r) {
+void ReliableTransport::on_ack(NodeId src, serialize::Reader& r) {
   const auto epoch = r.varint();
   const auto msg_id = r.varint();
   const auto index = r.varint();
   if (!epoch || !msg_id || !index) return;
+  const obs::TraceContext ctx = obs::decode_trace(r);
   if (*epoch != epoch_) {
     // An ack echoing another incarnation's epoch (delayed from before our
     // restart); our id space restarted, so it must not ack anything now.
     stats_.stale_epoch_dropped++;
+    obs::Tracer& tracer = obs::Tracer::instance();
+    if (tracer.enabled()) {
+      tracer.event_traced("transport", "stale_epoch_drop",
+                          static_cast<std::int64_t>(self().value()), ctx.trace_id,
+                          ctx.span_id, ctx.span_id,
+                          {{"src", std::to_string(src.value())},
+                           {"ack_epoch", std::to_string(*epoch)},
+                           {"current_epoch", std::to_string(epoch_)}});
+    }
     return;
   }
   const auto it = outbox_.find(*msg_id);

@@ -29,6 +29,7 @@
 #include <unordered_set>
 
 #include "obs/metrics.hpp"
+#include "obs/trace_context.hpp"
 #include "routing/router.hpp"
 #include "serialize/codec.hpp"
 #include "sim/simulator.hpp"
@@ -94,6 +95,10 @@ class ReliableTransport {
   [[nodiscard]] const TransportConfig& config() const { return config_; }
   // Message round-trip time (send to final ack), milliseconds.
   [[nodiscard]] const obs::Histogram& rtt_histogram() const { return rtt_ms_; }
+  // Deterministic trace/span id source for this incarnation. Upper layers
+  // (discovery, transactions) draw span ids from here to bridge async
+  // gaps (pending queries, push timers) in one causal trace.
+  [[nodiscard]] obs::TraceIdAllocator& trace_ids() { return trace_ids_; }
   // In-flight state introspection (tests of the failure path assert both
   // drain to zero after retries exhaust).
   [[nodiscard]] std::size_t outbox_size() const { return outbox_.size(); }
@@ -113,6 +118,10 @@ class ReliableTransport {
     Time sent_at = 0;  // first transmission, for the RTT histogram
     EventId timer = EventId::invalid();
     CompletionHandler done;
+    // Causal context carried by every fragment (span_id = this message's
+    // wire span) and the span that issued the send, if any.
+    obs::TraceContext trace;
+    std::uint64_t parent_span = 0;
   };
 
   struct InMessage {
@@ -153,6 +162,11 @@ class ReliableTransport {
   // strictly greater after any crash/restart (the restart runs in a later
   // event), and a pure function of the event sequence, so twin runs agree.
   std::uint64_t epoch_;
+  // Trace/span ids mix in (self, epoch_) so twin runs agree and restarted
+  // incarnations never collide. The counter advances on every send even
+  // with tracing disabled — allocator state must never depend on the
+  // tracing switch (behaviour neutrality).
+  obs::TraceIdAllocator trace_ids_;
   std::uint64_t next_msg_id_ = 1;
   std::unordered_map<std::uint64_t, OutMessage> outbox_;
   // Keyed by (src, msg_id).

@@ -28,6 +28,8 @@
 #include "discovery/directory_server.hpp"
 #include "milan/engine.hpp"
 #include "net/faults.hpp"
+#include "obs/flight.hpp"
+#include "obs/trace.hpp"
 #include "test_helpers.hpp"
 #include "transactions/manager.hpp"
 
@@ -315,6 +317,12 @@ TEST(Chaos, SoakHoldsInvariantsUnderComposedFaults) {
   EXPECT_GE(report.directory_rehydrated, 1u);
   // MiLAN kept tracking through the whole schedule.
   EXPECT_GT(report.milan_samples, 0u);
+
+  // Flight recorder: a failed soak leaves the last trace window on disk,
+  // so the post-mortem starts from evidence instead of a rerun.
+  if (HasFailure()) {
+    obs::flight_record("chaos-soak", "Chaos.SoakHoldsInvariantsUnderComposedFaults failed");
+  }
 }
 
 TEST(Chaos, TwinRunsAreByteIdentical) {
@@ -323,6 +331,25 @@ TEST(Chaos, TwinRunsAreByteIdentical) {
   EXPECT_EQ(first, second);
   const std::string different = chaos_run(778);
   EXPECT_NE(first, different);
+}
+
+// The tracing hard bar: recording spans must be pure observation. The
+// full 100-node soak with tracing on and with tracing off must agree on
+// the event digest (and every counter in the dump) byte for byte —
+// trace-context bytes ride every frame unconditionally and id allocators
+// advance unconditionally, so the only difference is ring writes.
+TEST(Chaos, TracingOnAndOffRunsAreDigestIdentical) {
+  auto& tracer = obs::Tracer::instance();
+  tracer.clear();
+  tracer.set_enabled(true);
+  const std::string traced = chaos_run(4242);
+  EXPECT_GT(tracer.recorded(), 0u);  // tracing was genuinely observing
+  tracer.clear();
+  tracer.set_enabled(false);
+  const std::string untraced = chaos_run(4242);
+  EXPECT_EQ(tracer.recorded(), 0u);  // and genuinely off
+  tracer.set_enabled(true);
+  EXPECT_EQ(traced, untraced);
 }
 
 }  // namespace

@@ -5,12 +5,18 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <set>
 #include <sstream>
 
 #include "milan/engine.hpp"
+#include "obs/flight.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "obs/trace_context.hpp"
+#include "serialize/codec.hpp"
 #include "test_helpers.hpp"
 
 namespace ndsm {
@@ -307,6 +313,356 @@ TEST(MetricsMigration, EngineStatsMatchRegistryViews) {
   });
   ASSERT_NE(replan, events.end());
   EXPECT_TRUE(replan->is_span());
+}
+
+// --- causal tracing -----------------------------------------------------------
+
+TEST(Trace, RingFillCountsDropped) {
+  Tracer tracer{4};
+  for (int i = 0; i < 10; ++i) {
+    TraceEvent ev;
+    ev.at = i;
+    ev.component = "t";
+    ev.name = "e";
+    tracer.record(std::move(ev));
+  }
+  // 10 recorded into a 4-slot ring: exactly 6 were overwritten, no more.
+  EXPECT_EQ(tracer.recorded(), 10u);
+  EXPECT_EQ(tracer.dropped(), 6u);
+  EXPECT_EQ(tracer.size(), 4u);
+  tracer.clear();
+  EXPECT_EQ(tracer.dropped(), 0u);
+
+  // The default instance exports the drop count as obs.tracer.dropped.
+  auto& shared = Tracer::instance();
+  shared.clear();
+  const std::size_t cap = shared.capacity();
+  for (std::size_t i = 0; i < cap + 3; ++i) shared.event("t", "fill");
+  EXPECT_EQ(shared.dropped(), 3u);
+  const auto samples = MetricsRegistry::instance().snapshot();
+  const auto* dropped = find_sample(samples, "obs.tracer.dropped");
+  const auto* recorded = find_sample(samples, "obs.tracer.recorded");
+  ASSERT_NE(dropped, nullptr);
+  ASSERT_NE(recorded, nullptr);
+  EXPECT_DOUBLE_EQ(dropped->value, 3.0);
+  EXPECT_DOUBLE_EQ(recorded->value, static_cast<double>(cap + 3));
+  shared.clear();
+}
+
+TEST(Metrics, HistogramQuantileInterpolates) {
+  // 1..100 into decade buckets: 10 samples per bucket, uniform, so linear
+  // interpolation lands exactly on the requested percentile.
+  Histogram h{{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}};
+  for (int i = 1; i <= 100; ++i) h.observe(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(h.quantile(0.50), 50.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.95), 95.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 99.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 100.0);
+
+  // Overflow bucket clamps to the last finite bound; empty histogram is 0.
+  Histogram overflow{{1.0}};
+  overflow.observe(50.0);
+  EXPECT_DOUBLE_EQ(overflow.quantile(0.5), 1.0);
+  Histogram empty{{1.0, 2.0}};
+  EXPECT_DOUBLE_EQ(empty.quantile(0.5), 0.0);
+
+  // write_table renders the three canonical percentiles per histogram row.
+  MetricsRegistry reg;
+  Histogram* rh = reg.add_histogram("test.latency", {}, {10, 20, 30});
+  rh->observe(15.0);
+  std::ostringstream table;
+  reg.write_table(table);
+  EXPECT_NE(table.str().find("p50="), std::string::npos);
+  EXPECT_NE(table.str().find("p95="), std::string::npos);
+  EXPECT_NE(table.str().find("p99="), std::string::npos);
+}
+
+TEST(Trace, PerfettoExportShape) {
+  Tracer tracer{16};
+  TraceEvent span;
+  span.at = 1000;
+  span.duration = 500;
+  span.component = "transport.reliable";
+  span.name = "message";
+  span.node = 3;
+  span.trace_id = 42;
+  span.span_id = 42;
+  span.kv = {{"msg_id", "1"}};
+  tracer.record(std::move(span));
+  TraceEvent child;
+  child.at = 1400;
+  child.component = "transport.reliable";
+  child.name = "deliver";
+  child.node = 7;
+  child.trace_id = 42;
+  child.span_id = 99;
+  child.parent_span = 42;
+  tracer.record(std::move(child));
+  TraceEvent plain;
+  plain.at = 2000;
+  plain.duration = 10;
+  plain.component = "milan.engine";
+  plain.name = "replan";
+  tracer.record(std::move(plain));
+
+  std::ostringstream out;
+  tracer.write_perfetto(out);
+  const std::string text = out.str();
+  // Top-level shape Perfetto accepts.
+  EXPECT_EQ(text.rfind("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[", 0), 0u);
+  EXPECT_NE(text.find("]}"), std::string::npos);
+  // Process/thread metadata for both nodes.
+  EXPECT_NE(text.find("\"name\":\"process_name\""), std::string::npos);
+  EXPECT_NE(text.find("\"name\":\"node 3\""), std::string::npos);
+  EXPECT_NE(text.find("\"name\":\"node 7\""), std::string::npos);
+  EXPECT_NE(text.find("\"name\":\"thread_name\""), std::string::npos);
+  // The traced span becomes a nestable async pair, the untraced one "X",
+  // the instant "i", and the parent link a flow arrow (s at parent, f at
+  // child).
+  EXPECT_NE(text.find("\"ph\":\"b\""), std::string::npos);
+  EXPECT_NE(text.find("\"ph\":\"e\""), std::string::npos);
+  EXPECT_NE(text.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(text.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(text.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(text.find("\"ph\":\"f\""), std::string::npos);
+  EXPECT_NE(text.find("\"trace_id\":\"42\""), std::string::npos);
+  // Balanced JSON braces — cheap structural sanity without a parser.
+  EXPECT_EQ(std::count(text.begin(), text.end(), '{'),
+            std::count(text.begin(), text.end(), '}'));
+}
+
+TEST(Trace, WireContextLinksCrossNodeSpans) {
+  auto& tracer = Tracer::instance();
+  tracer.clear();
+  testing::Lan lan{3};
+  lan.transport(0).send(lan.nodes[2], transport::ports::kApp, Bytes(64, 0x2), nullptr);
+  lan.sim.run_until(duration::seconds(2));
+
+  const auto events = tracer.snapshot();
+  const auto sender = static_cast<std::int64_t>(lan.nodes[0].value());
+  const auto receiver = static_cast<std::int64_t>(lan.nodes[2].value());
+  const auto msg = std::find_if(events.begin(), events.end(), [&](const TraceEvent& e) {
+    return e.name == "message" && e.node == sender;
+  });
+  ASSERT_NE(msg, events.end());
+  EXPECT_TRUE(msg->is_span());
+  // No caller scope: the message roots its own trace (trace id == span id).
+  EXPECT_NE(msg->trace_id, 0u);
+  EXPECT_EQ(msg->trace_id, msg->span_id);
+
+  // The receiver's deliver event continues the same trace, parented on the
+  // sender's wire span — cross-node causality without any shared state.
+  const auto del = std::find_if(events.begin(), events.end(), [&](const TraceEvent& e) {
+    return e.name == "deliver" && e.node == receiver;
+  });
+  ASSERT_NE(del, events.end());
+  EXPECT_EQ(del->trace_id, msg->trace_id);
+  EXPECT_EQ(del->parent_span, msg->span_id);
+  EXPECT_NE(del->span_id, msg->span_id);  // delivery draws its own span id
+  tracer.clear();
+}
+
+TEST(Trace, IdsAreIdenticalAcrossTwinRuns) {
+  // The determinism contract for ids themselves: same seed, same workload
+  // => byte-identical (name, trace, span, parent) streams.
+  auto run = [] {
+    auto& tracer = Tracer::instance();
+    tracer.clear();
+    testing::Lan lan{3};
+    lan.transport(0).send(lan.nodes[1], transport::ports::kApp, Bytes(128, 0x5), nullptr);
+    lan.transport(2).send(lan.nodes[0], transport::ports::kApp, Bytes(16, 0x6), nullptr);
+    lan.sim.run_until(duration::seconds(2));
+    std::ostringstream out;
+    for (const auto& e : tracer.snapshot()) {
+      out << e.name << ':' << e.trace_id << ':' << e.span_id << ':' << e.parent_span << '\n';
+    }
+    tracer.clear();
+    return out.str();
+  };
+  const std::string first = run();
+  const std::string second = run();
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+}
+
+TEST(Trace, CrashRestartEpochsShareOneCausalGraph) {
+  auto& tracer = Tracer::instance();
+  tracer.clear();
+  testing::Lan lan{2};
+  lan.transport(0).send(lan.nodes[1], transport::ports::kApp, Bytes(32, 0x1), nullptr);
+  lan.sim.run_until(duration::seconds(1));
+
+  const auto pre_events = tracer.snapshot();
+  const auto pre = std::find_if(pre_events.begin(), pre_events.end(), [](const TraceEvent& e) {
+    return e.name == "message";
+  });
+  ASSERT_NE(pre, pre_events.end());
+  const std::uint64_t pre_trace = pre->trace_id;
+  const std::uint64_t pre_span = pre->span_id;
+  const std::uint64_t pre_epoch = lan.transport(0).trace_ids().epoch();
+
+  lan.sim.schedule_at(duration::seconds(2), [&] { lan.runtime(0).crash(); });
+  lan.sim.schedule_at(duration::seconds(3), [&] { lan.runtime(0).restart(); });
+  lan.sim.schedule_at(duration::seconds(4), [&] {
+    // Continue the pre-crash trace across the restart: the fresh
+    // incarnation allocates from a new epoch but joins the same graph.
+    const obs::ScopedTrace scope({pre_trace, pre_span, 0});
+    lan.transport(0).send(lan.nodes[1], transport::ports::kApp, Bytes(32, 0x2), nullptr);
+  });
+  lan.sim.run_until(duration::seconds(6));
+
+  EXPECT_GT(lan.transport(0).trace_ids().epoch(), pre_epoch);
+  const auto events = tracer.snapshot();
+  const auto post = std::find_if(events.begin(), events.end(), [&](const TraceEvent& e) {
+    return e.name == "message" && e.span_id != pre_span;
+  });
+  ASSERT_NE(post, events.end());
+  // Same causal graph, new-epoch span ids, explicit parent link across the
+  // crash.
+  EXPECT_EQ(post->trace_id, pre_trace);
+  EXPECT_EQ(post->parent_span, pre_span);
+  EXPECT_NE(post->span_id, pre_span);
+
+  // And its delivery on the surviving node is parented on the *new* span.
+  const auto del = std::find_if(events.begin(), events.end(), [&](const TraceEvent& e) {
+    return e.name == "deliver" && e.parent_span == post->span_id;
+  });
+  ASSERT_NE(del, events.end());
+  EXPECT_EQ(del->trace_id, pre_trace);
+  tracer.clear();
+}
+
+TEST(Trace, StaleEpochFramesDropAsAnnotatedEvents) {
+  auto& tracer = Tracer::instance();
+  tracer.clear();
+  testing::Lan lan{2};
+  // Raise node 1's epoch window for node 0 above zero: deliver one message,
+  // crash/restart node 0 (new epoch > 0), deliver another.
+  lan.transport(0).send(lan.nodes[1], transport::ports::kApp, Bytes(8, 0x1), nullptr);
+  lan.sim.run_until(duration::seconds(1));
+  lan.sim.schedule_at(duration::seconds(2), [&] { lan.runtime(0).crash(); });
+  lan.sim.schedule_at(duration::seconds(3), [&] { lan.runtime(0).restart(); });
+  lan.sim.schedule_at(duration::seconds(4), [&] {
+    lan.transport(0).send(lan.nodes[1], transport::ports::kApp, Bytes(8, 0x2), nullptr);
+  });
+  lan.sim.run_until(duration::seconds(5));
+  ASSERT_EQ(lan.transport(1).stats().messages_delivered, 2u);
+
+  // A delayed pre-restart fragment (epoch 0, the seed incarnation's) now
+  // arrives: it must drop, and the drop must carry the frame's trace
+  // context so the pre-crash trace visibly *ends* instead of vanishing.
+  obs::TraceContext ghost;
+  ghost.trace_id = 0xDEAD;
+  ghost.span_id = 0xBEEF;
+  lan.sim.schedule_at(duration::seconds(5) + 1, [&] {
+    serialize::Writer w;
+    w.u8(1);  // FrameKind::kFragment
+    w.varint(0);  // epoch 0: strictly older than the restarted incarnation
+    w.varint(77);
+    w.u16(transport::ports::kApp);
+    w.varint(0);
+    w.varint(1);
+    w.bytes(Bytes(8, 0x3));
+    obs::encode_trace(w, ghost);
+    lan.router(0).send(lan.nodes[1], routing::Proto::kTransport, std::move(w).take());
+  });
+  // An ack echoing a never-seen epoch is equally stale on the sender side.
+  lan.sim.schedule_at(duration::seconds(5) + 2, [&] {
+    serialize::Writer w;
+    w.u8(2);  // FrameKind::kAck
+    w.varint(999);
+    w.varint(1);
+    w.varint(0);
+    obs::encode_trace(w, ghost);
+    lan.router(0).send(lan.nodes[1], routing::Proto::kTransport, std::move(w).take());
+  });
+  lan.sim.run_until(duration::seconds(7));
+
+  EXPECT_EQ(lan.transport(1).stats().stale_epoch_dropped, 2u);
+  EXPECT_EQ(lan.transport(1).stats().messages_delivered, 2u);  // ghost not delivered
+  const auto events = tracer.snapshot();
+  const auto drops = std::count_if(events.begin(), events.end(), [&](const TraceEvent& e) {
+    return e.name == "stale_epoch_drop" && e.trace_id == ghost.trace_id &&
+           e.parent_span == ghost.span_id;
+  });
+  EXPECT_EQ(drops, 2);
+  tracer.clear();
+}
+
+TEST(Trace, WireCodecRoundTripsAndToleratesLegacyFrames) {
+  obs::TraceContext ctx;
+  ctx.trace_id = 0x1122334455667788ULL;
+  ctx.span_id = 0x99AABBCCDDEEFF00ULL;
+  ctx.hops = 7;
+  serialize::Writer w;
+  w.u32(41);
+  obs::encode_trace(w, ctx);
+  const Bytes frame = std::move(w).take();
+  serialize::Reader r{frame};
+  ASSERT_EQ(r.u32().value(), 41u);
+  EXPECT_EQ(obs::decode_trace(r), ctx);
+
+  // Invalid context encodes as a single absent-flag byte.
+  serialize::Writer w2;
+  obs::encode_trace(w2, obs::TraceContext{});
+  const Bytes absent = std::move(w2).take();
+  EXPECT_EQ(absent.size(), 1u);
+  serialize::Reader r2{absent};
+  EXPECT_FALSE(obs::decode_trace(r2).valid());
+
+  // Legacy frame with no trailer at all: exhausted reader, no context.
+  serialize::Writer w3;
+  w3.u32(41);
+  const Bytes legacy = std::move(w3).take();
+  serialize::Reader r3{legacy};
+  ASSERT_EQ(r3.u32().value(), 41u);
+  EXPECT_FALSE(obs::decode_trace(r3).valid());
+
+  // Truncated v1 block: flags promise a context the bytes cannot deliver.
+  serialize::Reader r4{Bytes{0x01, 0x02}};
+  EXPECT_FALSE(obs::decode_trace(r4).valid());
+}
+
+TEST(Trace, IdAllocatorNeverReturnsZeroAndSeparatesEpochs) {
+  obs::TraceIdAllocator a{NodeId{5}, 100};
+  obs::TraceIdAllocator b{NodeId{5}, 101};  // same node, later incarnation
+  obs::TraceIdAllocator c{NodeId{6}, 100};  // different node, same epoch
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto ids = {a.next(), b.next(), c.next()};
+    for (const std::uint64_t id : ids) {
+      EXPECT_NE(id, 0u);
+      EXPECT_TRUE(seen.insert(id).second) << "id collision across allocators";
+    }
+  }
+  // Same (node, epoch) => same deterministic stream.
+  obs::TraceIdAllocator a2{NodeId{5}, 100};
+  obs::TraceIdAllocator a3{NodeId{5}, 100};
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a2.next(), a3.next());
+  }
+}
+
+TEST(Flight, RecordDumpsRingWithHeader) {
+  Tracer tracer{8};
+  sim::Simulator sim{1};
+  sim.schedule_at(duration::millis(5), [&] {
+    tracer.event("test", "before_disaster", 2, {{"k", "v"}});
+  });
+  sim.run_until(duration::millis(10));
+  const std::string path = obs::flight_record("obs-test", "unit test dump", tracer);
+  ASSERT_FALSE(path.empty());
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string header;
+  ASSERT_TRUE(std::getline(in, header));
+  EXPECT_NE(header.find("\"flightrec\""), std::string::npos);
+  EXPECT_NE(header.find("unit test dump"), std::string::npos);
+  std::string body;
+  ASSERT_TRUE(std::getline(in, body));
+  EXPECT_NE(body.find("before_disaster"), std::string::npos);
+  in.close();
+  std::remove(path.c_str());
 }
 
 }  // namespace
