@@ -61,9 +61,16 @@ inline void append_rtt_percentiles(obs::JsonObject& o) {
       counts[i] += s.hist->counts()[i];
     }
   }
-  o.field("rtt_p50_ms", bounds.empty() ? 0.0 : obs::quantile_from(bounds, counts, 0.50));
-  o.field("rtt_p95_ms", bounds.empty() ? 0.0 : obs::quantile_from(bounds, counts, 0.95));
-  o.field("rtt_p99_ms", bounds.empty() ? 0.0 : obs::quantile_from(bounds, counts, 0.99));
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : counts) total += c;
+  // No transport histogram registered, or registered but empty: omit the
+  // rtt_* keys instead of emitting a fake 0. bench_compare.py only diffs
+  // fields present in both files, so an absent key is silence while a
+  // zero is noise that poisons the baseline.
+  if (bounds.empty() || total == 0) return;
+  o.field("rtt_p50_ms", obs::quantile_from(bounds, counts, 0.50));
+  o.field("rtt_p95_ms", obs::quantile_from(bounds, counts, 0.95));
+  o.field("rtt_p99_ms", obs::quantile_from(bounds, counts, 0.99));
 }
 
 template <class... Fields>

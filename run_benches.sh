@@ -46,6 +46,21 @@ fi
 echo "ALL_BENCHES_DONE" >> out/bench_output.txt
 echo "wrote out/bench_output.txt and out/bench_metrics.jsonl ($(wc -l < out/bench_metrics.jsonl) summaries)"
 
+# Determinism gate: bench_scale's sharded runs must reproduce the
+# workers=1 digest bit-for-bit at every (nodes, workers) cell. This is a
+# correctness bound, not a performance number, so it is checked
+# explicitly (bench_compare would read the digest_match boolean as a
+# lower-is-better metric and wave a 1 -> 0 drop through) and it gates
+# quick mode too.
+if grep -q '"bench":"scale"' out/bench_metrics.jsonl; then
+  if grep '"bench":"scale"' out/bench_metrics.jsonl | grep -q '"digest_match":true'; then
+    echo "SCALE_DIGEST_OK: sharded runs digest-identical across worker counts"
+  else
+    echo "SCALE_DIGEST_MISMATCH: parallel run diverged from workers=1 digest" >&2
+    exit 1
+  fi
+fi
+
 # Regression gate: diff against the committed baseline (10% threshold).
 # Quick-mode numbers are not comparable, so the gate only runs full-size.
 if [ "$quick" -eq 0 ] && [ -f bench/baseline_metrics.jsonl ]; then

@@ -1,11 +1,27 @@
 #!/bin/bash
-# CI gate: build the whole tree with AddressSanitizer + UBSan (asserts
-# re-enabled) and run the tier-1 test suite under it. A separate build
-# directory keeps the sanitized tree from invalidating the normal one.
+# CI gate: build the whole tree under a sanitizer (asserts re-enabled)
+# and run the tier-1 test suite under it. A separate build directory per
+# sanitizer keeps the instrumented trees from invalidating the normal one.
 #
-# Usage: ./scripts/check.sh [ctest-args...]
+# Usage: ./scripts/check.sh [--tsan] [ctest-args...]
+#   default  AddressSanitizer + UBSan over the whole suite
+#   --tsan   ThreadSanitizer (TSan and ASan cannot be combined), aimed at
+#            the sharded parallel engine; pass e.g. `-R 'Sharded|scale'`
+#            to scope the run to the threaded tests
 set -e
 cd "$(dirname "$0")/.."
+
+if [ "${1:-}" = "--tsan" ]; then
+  shift
+  BUILD_DIR=build-tsan
+  cmake -B "$BUILD_DIR" -S . -DNDSM_TSAN=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build "$BUILD_DIR" -j "$(nproc)"
+  export TSAN_OPTIONS=halt_on_error=1:second_deadlock_stack=1
+  cd "$BUILD_DIR"
+  ctest --output-on-failure -j "$(nproc)" "$@"
+  echo "CHECK_OK: green under TSan"
+  exit 0
+fi
 
 BUILD_DIR=build-san
 cmake -B "$BUILD_DIR" -S . -DNDSM_SANITIZE=address,undefined \

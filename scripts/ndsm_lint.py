@@ -19,6 +19,11 @@ rules the simulator's bit-determinism argument rests on:
                       break twin-run determinism.
   raw-new-delete      No raw new/delete anywhere scanned — ownership goes
                       through unique_ptr/shared_ptr/containers.
+  raw-concurrency     No raw threading primitives (std::thread, std::mutex,
+                      std::atomic, std::condition_variable, std::async, ...)
+                      outside src/sim/sharded* — parallel execution goes
+                      through sim::ShardedEngine, which is the one place
+                      the determinism argument for threads is made.
   assert-side-effect  assert() arguments must be effect-free: NDEBUG
                       builds strip them, so `assert(x++)` changes
                       behaviour between build types.
@@ -52,6 +57,11 @@ CXX_EXTENSIONS = (".cpp", ".hpp")
 # legitimately touches the forbidden primitives.
 CLOCK_EXEMPT_PREFIXES = ("src/sim/", "src/common/clock")
 
+# The one sanctioned home of raw threading primitives: the sharded
+# engine core (src/sim/sharded.{hpp,cpp}), whose worker pool carries the
+# whole determinism-under-parallelism argument (DESIGN §13).
+CONCURRENCY_EXEMPT_PREFIXES = ("src/sim/sharded",)
+
 # Directories where container iteration order becomes packet order.
 ORDERING_DIRS = ("src/net/", "src/routing/", "src/discovery/",
                  "src/transactions/", "src/scheduling/")
@@ -67,6 +77,15 @@ RAW_RANDOM_RE = re.compile(r"std::random_device|\bsrand\s*\(|\brand\s*\(")
 UNORDERED_DECL_RE = re.compile(r"unordered_(?:map|set)\s*<.*>\s*(\w+)\s*(?:;|=|\{)")
 RANGE_FOR_RE = re.compile(r"\bfor\s*\(.*?:\s*(?:\w+\s*(?:\.|->)\s*)*(\w+)\s*\)")
 BEGIN_CALL_RE = re.compile(r"(\w+)\s*(?:\.|->)\s*c?begin\s*\(")
+RAW_CONCURRENCY_RE = re.compile(
+    r"std::(?:jthread|thread|mutex|timed_mutex|recursive_mutex"
+    r"|recursive_timed_mutex|shared_mutex|shared_timed_mutex"
+    r"|scoped_lock|lock_guard|unique_lock|shared_lock"
+    r"|condition_variable(?:_any)?|atomic(?:_\w+)?|async|future|promise"
+    r"|packaged_task|barrier|latch|counting_semaphore|binary_semaphore"
+    r"|stop_token|stop_source)\b"
+    r"|#\s*include\s*<(?:thread|mutex|shared_mutex|atomic"
+    r"|condition_variable|future|barrier|latch|semaphore|stop_token)>")
 NEW_RE = re.compile(r"\bnew\b")
 DELETE_RE = re.compile(r"\bdelete\b")
 DELETED_FN_RE = re.compile(r"=\s*delete\b|\boperator\s+(?:new|delete)\b")
@@ -208,6 +227,7 @@ def lint_file(root, rel, decl_cache, violations):
     code_lines = code.splitlines()
 
     clock_exempt = rel.startswith(CLOCK_EXEMPT_PREFIXES)
+    concurrency_exempt = rel.startswith(CONCURRENCY_EXEMPT_PREFIXES)
     ordering = rel.startswith(ORDERING_DIRS)
     in_src = rel.startswith("src/")
     unordered_names = unordered_decls_for(rel, decl_cache) if ordering else set()
@@ -226,6 +246,15 @@ def lint_file(root, rel, decl_cache, violations):
                     rel, ln, "raw-random",
                     f"non-deterministic source `{m.group(0).strip()}` — "
                     "use a seeded common/rng stream"))
+
+        if not concurrency_exempt:
+            m = RAW_CONCURRENCY_RE.search(line)
+            if m and not allowed(allows, ln, "raw-concurrency"):
+                violations.append(Violation(
+                    rel, ln, "raw-concurrency",
+                    f"raw threading primitive `{m.group(0).strip()}` outside "
+                    "the sharded engine core — parallelism goes through "
+                    "sim::ShardedEngine (src/sim/sharded.hpp)"))
 
         if ordering:
             iter_names = ([m.group(1) for m in RANGE_FOR_RE.finditer(line)]
@@ -337,6 +366,33 @@ SELF_TEST_CASES = [
      "int* f() { return new int(7); }\n"
      "void g(int* p) { delete p; }\n",
      {"raw-new-delete"}),
+    # Raw threading primitives outside the sharded engine core: both the
+    # include and the use sites fire.
+    ("src/net/threaded.cpp",
+     "#include <mutex>\n"
+     "#include <thread>\n"
+     "std::mutex m_;\n"
+     "std::atomic<int> n_{0};\n"
+     "void f() { std::thread t([] {}); t.join(); }\n",
+     {"raw-concurrency"}),
+    # ...but the sharded engine core itself is the sanctioned home.
+    ("src/sim/sharded_selftest.cpp",
+     "#include <condition_variable>\n"
+     "#include <mutex>\n"
+     "#include <thread>\n"
+     "std::mutex m_;\n"
+     "std::condition_variable cv_;\n",
+     set()),
+    # An annotated, reasoned exception passes (e.g. a bench reading
+    # hardware_concurrency without ever creating a thread).
+    ("bench/hw_probe.cpp",
+     "// ndsm-lint: allow(raw-concurrency): only reads hardware_concurrency\n"
+     "#include <thread>\n"
+     "unsigned f() {\n"
+     "  // ndsm-lint: allow(raw-concurrency): only reads hardware_concurrency\n"
+     "  return std::thread::hardware_concurrency();\n"
+     "}\n",
+     set()),
     ("src/common/sneaky.cpp",
      "#include <cassert>\n"
      "void f(int x) { assert(x++ > 0); }\n",

@@ -1,0 +1,255 @@
+#pragma once
+// net::ShardedWorld — the spatially partitioned link layer that scales
+// the simulated world across worker threads (ROADMAP item 1, DESIGN §13).
+//
+// The world is split into ShardMap stripes; each shard owns the nodes in
+// its stripe — their liveness, handlers, per-node counters and digests —
+// plus a per-medium spatial grid over exactly those nodes, and runs on
+// its own sim::ShardedEngine timeline. A transmission near a cut line is
+// forwarded to the (at most two) adjacent shards through the engine's
+// ordered mailboxes; each shard then computes the receivers that fall in
+// its own stripe from its own grid.
+//
+// Determinism contract (stronger than the engine's): the per-node
+// delivery order and the merged digest() are bit-identical for ANY shard
+// count and ANY worker count, because nothing observable depends on
+// either:
+//   * Every random draw (loss, duplication, jitter) is counter-based —
+//     hash_uniform over (seed, sender, per-sender transmission seq,
+//     receiver) — so a decision is a pure function of the frame
+//     identity, not of how many draws some sequential stream served
+//     before it (a per-shard stream would re-order with the partition).
+//   * Same-instant events are keyed by simulation identities: a
+//     transmission processes as (kind, src, tx_seq), so two broadcasts
+//     landing on one receiver in the same microsecond deliver in (src,
+//     tx_seq) order in every sharding.
+//   * The digest folds per-node delivery digests in node-id order; a
+//     shard's digest folds the nodes it owns the same way, so merging
+//     shard digests recovers exactly the single-shard value.
+//
+// Scope (v1): wireless media only, positions fixed once sealed, one
+// handler per node. Handlers run on their node's owner shard and may
+// touch only that node's state: send/broadcast/schedule/kill/revive on
+// the node they were invoked for (owner-shard affinity is audited via
+// ShardedEngine::current_shard). The full node::Runtime middleware stack
+// still runs on the single-threaded World; Runtime::home_shard() pins
+// where each node will land as the stack migrates (DESIGN §13).
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/ids.hpp"
+#include "common/status.hpp"
+#include "common/vec2.hpp"
+#include "net/link_spec.hpp"
+#include "net/shard_map.hpp"
+#include "net/world.hpp"  // kBroadcast, frame_loss_probability
+#include "obs/metrics.hpp"
+#include "sim/sharded.hpp"
+
+namespace ndsm::net {
+
+// One received frame. `at` is the delivery time on the receiver's clock.
+struct ShardFrame {
+  NodeId src;
+  NodeId dst;  // kBroadcast for broadcast receptions
+  MediumId medium;
+  Time at = 0;
+  std::shared_ptr<const Bytes> payload_buf;
+
+  [[nodiscard]] const Bytes& payload() const {
+    static const Bytes empty;
+    return payload_buf ? *payload_buf : empty;
+  }
+};
+
+// Deterministic fault script for the sharded world (the chaos-soak knobs
+// from net::FaultPlan that make sense receiver-side). All decisions are
+// counter-hashed per (transmission, receiver) — twin runs and differently
+// sharded runs take byte-identical fault paths.
+struct ShardedFaultPlan {
+  struct LossWindow {  // extra frame loss while start <= send time < end
+    Time start = 0;
+    Time end = 0;
+    double extra_loss = 0.0;
+  };
+  struct Partition {  // frames crossing x = cut_x dropped while active
+    Time start = 0;
+    Time end = 0;
+    double cut_x = 0.0;
+  };
+  std::vector<LossWindow> loss_windows;
+  std::vector<Partition> partitions;
+  double duplicate_p = 0.0;         // extra copy per (frame, receiver)
+  Time duplicate_extra_delay = 1;   // copy trails the original (> 0)
+  double jitter_p = 0.0;            // per-receiver delivery jitter ...
+  Time jitter_max = 0;              // ... uniform in [1, jitter_max]
+};
+
+struct ShardedWorldConfig {
+  std::size_t shards = 1;   // requested; ShardMap may reduce (range bound)
+  std::size_t workers = 1;  // executor threads (1 = serial, no threads)
+  std::uint64_t seed = 42;
+};
+
+class ShardedWorld {
+ public:
+  using Handler = std::function<void(const ShardFrame&)>;
+
+  explicit ShardedWorld(ShardedWorldConfig config = {});
+
+  ShardedWorld(const ShardedWorld&) = delete;
+  ShardedWorld& operator=(const ShardedWorld&) = delete;
+
+  // --- build phase (single-threaded, before seal) ---------------------------
+  MediumId add_medium(LinkSpec spec);  // wireless only
+  NodeId add_node(Vec2 position);
+  void attach(NodeId node, MediumId medium);
+  void set_handler(NodeId node, Handler handler);
+  void set_faults(ShardedFaultPlan plan);
+  // Script a fail-stop crash / revival on the node's own timeline.
+  void kill_at(NodeId node, Time at);
+  void revive_at(NodeId node, Time at);
+
+  // Partition the world and build the engine. Called implicitly by the
+  // first run_until; explicit calls let tests inspect the partition.
+  void seal();
+
+  // --- timeline -------------------------------------------------------------
+  // Schedule `fn` on `node`'s owner shard. Before seal (or between runs)
+  // callable from anywhere; during a run only from that node's own
+  // context. `fn` is skipped if the node is dead at fire time.
+  void schedule(NodeId node, Time at, std::function<void()> fn);
+  void run_until(Time deadline);
+
+  // --- link layer (owner-shard event context only) --------------------------
+  Status broadcast(NodeId src, Bytes payload, MediumId medium = MediumId::invalid());
+  Status send(NodeId src, NodeId dst, Bytes payload);
+  void kill(NodeId node);
+  void revive(NodeId node);
+
+  // --- introspection --------------------------------------------------------
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] Vec2 position(NodeId node) const { return rec(node).pos; }
+  [[nodiscard]] bool alive(NodeId node) const { return rec(node).alive; }
+  [[nodiscard]] std::uint64_t delivered(NodeId node) const { return rec(node).delivered; }
+  [[nodiscard]] bool sealed() const { return engine_ != nullptr; }
+  [[nodiscard]] std::size_t shard_count() const;
+  [[nodiscard]] std::size_t worker_count() const { return config_.workers; }
+  [[nodiscard]] std::size_t shard_of(NodeId node) const { return rec(node).shard; }
+  [[nodiscard]] const ShardMap& shard_map() const;
+  [[nodiscard]] sim::ShardedEngine& engine();
+
+  // Determinism witness: FNV-1a fold of per-node delivery digests in
+  // node-id order (each node's digest folds (time, src, tx seq, bytes,
+  // kind) over its own delivery/control sequence). Identical across
+  // worker counts AND shard counts; see file comment.
+  [[nodiscard]] std::uint64_t digest() const;
+  // The same fold restricted to the nodes shard `s` owns: folding the
+  // shard digests in shard-id order over id-sorted owner lists visits
+  // every node exactly once, which is how the sharded digest merge
+  // reproduces the single-shard value.
+  [[nodiscard]] std::uint64_t shard_digest(std::size_t s) const;
+
+  struct Totals {
+    std::uint64_t frames_sent = 0;        // link-layer transmissions
+    std::uint64_t frames_delivered = 0;   // handler-visible receptions
+    std::uint64_t frames_lost = 0;        // per-receiver channel loss
+    std::uint64_t fault_drops = 0;        // loss windows + partitions
+    std::uint64_t fault_duplicates = 0;
+    std::uint64_t fault_delays = 0;
+    std::uint64_t cross_shard_transmissions = 0;  // forwarded to neighbors
+  };
+  [[nodiscard]] Totals totals() const;
+
+ private:
+  // Same-instant execution order (ascending): app timers, control
+  // (kill/revive), transmission fan-outs, then per-receiver jittered or
+  // duplicated deliveries — each class internally ordered by simulation
+  // identity, never by insertion order.
+  enum EventKind : std::uint64_t {
+    kKindTimer = 1,
+    kKindControl = 2,
+    kKindTx = 3,
+    kKindRx = 4,
+  };
+  // Sub-draw tags for counter-hashed randomness.
+  enum DrawTag : std::uint64_t {
+    kDrawLoss = 1,
+    kDrawDuplicate = 2,
+    kDrawJitterGate = 3,
+    kDrawJitterAmount = 4,
+    kDrawRxKey = 5,
+  };
+
+  struct NodeRec {
+    Vec2 pos;
+    bool alive = true;
+    std::uint32_t shard = 0;
+    std::vector<MediumId> media;
+    Handler handler;
+    std::uint64_t tx_seq = 0;       // per-sender transmission ids
+    std::uint64_t timer_seq = 0;    // same-instant timer order
+    std::uint64_t control_seq = 0;  // same-instant control order
+    std::uint64_t digest = 0xcbf29ce484222325ULL;
+    std::uint64_t delivered = 0;
+  };
+
+  struct Grid {  // one per (shard, medium): cells over the shard's nodes
+    std::unordered_map<std::uint64_t, std::vector<NodeId>> cells;
+  };
+
+  // Mutated only by the owning shard's worker during a run; padded so
+  // two shards' hot counters never share a cache line.
+  struct alignas(64) ShardStats {
+    Totals t;
+    std::uint64_t events = 0;
+  };
+
+  struct PendingEvent {  // schedule()/kill_at() calls buffered pre-seal
+    NodeId node;
+    Time at;
+    std::uint64_t kind;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+
+  [[nodiscard]] NodeRec& rec(NodeId id);
+  [[nodiscard]] const NodeRec& rec(NodeId id) const;
+  [[nodiscard]] static std::uint64_t key_hi(std::uint64_t kind, NodeId id) {
+    return (kind << 56) | id.value();
+  }
+  void schedule_keyed(NodeId node, Time at, std::uint64_t kind, std::uint64_t key_lo,
+                      std::function<void()> fn);
+  void assert_owner_context(const NodeRec& n, const char* what) const;
+  // Process one transmission inside shard `shard`: gather the shard's
+  // candidates, take the counter-hashed per-receiver decisions, deliver.
+  void process_tx(std::uint32_t shard, NodeId src, std::uint64_t tx_seq, MediumId medium,
+                  Time sent_at, Time at, std::size_t wire_bytes,
+                  const std::shared_ptr<const Bytes>& buf);
+  void deliver(NodeRec& n, const ShardFrame& frame, std::uint64_t tx_uid);
+  void mix_control(NodeRec& n, Time at, std::uint64_t tag);
+  [[nodiscard]] double loss_probability(const LinkSpec& spec, std::size_t wire_bytes,
+                                        Time sent_at) const;
+  [[nodiscard]] bool partitioned(Vec2 a, Vec2 b, Time sent_at) const;
+  [[nodiscard]] Time tx_delay(const LinkSpec& spec, std::size_t payload_bytes) const;
+  void register_metrics();
+
+  ShardedWorldConfig config_;
+  ShardedFaultPlan faults_;
+  std::uint64_t fault_seed_ = 0;
+  std::vector<NodeRec> nodes_;
+  std::vector<LinkSpec> media_;
+  std::vector<PendingEvent> pending_;
+  std::unique_ptr<ShardMap> map_;
+  std::unique_ptr<sim::ShardedEngine> engine_;
+  std::vector<std::vector<Grid>> grids_;  // [shard][medium]
+  std::vector<ShardStats> shard_stats_;
+  obs::MetricGroup metrics_;
+};
+
+}  // namespace ndsm::net

@@ -12,14 +12,22 @@ namespace ndsm::node {
 Runtime::Runtime(net::World& world, Vec2 position, StackConfig config)
     : world_(world), id_(world.add_node(position, config.battery)), config_(std::move(config)) {
   for (const MediumId m : config_.media) world_.attach(id_, m);
+  pin_home_shard();
   register_metrics();
   bring_up();
 }
 
 Runtime::Runtime(net::World& world, NodeId existing, StackConfig config)
     : world_(world), id_(existing), config_(std::move(config)) {
+  pin_home_shard();
   register_metrics();
   bring_up();
+}
+
+void Runtime::pin_home_shard() {
+  if (const net::ShardMap* map = world_.shard_map()) {
+    home_shard_ = map->shard_of(world_.position(id_));
+  }
 }
 
 Runtime::~Runtime() {
@@ -35,6 +43,8 @@ void Runtime::register_metrics() {
   metrics_.gauge("node.runtime.up", [this] { return up_ ? 1.0 : 0.0; });
   metrics_.gauge("node.runtime.services",
                  [this] { return static_cast<double>(slots_.size()); });
+  metrics_.gauge("node.runtime.home_shard",
+                 [this] { return static_cast<double>(home_shard_); });
 }
 
 std::unique_ptr<routing::Router> Runtime::make_router() {
@@ -144,6 +154,11 @@ void Runtime::restart() {
                                 static_cast<std::int64_t>(id_.value()));
   bring_up();
   NDSM_AUDIT_ASSERT(up_ && router_ && transport_, "restart left the stack half-built");
+  // Restart must rejoin the node's original timeline: the pin never moves.
+  if (const net::ShardMap* map = world_.shard_map()) {
+    NDSM_INVARIANT(map->shards() > home_shard_,
+                   "shard map shrank under a pinned node across a restart");
+  }
   if (config_.table) config_.table->invalidate();
 }
 

@@ -1,0 +1,228 @@
+#include "sim/sharded.hpp"
+
+#include <algorithm>
+
+namespace ndsm::sim {
+
+namespace {
+// Shard the current thread is executing (kNoShard between events). Set by
+// run_window, read by layered code (net::ShardedWorld) to enforce its
+// owner-shard contracts.
+thread_local ShardedEngine::ShardIndex tls_current_shard = ShardedEngine::kNoShard;
+}  // namespace
+
+ShardedEngine::ShardIndex ShardedEngine::current_shard() { return tls_current_shard; }
+
+ShardedEngine::ShardedEngine(ShardedEngineConfig config)
+    : workers_(std::max<std::size_t>(1, config.workers)),
+      lookahead_(config.lookahead) {
+  NDSM_INVARIANT(config.shards >= 1, "ShardedEngine needs at least one shard");
+  NDSM_INVARIANT(lookahead_ >= 1, "lookahead must be at least one time tick");
+  Rng root{config.seed};
+  shards_.reserve(config.shards);
+  for (std::size_t s = 0; s < config.shards; ++s) {
+    shards_.emplace_back(root.fork(0x51a2dULL + s));
+    shards_.back().outbox.resize(config.shards);
+  }
+  register_metrics();
+  if (workers_ > 1) {
+    pool_.reserve(workers_ - 1);
+    for (std::size_t w = 0; w + 1 < workers_; ++w) {
+      pool_.emplace_back([this] { worker_loop(); });
+    }
+  }
+}
+
+ShardedEngine::~ShardedEngine() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& t : pool_) t.join();
+}
+
+void ShardedEngine::register_metrics() {
+  metrics_.set_labels("sim.sharded");
+  metrics_.counter_fn("sim.sharded.executed_events", [this] {
+    std::uint64_t total = 0;
+    for (const Shard& s : shards_) total += s.executed;
+    return total;
+  });
+  metrics_.counter("sim.sharded.windows", &windows_);
+  metrics_.counter("sim.sharded.mailbox_posts", &mailbox_posts_);
+  metrics_.gauge("sim.sharded.shards",
+                 [this] { return static_cast<double>(shards_.size()); });
+  metrics_.gauge("sim.sharded.workers",
+                 [this] { return static_cast<double>(workers_); });
+  // Per-shard executed-event series, labelled by shard index so uneven
+  // partitions show up as skew between the series.
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    metrics_.set_labels("sim.sharded", static_cast<std::int64_t>(s));
+    metrics_.counter_fn("sim.sharded.shard_executed_events",
+                        [this, s] { return shards_[s].executed; });
+  }
+  metrics_.set_labels("sim.sharded");
+}
+
+void ShardedEngine::push_event(Shard& s, Time at, std::uint64_t key_hi, std::uint64_t key_lo,
+                               std::function<void()> fn) {
+  s.heap.push_back(Event{at, key_hi, key_lo, s.seq++, std::move(fn)});
+  std::push_heap(s.heap.begin(), s.heap.end(), EventAfter{});
+}
+
+void ShardedEngine::schedule(ShardIndex shard, Time at, std::uint64_t key_hi,
+                             std::uint64_t key_lo, std::function<void()> fn) {
+  NDSM_INVARIANT(shard < shards_.size(), "schedule() on an unknown shard");
+  NDSM_AUDIT_ASSERT(current_shard() == kNoShard || current_shard() == shard,
+                    "schedule() on a foreign shard from inside a window — use post()");
+  Shard& s = shards_[shard];
+  NDSM_INVARIANT(at >= s.now, "cannot schedule in a shard's past");
+  push_event(s, at, key_hi, key_lo, std::move(fn));
+}
+
+void ShardedEngine::post(ShardIndex from, ShardIndex to, Time at, std::uint64_t key_hi,
+                         std::uint64_t key_lo, std::function<void()> fn) {
+  NDSM_INVARIANT(from < shards_.size() && to < shards_.size(), "post() on an unknown shard");
+  NDSM_INVARIANT(current_shard() == from,
+                 "post() may only be called from an event executing on `from`");
+  // The conservative-sync safety argument: anything posted during the
+  // window [t, t+L) lands at or after t+L, so the destination shard can
+  // freely execute up to (but excluding) t+L without ever missing input.
+  NDSM_INVARIANT(at >= window_end_,
+                 "cross-shard post violates the lookahead contract (at < window end)");
+  Shard& s = shards_[from];
+  s.outbox[to].push_back(Event{at, key_hi, key_lo, 0, std::move(fn)});
+  s.posted++;
+}
+
+void ShardedEngine::run_window(ShardIndex shard, Time end_exclusive) {
+  Shard& s = shards_[shard];
+  tls_current_shard = shard;
+  while (!s.heap.empty() && s.heap.front().at < end_exclusive) {
+    std::pop_heap(s.heap.begin(), s.heap.end(), EventAfter{});
+    Event e = std::move(s.heap.back());
+    s.heap.pop_back();
+    NDSM_AUDIT_ASSERT(e.at >= s.now, "shard event scheduled in its past");
+    s.now = e.at;
+    s.executed++;
+    e.fn();
+  }
+  tls_current_shard = kNoShard;
+}
+
+Time ShardedEngine::drain_mailboxes_and_next() {
+  // Deterministic drain: for each destination, gather every sender's
+  // outbox in sender-shard order (entries within one outbox keep their
+  // post order), then stable-sort by delivery time. The resulting heap
+  // insertion sequence — and therefore the final seq tiebreak — is keyed
+  // on (time, sender shard, post order), independent of which worker ran
+  // which shard.
+  std::vector<Event> batch;
+  for (std::size_t dst = 0; dst < shards_.size(); ++dst) {
+    batch.clear();
+    for (Shard& src : shards_) {
+      auto& box = src.outbox[dst];
+      for (Event& e : box) batch.push_back(std::move(e));
+      box.clear();
+    }
+    if (batch.empty()) continue;
+    mailbox_posts_ += batch.size();
+    std::stable_sort(batch.begin(), batch.end(),
+                     [](const Event& a, const Event& b) { return a.at < b.at; });
+    for (Event& e : batch) {
+      push_event(shards_[dst], e.at, e.key_hi, e.key_lo, std::move(e.fn));
+    }
+  }
+  Time next = kTimeNever;
+  for (const Shard& s : shards_) {
+    if (!s.heap.empty()) next = std::min(next, s.heap.front().at);
+  }
+  return next;
+}
+
+void ShardedEngine::run_parallel_window(Time end_exclusive) {
+  if (workers_ == 1 || shards_.size() == 1) {
+    window_end_ = end_exclusive;
+    for (ShardIndex s = 0; s < shards_.size(); ++s) run_window(s, end_exclusive);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    window_end_ = end_exclusive;
+    next_shard_ = 0;
+    running_ = workers_;
+    epoch_++;
+  }
+  work_ready_.notify_all();
+  // The coordinator claims shards like any pool worker.
+  for (;;) {
+    ShardIndex claimed;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (next_shard_ >= shards_.size()) break;
+      claimed = static_cast<ShardIndex>(next_shard_++);
+    }
+    run_window(claimed, end_exclusive);
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  running_--;
+  if (running_ == 0) {
+    work_done_.notify_all();
+  } else {
+    work_done_.wait(lock, [this] { return running_ == 0; });
+  }
+}
+
+void ShardedEngine::worker_loop() {
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    Time end_exclusive;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_ready_.wait(lock, [&] { return shutdown_ || epoch_ != seen_epoch; });
+      if (shutdown_) return;
+      seen_epoch = epoch_;
+      end_exclusive = window_end_;
+    }
+    for (;;) {
+      ShardIndex claimed;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (next_shard_ >= shards_.size()) break;
+        claimed = static_cast<ShardIndex>(next_shard_++);
+      }
+      run_window(claimed, end_exclusive);
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      running_--;
+      if (running_ == 0) work_done_.notify_all();
+    }
+  }
+}
+
+void ShardedEngine::run_until(Time deadline) {
+  NDSM_INVARIANT(deadline < kTimeNever, "run_until(kTimeNever) would never terminate");
+  for (;;) {
+    const Time next = drain_mailboxes_and_next();
+    if (next > deadline) break;
+    // Jump idle gaps: the window may start at the earliest pending event,
+    // because nothing exists before it to execute or to post.
+    const Time end_exclusive = next <= deadline - lookahead_ + 1 ? next + lookahead_
+                                                                 : deadline + 1;
+    windows_++;
+    run_parallel_window(end_exclusive);
+  }
+  for (Shard& s : shards_) s.now = std::max(s.now, deadline);
+}
+
+ShardedEngine::Stats ShardedEngine::stats() const {
+  Stats out;
+  for (const Shard& s : shards_) out.executed += s.executed;
+  out.windows = windows_;
+  out.mailbox_posts = mailbox_posts_;
+  return out;
+}
+
+}  // namespace ndsm::sim

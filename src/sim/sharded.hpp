@@ -1,0 +1,186 @@
+#pragma once
+// sim::ShardedEngine — conservative parallel discrete-event execution.
+//
+// The engine owns S shards, each with its own event heap, virtual clock
+// and forked Rng stream, and runs them on a fixed pool of W workers using
+// classic conservative (lookahead-based) synchronization:
+//
+//   * Time advances in windows [t, t+L) where L is the lookahead — the
+//     minimum latency of any cross-shard interaction (for the network
+//     layer: min over media of propagation + minimum-frame tx delay).
+//   * Within a window every shard executes its local events
+//     independently, in parallel. Anything one shard does to another is
+//     expressed as a posted event with `at >= window end` (guaranteed by
+//     the lookahead contract and checked by NDSM_INVARIANT), buffered in
+//     a per-(src shard, dst shard) mailbox.
+//   * At the window barrier the coordinator drains every mailbox into
+//     the destination heaps in (time, sender shard, post order) order,
+//     computes the next window start (jumping idle gaps to the earliest
+//     pending event), and releases the workers again.
+//
+// Determinism is the contract, not an aspiration: the event schedule of
+// every shard is a pure function of the workload and the shard count —
+// never of the worker count, thread scheduling, or which worker ran which
+// shard. Two pillars carry that:
+//
+//   1. Events are ordered by (time, key_hi, key_lo), where the key is
+//      caller-provided and derived from simulation identities (node ids,
+//      per-node sequence numbers) — not from insertion order, which would
+//      differ between shardings. A per-shard insertion sequence is the
+//      final tiebreak; callers keep it unreachable by making keys unique
+//      per instant.
+//   2. Mailbox drain order is fixed by (time, sender shard, post order),
+//      so heap insertion sequences are reproducible for any worker count.
+//
+// With keys that are also shard-invariant (the net::ShardedWorld
+// discipline), the merged execution is identical for ANY shard count,
+// including 1 — which is what the digest-equality tests pin.
+//
+// Threads, mutexes and atomics are confined to this file and its .cpp;
+// the ndsm_lint `raw-concurrency` rule bans them everywhere else.
+
+#include <condition_variable>  // ndsm-lint: allow(raw-concurrency): the sharded engine core is the one sanctioned home of threading primitives
+#include <cstdint>
+#include <functional>
+#include <mutex>  // ndsm-lint: allow(raw-concurrency): the sharded engine core is the one sanctioned home of threading primitives
+#include <thread>  // ndsm-lint: allow(raw-concurrency): the sharded engine core is the one sanctioned home of threading primitives
+#include <vector>
+
+#include "common/audit.hpp"
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "obs/metrics.hpp"
+
+namespace ndsm::sim {
+
+struct ShardedEngineConfig {
+  std::size_t shards = 1;
+  std::size_t workers = 1;
+  // Minimum cross-shard latency (microseconds, >= 1): a cross-shard event
+  // posted while executing at time t must carry `at >= t + lookahead`.
+  Time lookahead = 1;
+  std::uint64_t seed = 42;
+};
+
+class ShardedEngine {
+ public:
+  using ShardIndex = std::uint32_t;
+
+  explicit ShardedEngine(ShardedEngineConfig config);
+  ~ShardedEngine();
+
+  ShardedEngine(const ShardedEngine&) = delete;
+  ShardedEngine& operator=(const ShardedEngine&) = delete;
+
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+  [[nodiscard]] std::size_t worker_count() const { return workers_; }
+  [[nodiscard]] Time lookahead() const { return lookahead_; }
+
+  // Virtual clock of one shard: the time of its last executed event (or
+  // the run_until deadline once the run completes).
+  [[nodiscard]] Time now(ShardIndex shard) const { return shards_[shard].now; }
+  // Per-shard deterministic stream, forked off the root seed by shard id.
+  [[nodiscard]] Rng& rng(ShardIndex shard) { return shards_[shard].rng; }
+
+  // Schedule onto `shard`'s own timeline. Callable while the engine is
+  // idle (build phase) or from an event executing on that same shard.
+  // (key_hi, key_lo) orders same-time events — see file comment.
+  void schedule(ShardIndex shard, Time at, std::uint64_t key_hi, std::uint64_t key_lo,
+                std::function<void()> fn);
+
+  // Post onto another shard's timeline from an event executing on
+  // `from`. The event is buffered in the (from, to) mailbox and becomes
+  // visible to `to` at the next window barrier; `at` must respect the
+  // lookahead contract (at >= end of the current window).
+  void post(ShardIndex from, ShardIndex to, Time at, std::uint64_t key_hi,
+            std::uint64_t key_lo, std::function<void()> fn);
+
+  // Run every shard up to and including `deadline`, in parallel windows.
+  // Serial when workers == 1 (no threads are ever started), identical
+  // event schedule either way.
+  void run_until(Time deadline);
+
+  // Shard executing on the current thread (kNoShard outside run_until
+  // callbacks) — lets layered code assert shard-affinity contracts.
+  static constexpr ShardIndex kNoShard = 0xffffffffu;
+  [[nodiscard]] static ShardIndex current_shard();
+
+  struct Stats {
+    std::uint64_t executed = 0;       // events run, all shards
+    std::uint64_t windows = 0;        // barrier rounds
+    std::uint64_t mailbox_posts = 0;  // cross-shard events carried
+  };
+  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] std::uint64_t executed(ShardIndex shard) const {
+    return shards_[shard].executed;
+  }
+
+ private:
+  struct Event {
+    Time at;
+    std::uint64_t key_hi;
+    std::uint64_t key_lo;
+    std::uint64_t seq;  // per-shard insertion order: final tiebreak
+    std::function<void()> fn;
+  };
+  // Min-heap on (at, key_hi, key_lo, seq) via std::*_heap with >.
+  struct EventAfter {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      if (a.key_hi != b.key_hi) return a.key_hi > b.key_hi;
+      if (a.key_lo != b.key_lo) return a.key_lo > b.key_lo;
+      return a.seq > b.seq;
+    }
+  };
+
+  struct Shard {
+    explicit Shard(Rng stream) : rng(stream) {}
+    std::vector<Event> heap;
+    // One outbox per destination shard; written only by the worker
+    // executing this shard during a window, drained by the coordinator
+    // at the barrier (the barrier handshake orders the two).
+    std::vector<std::vector<Event>> outbox;
+    Time now = 0;
+    std::uint64_t seq = 0;       // heap insertion counter
+    std::uint64_t executed = 0;
+    std::uint64_t posted = 0;
+    Rng rng;
+  };
+
+  void push_event(Shard& s, Time at, std::uint64_t key_hi, std::uint64_t key_lo,
+                  std::function<void()> fn);
+  // Execute `shard`'s events with at < end_exclusive.
+  void run_window(ShardIndex shard, Time end_exclusive);
+  // Barrier-side work: move every outbox into its destination heap in
+  // (time, sender shard, post order) order. Returns earliest pending time.
+  Time drain_mailboxes_and_next();
+  void run_parallel_window(Time end_exclusive);
+  void worker_loop();
+  void register_metrics();
+
+  std::vector<Shard> shards_;
+  std::size_t workers_;
+  Time lookahead_;
+  std::uint64_t windows_ = 0;
+  std::uint64_t mailbox_posts_ = 0;
+
+  // Worker-pool state. Workers sleep between windows; the coordinator
+  // publishes (epoch, window end) under the mutex, workers claim shards
+  // from the shared cursor, and the last one out signals completion. The
+  // mutex handshake gives the barrier its happens-before edges, so every
+  // outbox write is visible to the coordinator's drain and every drained
+  // heap is visible to next window's executor.
+  std::vector<std::thread> pool_;
+  std::mutex mu_;
+  std::condition_variable work_ready_;
+  std::condition_variable work_done_;
+  std::uint64_t epoch_ = 0;
+  Time window_end_ = 0;
+  std::size_t next_shard_ = 0;   // claim cursor (advanced under mu_)
+  std::size_t running_ = 0;      // workers still executing this epoch
+  bool shutdown_ = false;
+
+  obs::MetricGroup metrics_;
+};
+
+}  // namespace ndsm::sim

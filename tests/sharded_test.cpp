@@ -1,0 +1,380 @@
+// Tests for the sharded parallel simulation stack: sim::ShardedEngine
+// (conservative windows, ordered mailboxes, key-ordered execution),
+// net::ShardMap (stripe partition), net::ShardedWorld (digest-identical
+// execution for any shard count and any worker count), and the
+// node::Runtime home-shard pin. The digest-equality tests here are the
+// contract the whole PR rides on: a sharded run is not "approximately"
+// the single-shard run, it is byte-identical.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "net/shard_map.hpp"
+#include "net/sharded_world.hpp"
+#include "net/world.hpp"
+#include "node/runtime.hpp"
+#include "sim/sharded.hpp"
+#include "sim/simulator.hpp"
+
+namespace ndsm {
+namespace {
+
+// --- engine ----------------------------------------------------------------
+
+TEST(ShardedEngine, ExecutesSameInstantEventsInKeyOrder) {
+  sim::ShardedEngine e({.shards = 1, .workers = 1, .lookahead = 10, .seed = 1});
+  std::vector<int> order;
+  e.schedule(0, 100, 5, 0, [&] { order.push_back(5); });
+  e.schedule(0, 100, 1, 0, [&] { order.push_back(1); });
+  e.schedule(0, 100, 3, 7, [&] { order.push_back(3); });
+  e.schedule(0, 100, 3, 2, [&] { order.push_back(2); });
+  e.run_until(200);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 5}));
+  EXPECT_EQ(e.stats().executed, 4u);
+}
+
+TEST(ShardedEngine, CrossShardPostArrivesThroughTheMailbox) {
+  sim::ShardedEngine e({.shards = 2, .workers = 1, .lookahead = 100, .seed = 1});
+  Time got = -1;
+  e.schedule(0, 50, 1, 0, [&] {
+    e.post(0, 1, e.now(0) + 100, 1, 0, [&] { got = e.now(1); });
+  });
+  e.run_until(1000);
+  EXPECT_EQ(got, 150);
+  EXPECT_EQ(e.stats().mailbox_posts, 1u);
+  EXPECT_EQ(e.executed(1), 1u);
+}
+
+// Ring workload: every event records (shard, time) and posts the next hop
+// to the neighboring shard. The execution trace must be identical for any
+// worker count — the engine's core determinism claim.
+std::vector<std::pair<std::uint32_t, Time>> run_ring(std::size_t workers) {
+  sim::ShardedEngine e({.shards = 4, .workers = workers, .lookahead = 50, .seed = 3});
+  auto trace = std::make_shared<std::vector<std::pair<std::uint32_t, Time>>>();
+  // One recursive hop chain per starting shard, tagged by key_hi so
+  // same-instant arrivals in one shard stay ordered by chain id.
+  std::function<void(std::uint32_t, std::uint64_t, std::uint64_t)> hop =
+      [&](std::uint32_t shard, std::uint64_t chain, std::uint64_t step) {
+        trace->push_back({shard, e.now(shard)});
+        if (step >= 20) return;
+        const auto next = static_cast<std::uint32_t>((shard + 1) % 4);
+        e.post(shard, next, e.now(shard) + 50, chain, step,
+               [&hop, next, chain, step] { hop(next, chain, step + 1); });
+      };
+  for (std::uint32_t s = 0; s < 4; ++s) {
+    e.schedule(s, 10 + s, s, 0, [&hop, s] { hop(s, s, 0); });
+  }
+  e.run_until(duration::millis(10));
+  // Stable collection order: the trace vector is appended from whichever
+  // worker runs the shard, so sort by (time, shard, chain position) —
+  // events themselves are unique per (shard, time) here.
+  std::sort(trace->begin(), trace->end(),
+            [](const auto& a, const auto& b) {
+              return a.second != b.second ? a.second < b.second : a.first < b.first;
+            });
+  return *trace;
+}
+
+TEST(ShardedEngine, RingTraceIsWorkerCountInvariant) {
+  const auto serial = run_ring(1);
+  EXPECT_EQ(serial.size(), 4u * 21u);
+  EXPECT_EQ(run_ring(2), serial);
+  EXPECT_EQ(run_ring(8), serial);
+}
+
+TEST(ShardedEngineDeath, LookaheadViolationAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        sim::ShardedEngine e({.shards = 2, .workers = 1, .lookahead = 100, .seed = 1});
+        e.schedule(0, 50, 1, 0, [&] { e.post(0, 1, e.now(0) + 1, 1, 0, [] {}); });
+        e.run_until(1000);
+      },
+      "lookahead");
+}
+
+// --- shard map ---------------------------------------------------------------
+
+TEST(ShardMap, StripesPartitionTheExtent) {
+  const net::ShardMap map(0, 1000, 100, 8);
+  EXPECT_EQ(map.shards(), 8u);
+  EXPECT_EQ(map.shard_of({0, 0}), 0u);
+  EXPECT_EQ(map.shard_of({-5, 50}), 0u);
+  EXPECT_EQ(map.shard_of({999, 0}), 7u);
+  EXPECT_EQ(map.shard_of({5000, 0}), 7u);
+}
+
+TEST(ShardMap, ShardCountClampsToRangeWideStripes) {
+  // A 150 m extent cannot fit two 100 m stripes: collapses to one shard.
+  const net::ShardMap clamped(0, 150, 100, 8);
+  EXPECT_EQ(clamped.shards(), 1u);
+  // 1000 m / 100 m range fits at most 10; request 4, get 4.
+  const net::ShardMap four(0, 1000, 100, 4);
+  EXPECT_EQ(four.shards(), 4u);
+  EXPECT_DOUBLE_EQ(four.stripe_width(), 250.0);
+}
+
+TEST(ShardMap, TransmissionsReachOnlyAdjacentStripes) {
+  const net::ShardMap map(0, 1000, 100, 8);  // width 125
+  EXPECT_EQ(map.shard_of({130, 0}), 1u);
+  EXPECT_TRUE(map.reaches({130, 0}, 100, 0));   // 30 falls in stripe 0
+  EXPECT_FALSE(map.reaches({130, 0}, 100, 2));  // 230 < 250: stays in stripe 1
+  EXPECT_TRUE(map.reaches({260, 0}, 100, 2));
+}
+
+// --- sharded world -----------------------------------------------------------
+
+struct RunOutcome {
+  std::uint64_t digest = 0;
+  std::vector<std::uint64_t> shard_digests;
+  net::ShardedWorld::Totals totals;
+  std::size_t shards = 0;
+  std::uint64_t mailbox_posts = 0;
+  // Per-node delivery log: (delivery time, sender id, was_broadcast).
+  std::vector<std::vector<std::tuple<Time, std::uint64_t, bool>>> logs;
+};
+
+// A cols x rows lattice (20 m spacing, 25 m range: 4-connected) where
+// every node broadcasts three staggered rounds and replies to a subset of
+// broadcasts with a unicast — exercising local fan-out, cross-shard
+// fan-out, and cross-shard unicast from inside handlers. With `chaos`,
+// the full fault plan plus scripted kill/revive cycles runs on top.
+RunOutcome run_lattice(std::size_t cols, std::size_t rows, std::size_t shards,
+                       std::size_t workers, bool chaos) {
+  net::ShardedWorld w({.shards = shards, .workers = workers, .seed = 99});
+  const double spacing = 20.0;
+  const MediumId medium = w.add_medium(net::wifi80211(25.0, chaos ? 0.05 : 0.0));
+
+  std::vector<NodeId> ids;
+  for (std::size_t i = 0; i < cols * rows; ++i) {
+    const NodeId id = w.add_node({static_cast<double>(i % cols) * spacing,
+                                  static_cast<double>(i / cols) * spacing});
+    w.attach(id, medium);
+    ids.push_back(id);
+  }
+
+  RunOutcome out;
+  out.logs.resize(ids.size());
+  for (const NodeId id : ids) {
+    w.set_handler(id, [&w, &out, id](const net::ShardFrame& f) {
+      const bool bcast = f.dst == net::kBroadcast;
+      out.logs[id.value()].emplace_back(f.at, f.src.value(), bcast);
+      if (bcast && (f.src.value() + id.value()) % 5 == 0) {
+        (void)w.send(id, f.src, Bytes{0x42});
+      }
+    });
+  }
+
+  if (chaos) {
+    net::ShardedFaultPlan plan;
+    plan.loss_windows.push_back({duration::millis(2), duration::millis(8), 0.2});
+    plan.partitions.push_back(
+        {duration::millis(5), duration::millis(9), spacing * static_cast<double>(cols) / 2});
+    plan.duplicate_p = 0.1;
+    plan.duplicate_extra_delay = duration::micros(50);
+    plan.jitter_p = 0.2;
+    plan.jitter_max = duration::micros(500);
+    w.set_faults(plan);
+    for (std::size_t i = 0; i < ids.size(); i += 7) {
+      w.kill_at(ids[i], duration::millis(4));
+      w.revive_at(ids[i], duration::millis(12));
+    }
+  }
+
+  const Bytes payload(32, 0xab);
+  for (const NodeId id : ids) {
+    for (int round = 0; round < 3; ++round) {
+      const Time at = duration::millis(1 + static_cast<Time>(id.value() % 7)) +
+                      round * duration::millis(5);
+      w.schedule(id, at, [&w, id, payload] { (void)w.broadcast(id, payload); });
+    }
+  }
+
+  w.run_until(duration::millis(30));
+  out.digest = w.digest();
+  for (std::size_t s = 0; s < w.shard_count(); ++s) {
+    out.shard_digests.push_back(w.shard_digest(s));
+  }
+  out.totals = w.totals();
+  out.shards = w.shard_count();
+  out.mailbox_posts = w.engine().stats().mailbox_posts;
+  return out;
+}
+
+void expect_identical_workload(const RunOutcome& a, const RunOutcome& b) {
+  EXPECT_EQ(a.digest, b.digest);
+  EXPECT_EQ(a.logs, b.logs);
+  // Aggregate channel outcomes are sharding-invariant too, not just the
+  // digest: the same frames were sent, lost, duplicated and delivered.
+  EXPECT_EQ(a.totals.frames_sent, b.totals.frames_sent);
+  EXPECT_EQ(a.totals.frames_delivered, b.totals.frames_delivered);
+  EXPECT_EQ(a.totals.frames_lost, b.totals.frames_lost);
+  EXPECT_EQ(a.totals.fault_drops, b.totals.fault_drops);
+  EXPECT_EQ(a.totals.fault_duplicates, b.totals.fault_duplicates);
+  EXPECT_EQ(a.totals.fault_delays, b.totals.fault_delays);
+}
+
+TEST(ShardedWorld, TwinRunsAreByteIdentical) {
+  const RunOutcome a = run_lattice(8, 8, 4, 2, false);
+  const RunOutcome b = run_lattice(8, 8, 4, 2, false);
+  expect_identical_workload(a, b);
+  EXPECT_EQ(a.shard_digests, b.shard_digests);
+}
+
+TEST(ShardedWorld, DigestInvariantAcrossWorkerCounts) {
+  const RunOutcome serial = run_lattice(8, 8, 4, 1, false);
+  ASSERT_EQ(serial.shards, 4u);
+  EXPECT_GT(serial.totals.frames_delivered, 0u);
+  for (const std::size_t workers : {2u, 8u}) {
+    const RunOutcome parallel = run_lattice(8, 8, 4, workers, false);
+    expect_identical_workload(serial, parallel);
+    EXPECT_EQ(serial.shard_digests, parallel.shard_digests);
+  }
+}
+
+TEST(ShardedWorld, DigestInvariantAcrossShardCounts) {
+  const RunOutcome single = run_lattice(8, 8, 1, 1, false);
+  ASSERT_EQ(single.shards, 1u);
+  // One shard owns every node, so its shard digest IS the world digest —
+  // the base case of the digest-merge argument (DESIGN §13).
+  EXPECT_EQ(single.shard_digests[0], single.digest);
+  const RunOutcome sharded = run_lattice(8, 8, 4, 2, false);
+  ASSERT_EQ(sharded.shards, 4u);
+  expect_identical_workload(single, sharded);
+  EXPECT_GT(sharded.totals.cross_shard_transmissions, 0u);
+  EXPECT_GT(sharded.mailbox_posts, 0u);
+}
+
+TEST(ShardedWorld, BoundaryStraddlingChainStaysDeterministic) {
+  // A single 40-node chain along x: every cut line severs actual radio
+  // links, so all traffic across the three cuts rides the mailboxes.
+  const RunOutcome single = run_lattice(40, 1, 1, 1, false);
+  const RunOutcome sharded = run_lattice(40, 1, 4, 8, false);
+  ASSERT_EQ(sharded.shards, 4u);
+  expect_identical_workload(single, sharded);
+  EXPECT_GT(sharded.totals.cross_shard_transmissions, 0u);
+  EXPECT_GT(sharded.mailbox_posts, 0u);
+}
+
+TEST(ShardedWorld, UnicastCrossesShards) {
+  net::ShardedWorld w({.shards = 4, .workers = 2, .seed = 5});
+  const MediumId m = w.add_medium(net::wifi80211(25.0, 0.0));
+  // Two nodes astride a cut: 8 nodes spread the extent so 4 stripes fit.
+  std::vector<NodeId> ids;
+  for (int i = 0; i < 8; ++i) {
+    const NodeId id = w.add_node({static_cast<double>(i) * 20.0, 0});
+    w.attach(id, m);
+    ids.push_back(id);
+  }
+  Time got = -1;
+  NodeId got_src = NodeId::invalid();
+  w.set_handler(ids[4], [&](const net::ShardFrame& f) {
+    got = f.at;
+    got_src = f.src;
+  });
+  w.schedule(ids[3], duration::millis(1),
+             [&w, &ids] { ASSERT_TRUE(w.send(ids[3], ids[4], Bytes{1, 2, 3}).is_ok()); });
+  w.run_until(duration::millis(5));
+  ASSERT_NE(w.shard_of(ids[3]), w.shard_of(ids[4]));
+  EXPECT_EQ(got_src, ids[3]);
+  EXPECT_GT(got, duration::millis(1));
+  EXPECT_EQ(w.totals().cross_shard_transmissions, 1u);
+  EXPECT_EQ(w.delivered(ids[4]), 1u);
+}
+
+TEST(ShardedWorld, OutOfRangeUnicastIsUnreachable) {
+  net::ShardedWorld w({.shards = 1, .workers = 1, .seed = 5});
+  const MediumId m = w.add_medium(net::wifi80211(25.0, 0.0));
+  const NodeId a = w.add_node({0, 0});
+  const NodeId b = w.add_node({500, 0});
+  w.attach(a, m);
+  w.attach(b, m);
+  Status st = Status::ok();
+  w.schedule(a, 1000, [&] { st = w.send(a, b, Bytes{9}); });
+  w.run_until(2000);
+  EXPECT_EQ(st.code(), ErrorCode::kUnreachable);
+}
+
+// The 100-node chaos soak: full fault plan plus kill/revive churn, run
+// sharded at every worker count and single-sharded — every configuration
+// must land on the same digest, byte for byte.
+TEST(ShardedWorld, ChaosSoakDigestIdenticalAcrossShardingsAndWorkers) {
+  const RunOutcome single = run_lattice(10, 10, 1, 1, true);
+  EXPECT_GT(single.totals.frames_lost, 0u);
+  EXPECT_GT(single.totals.fault_drops, 0u);
+  EXPECT_GT(single.totals.fault_duplicates, 0u);
+  EXPECT_GT(single.totals.fault_delays, 0u);
+  for (const std::size_t workers : {1u, 2u, 8u}) {
+    const RunOutcome sharded = run_lattice(10, 10, 4, workers, true);
+    ASSERT_EQ(sharded.shards, 4u);
+    expect_identical_workload(single, sharded);
+  }
+}
+
+TEST(ShardedWorld, KillAndReviveAreDigestVisible) {
+  // Same workload, one run with a scripted crash window: the digests must
+  // differ (deliveries were suppressed while down) — liveness is part of
+  // the observable execution, not a side channel.
+  net::ShardedWorld quiet({.shards = 2, .workers = 1, .seed = 7});
+  net::ShardedWorld churn({.shards = 2, .workers = 1, .seed = 7});
+  for (net::ShardedWorld* w : {&quiet, &churn}) {
+    const MediumId m = w->add_medium(net::wifi80211(25.0, 0.0));
+    std::vector<NodeId> ids;
+    for (int i = 0; i < 6; ++i) {
+      const NodeId id = w->add_node({static_cast<double>(i) * 20.0, 0});
+      w->attach(id, m);
+      ids.push_back(id);
+    }
+    for (const NodeId id : ids) {
+      for (int round = 0; round < 4; ++round) {
+        w->schedule(id, duration::millis(1 + round * 2), [w, id] {
+          (void)w->broadcast(id, Bytes{0x1});
+        });
+      }
+    }
+  }
+  churn.kill_at(NodeId{2}, duration::millis(2));
+  churn.revive_at(NodeId{2}, duration::millis(6));
+  quiet.run_until(duration::millis(10));
+  churn.run_until(duration::millis(10));
+  EXPECT_NE(quiet.digest(), churn.digest());
+  EXPECT_LT(churn.totals().frames_delivered, quiet.totals().frames_delivered);
+}
+
+// --- runtime pinning ---------------------------------------------------------
+
+TEST(RuntimeHomeShard, PinIsPositionDerivedAndRestartStable) {
+  sim::Simulator s(7);
+  net::World w(s);
+  const MediumId m = w.add_medium(net::wifi80211(100.0, 0.0));
+  w.set_shard_map(std::make_shared<net::ShardMap>(0.0, 1000.0, 100.0, 4));
+  node::StackConfig cfg;
+  cfg.media = {m};
+  node::Runtime a(w, Vec2{50, 0}, cfg);
+  node::Runtime b(w, Vec2{900, 0}, cfg);
+  EXPECT_EQ(a.home_shard(), 0u);
+  EXPECT_EQ(b.home_shard(), 3u);
+  // Mobility across a cut line does not migrate the pin, and neither does
+  // a crash/restart cycle: the node rejoins its original timeline.
+  w.set_position(b.id(), Vec2{50, 0});
+  b.crash();
+  b.restart();
+  EXPECT_TRUE(b.up());
+  EXPECT_EQ(b.home_shard(), 3u);
+}
+
+TEST(RuntimeHomeShard, DefaultsToShardZeroWithoutMap) {
+  sim::Simulator s(7);
+  net::World w(s);
+  const MediumId m = w.add_medium(net::wifi80211(100.0, 0.0));
+  node::StackConfig cfg;
+  cfg.media = {m};
+  node::Runtime a(w, Vec2{500, 0}, cfg);
+  EXPECT_EQ(a.home_shard(), 0u);
+}
+
+}  // namespace
+}  // namespace ndsm
