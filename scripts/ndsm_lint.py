@@ -54,13 +54,19 @@ SCAN_DIRS = ("src", "tests", "bench", "examples")
 CXX_EXTENSIONS = (".cpp", ".hpp")
 
 # Paths (relative, / separators) where simulated-time and RNG plumbing
-# legitimately touches the forbidden primitives.
-CLOCK_EXEMPT_PREFIXES = ("src/sim/", "src/common/clock")
+# legitimately touches the forbidden primitives. src/net/udp* is the
+# real-socket Stack backend (DESIGN §14): real time, real entropy and
+# real sockets are its entire purpose, and nothing above the net::Stack
+# seam may include it — the middleware stays clock-clean.
+CLOCK_EXEMPT_PREFIXES = ("src/sim/", "src/common/clock", "src/net/udp")
 
-# The one sanctioned home of raw threading primitives: the sharded
-# engine core (src/sim/sharded.{hpp,cpp}), whose worker pool carries the
-# whole determinism-under-parallelism argument (DESIGN §13).
-CONCURRENCY_EXEMPT_PREFIXES = ("src/sim/sharded",)
+# Sanctioned homes of raw threading primitives: the sharded engine core
+# (src/sim/sharded.{hpp,cpp}), whose worker pool carries the whole
+# determinism-under-parallelism argument (DESIGN §13), and the
+# real-socket backend src/net/udp* (kernel-facing I/O code; its public
+# contract is still single-threaded, but OS signal/socket plumbing may
+# need primitives the sim-side ban exists to keep out of protocol code).
+CONCURRENCY_EXEMPT_PREFIXES = ("src/sim/sharded", "src/net/udp")
 
 # Directories where container iteration order becomes packet order.
 ORDERING_DIRS = ("src/net/", "src/routing/", "src/discovery/",
@@ -424,6 +430,31 @@ SELF_TEST_CASES = [
     ("src/sim/clock_src.cpp",
      "void f() { auto t = std::chrono::steady_clock::now(); (void)rand(); }\n",
      set()),
+    # The real-socket backend (src/net/udp*) is clock- and
+    # concurrency-exempt: real time, entropy and threads are its job.
+    ("src/net/udp_stack_selftest.cpp",
+     "#include <thread>\n"
+     "#include <chrono>\n"
+     "#include <random>\n"
+     "long f() { return std::chrono::steady_clock::now().time_since_epoch().count(); }\n"
+     "unsigned g() { std::random_device rd; return rd(); }\n"
+     "std::thread worker_;\n",
+     set()),
+    # ...but the exemption is exactly src/net/udp*: the rest of net/ and
+    # everything above the seam (transport, routing) stays banned — the
+    # middleware must run identically on the sim and the UDP backend, so
+    # it may not read real clocks or spawn threads itself.
+    ("src/net/world_wallclock.cpp",
+     "long f() { return std::chrono::steady_clock::now().time_since_epoch().count(); }\n",
+     {"wall-clock"}),
+    ("src/transport/retry_wallclock.cpp",
+     "#include <chrono>\n"
+     "long rto() { return std::chrono::system_clock::now().time_since_epoch().count(); }\n",
+     {"wall-clock"}),
+    ("src/routing/hello_thread.cpp",
+     "#include <thread>\n"
+     "void f() { std::thread t([] {}); t.join(); }\n",
+     {"raw-concurrency"}),
     # The tracing layer is NOT exempt: trace ids and event timestamps must
     # come from the sim clock and the deterministic id allocator, never
     # wall time or raw randomness — otherwise traced and untraced runs

@@ -7,7 +7,8 @@ it) and pins down the three paths the regression gate depends on:
   * bench present only in current   -> exit 0 ("new, no baseline" is fine)
   * >threshold regression           -> exit 1, offender named on stderr
 plus the non-regression directions (improvements, sub-threshold drift,
-higher-better vs lower-better field polarity).
+higher-better vs lower-better field polarity) and the equality-gated
+paths (boolean invariants, bit-exact *_digest identity, --equality-only).
 
 Stdlib-only; invoked from ctest as `bench_compare_selftest`.
 """
@@ -106,6 +107,84 @@ class BenchCompareExitCodes(unittest.TestCase):
         result = run_compare(baseline, current)
         self.assertEqual(result.returncode, 0, result.stderr)
         self.assertIn("missing from current", result.stdout)
+
+    # --- equality-gated (boolean/digest) fields ------------------------------
+
+    def test_boolean_invariant_true_passes_false_fails(self):
+        baseline, current = self.path("base.jsonl"), self.path("current.jsonl")
+        write_jsonl(baseline, [{"bench": "scale", "digest_match": True}])
+        write_jsonl(current, [{"bench": "scale", "digest_match": True}])
+        self.assertEqual(run_compare(baseline, current).returncode, 0)
+        write_jsonl(current, [{"bench": "scale", "digest_match": False}])
+        result = run_compare(baseline, current)
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("scale.digest_match", result.stderr)
+
+    def test_boolean_false_fails_even_without_baseline(self):
+        # Invariants are absolute, not relative to the baseline: a new
+        # bench shipping digest_match=false must fail immediately.
+        baseline, current = self.path("base.jsonl"), self.path("current.jsonl")
+        write_jsonl(baseline, [])
+        write_jsonl(current, [{"bench": "fresh", "deterministic": False}])
+        self.assertEqual(run_compare(baseline, current).returncode, 1)
+        write_jsonl(current, [{"bench": "fresh", "deterministic": True}])
+        self.assertEqual(run_compare(baseline, current).returncode, 0)
+
+    def test_baseline_pinned_false_is_a_mode_flag_not_an_invariant(self):
+        # "quick": false in the baseline describes the run mode; a current
+        # run repeating false (or improving to true) must pass.
+        baseline, current = self.path("base.jsonl"), self.path("current.jsonl")
+        write_jsonl(baseline, [{"bench": "sim_engine", "quick": False}])
+        write_jsonl(current, [{"bench": "sim_engine", "quick": False}])
+        self.assertEqual(run_compare(baseline, current).returncode, 0)
+        write_jsonl(current, [{"bench": "sim_engine", "quick": True}])
+        self.assertEqual(run_compare(baseline, current).returncode, 0)
+
+    def test_baseline_invariant_missing_from_current_fails(self):
+        baseline, current = self.path("base.jsonl"), self.path("current.jsonl")
+        write_jsonl(baseline, [{"bench": "scale", "digest_match": True}])
+        write_jsonl(current, [{"bench": "scale", "events_per_s": 1.0}])
+        result = run_compare(baseline, current)
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("missing from current", result.stderr)
+
+    def test_digest_identity_is_bit_exact(self):
+        # These two values are equal as 64-bit floats; only an exact
+        # integer comparison can tell them apart.
+        baseline, current = self.path("base.jsonl"), self.path("current.jsonl")
+        write_jsonl(baseline, [{"bench": "sim", "order_digest": 5278585168811376575}])
+        write_jsonl(current, [{"bench": "sim", "order_digest": 5278585168811376574}])
+        result = run_compare(baseline, current)
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("digest mismatch", result.stderr)
+        write_jsonl(current, [{"bench": "sim", "order_digest": 5278585168811376575}])
+        self.assertEqual(run_compare(baseline, current).returncode, 0)
+
+    def test_digest_is_identity_not_percentage(self):
+        # A tiny numeric drift that any threshold would wave through must
+        # still fail a digest field.
+        baseline, current = self.path("base.jsonl"), self.path("current.jsonl")
+        write_jsonl(baseline, [{"bench": "sim", "order_digest": 1000000}])
+        write_jsonl(current, [{"bench": "sim", "order_digest": 1000001}])
+        self.assertEqual(run_compare(baseline, current, "--threshold", "99").returncode, 1)
+
+    def test_new_digest_without_baseline_passes(self):
+        baseline, current = self.path("base.jsonl"), self.path("current.jsonl")
+        write_jsonl(baseline, [{"bench": "sim", "lat_us": 10.0}])
+        write_jsonl(current, [{"bench": "sim", "lat_us": 10.0, "order_digest": 7}])
+        result = run_compare(baseline, current)
+        self.assertEqual(result.returncode, 0, result.stderr)
+
+    def test_equality_only_skips_numeric_but_keeps_gates(self):
+        baseline, current = self.path("base.jsonl"), self.path("current.jsonl")
+        # 10x latency regression + intact gates: --equality-only passes...
+        write_jsonl(baseline, [{"bench": "hot", "lat_us": 10.0, "digest_match": True}])
+        write_jsonl(current, [{"bench": "hot", "lat_us": 100.0, "digest_match": True}])
+        self.assertEqual(run_compare(baseline, current, "--equality-only").returncode, 0)
+        self.assertEqual(run_compare(baseline, current).returncode, 1)
+        # ...but a broken invariant still fails in --equality-only mode.
+        write_jsonl(current, [{"bench": "hot", "lat_us": 10.0, "digest_match": False}])
+        self.assertEqual(run_compare(baseline, current, "--equality-only").returncode, 1)
 
 
 if __name__ == "__main__":

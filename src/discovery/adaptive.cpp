@@ -15,7 +15,7 @@ AdaptiveDiscovery::AdaptiveDiscovery(transport::ReliableTransport& transport,
       density_(std::move(density)),
       centralized_(transport, std::move(directories), MirrorPolicy::kRoundRobin),
       distributed_(transport, DistributedConfig{}),
-      evaluator_(transport.router().world().sim(), config.evaluation_period,
+      evaluator_(transport.router().stack(), config.evaluation_period,
                  [this] { evaluate_policy(); }) {
   if (!density_) {
     // Fallback density estimate: everything this node has heard of.

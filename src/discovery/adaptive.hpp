@@ -81,7 +81,7 @@ class AdaptiveDiscovery : public ServiceDiscovery {
   std::uint64_t window_churn_ = 0;
   double query_rate_ = 0.0;
   double churn_rate_ = 0.0;
-  sim::PeriodicTimer evaluator_;
+  net::PeriodicTimer evaluator_;
 };
 
 }  // namespace ndsm::discovery

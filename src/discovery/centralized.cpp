@@ -22,14 +22,14 @@ CentralizedDiscovery::CentralizedDiscovery(transport::ReliableTransport& transpo
 
 CentralizedDiscovery::~CentralizedDiscovery() {
   transport_.clear_receiver(transport::ports::kDiscoveryReplyCent);
-  auto& sim = transport_.router().world().sim();
+  auto& stack = transport_.router().stack();
   // ndsm-lint: allow(unordered-iter): cancel order is irrelevant — cancel() is an O(1) tombstone with no observable ordering effect
   for (auto& [id, reg] : registered_) {
-    if (reg.renewal.valid()) sim.cancel(reg.renewal);
+    if (reg.renewal.valid()) stack.cancel(reg.renewal);
   }
   // ndsm-lint: allow(unordered-iter): cancel order is irrelevant — cancel() is an O(1) tombstone with no observable ordering effect
   for (auto& [id, pending] : pending_) {
-    if (pending.timer.valid()) sim.cancel(pending.timer);
+    if (pending.timer.valid()) stack.cancel(pending.timer);
   }
 }
 
@@ -43,12 +43,14 @@ NodeId CentralizedDiscovery::pick_directory() {
       return d;
     }
     case MirrorPolicy::kNearest: {
-      auto& world = transport_.router().world();
-      const Vec2 here = world.position(transport_.self());
+      auto& stack = transport_.router().stack();
+      const Vec2 here = stack.self_position();
       NodeId best = directories_.front();
       double best_d = std::numeric_limits<double>::infinity();
       for (const NodeId d : directories_) {
-        const double dist_m = distance(here, world.position(d));
+        const auto pos = stack.position_of(d);
+        if (!pos) continue;  // backend has no position for this mirror
+        const double dist_m = distance(here, *pos);
         if (dist_m < best_d) {
           best_d = dist_m;
           best = d;
@@ -61,13 +63,12 @@ NodeId CentralizedDiscovery::pick_directory() {
 }
 
 ServiceId CentralizedDiscovery::register_service(qos::SupplierQos qos, Time lease) {
-  auto& world = transport_.router().world();
   const ServiceId id = make_service_id(transport_.self(), next_service_++);
   Registration reg;
   reg.record.id = id;
   reg.record.provider = transport_.self();
   reg.record.qos = std::move(qos);
-  reg.record.registered = world.sim().now();
+  reg.record.registered = transport_.router().stack().now();
   reg.lease = lease;
   registered_.emplace(id, std::move(reg));
   stats_.registrations++;
@@ -78,22 +79,22 @@ ServiceId CentralizedDiscovery::register_service(qos::SupplierQos qos, Time leas
 void CentralizedDiscovery::send_register(ServiceId id) {
   const auto it = registered_.find(id);
   if (it == registered_.end()) return;
-  auto& world = transport_.router().world();
+  auto& stack = transport_.router().stack();
   Registration& reg = it->second;
   reg.record.expires =
-      reg.lease == kTimeNever ? kTimeNever : world.sim().now() + reg.lease;
+      reg.lease == kTimeNever ? kTimeNever : stack.now() + reg.lease;
   transport_.send(directories_.front(), transport::ports::kDiscovery,
                   encode_register(reg.record));
   if (reg.lease != kTimeNever) {
     reg.renewal =
-        world.sim().schedule_after(reg.lease / 2, [this, id] { send_register(id); });
+        stack.schedule_after(reg.lease / 2, [this, id] { send_register(id); });
   }
 }
 
 void CentralizedDiscovery::unregister_service(ServiceId id) {
   const auto it = registered_.find(id);
   if (it == registered_.end()) return;
-  if (it->second.renewal.valid()) transport_.router().world().sim().cancel(it->second.renewal);
+  if (it->second.renewal.valid()) transport_.router().stack().cancel(it->second.renewal);
   registered_.erase(it);
   stats_.unregistrations++;
   transport_.send(directories_.front(), transport::ports::kDiscovery, encode_unregister(id));
@@ -101,7 +102,7 @@ void CentralizedDiscovery::unregister_service(ServiceId id) {
 
 void CentralizedDiscovery::query(const qos::ConsumerQos& consumer, QueryCallback callback,
                                  std::uint32_t max_results, Time timeout) {
-  auto& sim = transport_.router().world().sim();
+  auto& stack = transport_.router().stack();
   const std::uint64_t query_id = next_query_++;
   stats_.queries_issued++;
 
@@ -132,7 +133,7 @@ void CentralizedDiscovery::query(const qos::ConsumerQos& consumer, QueryCallback
   PendingQuery pending;
   pending.callback = std::move(callback);
   pending.trace = ctx;
-  pending.timer = sim.schedule_after(timeout, [this, query_id] {
+  pending.timer = stack.schedule_after(timeout, [this, query_id] {
     const auto it = pending_.find(query_id);
     if (it == pending_.end()) return;
     auto cb = std::move(it->second.callback);
@@ -166,7 +167,7 @@ void CentralizedDiscovery::on_message(NodeId /*src*/, const Bytes& frame) {
       if (!reply) return;
       const auto it = pending_.find(reply->query_id);
       if (it == pending_.end()) return;  // late reply after timeout
-      if (it->second.timer.valid()) transport_.router().world().sim().cancel(it->second.timer);
+      if (it->second.timer.valid()) transport_.router().stack().cancel(it->second.timer);
       auto cb = std::move(it->second.callback);
       const obs::TraceContext qctx = it->second.trace;
       pending_.erase(it);

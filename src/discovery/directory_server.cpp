@@ -11,7 +11,7 @@ namespace ndsm::discovery {
 DirectoryServer::DirectoryServer(transport::ReliableTransport& transport, Time sweep_period,
                                  recovery::StableStorage* stable)
     : transport_(transport),
-      sweeper_(transport.router().world().sim(), sweep_period, [this] { sweep_leases(); }) {
+      sweeper_(transport.router().stack(), sweep_period, [this] { sweep_leases(); }) {
   if (stable != nullptr) {
     wal_ = std::make_unique<recovery::WriteAheadLog>(*stable);
     rehydrate();
@@ -34,7 +34,7 @@ void DirectoryServer::log_mutation(recovery::LogKind kind, const ServiceRecord* 
 }
 
 void DirectoryServer::rehydrate() {
-  const Time now = transport_.router().world().sim().now();
+  const Time now = transport_.router().stack().now();
   for (const auto& rec : wal_->replay()) {
     switch (rec.kind) {
       case recovery::LogKind::kPut: {
@@ -85,7 +85,7 @@ void DirectoryServer::apply_unregister(ServiceId id, bool replicate_out) {
 std::vector<ServiceRecord> DirectoryServer::match(const qos::ConsumerQos& consumer,
                                                   std::uint32_t max_results) const {
   std::vector<std::pair<double, const ServiceRecord*>> scored;
-  const Time now = transport_.router().world().sim().now();
+  const Time now = transport_.router().stack().now();
   for (const auto& [id, rec] : records_) {
     if (rec.expired(now)) continue;
     const auto eval = qos::Matcher::evaluate(consumer, rec.qos);
@@ -138,7 +138,7 @@ void DirectoryServer::serve_query(const QueryMessage& query) {
 void DirectoryServer::drain_query_queue() {
   if (query_busy_ || query_queue_.empty()) return;
   query_busy_ = true;
-  transport_.router().world().sim().schedule_after(processing_time_, [this] {
+  transport_.router().stack().schedule_after(processing_time_, [this] {
     if (!query_queue_.empty()) {
       serve_query(query_queue_.front());
       query_queue_.pop_front();
@@ -149,7 +149,7 @@ void DirectoryServer::drain_query_queue() {
 }
 
 void DirectoryServer::sweep_leases() {
-  const Time now = transport_.router().world().sim().now();
+  const Time now = transport_.router().stack().now();
   for (auto it = records_.begin(); it != records_.end();) {
     if (it->second.expired(now)) {
       stats_.leases_expired++;

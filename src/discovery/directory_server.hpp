@@ -82,7 +82,7 @@ class DirectoryServer {
   Time processing_time_ = 0;
   std::deque<QueryMessage> query_queue_;
   bool query_busy_ = false;
-  sim::PeriodicTimer sweeper_;
+  net::PeriodicTimer sweeper_;
 };
 
 }  // namespace ndsm::discovery

@@ -10,7 +10,7 @@ DistributedDiscovery::DistributedDiscovery(transport::ReliableTransport& transpo
                                            DistributedConfig config)
     : transport_(transport),
       config_(config),
-      advertiser_(transport.router().world().sim(),
+      advertiser_(transport.router().stack(),
                   config.advertise_period > 0 ? config.advertise_period
                                               : duration::seconds(1),
                   [this] { advertise(); }) {
@@ -22,7 +22,7 @@ DistributedDiscovery::DistributedDiscovery(transport::ReliableTransport& transpo
                           [this](NodeId src, const Bytes& b) { on_unicast(src, b); });
   if (config_.advertise_period > 0) {
     advertiser_.start(duration::millis(static_cast<std::int64_t>(
-        transport.router().world().sim().rng().fork(transport.self().value() ^ 0xad).uniform_int(
+        transport.router().stack().fork_rng(transport.self().value() ^ 0xad).uniform_int(
             1, 500))));
   }
 }
@@ -30,22 +30,22 @@ DistributedDiscovery::DistributedDiscovery(transport::ReliableTransport& transpo
 DistributedDiscovery::~DistributedDiscovery() {
   transport_.router().clear_delivery_handler(routing::Proto::kDiscovery);
   transport_.clear_receiver(transport::ports::kDiscoveryReplyDist);
-  auto& sim = transport_.router().world().sim();
+  auto& stack = transport_.router().stack();
   // ndsm-lint: allow(unordered-iter): cancel order is irrelevant — cancel() is an O(1) tombstone with no observable ordering effect
   for (auto& [id, pending] : pending_) {
-    if (pending.timer.valid()) sim.cancel(pending.timer);
+    if (pending.timer.valid()) stack.cancel(pending.timer);
   }
 }
 
 ServiceId DistributedDiscovery::register_service(qos::SupplierQos qos, Time lease) {
-  auto& world = transport_.router().world();
+  const Time now = transport_.router().stack().now();
   const ServiceId id = make_service_id(transport_.self(), next_service_++);
   ServiceRecord rec;
   rec.id = id;
   rec.provider = transport_.self();
   rec.qos = std::move(qos);
-  rec.registered = world.sim().now();
-  rec.expires = lease == kTimeNever ? kTimeNever : world.sim().now() + lease;
+  rec.registered = now;
+  rec.expires = lease == kTimeNever ? kTimeNever : now + lease;
   local_.emplace(id, std::move(rec));
   local_lease_[id] = lease;
   stats_.registrations++;
@@ -61,7 +61,7 @@ void DistributedDiscovery::unregister_service(ServiceId id) {
 
 std::vector<ServiceRecord> DistributedDiscovery::match_local(
     const qos::ConsumerQos& consumer, std::uint32_t max_results) const {
-  const Time now = transport_.router().world().sim().now();
+  const Time now = transport_.router().stack().now();
   // Local records renew automatically while this node lives: refresh their
   // leases before matching (the ServiceDiscovery contract; expiry only
   // governs *remote* copies).
@@ -89,7 +89,7 @@ std::vector<ServiceRecord> DistributedDiscovery::match_local(
 
 std::vector<ServiceRecord> DistributedDiscovery::match_cache(
     const qos::ConsumerQos& consumer, std::uint32_t max_results) const {
-  const Time now = transport_.router().world().sim().now();
+  const Time now = transport_.router().stack().now();
   std::vector<std::pair<double, const ServiceRecord*>> scored;
   for (const auto& [id, rec] : cache_) {
     if (rec.expired(now)) continue;
@@ -109,15 +109,15 @@ std::vector<ServiceRecord> DistributedDiscovery::match_cache(
 }
 
 void DistributedDiscovery::advertise() {
-  auto& world = transport_.router().world();
-  if (!world.alive(transport_.self())) {
+  auto& stack = transport_.router().stack();
+  if (!stack.online()) {
     advertiser_.stop();
     return;
   }
   if (local_.empty()) return;
   std::vector<ServiceRecord> records;
   records.reserve(local_.size());
-  const Time now = world.sim().now();
+  const Time now = stack.now();
   for (auto& [id, rec] : local_) {
     // Stamp freshness (and renew the local lease) so peers can expire
     // cache entries relative to the latest advertisement.
@@ -132,7 +132,7 @@ void DistributedDiscovery::advertise() {
 
 void DistributedDiscovery::query(const qos::ConsumerQos& consumer, QueryCallback callback,
                                  std::uint32_t max_results, Time timeout) {
-  auto& sim = transport_.router().world().sim();
+  auto& stack = transport_.router().stack();
   stats_.queries_issued++;
 
   if (config_.answer_from_cache && config_.advertise_period > 0) {
@@ -150,7 +150,7 @@ void DistributedDiscovery::query(const qos::ConsumerQos& consumer, QueryCallback
       }
       stats_.queries_answered++;
       stats_.records_received += out.size();
-      sim.schedule_after(0, [cb = std::move(callback), out = std::move(out)]() mutable {
+      stack.schedule_after(0, [cb = std::move(callback), out = std::move(out)]() mutable {
         cb(std::move(out));
       });
       return;
@@ -168,7 +168,7 @@ void DistributedDiscovery::query(const qos::ConsumerQos& consumer, QueryCallback
   PendingQuery pending;
   pending.callback = std::move(callback);
   pending.max_results = max_results;
-  pending.timer = sim.schedule_after(timeout, [this, query_id] { finish_query(query_id); });
+  pending.timer = stack.schedule_after(timeout, [this, query_id] { finish_query(query_id); });
   pending_.emplace(query_id, std::move(pending));
 
   transport_.router().flood(routing::Proto::kDiscovery, encode_query(msg));
@@ -177,7 +177,7 @@ void DistributedDiscovery::query(const qos::ConsumerQos& consumer, QueryCallback
 void DistributedDiscovery::finish_query(std::uint64_t query_id) {
   const auto it = pending_.find(query_id);
   if (it == pending_.end()) return;
-  if (it->second.timer.valid()) transport_.router().world().sim().cancel(it->second.timer);
+  if (it->second.timer.valid()) transport_.router().stack().cancel(it->second.timer);
   auto cb = std::move(it->second.callback);
   std::vector<ServiceRecord> out;
   for (auto& [id, rec] : it->second.collected) out.push_back(std::move(rec));

@@ -65,7 +65,7 @@ class DistributedDiscovery : public ServiceDiscovery {
   std::map<ServiceId, Time> local_lease_;  // for automatic renewal
   std::map<ServiceId, ServiceRecord> cache_;  // from advertisements
   std::unordered_map<std::uint64_t, PendingQuery> pending_;
-  sim::PeriodicTimer advertiser_;
+  net::PeriodicTimer advertiser_;
 };
 
 }  // namespace ndsm::discovery

@@ -10,9 +10,9 @@ GossipDiscovery::GossipDiscovery(transport::ReliableTransport& transport,
                                  std::vector<NodeId> seed_peers, GossipConfig config)
     : transport_(transport),
       config_(config),
-      rng_(transport.router().world().sim().rng().fork(transport.self().value() ^ 0x90551b)),
+      rng_(transport.router().stack().fork_rng(transport.self().value() ^ 0x90551b)),
       peers_(std::move(seed_peers)),
-      timer_(transport.router().world().sim(), config.gossip_period, [this] { gossip(); }) {
+      timer_(transport.router().stack(), config.gossip_period, [this] { gossip(); }) {
   peers_.erase(std::remove(peers_.begin(), peers_.end(), transport_.self()), peers_.end());
   register_stats_metrics("gossip", static_cast<std::int64_t>(transport.self().value()));
   metrics_.counter("discovery.gossip.rounds", &rounds_);
@@ -28,14 +28,14 @@ GossipDiscovery::GossipDiscovery(transport::ReliableTransport& transport,
 GossipDiscovery::~GossipDiscovery() { transport_.clear_receiver(transport::ports::kGossip); }
 
 ServiceId GossipDiscovery::register_service(qos::SupplierQos qos, Time lease) {
-  auto& world = transport_.router().world();
+  const Time now = transport_.router().stack().now();
   const ServiceId id = make_service_id(transport_.self(), next_service_++);
   ServiceRecord rec;
   rec.id = id;
   rec.provider = transport_.self();
   rec.qos = std::move(qos);
-  rec.registered = world.sim().now();
-  rec.expires = lease == kTimeNever ? kTimeNever : world.sim().now() + lease;
+  rec.registered = now;
+  rec.expires = lease == kTimeNever ? kTimeNever : now + lease;
   local_.emplace(id, std::move(rec));
   local_lease_[id] = lease;
   stats_.registrations++;
@@ -48,7 +48,7 @@ void GossipDiscovery::unregister_service(ServiceId id) {
 }
 
 std::vector<ServiceRecord> GossipDiscovery::known_records() {
-  const Time now = transport_.router().world().sim().now();
+  const Time now = transport_.router().stack().now();
   std::vector<ServiceRecord> out;
   // Own services: renew leases and stamp freshness.
   for (auto& [id, rec] : local_) {
@@ -71,8 +71,7 @@ std::vector<ServiceRecord> GossipDiscovery::known_records() {
 }
 
 void GossipDiscovery::gossip() {
-  auto& world = transport_.router().world();
-  if (!world.alive(transport_.self())) {
+  if (!transport_.router().stack().online()) {
     timer_.stop();
     return;
   }
@@ -104,7 +103,7 @@ void GossipDiscovery::on_gossip(NodeId src, const Bytes& frame) {
       std::find(peers_.begin(), peers_.end(), src) == peers_.end()) {
     peers_.push_back(src);
   }
-  const Time now = transport_.router().world().sim().now();
+  const Time now = transport_.router().stack().now();
   for (auto& rec : *records) {
     if (rec.provider == transport_.self()) continue;  // our own, authoritative copy
     if (rec.expired(now)) continue;
@@ -118,7 +117,7 @@ void GossipDiscovery::on_gossip(NodeId src, const Bytes& frame) {
 
 std::vector<ServiceRecord> GossipDiscovery::match_known(const qos::ConsumerQos& consumer,
                                                         std::uint32_t max_results) {
-  const Time now = transport_.router().world().sim().now();
+  const Time now = transport_.router().stack().now();
   std::vector<std::pair<double, const ServiceRecord*>> scored;
   const auto consider = [&](const ServiceRecord& rec) {
     if (rec.expired(now)) return;
@@ -151,7 +150,7 @@ void GossipDiscovery::query(const qos::ConsumerQos& consumer, QueryCallback call
   }
   stats_.records_received += results.size();
   // Asynchronous delivery, like every other discovery mode.
-  transport_.router().world().sim().schedule_after(
+  transport_.router().stack().schedule_after(
       0, [cb = std::move(callback), results = std::move(results)]() mutable {
         cb(std::move(results));
       });

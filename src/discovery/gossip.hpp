@@ -62,7 +62,7 @@ class GossipDiscovery : public ServiceDiscovery {
   std::map<ServiceId, ServiceRecord> cache_;
   std::vector<NodeId> peers_;
   std::uint64_t rounds_ = 0;
-  sim::PeriodicTimer timer_;
+  net::PeriodicTimer timer_;
 };
 
 }  // namespace ndsm::discovery

@@ -1,0 +1,41 @@
+#pragma once
+// Link-layer frame vocabulary shared by every network backend. Both the
+// simulated World and the real-socket UdpStack speak in LinkFrames keyed
+// by a Proto demultiplexer, so everything above the link layer (routing,
+// transport, discovery) is written once against this one frame shape.
+
+#include <memory>
+
+#include "common/bytes.hpp"
+#include "common/ids.hpp"
+
+namespace ndsm::net {
+
+// Link-layer protocol demultiplexer (like an EtherType).
+enum class Proto : std::uint8_t {
+  kRouting = 1,
+  kLocation = 2,
+  kTransport = 3,
+  kDiscovery = 4,
+  kApp = 5,
+};
+
+constexpr NodeId kBroadcast = NodeId{0xfffffffffffffffULL - 1};
+
+struct LinkFrame {
+  NodeId src;
+  NodeId dst;  // kBroadcast for broadcast frames
+  MediumId medium;
+  Proto proto;
+  // One immutable buffer per transmission, shared by every receiver of a
+  // broadcast fan-out (zero per-recipient copies). Handlers that need the
+  // payload past the callback may retain the shared_ptr.
+  std::shared_ptr<const Bytes> payload_buf;
+
+  [[nodiscard]] const Bytes& payload() const {
+    static const Bytes empty;
+    return payload_buf ? *payload_buf : empty;
+  }
+};
+
+}  // namespace ndsm::net

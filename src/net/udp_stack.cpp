@@ -1,0 +1,384 @@
+// Real-socket backend for the net::Stack seam. This file (src/net/udp*)
+// is on the ndsm_lint wall-clock/raw-concurrency allowlist: it is the one
+// place below the middleware where real time and real sockets are the
+// point. Nothing here may leak into the sim path — the only shared
+// vocabulary is net/frame.hpp.
+
+#include "net/udp_stack.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <ctime>
+#include <stdexcept>
+#include <utility>
+
+#include "common/clock.hpp"
+#include "common/log.hpp"
+
+namespace ndsm::net {
+
+namespace {
+
+// Wire header for every datagram: magic + version guard against stray
+// traffic on the port range, then the LinkFrame envelope.
+constexpr std::uint8_t kMagic[4] = {'N', 'D', 'S', 'M'};
+constexpr std::uint8_t kWireVersion = 1;
+constexpr std::size_t kHeaderSize = 4 + 1 + 1 + 8 + 8;  // magic ver proto src dst
+constexpr std::size_t kMaxDatagram = 65000;
+
+void put_u64(Bytes& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+[[nodiscard]] Time monotonic_micros() {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<Time>(ts.tv_sec) * 1000000 + ts.tv_nsec / 1000;
+}
+
+[[nodiscard]] std::uint64_t realtime_micros() {
+  timespec ts{};
+  clock_gettime(CLOCK_REALTIME, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1000000 +
+         static_cast<std::uint64_t>(ts.tv_nsec) / 1000;
+}
+
+// Process-wide monotonic base so every stack in one process (and the
+// global_sim_time hook) shares a single timeline starting near zero.
+[[nodiscard]] Time process_now() {
+  static const Time base = monotonic_micros();
+  return monotonic_micros() - base;
+}
+
+// Strictly increasing across successive constructions within a process
+// (two stacks created in the same microsecond must not share an epoch).
+[[nodiscard]] std::uint64_t next_epoch() {
+  static std::uint64_t last = 0;
+  std::uint64_t e = realtime_micros();
+  if (e <= last) e = last + 1;
+  last = e;
+  return e;
+}
+
+[[nodiscard]] sockaddr_in loopback_addr(std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  return addr;
+}
+
+void set_nonblocking(int fd) { fcntl(fd, F_SETFL, fcntl(fd, F_GETFL, 0) | O_NONBLOCK); }
+
+}  // namespace
+
+UdpStack::UdpStack(NodeId self, UdpStackConfig config)
+    : self_(self),
+      config_(std::move(config)),
+      epoch_(next_epoch()),
+      rng_(config_.rng_seed != 0
+               ? config_.rng_seed
+               : splitmix64(epoch_ ^ (static_cast<std::uint64_t>(getpid()) << 32) ^
+                            self.value())) {
+  if (config_.multicast_port == 0) {
+    config_.multicast_port = static_cast<std::uint16_t>(config_.port_base - 1);
+  }
+  open_sockets();
+  if (ucast_fd_ < 0) {
+    throw std::runtime_error("UdpStack: cannot bind 127.0.0.1:" +
+                             std::to_string(unicast_port()) + ": " + std::strerror(errno));
+  }
+  online_ = true;
+  // Stamp log/trace records with this process's monotonic stack time.
+  bind_sim_clock(this, [](const void*) { return process_now(); });
+}
+
+UdpStack::~UdpStack() {
+  unbind_sim_clock(this);
+  close_sockets();
+}
+
+std::uint16_t UdpStack::unicast_port() const {
+  return static_cast<std::uint16_t>(config_.port_base + self_.value());
+}
+
+void UdpStack::open_sockets() {
+  ucast_fd_ = socket(AF_INET, SOCK_DGRAM, 0);
+  if (ucast_fd_ < 0) return;
+  set_nonblocking(ucast_fd_);
+  sockaddr_in addr = loopback_addr(unicast_port());
+  if (bind(ucast_fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    close(ucast_fd_);
+    ucast_fd_ = -1;
+    return;
+  }
+  // Route outgoing multicast over loopback and deliver it back to local
+  // group members (including our own receive socket; own frames are
+  // filtered on receive to match the sim's no-self-delivery broadcast).
+  in_addr loop{};
+  loop.s_addr = htonl(INADDR_LOOPBACK);
+  setsockopt(ucast_fd_, IPPROTO_IP, IP_MULTICAST_IF, &loop, sizeof(loop));
+  const std::uint8_t on = 1;
+  setsockopt(ucast_fd_, IPPROTO_IP, IP_MULTICAST_LOOP, &on, sizeof(on));
+  const std::uint8_t ttl = 1;
+  setsockopt(ucast_fd_, IPPROTO_IP, IP_MULTICAST_TTL, &ttl, sizeof(ttl));
+
+  // Broadcast receive path: join the group on a dedicated socket bound to
+  // the shared multicast port. Any failure here is non-fatal — we fall
+  // back to unicast fan-out over config_.peers.
+  mcast_recv_fd_ = socket(AF_INET, SOCK_DGRAM, 0);
+  if (mcast_recv_fd_ >= 0) {
+    set_nonblocking(mcast_recv_fd_);
+    const int one = 1;
+    setsockopt(mcast_recv_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+#ifdef SO_REUSEPORT
+    setsockopt(mcast_recv_fd_, SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one));
+#endif
+    sockaddr_in maddr{};
+    maddr.sin_family = AF_INET;
+    maddr.sin_port = htons(config_.multicast_port);
+    maddr.sin_addr.s_addr = htonl(INADDR_ANY);
+    ip_mreq mreq{};
+    const bool ok =
+        inet_pton(AF_INET, config_.multicast_group.c_str(), &mreq.imr_multiaddr) == 1 &&
+        (mreq.imr_interface.s_addr = htonl(INADDR_LOOPBACK),
+         bind(mcast_recv_fd_, reinterpret_cast<const sockaddr*>(&maddr), sizeof(maddr)) == 0) &&
+        setsockopt(mcast_recv_fd_, IPPROTO_IP, IP_ADD_MEMBERSHIP, &mreq, sizeof(mreq)) == 0;
+    if (!ok) {
+      close(mcast_recv_fd_);
+      mcast_recv_fd_ = -1;
+      NDSM_WARN("udp", "multicast join failed (" << std::strerror(errno)
+                                                 << "); broadcasts fall back to unicast "
+                                                    "fan-out over "
+                                                 << config_.peers.size() << " peers");
+    }
+  }
+}
+
+void UdpStack::close_sockets() {
+  if (ucast_fd_ >= 0) close(ucast_fd_);
+  if (mcast_recv_fd_ >= 0) close(mcast_recv_fd_);
+  ucast_fd_ = -1;
+  mcast_recv_fd_ = -1;
+}
+
+bool UdpStack::set_link_up() {
+  if (online_) return true;
+  open_sockets();
+  online_ = ucast_fd_ >= 0;
+  return online_;
+}
+
+void UdpStack::set_link_down() {
+  close_sockets();
+  online_ = false;
+}
+
+std::optional<Vec2> UdpStack::position_of(NodeId node) const {
+  if (node == self_) return config_.position;
+  const auto it = config_.peer_positions.find(node);
+  if (it == config_.peer_positions.end()) return std::nullopt;
+  return it->second;
+}
+
+bool UdpStack::peer_online(NodeId node) const {
+  if (node == self_) return online_;
+  for (const NodeId peer : config_.peers) {
+    if (peer == node) return true;
+  }
+  return !config_.peer_positions.empty() && config_.peer_positions.count(node) > 0;
+}
+
+Status UdpStack::send_datagram(const Bytes& wire, std::uint16_t port, bool multicast) {
+  sockaddr_in addr{};
+  if (multicast) {
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (inet_pton(AF_INET, config_.multicast_group.c_str(), &addr.sin_addr) != 1) {
+      return {ErrorCode::kInvalidArgument, "bad multicast group"};
+    }
+  } else {
+    addr = loopback_addr(port);
+  }
+  const ssize_t n = sendto(ucast_fd_, wire.data(), wire.size(), 0,
+                           reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  if (n < 0) return {ErrorCode::kUnavailable, std::strerror(errno)};
+  stats_.datagrams_sent++;
+  stats_.bytes_sent += wire.size();
+  return Status::ok();
+}
+
+Status UdpStack::send_frame(NodeId dst, Proto proto, Bytes payload) {
+  if (!online_) return {ErrorCode::kResourceExhausted, "stack is link-down"};
+  if (payload.size() + kHeaderSize > kMaxDatagram) {
+    return {ErrorCode::kInvalidArgument, "frame exceeds datagram limit"};
+  }
+  Bytes wire;
+  wire.reserve(kHeaderSize + payload.size());
+  wire.assign(std::begin(kMagic), std::end(kMagic));
+  wire.push_back(kWireVersion);
+  wire.push_back(static_cast<std::uint8_t>(proto));
+  put_u64(wire, self_.value());
+  put_u64(wire, dst.value());
+  wire.insert(wire.end(), payload.begin(), payload.end());
+  if (dst == kBroadcast) {
+    if (using_multicast()) return send_datagram(wire, config_.multicast_port, true);
+    Status status = Status::ok();
+    for (const NodeId peer : config_.peers) {
+      if (peer == self_) continue;
+      const auto port = static_cast<std::uint16_t>(config_.port_base + peer.value());
+      const Status s = send_datagram(wire, port, false);
+      if (!s.is_ok()) status = s;
+    }
+    return status;
+  }
+  return send_datagram(wire, static_cast<std::uint16_t>(config_.port_base + dst.value()),
+                       false);
+}
+
+Status UdpStack::broadcast_frame(Proto proto, Bytes payload) {
+  return send_frame(kBroadcast, proto, std::move(payload));
+}
+
+void UdpStack::set_frame_handler(Proto proto, FrameHandler handler) {
+  handlers_[proto] = std::move(handler);
+}
+
+void UdpStack::clear_frame_handler(Proto proto) { handlers_.erase(proto); }
+
+void UdpStack::on_datagram(const std::uint8_t* data, std::size_t len) {
+  if (len < kHeaderSize || std::memcmp(data, kMagic, 4) != 0 || data[4] != kWireVersion) {
+    stats_.frames_dropped++;
+    return;
+  }
+  const auto proto = static_cast<Proto>(data[5]);
+  const NodeId src{get_u64(data + 6)};
+  const NodeId dst{get_u64(data + 14)};
+  // Own multicast echo (IP_MULTICAST_LOOP): the sim never delivers a
+  // broadcast back to its sender, so neither do we.
+  if (src == self_) return;
+  if (dst != self_ && dst != kBroadcast) {
+    stats_.frames_dropped++;
+    return;
+  }
+  LinkFrame frame;
+  frame.src = src;
+  frame.dst = dst;
+  frame.medium = MediumId::invalid();
+  frame.proto = proto;
+  frame.payload_buf =
+      std::make_shared<const Bytes>(data + kHeaderSize, data + len);
+  const auto it = handlers_.find(proto);
+  if (it == handlers_.end()) {
+    stats_.frames_dropped++;
+    return;
+  }
+  // Copy: the handler may rebind/clear itself while running.
+  const FrameHandler handler = it->second;
+  handler(frame);
+}
+
+void UdpStack::drain_fd(int fd) {
+  std::uint8_t buf[kMaxDatagram + 512];
+  while (true) {
+    const ssize_t n = recv(fd, buf, sizeof(buf), 0);
+    if (n < 0) return;  // EAGAIN/EWOULDBLOCK: drained
+    stats_.datagrams_received++;
+    stats_.bytes_received += static_cast<std::uint64_t>(n);
+    on_datagram(buf, static_cast<std::size_t>(n));
+  }
+}
+
+Time UdpStack::now() const { return process_now(); }
+
+EventId UdpStack::schedule_after(Time delay, std::function<void()> fn) {
+  const Time deadline = now() + (delay > 0 ? delay : 0);
+  const std::uint64_t id = next_timer_id_++;
+  timers_.emplace(id, Timer{deadline, std::move(fn)});
+  by_deadline_.emplace(std::make_pair(deadline, id), id);
+  return EventId{id};
+}
+
+void UdpStack::cancel(EventId id) {
+  const auto it = timers_.find(id.value());
+  if (it == timers_.end()) return;
+  by_deadline_.erase(std::make_pair(it->second.deadline, id.value()));
+  timers_.erase(it);
+}
+
+Rng UdpStack::fork_rng(std::uint64_t salt) { return rng_.fork(salt); }
+
+Time UdpStack::next_deadline() const {
+  return by_deadline_.empty() ? kTimeNever : by_deadline_.begin()->first.first;
+}
+
+void UdpStack::run_due_timers() {
+  while (!by_deadline_.empty() && by_deadline_.begin()->first.first <= now()) {
+    const std::uint64_t id = by_deadline_.begin()->second;
+    by_deadline_.erase(by_deadline_.begin());
+    const auto it = timers_.find(id);
+    if (it == timers_.end()) continue;
+    std::function<void()> fn = std::move(it->second.fn);
+    timers_.erase(it);
+    stats_.timers_fired++;
+    fn();
+  }
+}
+
+bool UdpStack::poll_once(Time max_wait) {
+  Time wait = max_wait;
+  const Time deadline = next_deadline();
+  if (deadline != kTimeNever) {
+    const Time until = deadline - now();
+    if (until < wait) wait = until;
+  }
+  if (wait < 0) wait = 0;
+
+  pollfd fds[2];
+  nfds_t nfds = 0;
+  if (ucast_fd_ >= 0) fds[nfds++] = {ucast_fd_, POLLIN, 0};
+  if (mcast_recv_fd_ >= 0) fds[nfds++] = {mcast_recv_fd_, POLLIN, 0};
+
+  int ready = 0;
+  if (nfds > 0) {
+    ready = ::poll(fds, nfds, static_cast<int>(wait / 1000));
+  } else if (wait > 0) {
+    timespec ts{wait / 1000000, (wait % 1000000) * 1000};
+    nanosleep(&ts, nullptr);
+  }
+  for (nfds_t i = 0; i < nfds; ++i) {
+    if ((fds[i].revents & POLLIN) != 0) drain_fd(fds[i].fd);
+  }
+  const bool timers_due = next_deadline() <= now();
+  run_due_timers();
+  return ready > 0 || timers_due;
+}
+
+void UdpStack::run_for(Time duration) {
+  const Time until = now() + duration;
+  while (now() < until) poll_once(until - now());
+}
+
+bool UdpStack::run_until(const std::function<bool()>& pred, Time timeout) {
+  const Time until = now() + timeout;
+  while (!pred()) {
+    if (now() >= until) return false;
+    poll_once(duration::millis(20));
+  }
+  return true;
+}
+
+}  // namespace ndsm::net

@@ -1,0 +1,155 @@
+#pragma once
+// net::UdpStack — the real-socket implementation of the net::Stack seam.
+// A node::Runtime constructed on one of these runs as an actual OS
+// process: unicast frames travel as UDP datagrams to 127.0.0.1:(port_base
+// + node id), broadcast frames ride a loopback multicast group (with a
+// unicast fan-out fallback for environments where multicast join fails,
+// e.g. minimal containers), and the clock/timer source is the OS
+// monotonic clock driven by a single-threaded poll loop.
+//
+// What carries over from the sim and what does not (DESIGN §14):
+//   * carries over — the entire middleware above the seam: routing,
+//     reliable exactly-once transport, discovery, transactions run the
+//     same code on both backends; frame shape and Proto demux identical.
+//   * does not — determinism. now() is real time, fork_rng() seeds from
+//     process entropy, delivery order is whatever the kernel gives us.
+//     The sim remains the substrate for every reproducibility claim.
+//
+// Threading model: none. The owner drives the stack by calling
+// poll_once()/run_for()/run_until() from one thread; receive handlers and
+// timer callbacks fire inside those calls. This mirrors the sim's
+// single-threaded event loop, so middleware code written for the sim
+// needs no locking to run here.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/stack.hpp"
+
+namespace ndsm::net {
+
+struct UdpStackConfig {
+  // Unicast datagrams for node N go to 127.0.0.1:(port_base + N). Node
+  // ids must therefore be small (< 65535 - port_base).
+  std::uint16_t port_base = 47000;
+  // Loopback multicast group carrying broadcast frames. Every stack in a
+  // fleet must share group + port. The port defaults to port_base - 1.
+  std::string multicast_group = "239.192.77.1";
+  std::uint16_t multicast_port = 0;
+  // Fleet membership, used for (a) the unicast fan-out fallback when the
+  // multicast join fails and (b) answering peer_online() for known peers.
+  std::vector<NodeId> peers;
+  // Static location input (the paper's GPS assumption): this node's
+  // position and, optionally, known peer positions for position_of().
+  Vec2 position{};
+  std::map<NodeId, Vec2> peer_positions;
+  // 0 = seed from process entropy (pid + real time); fixed values make a
+  // single process's jitter reproducible, which eases debugging but is
+  // NOT a cross-run determinism guarantee.
+  std::uint64_t rng_seed = 0;
+};
+
+struct UdpStats {
+  std::uint64_t datagrams_sent = 0;
+  std::uint64_t datagrams_received = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+  std::uint64_t frames_dropped = 0;  // malformed, wrong magic, or not for us
+  std::uint64_t timers_fired = 0;
+};
+
+class UdpStack final : public Stack {
+ public:
+  // Opens the sockets (throws std::runtime_error if the unicast bind
+  // fails) and binds the process-global clock hook so log/trace records
+  // are stamped with this stack's monotonic time.
+  explicit UdpStack(NodeId self, UdpStackConfig config = {});
+  ~UdpStack() override;
+
+  UdpStack(const UdpStack&) = delete;
+  UdpStack& operator=(const UdpStack&) = delete;
+
+  // --- Stack interface -------------------------------------------------------
+  [[nodiscard]] NodeId self() const override { return self_; }
+  [[nodiscard]] bool online() const override { return online_; }
+  bool set_link_up() override;
+  void set_link_down() override;
+
+  [[nodiscard]] Vec2 self_position() const override { return config_.position; }
+  [[nodiscard]] std::optional<Vec2> position_of(NodeId node) const override;
+  // Optimistic: every configured peer is presumed reachable. Failure
+  // detection belongs to the layers above (leases, retry exhaustion).
+  [[nodiscard]] bool peer_online(NodeId node) const override;
+
+  Status send_frame(NodeId dst, Proto proto, Bytes payload) override;
+  Status broadcast_frame(Proto proto, Bytes payload) override;
+  void set_frame_handler(Proto proto, FrameHandler handler) override;
+  void clear_frame_handler(Proto proto) override;
+
+  // Microseconds since this process's first UdpStack clock read — a
+  // monotonic timeline shared by every stack in the process.
+  [[nodiscard]] Time now() const override;
+  EventId schedule_after(Time delay, std::function<void()> fn) override;
+  void cancel(EventId id) override;
+
+  [[nodiscard]] Rng fork_rng(std::uint64_t salt) override;
+  // Wall-clock microseconds at construction (monotone-guarded): a
+  // restarted process always carries a strictly larger epoch, which is
+  // what the transport's stale-incarnation rejection needs.
+  [[nodiscard]] std::uint64_t incarnation_epoch() const override { return epoch_; }
+
+  // --- event loop ------------------------------------------------------------
+  // One scheduler step: wait up to `max_wait` for a datagram or the next
+  // timer deadline (whichever is sooner), drain ready datagrams, run due
+  // timers. Returns false if there was nothing to do and the full wait
+  // elapsed.
+  bool poll_once(Time max_wait = duration::millis(50));
+  // Drive the loop for (at least) `duration` of stack time.
+  void run_for(Time duration);
+  // Drive the loop until `pred()` holds or `timeout` elapses; returns
+  // whether the predicate held.
+  bool run_until(const std::function<bool()>& pred, Time timeout);
+
+  // --- introspection ---------------------------------------------------------
+  [[nodiscard]] const UdpStats& stats() const { return stats_; }
+  // False when the stack fell back to unicast fan-out for broadcasts.
+  [[nodiscard]] bool using_multicast() const { return mcast_recv_fd_ >= 0; }
+  [[nodiscard]] std::uint16_t unicast_port() const;
+  [[nodiscard]] std::size_t pending_timers() const { return timers_.size(); }
+
+ private:
+  struct Timer {
+    Time deadline;
+    std::function<void()> fn;
+  };
+
+  void open_sockets();
+  void close_sockets();
+  Status send_datagram(const Bytes& wire, std::uint16_t port, bool multicast);
+  void drain_fd(int fd);
+  void on_datagram(const std::uint8_t* data, std::size_t len);
+  void run_due_timers();
+  [[nodiscard]] Time next_deadline() const;
+
+  NodeId self_;
+  UdpStackConfig config_;
+  std::uint64_t epoch_;
+  bool online_ = false;
+  int ucast_fd_ = -1;
+  int mcast_recv_fd_ = -1;  // -1 = multicast unavailable, fan-out in use
+  Rng rng_;
+  std::map<Proto, FrameHandler> handlers_;
+  // Timers: id -> entry (erased on cancel/fire) + a sorted deadline index
+  // so firing order is (deadline, creation order) — same tiebreak the sim
+  // uses. Both are std::map: iteration order must not depend on hashing.
+  std::uint64_t next_timer_id_ = 1;
+  std::map<std::uint64_t, Timer> timers_;
+  std::map<std::pair<Time, std::uint64_t>, std::uint64_t> by_deadline_;
+  UdpStats stats_;
+};
+
+}  // namespace ndsm::net

@@ -25,39 +25,13 @@
 #include "common/status.hpp"
 #include "common/vec2.hpp"
 #include "net/energy.hpp"
+#include "net/frame.hpp"
 #include "net/link_spec.hpp"
 #include "net/shard_map.hpp"
 #include "obs/metrics.hpp"
 #include "sim/simulator.hpp"
 
 namespace ndsm::net {
-
-// Link-layer protocol demultiplexer (like an EtherType).
-enum class Proto : std::uint8_t {
-  kRouting = 1,
-  kLocation = 2,
-  kTransport = 3,
-  kDiscovery = 4,
-  kApp = 5,
-};
-
-constexpr NodeId kBroadcast = NodeId{0xfffffffffffffffULL - 1};
-
-struct LinkFrame {
-  NodeId src;
-  NodeId dst;  // kBroadcast for broadcast frames
-  MediumId medium;
-  Proto proto;
-  // One immutable buffer per transmission, shared by every receiver of a
-  // broadcast fan-out (zero per-recipient copies). Handlers that need the
-  // payload past the callback may retain the shared_ptr.
-  std::shared_ptr<const Bytes> payload_buf;
-
-  [[nodiscard]] const Bytes& payload() const {
-    static const Bytes empty;
-    return payload_buf ? *payload_buf : empty;
-  }
-};
 
 struct NodeStats {
   std::uint64_t frames_sent = 0;

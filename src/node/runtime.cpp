@@ -10,23 +10,39 @@
 namespace ndsm::node {
 
 Runtime::Runtime(net::World& world, Vec2 position, StackConfig config)
-    : world_(world), id_(world.add_node(position, config.battery)), config_(std::move(config)) {
-  for (const MediumId m : config_.media) world_.attach(id_, m);
+    : world_(&world),
+      id_(world.add_node(position, config.battery)),
+      owned_stack_(std::make_unique<net::WorldStack>(world, id_)),
+      stack_(owned_stack_.get()),
+      config_(std::move(config)) {
+  for (const MediumId m : config_.media) world_->attach(id_, m);
   pin_home_shard();
   register_metrics();
   bring_up();
 }
 
 Runtime::Runtime(net::World& world, NodeId existing, StackConfig config)
-    : world_(world), id_(existing), config_(std::move(config)) {
+    : world_(&world),
+      id_(existing),
+      owned_stack_(std::make_unique<net::WorldStack>(world, id_)),
+      stack_(owned_stack_.get()),
+      config_(std::move(config)) {
+  pin_home_shard();
+  register_metrics();
+  bring_up();
+}
+
+Runtime::Runtime(net::Stack& stack, StackConfig config)
+    : world_(stack.world_ptr()), id_(stack.self()), stack_(&stack), config_(std::move(config)) {
   pin_home_shard();
   register_metrics();
   bring_up();
 }
 
 void Runtime::pin_home_shard() {
-  if (const net::ShardMap* map = world_.shard_map()) {
-    home_shard_ = map->shard_of(world_.position(id_));
+  if (world_ == nullptr) return;
+  if (const net::ShardMap* map = world_->shard_map()) {
+    home_shard_ = map->shard_of(world_->position(id_));
   }
 }
 
@@ -48,26 +64,30 @@ void Runtime::register_metrics() {
 }
 
 std::unique_ptr<routing::Router> Runtime::make_router() {
-  if (config_.router_factory) return config_.router_factory(world_, id_);
+  if (config_.router_factory) return config_.router_factory(*stack_);
   switch (config_.router) {
     case RouterPolicy::kGlobal:
+      // Middleware-computed routes need the omniscient network view; only
+      // a sim-backed stack can provide one.
+      NDSM_INVARIANT(world_ != nullptr,
+                     "RouterPolicy::kGlobal requires a simulated World backend");
       if (!config_.table) {
         config_.table =
-            std::make_shared<routing::GlobalRoutingTable>(world_, config_.metric);
+            std::make_shared<routing::GlobalRoutingTable>(*world_, config_.metric);
       }
-      return std::make_unique<routing::GlobalRouter>(world_, id_, config_.table);
+      return std::make_unique<routing::GlobalRouter>(*stack_, config_.table);
     case RouterPolicy::kDistanceVector:
-      return std::make_unique<routing::DistanceVectorRouter>(world_, id_,
+      return std::make_unique<routing::DistanceVectorRouter>(*stack_,
                                                              config_.dv_update_period);
     case RouterPolicy::kFlooding:
-      return std::make_unique<routing::FloodingRouter>(world_, id_);
+      return std::make_unique<routing::FloodingRouter>(*stack_);
     case RouterPolicy::kGeographic:
-      return std::make_unique<routing::GeoRouter>(world_, id_, config_.geo_hello_period);
+      return std::make_unique<routing::GeoRouter>(*stack_, config_.geo_hello_period);
     case RouterPolicy::kCustom:
       break;
   }
   assert(false && "RouterPolicy::kCustom requires a router_factory");
-  return std::make_unique<routing::FloodingRouter>(world_, id_);
+  return std::make_unique<routing::FloodingRouter>(*stack_);
 }
 
 void Runtime::bring_up() {
@@ -124,38 +144,37 @@ void Runtime::crash() {
   if (!up_) return;
   stats_.crashes++;
   NDSM_INFO("node", "node " << id_.value() << " crashes at "
-                            << format_time(world_.sim().now()));
+                            << format_time(stack_->now()));
   obs::Tracer::instance().event("node.runtime", "crash",
                                 static_cast<std::int64_t>(id_.value()));
   // Simulated crashes are routine; dump the ring only when armed
   // (NDSM_FLIGHTREC=1), e.g. while hunting a crash-correlated bug.
   if (obs::flight_recorder_armed()) {
     obs::flight_record("crash-node" + std::to_string(id_.value()),
-                       "Runtime::crash at t=" + std::to_string(world_.sim().now()));
+                       "Runtime::crash at t=" + std::to_string(stack_->now()));
   }
   tear_down();
-  // Go link-dead last: handlers are already detached, so the World-level
+  // Go link-dead last: handlers are already detached, so the backend-level
   // death event (which notifies e.g. MiLAN's supervisor) observes a node
   // with no half-dismantled stack.
-  world_.kill(id_);
-  NDSM_AUDIT_ASSERT(!world_.alive(id_), "crashed node still alive in the World");
+  stack_->set_link_down();
+  NDSM_AUDIT_ASSERT(!stack_->online(), "crashed node still link-alive");
   // Middleware-computed routes through this node are stale immediately.
   if (config_.table) config_.table->invalidate();
 }
 
 void Runtime::restart() {
   if (up_) return;
-  world_.revive(id_);
-  if (!world_.alive(id_)) return;  // battery exhausted: cannot reboot
+  if (!stack_->set_link_up()) return;  // battery exhausted: cannot reboot
   stats_.restarts++;
   NDSM_INFO("node", "node " << id_.value() << " restarts at "
-                            << format_time(world_.sim().now()));
+                            << format_time(stack_->now()));
   obs::Tracer::instance().event("node.runtime", "restart",
                                 static_cast<std::int64_t>(id_.value()));
   bring_up();
   NDSM_AUDIT_ASSERT(up_ && router_ && transport_, "restart left the stack half-built");
   // Restart must rejoin the node's original timeline: the pin never moves.
-  if (const net::ShardMap* map = world_.shard_map()) {
+  if (const net::ShardMap* map = world_ ? world_->shard_map() : nullptr) {
     NDSM_INVARIANT(map->shards() > home_shard_,
                    "shard map shrank under a pinned node across a restart");
   }

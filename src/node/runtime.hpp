@@ -8,8 +8,11 @@
 // {services}` with parallel vectors, and nothing could take a node down
 // and bring it back.
 //
-// A Runtime is constructed from `(World&, position, StackConfig)`. It
-//   * registers the node with the World (or adopts an existing NodeId),
+// A Runtime is constructed from `(World&, position, StackConfig)` — or,
+// for a real deployment, from any externally owned `net::Stack` (e.g. a
+// UdpStack bound to real sockets). It
+//   * registers the node with the World (or adopts an existing NodeId, or
+//     adopts the identity of the supplied stack),
 //   * builds the router according to the configured policy (global /
 //     distance-vector / flooding / geographic, or a custom factory),
 //   * builds the reliable transport on top,
@@ -41,6 +44,7 @@
 #include <vector>
 
 #include "net/world.hpp"
+#include "net/world_stack.hpp"
 #include "obs/metrics.hpp"
 #include "recovery/storage.hpp"
 #include "routing/distance_vector.hpp"
@@ -75,7 +79,7 @@ struct StackConfig {
   Time geo_hello_period = duration::seconds(2);         // kGeographic
   // kCustom (or any policy override): build the router yourself. Stored,
   // so restart() rebuilds through the same factory.
-  std::function<std::unique_ptr<routing::Router>(net::World&, NodeId)> router_factory;
+  std::function<std::unique_ptr<routing::Router>(net::Stack&)> router_factory;
   transport::TransportConfig transport;
   // Used only by the node-creating constructor:
   net::Battery battery = net::Battery::mains();
@@ -137,6 +141,11 @@ class Runtime {
   // Adopt an existing node (the caller already called add_node/attach)
   // and bring the stack up on it.
   Runtime(net::World& world, NodeId existing, StackConfig config = {});
+  // Run on an externally owned network backend (e.g. net::UdpStack for a
+  // real OS-process deployment). The stack must outlive the Runtime.
+  // Policies needing the sim World's global view (kGlobal) require a
+  // backend whose world_ptr() is non-null.
+  explicit Runtime(net::Stack& stack, StackConfig config = {});
   ~Runtime();
 
   Runtime(const Runtime&) = delete;
@@ -149,8 +158,14 @@ class Runtime {
   // across crash/restart cycles, even if the node moved across a cut line
   // in between — restarts must not silently migrate a node's timeline.
   [[nodiscard]] std::size_t home_shard() const { return home_shard_; }
-  [[nodiscard]] net::World& world() { return world_; }
-  [[nodiscard]] sim::Simulator& sim() { return world_.sim(); }
+  // The network backend this node runs on.
+  [[nodiscard]] net::Stack& net_stack() { return *stack_; }
+  // Sim-only accessors: assert when running on a non-sim backend.
+  [[nodiscard]] net::World& world() {
+    assert(world_ && "runtime is not on a simulated World");
+    return *world_;
+  }
+  [[nodiscard]] sim::Simulator& sim() { return world().sim(); }
   [[nodiscard]] const StackConfig& config() const { return config_; }
   [[nodiscard]] const RuntimeStats& stats() const { return stats_; }
 
@@ -231,8 +246,11 @@ class Runtime {
   [[nodiscard]] std::unique_ptr<routing::Router> make_router();
   void register_metrics();
 
-  net::World& world_;
+  net::World* world_;  // null when running on a non-sim backend
   NodeId id_;
+  // Owned when a World ctor built a WorldStack; null for an external stack.
+  std::unique_ptr<net::Stack> owned_stack_;
+  net::Stack* stack_;
   StackConfig config_;
   std::size_t home_shard_ = 0;
   bool up_ = false;

@@ -4,24 +4,24 @@
 
 namespace ndsm::routing {
 
-DistanceVectorRouter::DistanceVectorRouter(net::World& world, NodeId self, Time update_period)
-    : Router(world, self),
+DistanceVectorRouter::DistanceVectorRouter(net::Stack& stack, Time update_period)
+    : Router(stack),
       update_period_(update_period),
       route_ttl_(update_period * 3 + duration::millis(500)),
-      timer_(world.sim(), update_period, [this] {
+      timer_(stack, update_period, [this] {
         expire_routes();
         advertise();
       }) {
-  world_.set_handler(self_, Proto::kRouting,
-                     [this](const net::LinkFrame& f) { on_frame(f); });
+  stack_.set_frame_handler(Proto::kRouting,
+                           [this](const net::LinkFrame& f) { on_frame(f); });
   // Self-route.
   table_[self_] = Route{self_, 0, 0, kTimeNever};
   // Stagger initial advertisements so nodes do not all transmit at t=0.
   timer_.start(duration::millis(
-      static_cast<std::int64_t>(world_.sim().rng().fork(self.value()).uniform_int(1, 200))));
+      static_cast<std::int64_t>(stack_.fork_rng(self_.value()).uniform_int(1, 200))));
 }
 
-DistanceVectorRouter::~DistanceVectorRouter() { world_.clear_handler(self_, Proto::kRouting); }
+DistanceVectorRouter::~DistanceVectorRouter() { stack_.clear_frame_handler(Proto::kRouting); }
 
 Bytes DistanceVectorRouter::encode_table() const {
   serialize::Writer w;
@@ -35,7 +35,7 @@ Bytes DistanceVectorRouter::encode_table() const {
 }
 
 void DistanceVectorRouter::advertise() {
-  if (!world_.alive(self_)) {
+  if (!stack_.online()) {
     timer_.stop();
     return;
   }
@@ -49,11 +49,11 @@ void DistanceVectorRouter::advertise() {
   const Bytes body = encode_table();
   stats_.control_packets++;
   stats_.control_bytes += body.size();
-  world_.link_broadcast(self_, Proto::kRouting, encode_routing(h, body));
+  stack_.broadcast_frame(Proto::kRouting, encode_routing(h, body));
 }
 
 void DistanceVectorRouter::expire_routes() {
-  const Time now = world_.sim().now();
+  const Time now = stack_.now();
   for (auto it = table_.begin(); it != table_.end();) {
     Route& route = it->second;
     if (it->first != self_ && route.metric < kInfinity &&
@@ -77,7 +77,7 @@ void DistanceVectorRouter::on_update(NodeId from, const Bytes& body) {
   serialize::Reader r{body};
   const auto n = r.varint();
   if (!n) return;
-  const Time now = world_.sim().now();
+  const Time now = stack_.now();
   for (std::uint64_t i = 0; i < *n; ++i) {
     const auto dst = r.id<NodeId>();
     const auto metric = r.u8();
@@ -138,9 +138,8 @@ void DistanceVectorRouter::forward_data(RoutingHeader header, const Bytes& paylo
     stats_.drops++;
     return;
   }
-  const Status s =
-      world_.link_send(self_, it->second.next_hop, Proto::kRouting,
-                       encode_routing(header, payload));
+  const Status s = stack_.send_frame(it->second.next_hop, Proto::kRouting,
+                                     encode_routing(header, payload));
   if (!s.is_ok()) stats_.drops++;
 }
 
@@ -156,7 +155,7 @@ Status DistanceVectorRouter::flood(Proto upper, Bytes payload, int ttl) {
   seen_[self_].insert(h.seq);
   deliver_local(self_, upper, payload);
   stats_.data_sent++;
-  return world_.link_broadcast(self_, Proto::kRouting, encode_routing(h, payload));
+  return stack_.broadcast_frame(Proto::kRouting, encode_routing(h, payload));
 }
 
 void DistanceVectorRouter::on_frame(const net::LinkFrame& frame) {
@@ -192,7 +191,7 @@ void DistanceVectorRouter::on_frame(const net::LinkFrame& frame) {
       h.ttl--;
       stats_.data_forwarded++;
       record_forward(h, "flood_forward");
-      world_.link_broadcast(self_, Proto::kRouting, encode_routing(h, payload));
+      stack_.broadcast_frame(Proto::kRouting, encode_routing(h, payload));
       break;
     }
   }

@@ -11,7 +11,6 @@
 #include <unordered_set>
 
 #include "routing/router.hpp"
-#include "sim/simulator.hpp"
 
 namespace ndsm::routing {
 
@@ -19,8 +18,8 @@ class DistanceVectorRouter : public Router {
  public:
   static constexpr int kInfinity = 32;
 
-  DistanceVectorRouter(net::World& world, NodeId self,
-                       Time update_period = duration::seconds(5));
+  explicit DistanceVectorRouter(net::Stack& stack,
+                                Time update_period = duration::seconds(5));
   ~DistanceVectorRouter() override;
 
   Status send(NodeId dst, Proto upper, Bytes payload) override;
@@ -54,7 +53,7 @@ class DistanceVectorRouter : public Router {
   // advertisements, so iteration order is packet bytes. An unordered map
   // here made the wire format depend on hash-bucket layout.
   std::map<NodeId, Route> table_;
-  sim::PeriodicTimer timer_;
+  net::PeriodicTimer timer_;
 
   // Flood machinery reused for flood().
   std::uint32_t next_seq_ = 1;

@@ -2,12 +2,12 @@
 
 namespace ndsm::routing {
 
-FloodingRouter::FloodingRouter(net::World& world, NodeId self) : Router(world, self) {
-  world_.set_handler(self_, Proto::kRouting,
-                     [this](const net::LinkFrame& f) { on_frame(f); });
+FloodingRouter::FloodingRouter(net::Stack& stack) : Router(stack) {
+  stack_.set_frame_handler(Proto::kRouting,
+                           [this](const net::LinkFrame& f) { on_frame(f); });
 }
 
-FloodingRouter::~FloodingRouter() { world_.clear_handler(self_, Proto::kRouting); }
+FloodingRouter::~FloodingRouter() { stack_.clear_frame_handler(Proto::kRouting); }
 
 bool FloodingRouter::seen_before(NodeId origin, std::uint32_t seq) {
   return !seen_[origin].insert(seq).second;
@@ -25,7 +25,7 @@ Status FloodingRouter::originate(NodeId dst, Proto upper, Bytes payload, int ttl
   (void)seen_before(self_, h.seq);  // never re-forward our own packet
   if (dst == net::kBroadcast) deliver_local(self_, upper, payload);  // local subscribers too
   stats_.data_sent++;
-  return world_.link_broadcast(self_, Proto::kRouting, encode_routing(h, payload));
+  return stack_.broadcast_frame(Proto::kRouting, encode_routing(h, payload));
 }
 
 Status FloodingRouter::send(NodeId dst, Proto upper, Bytes payload) {
@@ -57,7 +57,7 @@ void FloodingRouter::on_frame(const net::LinkFrame& frame) {
   h.ttl--;
   stats_.data_forwarded++;
   record_forward(h, "flood_forward");
-  world_.link_broadcast(self_, Proto::kRouting, encode_routing(h, payload));
+  stack_.broadcast_frame(Proto::kRouting, encode_routing(h, payload));
 }
 
 }  // namespace ndsm::routing

@@ -12,7 +12,7 @@ namespace ndsm::routing {
 
 class FloodingRouter : public Router {
  public:
-  FloodingRouter(net::World& world, NodeId self);
+  explicit FloodingRouter(net::Stack& stack);
   ~FloodingRouter() override;
 
   Status send(NodeId dst, Proto upper, Bytes payload) override;

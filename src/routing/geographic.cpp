@@ -6,24 +6,24 @@
 
 namespace ndsm::routing {
 
-GeoRouter::GeoRouter(net::World& world, NodeId self, Time hello_period)
-    : Router(world, self),
+GeoRouter::GeoRouter(net::Stack& stack, Time hello_period)
+    : Router(stack),
       hello_period_(hello_period),
       neighbor_ttl_(hello_period * 3 + duration::millis(300)),
       resolve_([this](NodeId node) -> std::optional<Vec2> {
-        return world_.alive(node) ? std::optional<Vec2>{world_.position(node)} : std::nullopt;
+        return stack_.peer_online(node) ? stack_.position_of(node) : std::nullopt;
       }),
-      hello_timer_(world.sim(), hello_period, [this] { hello(); }) {
-  world_.set_handler(self_, Proto::kRouting,
-                     [this](const net::LinkFrame& f) { on_frame(f); });
+      hello_timer_(stack, hello_period, [this] { hello(); }) {
+  stack_.set_frame_handler(Proto::kRouting,
+                           [this](const net::LinkFrame& f) { on_frame(f); });
   hello_timer_.start(duration::millis(static_cast<std::int64_t>(
-      world.sim().rng().fork(self.value() ^ 0x9e0).uniform_int(1, 400))));
+      stack_.fork_rng(self_.value() ^ 0x9e0).uniform_int(1, 400))));
 }
 
-GeoRouter::~GeoRouter() { world_.clear_handler(self_, Proto::kRouting); }
+GeoRouter::~GeoRouter() { stack_.clear_frame_handler(Proto::kRouting); }
 
 void GeoRouter::hello() {
-  if (!world_.alive(self_)) {
+  if (!stack_.online()) {
     hello_timer_.stop();
     return;
   }
@@ -33,16 +33,16 @@ void GeoRouter::hello() {
   h.dst = net::kBroadcast;
   h.ttl = 1;
   serialize::Writer w;
-  w.vec2(world_.position(self_));
+  w.vec2(stack_.self_position());
   const Bytes body = std::move(w).take();
   stats_.control_packets++;
   stats_.control_bytes += body.size();
-  world_.link_broadcast(self_, Proto::kRouting, encode_routing(h, body));
+  stack_.broadcast_frame(Proto::kRouting, encode_routing(h, body));
 }
 
 NodeId GeoRouter::best_hop_toward(Vec2 dst_pos) const {
-  const Time now = world_.sim().now();
-  const double own_distance = distance(world_.position(self_), dst_pos);
+  const Time now = stack_.now();
+  const double own_distance = distance(stack_.self_position(), dst_pos);
   NodeId best = NodeId::invalid();
   double best_distance = own_distance;  // strictly closer than self, else stuck
   for (const auto& [node, info] : neighbors_) {
@@ -83,9 +83,8 @@ void GeoRouter::forward_data(RoutingHeader header, const Bytes& payload) {
   // Direct neighbour?
   const auto direct = neighbors_.find(header.dst);
   if (direct != neighbors_.end() &&
-      world_.sim().now() - direct->second.heard <= neighbor_ttl_) {
-    if (!world_.link_send(self_, header.dst, Proto::kRouting,
-                          encode_routing(header, payload))
+      stack_.now() - direct->second.heard <= neighbor_ttl_) {
+    if (!stack_.send_frame(header.dst, Proto::kRouting, encode_routing(header, payload))
              .is_ok()) {
       stats_.drops++;
     }
@@ -97,8 +96,7 @@ void GeoRouter::forward_data(RoutingHeader header, const Bytes& payload) {
     stats_.drops++;
     return;
   }
-  if (!world_.link_send(self_, hop, Proto::kRouting, encode_routing(header, payload))
-           .is_ok()) {
+  if (!stack_.send_frame(hop, Proto::kRouting, encode_routing(header, payload)).is_ok()) {
     stats_.drops++;
   }
 }
@@ -115,7 +113,7 @@ Status GeoRouter::flood(Proto upper, Bytes payload, int ttl) {
   seen_[self_].insert(h.seq);
   deliver_local(self_, upper, payload);
   stats_.data_sent++;
-  return world_.link_broadcast(self_, Proto::kRouting, encode_routing(h, payload));
+  return stack_.broadcast_frame(Proto::kRouting, encode_routing(h, payload));
 }
 
 void GeoRouter::on_frame(const net::LinkFrame& frame) {
@@ -127,7 +125,7 @@ void GeoRouter::on_frame(const net::LinkFrame& frame) {
       serialize::Reader r{payload};
       const auto pos = r.vec2();
       if (!pos) return;
-      neighbors_[h.origin] = NeighborInfo{*pos, world_.sim().now()};
+      neighbors_[h.origin] = NeighborInfo{*pos, stack_.now()};
       break;
     }
     case RoutingKind::kData:
@@ -152,7 +150,7 @@ void GeoRouter::on_frame(const net::LinkFrame& frame) {
       h.ttl--;
       stats_.data_forwarded++;
       record_forward(h, "flood_forward");
-      world_.link_broadcast(self_, Proto::kRouting, encode_routing(h, payload));
+      stack_.broadcast_frame(Proto::kRouting, encode_routing(h, payload));
       break;
     }
   }

@@ -17,7 +17,6 @@
 #include <unordered_set>
 
 #include "routing/router.hpp"
-#include "sim/simulator.hpp"
 
 namespace ndsm::routing {
 
@@ -25,15 +24,15 @@ class GeoRouter : public Router {
  public:
   using PositionResolver = std::function<std::optional<Vec2>(NodeId)>;
 
-  GeoRouter(net::World& world, NodeId self, Time hello_period = duration::seconds(2));
+  explicit GeoRouter(net::Stack& stack, Time hello_period = duration::seconds(2));
   ~GeoRouter() override;
 
   Status send(NodeId dst, Proto upper, Bytes payload) override;
   Status flood(Proto upper, Bytes payload, int ttl = kDefaultTtl) override;
 
-  // How to find a destination's position. Default: the World's ground
-  // truth (GPS assumption); swap in a LocationService lookup for a fully
-  // distributed deployment.
+  // How to find a destination's position. Default: the Stack's position
+  // oracle (the World's ground truth in the sim — the GPS assumption);
+  // swap in a LocationService lookup for a fully distributed deployment.
   void set_position_resolver(PositionResolver resolver) { resolve_ = std::move(resolver); }
 
   // Broadcast a hello beacon now (normally timer-driven).
@@ -63,7 +62,7 @@ class GeoRouter : public Router {
   std::uint32_t next_seq_ = 1;
   std::unordered_map<NodeId, std::unordered_set<std::uint32_t>> seen_;
   std::uint64_t local_minimum_drops_ = 0;
-  sim::PeriodicTimer hello_timer_;
+  net::PeriodicTimer hello_timer_;
 };
 
 }  // namespace ndsm::routing

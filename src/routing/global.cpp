@@ -95,14 +95,13 @@ void GlobalRoutingTable::invalidate() {
   cache_.clear();
 }
 
-GlobalRouter::GlobalRouter(net::World& world, NodeId self,
-                           std::shared_ptr<GlobalRoutingTable> table)
-    : Router(world, self), table_(std::move(table)) {
-  world_.set_handler(self_, Proto::kRouting,
-                     [this](const net::LinkFrame& f) { on_frame(f); });
+GlobalRouter::GlobalRouter(net::Stack& stack, std::shared_ptr<GlobalRoutingTable> table)
+    : Router(stack), table_(std::move(table)) {
+  stack_.set_frame_handler(Proto::kRouting,
+                           [this](const net::LinkFrame& f) { on_frame(f); });
 }
 
-GlobalRouter::~GlobalRouter() { world_.clear_handler(self_, Proto::kRouting); }
+GlobalRouter::~GlobalRouter() { stack_.clear_frame_handler(Proto::kRouting); }
 
 Status GlobalRouter::send(NodeId dst, Proto upper, Bytes payload) {
   if (dst == self_) {
@@ -132,8 +131,8 @@ void GlobalRouter::forward_data(RoutingHeader header, const Bytes& payload) {
     stats_.drops++;
     return;
   }
-  const Status s = world_.link_send(self_, hop, Proto::kRouting,
-                                    encode_routing(header, payload));
+  const Status s =
+      stack_.send_frame(hop, Proto::kRouting, encode_routing(header, payload));
   if (!s.is_ok()) {
     // Stale route (e.g. the hop just died): recompute once and retry.
     table_->invalidate();
@@ -142,8 +141,7 @@ void GlobalRouter::forward_data(RoutingHeader header, const Bytes& payload) {
       stats_.drops++;
       return;
     }
-    if (!world_
-             .link_send(self_, retry, Proto::kRouting, encode_routing(header, payload))
+    if (!stack_.send_frame(retry, Proto::kRouting, encode_routing(header, payload))
              .is_ok()) {
       stats_.drops++;
     }
@@ -162,7 +160,7 @@ Status GlobalRouter::flood(Proto upper, Bytes payload, int ttl) {
   seen_[self_].insert(h.seq);
   deliver_local(self_, upper, payload);
   stats_.data_sent++;
-  return world_.link_broadcast(self_, Proto::kRouting, encode_routing(h, payload));
+  return stack_.broadcast_frame(Proto::kRouting, encode_routing(h, payload));
 }
 
 void GlobalRouter::on_frame(const net::LinkFrame& frame) {
@@ -194,7 +192,7 @@ void GlobalRouter::on_frame(const net::LinkFrame& frame) {
       h.ttl--;
       stats_.data_forwarded++;
       record_forward(h, "flood_forward");
-      world_.link_broadcast(self_, Proto::kRouting, encode_routing(h, payload));
+      stack_.broadcast_frame(Proto::kRouting, encode_routing(h, payload));
       break;
     }
     case RoutingKind::kDvUpdate:

@@ -16,12 +16,15 @@
 #include <unordered_set>
 #include <vector>
 
+#include "net/world.hpp"
 #include "routing/router.hpp"
 
 namespace ndsm::routing {
 
 enum class Metric { kHopCount, kEnergyAware };
 
+// Sim-only: needs the omniscient network view (reached through
+// Stack::world_ptr()), which a real backend cannot provide.
 class GlobalRoutingTable {
  public:
   GlobalRoutingTable(net::World& world, Metric metric,
@@ -68,7 +71,7 @@ class GlobalRoutingTable {
 
 class GlobalRouter : public Router {
  public:
-  GlobalRouter(net::World& world, NodeId self, std::shared_ptr<GlobalRoutingTable> table);
+  GlobalRouter(net::Stack& stack, std::shared_ptr<GlobalRoutingTable> table);
   ~GlobalRouter() override;
 
   Status send(NodeId dst, Proto upper, Bytes payload) override;

@@ -6,27 +6,27 @@ namespace ndsm::routing {
 
 LocationService::LocationService(Router& router, Time beacon_period)
     : router_(router),
-      timer_(router.world().sim(), beacon_period, [this] { beacon(); }) {
+      timer_(router.stack(), beacon_period, [this] { beacon(); }) {
   router_.set_delivery_handler(
       Proto::kLocation, [this](NodeId origin, const Bytes& b) { on_beacon(origin, b); });
   // Jittered start so beacons from different nodes interleave.
   timer_.start(duration::millis(static_cast<std::int64_t>(
-      router.world().sim().rng().fork(router.self().value() ^ 0x10c).uniform_int(1, 500))));
+      router.stack().fork_rng(router.self().value() ^ 0x10c).uniform_int(1, 500))));
   // We always know our own position.
   cache_[router_.self()] =
-      Entry{router_.world().position(router_.self()), router_.world().sim().now()};
+      Entry{router_.stack().self_position(), router_.stack().now()};
 }
 
 LocationService::~LocationService() { router_.clear_delivery_handler(Proto::kLocation); }
 
 void LocationService::beacon() {
-  auto& world = router_.world();
-  if (!world.alive(router_.self())) {
+  auto& stack = router_.stack();
+  if (!stack.online()) {
     timer_.stop();
     return;
   }
-  const Vec2 pos = world.position(router_.self());
-  cache_[router_.self()] = Entry{pos, world.sim().now()};
+  const Vec2 pos = stack.self_position();
+  cache_[router_.self()] = Entry{pos, stack.now()};
   serialize::Writer w;
   w.vec2(pos);
   router_.flood(Proto::kLocation, std::move(w).take());
@@ -36,14 +36,14 @@ void LocationService::on_beacon(NodeId origin, const Bytes& payload) {
   serialize::Reader r{payload};
   const auto pos = r.vec2();
   if (!pos) return;
-  cache_[origin] = Entry{*pos, router_.world().sim().now()};
+  cache_[origin] = Entry{*pos, router_.stack().now()};
 }
 
 std::optional<Vec2> LocationService::lookup(NodeId node, Time max_age) const {
   const auto it = cache_.find(node);
   if (it == cache_.end()) return std::nullopt;
   if (max_age != kTimeNever &&
-      router_.world().sim().now() - it->second.updated > max_age) {
+      router_.stack().now() - it->second.updated > max_age) {
     return std::nullopt;
   }
   return it->second.position;

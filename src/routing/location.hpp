@@ -8,7 +8,6 @@
 #include <unordered_map>
 
 #include "routing/router.hpp"
-#include "sim/simulator.hpp"
 
 namespace ndsm::routing {
 
@@ -39,7 +38,7 @@ class LocationService {
 
   Router& router_;
   std::unordered_map<NodeId, Entry> cache_;
-  sim::PeriodicTimer timer_;
+  net::PeriodicTimer timer_;
 };
 
 }  // namespace ndsm::routing

@@ -2,7 +2,8 @@
 // Multi-hop routing (§3.5). The paper argues locating and routing belong
 // *inside* the middleware ("the middleware incorporates this
 // functionality", §4), so routers are first-class middleware objects: one
-// Router instance per node, all built on the World link layer.
+// Router instance per node, all built on the net::Stack link-layer seam
+// (simulated World or real sockets — §3.2 network independence).
 //
 // Three strategies are provided:
 //   * FloodingRouter       — controlled flooding with duplicate suppression
@@ -18,7 +19,7 @@
 #include "common/bytes.hpp"
 #include "common/ids.hpp"
 #include "common/status.hpp"
-#include "net/world.hpp"
+#include "net/stack.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "obs/trace_context.hpp"
@@ -60,8 +61,8 @@ class Router {
   // origin = the node that sent the payload end-to-end.
   using DeliveryHandler = std::function<void(NodeId origin, const Bytes& payload)>;
 
-  Router(net::World& world, NodeId self)
-      : world_(world), self_(self), hops_hist_(register_metrics()) {}
+  explicit Router(net::Stack& stack)
+      : stack_(stack), self_(stack.self()), hops_hist_(register_metrics()) {}
   virtual ~Router() = default;
 
   Router(const Router&) = delete;
@@ -83,7 +84,8 @@ class Router {
 
   [[nodiscard]] NodeId self() const { return self_; }
   [[nodiscard]] const RouterStats& stats() const { return stats_; }
-  [[nodiscard]] net::World& world() { return world_; }
+  // The network backend this router runs on (sim WorldStack or UdpStack).
+  [[nodiscard]] net::Stack& stack() { return stack_; }
 
   static constexpr int kDefaultTtl = 32;
 
@@ -127,7 +129,7 @@ class Router {
   // known (typically kDefaultTtl minus the remaining TTL).
   void record_delivery_hops(int hops) { hops_hist_.observe(static_cast<double>(hops)); }
 
-  net::World& world_;
+  net::Stack& stack_;
   NodeId self_;
   std::map<Proto, DeliveryHandler> handlers_;
   RouterStats stats_;

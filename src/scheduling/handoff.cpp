@@ -12,10 +12,10 @@ HandoffManager::HandoffManager(transport::ReliableTransport& transport)
 
 HandoffManager::~HandoffManager() {
   transport_.clear_receiver(transport::ports::kHandoff);
-  auto& sim = transport_.router().world().sim();
+  auto& stack = transport_.router().stack();
   // ndsm-lint: allow(unordered-iter): cancel order is irrelevant — cancel() is an O(1) tombstone with no observable ordering effect
   for (auto& [id, pending] : pending_) {
-    if (pending.timer.valid()) sim.cancel(pending.timer);
+    if (pending.timer.valid()) stack.cancel(pending.timer);
   }
 }
 
@@ -30,13 +30,13 @@ void HandoffManager::unregister_session_type(const std::string& session_type) {
 
 void HandoffManager::handoff(const std::string& session_type, Bytes state, NodeId target,
                              CompletionHandler done, Time timeout) {
-  auto& sim = transport_.router().world().sim();
+  auto& stack = transport_.router().stack();
   const std::uint64_t transfer_id = next_transfer_++;
   stats_.initiated++;
 
   Pending pending;
   pending.done = std::move(done);
-  pending.timer = sim.schedule_after(timeout, [this, transfer_id] {
+  pending.timer = stack.schedule_after(timeout, [this, transfer_id] {
     finish(transfer_id, Status{ErrorCode::kTimeout, "handoff not acknowledged"});
   });
   pending_.emplace(transfer_id, std::move(pending));
@@ -52,7 +52,7 @@ void HandoffManager::handoff(const std::string& session_type, Bytes state, NodeI
 void HandoffManager::finish(std::uint64_t transfer_id, Status status) {
   const auto it = pending_.find(transfer_id);
   if (it == pending_.end()) return;
-  if (it->second.timer.valid()) transport_.router().world().sim().cancel(it->second.timer);
+  if (it->second.timer.valid()) transport_.router().stack().cancel(it->second.timer);
   auto done = std::move(it->second.done);
   pending_.erase(it);
   if (status.is_ok()) {

@@ -9,7 +9,7 @@ PubSubTupleBridge::PubSubTupleBridge(transport::ReliableTransport& transport, No
                                      Time poll_period)
     : pubsub_(transport, broker),
       tuples_(transport, tuple_space),
-      poller_(transport.router().world().sim(), poll_period, [this] { poll_outbound(); }) {
+      poller_(transport.router().stack(), poll_period, [this] { poll_outbound(); }) {
   pubsub_.subscribe(pattern, [this](const std::string& topic, const Bytes& data, NodeId) {
     to_space_++;
     tuples_.out(Tuple{Value{"msg"}, Value{topic}, Value{data}});

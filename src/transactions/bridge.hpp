@@ -37,7 +37,7 @@ class PubSubTupleBridge {
 
   PubSubClient pubsub_;
   TupleSpaceClient tuples_;
-  sim::PeriodicTimer poller_;
+  net::PeriodicTimer poller_;
   bool poll_in_flight_ = false;
   std::uint64_t to_space_ = 0;
   std::uint64_t to_pubsub_ = 0;

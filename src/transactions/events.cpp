@@ -25,7 +25,7 @@ void EventChannel::emit(const std::string& type, serialize::Value payload) {
   event.type = type;
   event.payload = std::move(payload);
   event.source = transport_.self();
-  event.emitted = transport_.router().world().sim().now();
+  event.emitted = transport_.router().stack().now();
 
   // Local, synchronous delivery. Copy tokens first: handlers may
   // (un)subscribe during dispatch.

@@ -28,7 +28,7 @@ TransactionManager::~TransactionManager() {
   for (auto& [id, tx] : consumers_) cancel_timers(tx);
   // ndsm-lint: allow(unordered-iter): cancel order is irrelevant — cancel() is an O(1) tombstone with no observable ordering effect
   for (auto& [key, flow] : flows_) {
-    if (flow.push_timer.valid()) sim().cancel(flow.push_timer);
+    if (flow.push_timer.valid()) stack().cancel(flow.push_timer);
   }
 }
 
@@ -67,7 +67,7 @@ TransactionId TransactionManager::begin(TransactionSpec spec, DataSink sink,
                          {"type", tx.spec.consumer.service_type}});
   }
   if (tx.spec.lifetime != kTimeNever) {
-    tx.lifetime_timer = sim().schedule_after(tx.spec.lifetime, [this, id] {
+    tx.lifetime_timer = stack().schedule_after(tx.spec.lifetime, [this, id] {
       auto it = consumers_.find(id);
       if (it == consumers_.end()) return;
       it->second.lifetime_timer = EventId::invalid();  // firing now; nothing to cancel
@@ -107,7 +107,7 @@ void TransactionManager::bind(TransactionId id) {
         }
         if (chosen == nullptr) {
           if (tx.rebinds_left-- > 0) {
-            tx.rebind_timer = sim().schedule_after(supervision_.rebind_backoff, [this, id] {
+            tx.rebind_timer = stack().schedule_after(supervision_.rebind_backoff, [this, id] {
               auto it = consumers_.find(id);
               if (it == consumers_.end()) return;
               it->second.rebind_timer = EventId::invalid();
@@ -130,7 +130,7 @@ void TransactionManager::on_bound(TransactionId id, NodeId supplier) {
   ConsumerTx& tx = it->second;
   const bool is_rebind = tx.supplier.valid();
   tx.supplier = supplier;
-  tx.last_data = sim().now();
+  tx.last_data = stack().now();
   if (is_rebind) {
     stats_.rebinds++;
   } else {
@@ -173,18 +173,18 @@ void TransactionManager::arm_watchdog(TransactionId id) {
   auto it = consumers_.find(id);
   if (it == consumers_.end()) return;
   ConsumerTx& tx = it->second;
-  if (tx.watchdog.valid()) sim().cancel(tx.watchdog);
+  if (tx.watchdog.valid()) stack().cancel(tx.watchdog);
   Time deadline = tx.spec.period * supervision_.missed_periods + duration::millis(200);
   // "Intermittent with some prediction" (§3.6): trust the supplier's
   // announced next-push time when it extends past our period-based guess,
   // so legitimate schedule gaps do not trigger spurious rebinds.
-  if (tx.predicted_next != kTimeNever && tx.predicted_next > sim().now()) {
-    const Time predicted_deadline = (tx.predicted_next - sim().now()) +
+  if (tx.predicted_next != kTimeNever && tx.predicted_next > stack().now()) {
+    const Time predicted_deadline = (tx.predicted_next - stack().now()) +
                                     tx.spec.period * (supervision_.missed_periods - 1) +
                                     duration::millis(200);
     deadline = std::max(deadline, predicted_deadline);
   }
-  tx.watchdog = sim().schedule_after(deadline, [this, id] {
+  tx.watchdog = stack().schedule_after(deadline, [this, id] {
     auto it = consumers_.find(id);
     if (it == consumers_.end()) return;
     it->second.watchdog = EventId::invalid();
@@ -196,14 +196,14 @@ void TransactionManager::arm_pull(TransactionId id) {
   auto it = consumers_.find(id);
   if (it == consumers_.end()) return;
   ConsumerTx& tx = it->second;
-  if (tx.pull_timer.valid()) sim().cancel(tx.pull_timer);
-  tx.pull_timer = sim().schedule_after(tx.spec.period, [this, id] {
+  if (tx.pull_timer.valid()) stack().cancel(tx.pull_timer);
+  tx.pull_timer = stack().schedule_after(tx.spec.period, [this, id] {
     auto it = consumers_.find(id);
     if (it == consumers_.end()) return;
     ConsumerTx& tx = it->second;
     tx.pull_timer = EventId::invalid();
     // Declare the supplier lost if several pulls went unanswered.
-    if (sim().now() - tx.last_data >
+    if (stack().now() - tx.last_data >
         tx.spec.period * supervision_.missed_periods + duration::millis(200)) {
       supplier_lost(id);
       return;
@@ -232,7 +232,7 @@ void TransactionManager::supplier_lost(TransactionId id) {
                          << ", rebinding");
   if (tx.supplier.valid()) tx.blacklist.insert(tx.supplier);
   if (tx.pull_timer.valid()) {
-    sim().cancel(tx.pull_timer);
+    stack().cancel(tx.pull_timer);
     tx.pull_timer = EventId::invalid();
   }
   if (tx.rebinds_left-- > 0) {
@@ -246,7 +246,7 @@ void TransactionManager::supplier_lost(TransactionId id) {
 void TransactionManager::cancel_timers(ConsumerTx& tx) {
   for (EventId* timer : {&tx.watchdog, &tx.pull_timer, &tx.lifetime_timer, &tx.rebind_timer}) {
     if (timer->valid()) {
-      sim().cancel(*timer);
+      stack().cancel(*timer);
       *timer = EventId::invalid();
     }
   }
@@ -281,7 +281,7 @@ void TransactionManager::push_sample(std::uint64_t key) {
   if (it == flows_.end()) return;
   SupplierFlow& flow = it->second;
   flow.push_timer = EventId::invalid();
-  if (!transport_.router().world().alive(transport_.self())) return;
+  if (!transport_.router().stack().online()) return;
   const auto source = sources_.find(flow.service_type);
   if (source == sources_.end()) return;
   // Duty cycling: the effective schedule is the slower of what the
@@ -307,13 +307,13 @@ void TransactionManager::push_sample(std::uint64_t key) {
     w.u8(static_cast<std::uint8_t>(Kind::kData));
     w.id(flow.tx);
     w.varint(flow.seq++);
-    w.svarint(sim().now());  // production timestamp for benefit accounting
+    w.svarint(stack().now());  // production timestamp for benefit accounting
     // Prediction (§3.6 "intermittent with some prediction"): when the next
     // push is scheduled, so the consumer can supervise against the actual
     // schedule instead of guessing from its own period.
     w.svarint(flow.spec.kind == TransactionKind::kOnDemand
                   ? kTimeNever
-                  : sim().now() + effective_period);
+                  : stack().now() + effective_period);
     w.bytes(data);
     obs::encode_trace(w, sample_ctx);
     stats_.pushes_sent++;
@@ -330,7 +330,7 @@ void TransactionManager::push_sample(std::uint64_t key) {
   }
   if (flow.spec.kind != TransactionKind::kOnDemand) {
     flow.push_timer =
-        sim().schedule_after(effective_period, [this, key] { push_sample(key); });
+        stack().schedule_after(effective_period, [this, key] { push_sample(key); });
   }
 }
 
@@ -351,7 +351,7 @@ void TransactionManager::on_message(NodeId src, const Bytes& frame) {
       // Replace any existing flow with the same key (consumer re-sent start).
       auto existing = flows_.find(key);
       if (existing != flows_.end() && existing->second.push_timer.valid()) {
-        sim().cancel(existing->second.push_timer);
+        stack().cancel(existing->second.push_timer);
       }
       SupplierFlow flow;
       flow.consumer = src;
@@ -375,7 +375,7 @@ void TransactionManager::on_message(NodeId src, const Bytes& frame) {
         // First sample immediately, then on the period. Tracked in
         // push_timer so teardown (node crash) cancels it — an untracked
         // event here would fire into a destroyed manager.
-        flows_[key].push_timer = sim().schedule_after(0, [this, key] { push_sample(key); });
+        flows_[key].push_timer = stack().schedule_after(0, [this, key] { push_sample(key); });
       }
       break;
     }
@@ -384,7 +384,7 @@ void TransactionManager::on_message(NodeId src, const Bytes& frame) {
       if (!tx) return;
       const auto it = flows_.find(flow_key(src, *tx));
       if (it == flows_.end()) return;
-      if (it->second.push_timer.valid()) sim().cancel(it->second.push_timer);
+      if (it->second.push_timer.valid()) stack().cancel(it->second.push_timer);
       flows_.erase(it);
       break;
     }
@@ -406,11 +406,11 @@ void TransactionManager::on_message(NodeId src, const Bytes& frame) {
       if (it == consumers_.end()) return;  // ended while data in flight
       ConsumerTx& ctx = it->second;
       if (src != ctx.supplier) return;  // stale data from a replaced supplier
-      ctx.last_data = sim().now();
+      ctx.last_data = stack().now();
       ctx.predicted_next = *next_predicted;
       stats_.data_received++;
       stats_.delivered_utility +=
-          ctx.spec.consumer.timeliness.eval(sim().now() - *produced);
+          ctx.spec.consumer.timeliness.eval(stack().now() - *produced);
       if (ctx.spec.kind != TransactionKind::kOnDemand) arm_watchdog(*tx);
       obs::Tracer& tracer = obs::Tracer::instance();
       if (tracer.enabled() && sample_ctx.valid()) {

@@ -144,7 +144,7 @@ class TransactionManager {
   void push_sample(std::uint64_t flow_key);
   void cancel_timers(ConsumerTx& tx);
 
-  [[nodiscard]] sim::Simulator& sim() { return transport_.router().world().sim(); }
+  [[nodiscard]] net::Stack& stack() { return transport_.router().stack(); }
 
   transport::ReliableTransport& transport_;
   discovery::ServiceDiscovery& discovery_;

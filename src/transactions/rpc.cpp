@@ -11,10 +11,10 @@ RpcEndpoint::RpcEndpoint(transport::ReliableTransport& transport) : transport_(t
 
 RpcEndpoint::~RpcEndpoint() {
   transport_.clear_receiver(transport::ports::kRpc);
-  auto& sim = transport_.router().world().sim();
+  auto& stack = transport_.router().stack();
   // ndsm-lint: allow(unordered-iter): cancel order is irrelevant — cancel() is an O(1) tombstone with no observable ordering effect
   for (auto& [id, pending] : pending_) {
-    if (pending.timer.valid()) sim.cancel(pending.timer);
+    if (pending.timer.valid()) stack.cancel(pending.timer);
   }
 }
 
@@ -26,13 +26,13 @@ void RpcEndpoint::unregister_method(const std::string& name) { methods_.erase(na
 
 void RpcEndpoint::call(NodeId server, const std::string& method, Bytes args,
                        ResponseCallback callback, Time timeout) {
-  auto& sim = transport_.router().world().sim();
+  auto& stack = transport_.router().stack();
   const std::uint64_t request_id = next_request_++;
   stats_.calls_sent++;
 
   Pending pending;
   pending.callback = std::move(callback);
-  pending.timer = sim.schedule_after(timeout, [this, request_id] {
+  pending.timer = stack.schedule_after(timeout, [this, request_id] {
     stats_.timeouts++;
     finish(request_id, Status{ErrorCode::kTimeout, "rpc timeout"});
   });
@@ -49,7 +49,7 @@ void RpcEndpoint::call(NodeId server, const std::string& method, Bytes args,
 void RpcEndpoint::finish(std::uint64_t request_id, Result<Bytes> result) {
   const auto it = pending_.find(request_id);
   if (it == pending_.end()) return;
-  if (it->second.timer.valid()) transport_.router().world().sim().cancel(it->second.timer);
+  if (it->second.timer.valid()) transport_.router().stack().cancel(it->second.timer);
   auto cb = std::move(it->second.callback);
   pending_.erase(it);
   cb(std::move(result));

@@ -123,10 +123,10 @@ TupleSpaceClient::TupleSpaceClient(transport::ReliableTransport& transport, Node
 
 TupleSpaceClient::~TupleSpaceClient() {
   transport_.clear_receiver(transport::ports::kTupleSpace);
-  auto& sim = transport_.router().world().sim();
+  auto& stack = transport_.router().stack();
   // ndsm-lint: allow(unordered-iter): cancel order is irrelevant — cancel() is an O(1) tombstone with no observable ordering effect
   for (auto& [id, pending] : pending_) {
-    if (pending.timer.valid()) sim.cancel(pending.timer);
+    if (pending.timer.valid()) stack.cancel(pending.timer);
   }
 }
 
@@ -137,7 +137,7 @@ void TupleSpaceClient::out(const Tuple& tuple, std::function<void(Status)> done)
     pending.callback = [done = std::move(done)](bool found, Tuple) {
       done(found ? Status::ok() : Status{ErrorCode::kTimeout, "out not acknowledged"});
     };
-    pending.timer = transport_.router().world().sim().schedule_after(
+    pending.timer = transport_.router().stack().schedule_after(
         duration::seconds(5), [this, request_id] { finish(request_id, false, {}); });
     pending_.emplace(request_id, std::move(pending));
   }
@@ -163,7 +163,7 @@ void TupleSpaceClient::request(const Tuple& tmpl, bool take, bool blocking, Time
   const std::uint64_t request_id = next_request_++;
   Pending pending;
   pending.callback = std::move(callback);
-  pending.timer = transport_.router().world().sim().schedule_after(
+  pending.timer = transport_.router().stack().schedule_after(
       timeout, [this, request_id, blocking] {
         if (blocking) {
           // Tell the server to drop the parked request.
@@ -187,7 +187,7 @@ void TupleSpaceClient::request(const Tuple& tmpl, bool take, bool blocking, Time
 void TupleSpaceClient::finish(std::uint64_t request_id, bool found, Tuple tuple) {
   const auto it = pending_.find(request_id);
   if (it == pending_.end()) return;
-  if (it->second.timer.valid()) transport_.router().world().sim().cancel(it->second.timer);
+  if (it->second.timer.valid()) transport_.router().stack().cancel(it->second.timer);
   auto cb = std::move(it->second.callback);
   pending_.erase(it);
   cb(found, std::move(tuple));

@@ -13,7 +13,7 @@ namespace ndsm::transport {
 
 ReliableTransport::ReliableTransport(Router& router, TransportConfig config)
     : router_(router), config_(config), rtt_ms_(register_metrics()),
-      epoch_(router.world().sim().executed_events()),
+      epoch_(router.stack().incarnation_epoch()),
       trace_ids_(router.self(), epoch_) {
   assert(config_.max_fragment_bytes > 0);
   router_.set_delivery_handler(
@@ -41,10 +41,10 @@ obs::Histogram& ReliableTransport::register_metrics() {
 ReliableTransport::~ReliableTransport() {
   router_.clear_delivery_handler(routing::Proto::kTransport);
   for (auto& [id, msg] : outbox_) {
-    if (msg.timer.valid()) router_.world().sim().cancel(msg.timer);
+    if (msg.timer.valid()) router_.stack().cancel(msg.timer);
   }
   for (auto& [key, in] : inbox_) {
-    if (in.gc.valid()) router_.world().sim().cancel(in.gc);
+    if (in.gc.valid()) router_.stack().cancel(in.gc);
   }
 }
 
@@ -80,7 +80,7 @@ Status ReliableTransport::send(NodeId dst, Port port, Bytes payload, CompletionH
   ctx.trace_id = parent.valid() ? parent.trace_id : ctx.span_id;
   if (dst == self()) {
     // Local delivery: immediate, always succeeds.
-    router_.world().sim().schedule_after(0, [this, port, ctx, payload = std::move(payload),
+    router_.stack().schedule_after(0, [this, port, ctx, payload = std::move(payload),
                                               done = std::move(done)]() {
       stats_.messages_delivered++;
       stats_.payload_bytes_delivered += payload.size();
@@ -106,7 +106,7 @@ Status ReliableTransport::send(NodeId dst, Port port, Bytes payload, CompletionH
   msg.acked.assign(frags, false);
   msg.unacked = frags;
   msg.rto = config_.initial_rto;
-  msg.sent_at = router_.world().sim().now();
+  msg.sent_at = router_.stack().now();
   msg.done = std::move(done);
   msg.trace = ctx;
   msg.parent_span = parent.span_id;
@@ -158,7 +158,7 @@ void ReliableTransport::transmit_fragments(std::uint64_t msg_id, OutMessage& msg
 
 void ReliableTransport::arm_timer(std::uint64_t msg_id) {
   auto& msg = outbox_.at(msg_id);
-  msg.timer = router_.world().sim().schedule_after(msg.rto,
+  msg.timer = router_.stack().schedule_after(msg.rto,
                                                    [this, msg_id] { on_timeout(msg_id); });
 }
 
@@ -179,10 +179,10 @@ void ReliableTransport::on_timeout(std::uint64_t msg_id) {
 void ReliableTransport::finish(std::uint64_t msg_id, Status status) {
   const auto it = outbox_.find(msg_id);
   if (it == outbox_.end()) return;
-  if (it->second.timer.valid()) router_.world().sim().cancel(it->second.timer);
+  if (it->second.timer.valid()) router_.stack().cancel(it->second.timer);
   auto done = std::move(it->second.done);
   if (status.is_ok()) {
-    rtt_ms_.observe(to_seconds(router_.world().sim().now() - it->second.sent_at) * 1e3);
+    rtt_ms_.observe(to_seconds(router_.stack().now() - it->second.sent_at) * 1e3);
   } else {
     stats_.messages_failed++;
   }
@@ -194,7 +194,7 @@ void ReliableTransport::finish(std::uint64_t msg_id, Status status) {
   // transport throughput.
   if (obs::TraceEvent* ev = obs::Tracer::instance().begin_record()) {
     ev->at = it->second.sent_at;
-    ev->duration = std::max<Time>(0, router_.world().sim().now() - it->second.sent_at);
+    ev->duration = std::max<Time>(0, router_.stack().now() - it->second.sent_at);
     ev->component = "transport";
     ev->name = status.is_ok() ? "message" : "message_failed";
     ev->node = static_cast<std::int64_t>(self().value());
@@ -259,7 +259,7 @@ bool ReliableTransport::already_completed(NodeId src, std::uint64_t msg_id) cons
 void ReliableTransport::purge_inbox(NodeId src) {
   auto it = inbox_.lower_bound({src, 0});
   while (it != inbox_.end() && it->first.first == src) {
-    if (it->second.gc.valid()) router_.world().sim().cancel(it->second.gc);
+    if (it->second.gc.valid()) router_.stack().cancel(it->second.gc);
     it = inbox_.erase(it);
   }
 }
@@ -329,12 +329,12 @@ void ReliableTransport::on_fragment(NodeId src, serialize::Reader& r) {
     // Arm the reassembly GC: if the sender gives up (retries exhausted)
     // with this message half-received, the state must not leak.
     const std::uint64_t id = *msg_id;
-    in.gc = router_.world().sim().schedule_after(
+    in.gc = router_.stack().schedule_after(
         config_.reassembly_timeout,
         [this, src, id] { on_reassembly_timeout(src, id); });
   }
   if (*count != in.fragments.size()) return;  // inconsistent sender
-  in.last_fragment_at = router_.world().sim().now();
+  in.last_fragment_at = router_.stack().now();
   if (in.have[*index]) {
     stats_.duplicates_dropped++;
     return;
@@ -350,7 +350,7 @@ void ReliableTransport::on_fragment(NodeId src, serialize::Reader& r) {
     payload.insert(payload.end(), frag.begin(), frag.end());
   }
   const Port dst_port = in.port;
-  if (in.gc.valid()) router_.world().sim().cancel(in.gc);
+  if (in.gc.valid()) router_.stack().cancel(in.gc);
   inbox_.erase({src, *msg_id});
   remember_completed(src, *msg_id);
   stats_.messages_delivered++;
@@ -377,11 +377,11 @@ void ReliableTransport::on_reassembly_timeout(NodeId src, std::uint64_t msg_id) 
   if (it == inbox_.end()) return;
   InMessage& in = it->second;
   in.gc = EventId::invalid();
-  const Time now = router_.world().sim().now();
+  const Time now = router_.stack().now();
   const Time idle = now - in.last_fragment_at;
   if (idle < config_.reassembly_timeout) {
     // Fragments still trickling in; re-check when the timeout could next expire.
-    in.gc = router_.world().sim().schedule_after(
+    in.gc = router_.stack().schedule_after(
         config_.reassembly_timeout - idle,
         [this, src, msg_id] { on_reassembly_timeout(src, msg_id); });
     return;

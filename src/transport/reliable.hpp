@@ -32,7 +32,6 @@
 #include "obs/trace_context.hpp"
 #include "routing/router.hpp"
 #include "serialize/codec.hpp"
-#include "sim/simulator.hpp"
 #include "transport/ports.hpp"
 
 namespace ndsm::transport {
@@ -158,9 +157,10 @@ class ReliableTransport {
   obs::MetricGroup metrics_;
   obs::Histogram& rtt_ms_;  // registry-owned, registered via metrics_
   // Incarnation epoch stamped on every outbound frame and echoed in acks.
-  // Derived from the simulator's executed-event count at construction:
-  // strictly greater after any crash/restart (the restart runs in a later
-  // event), and a pure function of the event sequence, so twin runs agree.
+  // Drawn from the stack at construction (sim: the executed-event count, a
+  // pure function of the event sequence so twin runs agree; UDP: a
+  // realtime-derived monotone counter): strictly greater after any
+  // crash/restart of this node.
   std::uint64_t epoch_;
   // Trace/span ids mix in (self, epoch_) so twin runs agree and restarted
   // incarnations never collide. The counter advances on every send even

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include "net/world_stack.hpp"
 #include "milan/engine.hpp"
 #include "routing/geographic.hpp"
 #include "scheduling/handoff.hpp"
@@ -79,9 +80,12 @@ TEST(GeoRouting, LocalMinimumCountedNotLooped) {
   const NodeId behind = world.add_node({-20, 0});
   const NodeId target = world.add_node({100, 0});
   for (const NodeId n : {src, behind, target}) world.attach(n, m);
-  routing::GeoRouter r_src{world, src, duration::seconds(1)};
-  routing::GeoRouter r_behind{world, behind, duration::seconds(1)};
-  routing::GeoRouter r_target{world, target, duration::seconds(1)};
+  net::WorldStack s_src{world, src};
+  net::WorldStack s_behind{world, behind};
+  net::WorldStack s_target{world, target};
+  routing::GeoRouter r_src{s_src, duration::seconds(1)};
+  routing::GeoRouter r_behind{s_behind, duration::seconds(1)};
+  routing::GeoRouter r_target{s_target, duration::seconds(1)};
   sim.run_until(duration::seconds(3));
   r_src.send(target, routing::Proto::kApp, to_bytes("stuck"));
   sim.run_until(duration::seconds(5));

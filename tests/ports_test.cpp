@@ -1,0 +1,131 @@
+// transport::ports registry edge cases: the duplicate-bind hard-error
+// path, receiver rebinding across Runtime::crash()/restart() cycles, and
+// port release on stack teardown (a rebuilt transport starts with a clean
+// port table, and services re-binding their well-known ports after a
+// restart must not trip the duplicate-bind check).
+
+#include "transport/ports.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "discovery/centralized.hpp"
+#include "discovery/directory_server.hpp"
+#include "test_helpers.hpp"
+
+namespace ndsm {
+namespace {
+
+using testing::Lan;
+using transport::ports::name;
+
+TEST(PortsTest, WellKnownPortNamesAreStable) {
+  EXPECT_STREQ(name(transport::ports::kDiscovery), "discovery");
+  EXPECT_STREQ(name(transport::ports::kGossip), "gossip");
+  EXPECT_STREQ(name(transport::ports::kApp), "app");
+  // "app+N" dynamic ports and unknown values both read as unassigned.
+  EXPECT_STREQ(name(transport::ports::kApp + 1), "unassigned");
+  EXPECT_STREQ(name(12345), "unassigned");
+}
+
+TEST(PortsTest, DuplicateBindThrowsAndKeepsFirstReceiver) {
+  Lan lan{2};
+  int first_hits = 0;
+  lan.transport(0).set_receiver(transport::ports::kApp,
+                                [&](NodeId, const Bytes&) { first_hits++; });
+  EXPECT_THROW(lan.transport(0).set_receiver(transport::ports::kApp,
+                                             [](NodeId, const Bytes&) {}),
+               std::logic_error);
+
+  // The original receiver survives the rejected rebind.
+  lan.transport(1).send(lan.nodes[0], transport::ports::kApp, to_bytes("ping"));
+  lan.sim.run_until(lan.sim.now() + duration::seconds(2));
+  EXPECT_EQ(first_hits, 1);
+}
+
+TEST(PortsTest, ClearReceiverAllowsIntentionalRebind) {
+  Lan lan{2};
+  lan.transport(0).set_receiver(transport::ports::kApp, [](NodeId, const Bytes&) {});
+  lan.transport(0).clear_receiver(transport::ports::kApp);
+  int second_hits = 0;
+  EXPECT_NO_THROW(lan.transport(0).set_receiver(
+      transport::ports::kApp, [&](NodeId, const Bytes&) { second_hits++; }));
+  lan.transport(1).send(lan.nodes[0], transport::ports::kApp, to_bytes("ping"));
+  lan.sim.run_until(lan.sim.now() + duration::seconds(2));
+  EXPECT_EQ(second_hits, 1);
+}
+
+TEST(PortsTest, CrashReleasesPortsAndRestartCanRebind) {
+  Lan lan{2};
+  lan.transport(0).set_receiver(transport::ports::kApp, [](NodeId, const Bytes&) {});
+
+  // Teardown destroys the transport and with it every binding; the
+  // rebuilt stack's port table starts empty, so the same port binds
+  // without clear_receiver.
+  lan.runtime(0).crash();
+  lan.runtime(0).restart();
+  int hits = 0;
+  EXPECT_NO_THROW(lan.transport(0).set_receiver(
+      transport::ports::kApp, [&](NodeId, const Bytes&) { hits++; }));
+  lan.transport(1).send(lan.nodes[0], transport::ports::kApp, to_bytes("after"));
+  lan.sim.run_until(lan.sim.now() + duration::seconds(2));
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(PortsTest, ServicesRebindTheirPortsAcrossRestartCycles) {
+  // DirectoryServer binds kDiscovery, CentralizedDiscovery binds
+  // kDiscoveryReplyCent — both inside service factories that the Runtime
+  // re-runs on every restart. Two crash/restart cycles must neither
+  // throw (ports properly released) nor lose the bindings (lookups still
+  // answered afterwards).
+  Lan lan{3};
+  lan.runtime(0).emplace_service<discovery::DirectoryServer>("directory");
+  auto make_disc = [&](std::size_t i) -> discovery::CentralizedDiscovery& {
+    return lan.runtime(i).emplace_service<discovery::CentralizedDiscovery>(
+        "discovery", std::vector<NodeId>{lan.nodes[0]});
+  };
+  make_disc(1);
+  make_disc(2);
+
+  qos::SupplierQos printer;
+  printer.service_type = "printer";
+  lan.runtime(1).service<discovery::CentralizedDiscovery>("discovery")->register_service(
+      printer, duration::seconds(300));
+  lan.sim.run_until(lan.sim.now() + duration::seconds(1));
+
+  for (int cycle = 0; cycle < 2; ++cycle) {
+    EXPECT_NO_THROW({
+      lan.runtime(2).crash();
+      lan.sim.run_until(lan.sim.now() + duration::millis(200));
+      lan.runtime(2).restart();
+      lan.sim.run_until(lan.sim.now() + duration::millis(200));
+    });
+  }
+
+  std::vector<discovery::ServiceRecord> found;
+  qos::ConsumerQos want;
+  want.service_type = "printer";
+  lan.runtime(2).service<discovery::CentralizedDiscovery>("discovery")->query(
+      want, [&](std::vector<discovery::ServiceRecord> records) { found = std::move(records); },
+      8, duration::seconds(2));
+  lan.sim.run_until(lan.sim.now() + duration::seconds(3));
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].provider, lan.nodes[1]);
+}
+
+TEST(PortsTest, DuplicateBindAfterRestartStillThrows) {
+  // The duplicate-bind check is live on the rebuilt transport too, not
+  // just the first incarnation.
+  Lan lan{1};
+  lan.runtime(0).crash();
+  lan.runtime(0).restart();
+  lan.transport(0).set_receiver(transport::ports::kRpc, [](NodeId, const Bytes&) {});
+  EXPECT_THROW(lan.transport(0).set_receiver(transport::ports::kRpc,
+                                             [](NodeId, const Bytes&) {}),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace ndsm

@@ -7,6 +7,7 @@
 #include <map>
 #include <set>
 
+#include "net/world_stack.hpp"
 #include "milan/planner.hpp"
 #include "recovery/store.hpp"
 #include "routing/distance_vector.hpp"
@@ -100,10 +101,12 @@ TEST_P(DvRandomTopologyProperty, ConvergesToReachabilityTruth) {
     return seen;
   };
 
+  std::vector<std::unique_ptr<net::WorldStack>> stacks;
   std::vector<std::unique_ptr<routing::DistanceVectorRouter>> routers;
   for (const NodeId id : nodes) {
+    stacks.push_back(std::make_unique<net::WorldStack>(world, id));
     routers.push_back(
-        std::make_unique<routing::DistanceVectorRouter>(world, id, duration::seconds(1)));
+        std::make_unique<routing::DistanceVectorRouter>(*stacks.back(), duration::seconds(1)));
   }
   sim.run_until(duration::seconds(30));  // ample convergence time
 

@@ -72,8 +72,8 @@ struct WirelessGrid {
   void with_routers(Args... args) {
     node::StackConfig cfg;
     cfg.router = node::RouterPolicy::kCustom;
-    cfg.router_factory = [args...](net::World& w, NodeId id) {
-      return std::make_unique<RouterT>(w, id, args...);
+    cfg.router_factory = [args...](net::Stack& stack) {
+      return std::make_unique<RouterT>(stack, args...);
     };
     for (const NodeId id : nodes) {
       runtimes.push_back(std::make_unique<node::Runtime>(world, id, cfg));

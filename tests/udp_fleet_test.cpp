@@ -1,0 +1,238 @@
+// Multi-process loopback fleet test — the acceptance criterion for the
+// net::Stack seam: a fleet of ≥3 real OS processes over loopback UDP
+// completes service discovery (registration + lookup) and a reliable
+// exactly-once exchange using the very same Runtime / flooding router /
+// reliable transport / centralized discovery code the sim tests drive.
+//
+// Process model: this binary is both the gtest runner and every fleet
+// member. The parent test forks three children that re-exec
+// /proc/self/exe with NDSM_FLEET_ROLE set; main() diverts such children
+// into run_role() before gtest initialises. Roles:
+//   directory  node 1: hosts the DirectoryServer, runs until SIGTERM.
+//   provider   node 2: registers a "printer" service; counts per-sequence
+//              app receipts and exits 0 only if every job arrived exactly
+//              once (a transport duplicate or loss makes it exit 1).
+//   consumer   node 3: discovers the printer via a retried query, then
+//              sends kJobs reliable messages and exits 0 only when every
+//              completion handler reported kOk.
+//
+// Everything is bounded: each role self-destructs after a stack-time
+// deadline, the parent's wait loop gives up after ~60s and kills the
+// fleet, and CMake puts a hard ctest TIMEOUT on top.
+
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdlib>
+#include <ctime>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "discovery/centralized.hpp"
+#include "discovery/directory_server.hpp"
+#include "net/udp_stack.hpp"
+#include "node/runtime.hpp"
+#include "transport/ports.hpp"
+
+namespace {
+
+constexpr int kJobs = 8;
+const ndsm::NodeId kDirectoryId{1};
+const ndsm::NodeId kProviderId{2};
+const ndsm::NodeId kConsumerId{3};
+
+volatile std::sig_atomic_t g_terminated = 0;
+void on_sigterm(int) { g_terminated = 1; }
+
+ndsm::net::UdpStackConfig fleet_config(std::uint16_t base) {
+  ndsm::net::UdpStackConfig cfg;
+  cfg.port_base = base;
+  cfg.peers = {kDirectoryId, kProviderId, kConsumerId};
+  return cfg;
+}
+
+struct Member {
+  ndsm::net::UdpStack stack;
+  ndsm::node::Runtime runtime;
+
+  Member(ndsm::NodeId id, std::uint16_t base)
+      : stack(id, fleet_config(base)), runtime(stack, [] {
+          ndsm::node::StackConfig cfg;
+          cfg.router = ndsm::node::RouterPolicy::kFlooding;
+          return cfg;
+        }()) {}
+};
+
+int run_directory(std::uint16_t base) {
+  std::signal(SIGTERM, on_sigterm);
+  Member me{kDirectoryId, base};
+  me.runtime.emplace_service<ndsm::discovery::DirectoryServer>("directory");
+  me.stack.run_until([] { return g_terminated != 0; }, ndsm::duration::seconds(60));
+  return 0;
+}
+
+int run_provider(std::uint16_t base) {
+  using namespace ndsm;
+  Member me{kProviderId, base};
+  auto& disc = me.runtime.emplace_service<discovery::CentralizedDiscovery>(
+      "discovery", std::vector<NodeId>{kDirectoryId});
+  qos::SupplierQos printer;
+  printer.service_type = "printer";
+  disc.register_service(printer, duration::seconds(60));
+
+  std::map<std::string, int> receipts;
+  bool done = false;
+  me.runtime.transport().set_receiver(
+      transport::ports::kApp, [&](NodeId, const Bytes& payload) {
+        const std::string job = to_string(payload);
+        if (job == "done") {
+          done = true;
+        } else {
+          receipts[job]++;
+        }
+      });
+
+  if (!me.stack.run_until([&] { return done; }, duration::seconds(45))) return 2;
+  // Grace window: a late transport duplicate must not slip past the check.
+  me.stack.run_for(duration::millis(300));
+
+  if (receipts.size() != static_cast<std::size_t>(kJobs)) return 3;
+  for (const auto& [job, count] : receipts) {
+    if (count != 1) return 4;  // duplicate delivery: exactly-once violated
+  }
+  return 0;
+}
+
+int run_consumer(std::uint16_t base) {
+  using namespace ndsm;
+  Member me{kConsumerId, base};
+  auto& disc = me.runtime.emplace_service<discovery::CentralizedDiscovery>(
+      "discovery", std::vector<NodeId>{kDirectoryId});
+
+  // Registration propagates asynchronously: retry the lookup until the
+  // directory answers with the provider's record.
+  std::vector<discovery::ServiceRecord> found;
+  bool query_in_flight = false;
+  const bool discovered = me.stack.run_until(
+      [&] {
+        if (!found.empty()) return true;
+        if (!query_in_flight) {
+          query_in_flight = true;
+          qos::ConsumerQos want;
+          want.service_type = "printer";
+          disc.query(want,
+                     [&](std::vector<discovery::ServiceRecord> records) {
+                       found = std::move(records);
+                       query_in_flight = false;
+                     },
+                     8, duration::millis(500));
+        }
+        return false;
+      },
+      duration::seconds(30));
+  if (!discovered) return 2;
+  if (found[0].provider != kProviderId) return 3;
+
+  int acked = 0, failed = 0;
+  for (int i = 0; i < kJobs; ++i) {
+    me.runtime.transport().send(found[0].provider, transport::ports::kApp,
+                                to_bytes("job-" + std::to_string(i)),
+                                [&](Status s) { s.is_ok() ? acked++ : failed++; });
+  }
+  if (!me.stack.run_until([&] { return acked + failed == kJobs; },
+                          duration::seconds(30))) {
+    return 4;
+  }
+  if (failed != 0) return 5;
+
+  bool done_acked = false;
+  me.runtime.transport().send(found[0].provider, transport::ports::kApp,
+                              to_bytes("done"), [&](Status s) {
+                                if (s.is_ok()) done_acked = true;
+                              });
+  if (!me.stack.run_until([&] { return done_acked; }, duration::seconds(15))) return 6;
+  return 0;
+}
+
+int run_role(const std::string& role, std::uint16_t base) {
+  if (role == "directory") return run_directory(base);
+  if (role == "provider") return run_provider(base);
+  if (role == "consumer") return run_consumer(base);
+  return 64;
+}
+
+// Fork a child that re-execs this binary with the role environment set.
+pid_t spawn_role(const char* exe, const char* role, std::uint16_t base) {
+  const pid_t pid = fork();
+  if (pid != 0) return pid;
+  setenv("NDSM_FLEET_ROLE", role, 1);
+  setenv("NDSM_FLEET_BASE", std::to_string(base).c_str(), 1);
+  char* const argv[] = {const_cast<char*>(exe), nullptr};
+  execv(exe, argv);
+  _exit(63);  // exec failed
+}
+
+// Non-blocking reap with a bounded number of 50ms sleeps (no wall-clock
+// reads: the budget is counted in sleep quanta, not time arithmetic).
+bool wait_exit(pid_t pid, int* exit_code, int max_quanta) {
+  for (int i = 0; i < max_quanta; ++i) {
+    int wstatus = 0;
+    const pid_t r = waitpid(pid, &wstatus, WNOHANG);
+    if (r == pid) {
+      *exit_code = WIFEXITED(wstatus) ? WEXITSTATUS(wstatus) : 128 + WTERMSIG(wstatus);
+      return true;
+    }
+    timespec ts{0, 50 * 1000 * 1000};
+    nanosleep(&ts, nullptr);
+  }
+  return false;
+}
+
+TEST(UdpFleetTest, ThreeProcessDiscoveryAndExactlyOnceExchange) {
+  // pid-salted base so parallel ctest runs on one host do not collide;
+  // offset away from udp_stack_test's range.
+  const auto base = static_cast<std::uint16_t>(24000 + (getpid() % 1500) * 24);
+
+  const pid_t directory = spawn_role("/proc/self/exe", "directory", base);
+  ASSERT_GT(directory, 0);
+  const pid_t provider = spawn_role("/proc/self/exe", "provider", base);
+  ASSERT_GT(provider, 0);
+  const pid_t consumer = spawn_role("/proc/self/exe", "consumer", base);
+  ASSERT_GT(consumer, 0);
+
+  int consumer_exit = -1, provider_exit = -1;
+  const bool consumer_done = wait_exit(consumer, &consumer_exit, 1200);  // ~60s
+  const bool provider_done = wait_exit(provider, &provider_exit, 1200);
+
+  // The directory serves until told to stop.
+  kill(directory, SIGTERM);
+  int directory_exit = -1;
+  const bool directory_done = wait_exit(directory, &directory_exit, 200);
+
+  // Leave no stragglers behind, whatever the verdict.
+  for (const pid_t pid : {directory, provider, consumer}) {
+    kill(pid, SIGKILL);
+    waitpid(pid, nullptr, WNOHANG);
+  }
+
+  ASSERT_TRUE(consumer_done) << "consumer did not exit";
+  ASSERT_TRUE(provider_done) << "provider did not exit";
+  ASSERT_TRUE(directory_done) << "directory did not exit after SIGTERM";
+  EXPECT_EQ(consumer_exit, 0) << "consumer failed (discovery or reliable send)";
+  EXPECT_EQ(provider_exit, 0) << "provider failed (exactly-once check)";
+  EXPECT_EQ(directory_exit, 0) << "directory crashed";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (const char* role = std::getenv("NDSM_FLEET_ROLE")) {
+    const char* base = std::getenv("NDSM_FLEET_BASE");
+    return run_role(role, base ? static_cast<std::uint16_t>(std::atoi(base)) : 24000);
+  }
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

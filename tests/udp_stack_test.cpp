@@ -1,0 +1,291 @@
+// net::UdpStack in-process tests: several stacks in one process exchange
+// real UDP datagrams over loopback, driven by interleaved single-threaded
+// polling. The full-middleware test at the bottom runs Runtime + flooding
+// router + reliable transport + centralized discovery over the real
+// sockets — the same code paths the sim tests drive, on the other
+// backend. (The multi-process variant lives in udp_fleet_test.cpp.)
+
+#include "net/udp_stack.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "discovery/centralized.hpp"
+#include "discovery/directory_server.hpp"
+#include "node/runtime.hpp"
+#include "transport/ports.hpp"
+
+namespace ndsm {
+namespace {
+
+// Each fixture instantiation claims a fresh port range; pid-salted so
+// parallel ctest invocations on one host do not collide.
+std::uint16_t next_port_base() {
+  static std::uint16_t counter = 0;
+  counter = static_cast<std::uint16_t>(counter + 1);
+  return static_cast<std::uint16_t>(21000 + (getpid() % 1500) * 24 + counter * 8);
+}
+
+net::UdpStackConfig fleet_config(std::uint16_t base, std::vector<NodeId> peers) {
+  net::UdpStackConfig cfg;
+  cfg.port_base = base;
+  cfg.peers = std::move(peers);
+  return cfg;
+}
+
+// Round-robin poll every stack until `pred` holds or `timeout` elapses.
+bool pump(const std::vector<net::UdpStack*>& stacks, const std::function<bool()>& pred,
+          Time timeout = duration::seconds(5)) {
+  const Time until = stacks[0]->now() + timeout;
+  while (!pred()) {
+    if (stacks[0]->now() >= until) return false;
+    for (net::UdpStack* s : stacks) s->poll_once(duration::millis(2));
+  }
+  return true;
+}
+
+TEST(UdpStackTest, UnicastFrameDelivery) {
+  const std::uint16_t base = next_port_base();
+  const std::vector<NodeId> ids{NodeId{1}, NodeId{2}};
+  net::UdpStack a{ids[0], fleet_config(base, ids)};
+  net::UdpStack b{ids[1], fleet_config(base, ids)};
+
+  std::vector<net::LinkFrame> got;
+  b.set_frame_handler(net::Proto::kApp,
+                      [&](const net::LinkFrame& f) { got.push_back(f); });
+  ASSERT_TRUE(a.send_frame(ids[1], net::Proto::kApp, to_bytes("hello")).is_ok());
+
+  ASSERT_TRUE(pump({&a, &b}, [&] { return !got.empty(); }));
+  EXPECT_EQ(got[0].src, ids[0]);
+  EXPECT_EQ(got[0].dst, ids[1]);
+  EXPECT_EQ(got[0].proto, net::Proto::kApp);
+  EXPECT_EQ(to_string(got[0].payload()), "hello");
+  EXPECT_GE(a.stats().datagrams_sent, 1u);
+  EXPECT_GE(b.stats().datagrams_received, 1u);
+}
+
+TEST(UdpStackTest, BroadcastReachesPeersButNotSender) {
+  const std::uint16_t base = next_port_base();
+  const std::vector<NodeId> ids{NodeId{1}, NodeId{2}, NodeId{3}};
+  net::UdpStack a{ids[0], fleet_config(base, ids)};
+  net::UdpStack b{ids[1], fleet_config(base, ids)};
+  net::UdpStack c{ids[2], fleet_config(base, ids)};
+
+  int a_got = 0, b_got = 0, c_got = 0;
+  a.set_frame_handler(net::Proto::kRouting, [&](const net::LinkFrame&) { a_got++; });
+  b.set_frame_handler(net::Proto::kRouting, [&](const net::LinkFrame&) { b_got++; });
+  c.set_frame_handler(net::Proto::kRouting, [&](const net::LinkFrame&) { c_got++; });
+
+  ASSERT_TRUE(a.broadcast_frame(net::Proto::kRouting, to_bytes("beacon")).is_ok());
+  ASSERT_TRUE(pump({&a, &b, &c}, [&] { return b_got >= 1 && c_got >= 1; }));
+  // Drain a little longer: the sender's own multicast echo must be filtered.
+  a.run_for(duration::millis(30));
+  EXPECT_EQ(a_got, 0);
+  EXPECT_EQ(b_got, 1);
+  EXPECT_EQ(c_got, 1);
+}
+
+TEST(UdpStackTest, BroadcastFallsBackToUnicastFanout) {
+  const std::uint16_t base = next_port_base();
+  const std::vector<NodeId> ids{NodeId{1}, NodeId{2}, NodeId{3}};
+  auto cfg = [&](NodeId) {
+    net::UdpStackConfig c = fleet_config(base, ids);
+    c.multicast_group = "not-a-multicast-address";  // force the join to fail
+    return c;
+  };
+  net::UdpStack a{ids[0], cfg(ids[0])};
+  net::UdpStack b{ids[1], cfg(ids[1])};
+  net::UdpStack c{ids[2], cfg(ids[2])};
+  EXPECT_FALSE(a.using_multicast());
+
+  int b_got = 0, c_got = 0;
+  b.set_frame_handler(net::Proto::kRouting, [&](const net::LinkFrame&) { b_got++; });
+  c.set_frame_handler(net::Proto::kRouting, [&](const net::LinkFrame&) { c_got++; });
+  ASSERT_TRUE(a.broadcast_frame(net::Proto::kRouting, to_bytes("beacon")).is_ok());
+  ASSERT_TRUE(pump({&a, &b, &c}, [&] { return b_got == 1 && c_got == 1; }));
+}
+
+TEST(UdpStackTest, HandlerDemuxAndClear) {
+  const std::uint16_t base = next_port_base();
+  const std::vector<NodeId> ids{NodeId{1}, NodeId{2}};
+  net::UdpStack a{ids[0], fleet_config(base, ids)};
+  net::UdpStack b{ids[1], fleet_config(base, ids)};
+
+  int app = 0, routing = 0;
+  b.set_frame_handler(net::Proto::kApp, [&](const net::LinkFrame&) { app++; });
+  b.set_frame_handler(net::Proto::kRouting, [&](const net::LinkFrame&) { routing++; });
+  ASSERT_TRUE(a.send_frame(ids[1], net::Proto::kApp, to_bytes("x")).is_ok());
+  ASSERT_TRUE(a.send_frame(ids[1], net::Proto::kRouting, to_bytes("y")).is_ok());
+  ASSERT_TRUE(pump({&a, &b}, [&] { return app == 1 && routing == 1; }));
+
+  // A cleared protocol's frames are counted dropped, not delivered.
+  b.clear_frame_handler(net::Proto::kApp);
+  const std::uint64_t dropped = b.stats().frames_dropped;
+  ASSERT_TRUE(a.send_frame(ids[1], net::Proto::kApp, to_bytes("z")).is_ok());
+  ASSERT_TRUE(pump({&a, &b}, [&] { return b.stats().frames_dropped > dropped; }));
+  EXPECT_EQ(app, 1);
+}
+
+TEST(UdpStackTest, TimersFireInDeadlineOrderAndCancelWorks) {
+  const std::uint16_t base = next_port_base();
+  net::UdpStack a{NodeId{1}, fleet_config(base, {NodeId{1}})};
+
+  std::vector<int> order;
+  a.schedule_after(duration::millis(30), [&] { order.push_back(3); });
+  a.schedule_after(duration::millis(10), [&] { order.push_back(1); });
+  const EventId victim = a.schedule_after(duration::millis(20), [&] { order.push_back(99); });
+  a.schedule_after(duration::millis(20), [&] { order.push_back(2); });
+  a.cancel(victim);
+  EXPECT_EQ(a.pending_timers(), 3u);
+
+  ASSERT_TRUE(pump({&a}, [&] { return order.size() == 3; }));
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(a.pending_timers(), 0u);
+}
+
+TEST(UdpStackTest, PeriodicTimerRunsOverRealClock) {
+  const std::uint16_t base = next_port_base();
+  net::UdpStack a{NodeId{1}, fleet_config(base, {NodeId{1}})};
+
+  int fires = 0;
+  net::PeriodicTimer timer{a, duration::millis(10), [&] { fires++; }};
+  timer.start();
+  ASSERT_TRUE(pump({&a}, [&] { return fires >= 3; }, duration::seconds(2)));
+  timer.stop();
+  const int at_stop = fires;
+  a.run_for(duration::millis(40));
+  EXPECT_EQ(fires, at_stop);
+}
+
+TEST(UdpStackTest, LinkDownDropsTrafficAndLinkUpRebinds) {
+  const std::uint16_t base = next_port_base();
+  const std::vector<NodeId> ids{NodeId{1}, NodeId{2}};
+  net::UdpStack a{ids[0], fleet_config(base, ids)};
+  net::UdpStack b{ids[1], fleet_config(base, ids)};
+
+  int got = 0;
+  b.set_frame_handler(net::Proto::kApp, [&](const net::LinkFrame&) { got++; });
+
+  b.set_link_down();
+  EXPECT_FALSE(b.online());
+  EXPECT_EQ(b.send_frame(ids[0], net::Proto::kApp, to_bytes("x")).code(),
+            ErrorCode::kResourceExhausted);
+  // Traffic sent while the destination is down is simply lost (transport
+  // retries recover; here we just verify nothing is queued by the kernel
+  // for the reopened socket).
+  ASSERT_TRUE(a.send_frame(ids[1], net::Proto::kApp, to_bytes("lost")).is_ok());
+  a.run_for(duration::millis(20));
+
+  ASSERT_TRUE(b.set_link_up());
+  EXPECT_TRUE(b.online());
+  b.run_for(duration::millis(20));
+  EXPECT_EQ(got, 0);
+  ASSERT_TRUE(a.send_frame(ids[1], net::Proto::kApp, to_bytes("back")).is_ok());
+  ASSERT_TRUE(pump({&a, &b}, [&] { return got == 1; }));
+}
+
+TEST(UdpStackTest, IncarnationEpochsAreDistinctAndIncreasing) {
+  const std::uint16_t base = next_port_base();
+  std::uint64_t first = 0;
+  {
+    net::UdpStack a{NodeId{1}, fleet_config(base, {NodeId{1}})};
+    first = a.incarnation_epoch();
+    EXPECT_GT(first, 0u);
+  }
+  net::UdpStack again{NodeId{1}, fleet_config(base, {NodeId{1}})};
+  EXPECT_GT(again.incarnation_epoch(), first);
+
+  net::UdpStack other{NodeId{2}, fleet_config(base, {NodeId{2}})};
+  EXPECT_NE(other.incarnation_epoch(), again.incarnation_epoch());
+}
+
+TEST(UdpStackTest, ForkedRngStreamsDiffer) {
+  const std::uint16_t base = next_port_base();
+  net::UdpStack a{NodeId{1}, fleet_config(base, {NodeId{1}})};
+  Rng r1 = a.fork_rng(1);
+  Rng r2 = a.fork_rng(2);
+  EXPECT_NE(r1.next_u64(), r2.next_u64());
+}
+
+// The acceptance-criteria path, in-process: three Runtimes on three
+// UdpStacks run flooding + reliable transport + centralized discovery
+// over real loopback sockets. Node 1 hosts the directory, node 2
+// registers a service, node 3 discovers it and completes a reliable
+// exactly-once exchange with node 2.
+TEST(UdpStackTest, RuntimeFleetDiscoveryAndExactlyOnceExchange) {
+  const std::uint16_t base = next_port_base();
+  const std::vector<NodeId> ids{NodeId{1}, NodeId{2}, NodeId{3}};
+  net::UdpStack s1{ids[0], fleet_config(base, ids)};
+  net::UdpStack s2{ids[1], fleet_config(base, ids)};
+  net::UdpStack s3{ids[2], fleet_config(base, ids)};
+  const std::vector<net::UdpStack*> stacks{&s1, &s2, &s3};
+
+  node::StackConfig cfg;
+  cfg.router = node::RouterPolicy::kFlooding;
+  node::Runtime dir{s1, cfg};
+  node::Runtime provider{s2, cfg};
+  node::Runtime consumer{s3, cfg};
+
+  dir.emplace_service<discovery::DirectoryServer>("directory");
+  auto& disc_p = provider.emplace_service<discovery::CentralizedDiscovery>(
+      "discovery", std::vector<NodeId>{ids[0]});
+  auto& disc_c = consumer.emplace_service<discovery::CentralizedDiscovery>(
+      "discovery", std::vector<NodeId>{ids[0]});
+
+  qos::SupplierQos printer;
+  printer.service_type = "printer";
+  disc_p.register_service(printer, duration::seconds(60));
+
+  // Provider-side app endpoint: counts per-sequence receipts so a
+  // transport-level duplicate would be visible as a count > 1.
+  std::map<std::string, int> receipts;
+  provider.transport().set_receiver(
+      transport::ports::kApp,
+      [&](NodeId, const Bytes& payload) { receipts[to_string(payload)]++; });
+
+  // Discover the printer (query retried until registration propagates).
+  std::vector<discovery::ServiceRecord> found;
+  bool query_done = false;
+  const bool discovered = pump(stacks, [&] {
+    if (!found.empty()) return true;
+    if (!query_done) {
+      query_done = true;
+      qos::ConsumerQos want;
+      want.service_type = "printer";
+      disc_c.query(want, [&](std::vector<discovery::ServiceRecord> records) {
+        found = std::move(records);
+        query_done = false;  // retry on an empty result
+      }, 8, duration::millis(500));
+    }
+    return false;
+  }, duration::seconds(20));
+  ASSERT_TRUE(discovered);
+  EXPECT_EQ(found[0].provider, ids[1]);
+
+  // Reliable exactly-once exchange: every send acked, every payload
+  // delivered exactly once.
+  constexpr int kMessages = 8;
+  int acked = 0;
+  for (int i = 0; i < kMessages; ++i) {
+    consumer.transport().send(ids[1], transport::ports::kApp,
+                              to_bytes("job-" + std::to_string(i)),
+                              [&](Status s) { ASSERT_TRUE(s.is_ok()); acked++; });
+  }
+  ASSERT_TRUE(pump(stacks, [&] {
+    return acked == kMessages && receipts.size() == static_cast<std::size_t>(kMessages);
+  }, duration::seconds(20)));
+  for (const auto& [payload, count] : receipts) {
+    EXPECT_EQ(count, 1) << payload << " delivered more than once";
+  }
+  EXPECT_GE(provider.transport().stats().messages_delivered,
+            static_cast<std::uint64_t>(kMessages));
+}
+
+}  // namespace
+}  // namespace ndsm
