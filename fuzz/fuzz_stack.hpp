@@ -1,0 +1,105 @@
+#pragma once
+// net::Stack test double for fuzzing the middleware above the link layer
+// without a World or sockets. Outbound frames are counted and discarded
+// (the fuzzer plays the whole network); inbound frames are injected
+// straight into the registered handler, which is exactly what a hostile
+// datagram does on the UDP backend. Timers run on a manually advanced
+// clock with a hard fire budget so no input can make a target spin.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <utility>
+
+#include "net/stack.hpp"
+
+namespace ndsm::fuzz {
+
+class FuzzStack final : public net::Stack {
+ public:
+  explicit FuzzStack(NodeId self = NodeId{1}) : self_(self) {}
+
+  [[nodiscard]] NodeId self() const override { return self_; }
+  [[nodiscard]] bool online() const override { return true; }
+  bool set_link_up() override { return true; }
+  void set_link_down() override {}
+
+  [[nodiscard]] Vec2 self_position() const override { return Vec2{}; }
+  [[nodiscard]] std::optional<Vec2> position_of(NodeId) const override { return Vec2{}; }
+  [[nodiscard]] bool peer_online(NodeId) const override { return true; }
+
+  Status send_frame(NodeId, net::Proto, Bytes payload) override {
+    frames_out_++;
+    bytes_out_ += payload.size();
+    return Status::ok();
+  }
+  Status broadcast_frame(net::Proto proto, Bytes payload) override {
+    return send_frame(net::kBroadcast, proto, std::move(payload));
+  }
+  void set_frame_handler(net::Proto proto, FrameHandler handler) override {
+    handlers_[proto] = std::move(handler);
+  }
+  void clear_frame_handler(net::Proto proto) override { handlers_.erase(proto); }
+
+  [[nodiscard]] Time now() const override { return now_; }
+  EventId schedule_after(Time delay, std::function<void()> fn) override {
+    const Time deadline = now_ + (delay > 0 ? delay : 0);
+    const std::uint64_t id = next_timer_id_++;
+    timers_.emplace(std::make_pair(deadline, id), std::move(fn));
+    return EventId{id};
+  }
+  void cancel(EventId id) override {
+    for (auto it = timers_.begin(); it != timers_.end(); ++it) {
+      if (it->first.second == id.value()) {
+        timers_.erase(it);
+        return;
+      }
+    }
+  }
+
+  // Fixed-seed fork: fuzz inputs must be the only source of variation.
+  [[nodiscard]] Rng fork_rng(std::uint64_t salt) override { return Rng{0x9e3779b9, salt | 1}; }
+  [[nodiscard]] std::uint64_t incarnation_epoch() const override { return kEpoch; }
+
+  // --- fuzz controls ---------------------------------------------------------
+  // Deliver raw bytes as an inbound link frame, exactly as a hostile
+  // datagram that passed the UDP wire-header check would arrive.
+  void inject(net::Proto proto, NodeId src, NodeId dst, Bytes payload) {
+    const auto it = handlers_.find(proto);
+    if (it == handlers_.end()) return;
+    net::LinkFrame frame;
+    frame.src = src;
+    frame.dst = dst;
+    frame.medium = MediumId::invalid();
+    frame.proto = proto;
+    frame.payload_buf = std::make_shared<const Bytes>(std::move(payload));
+    it->second(frame);
+  }
+
+  // Advance the clock to `until`, firing due timers in deadline order.
+  // The fire budget bounds re-arming loops (retransmit backoff chains).
+  void advance(Time until, int max_fired = 64) {
+    while (max_fired-- > 0 && !timers_.empty() && timers_.begin()->first.first <= until) {
+      auto node = timers_.extract(timers_.begin());
+      now_ = std::max(now_, node.key().first);
+      node.mapped()();
+    }
+    now_ = std::max(now_, until);
+  }
+
+  [[nodiscard]] std::uint64_t frames_out() const { return frames_out_; }
+
+  static constexpr std::uint64_t kEpoch = 7;
+
+ private:
+  NodeId self_;
+  Time now_ = 0;
+  std::uint64_t next_timer_id_ = 1;
+  std::map<std::pair<Time, std::uint64_t>, std::function<void()>> timers_;
+  std::map<net::Proto, FrameHandler> handlers_;
+  std::uint64_t frames_out_ = 0;
+  std::uint64_t bytes_out_ = 0;
+};
+
+}  // namespace ndsm::fuzz

@@ -1,0 +1,44 @@
+#pragma once
+// Common contract for the fuzz targets in fuzz/targets/. Each target
+// defines the libFuzzer entry point below over exactly one untrusted-byte
+// boundary (DESIGN §15) and is built two ways:
+//   * fuzz_<name>   — libFuzzer + ASan/UBSan (-DNDSM_FUZZ=ON, clang only);
+//     coverage-guided, run by the CI fuzz-smoke job.
+//   * replay_<name> — the same target linked against replay_main.cpp, a
+//     dependency-free driver that replays the committed corpus plus
+//     structured mutations from the repo Rng. Runs under plain ctest on
+//     any toolchain, so the no-crash property is checked on every build.
+//
+// Target rules: no global state may leak between invocations (construct
+// everything per call), no input may crash/assert/UB, and invariant
+// violations trap in every build type via NDSM_FUZZ_CHECK so the replay
+// driver catches them even in RelWithDebInfo.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/log.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size);
+
+namespace ndsm::fuzz {
+// Fuzz inputs hit warn/error log paths (torn WALs, malformed frames) by
+// design — millions of times. Silence the logger once per process.
+inline const bool kLogsSilenced = [] {
+  Logger::instance().set_level(LogLevel::kOff);
+  return true;
+}();
+}  // namespace ndsm::fuzz
+
+// assert() that survives NDEBUG: fuzz findings must abort loudly in every
+// build type, or the replay build would silently pass over them.
+#define NDSM_FUZZ_CHECK(cond)                                                       \
+  do {                                                                              \
+    if (!(cond)) {                                                                  \
+      std::fprintf(stderr, "NDSM_FUZZ_CHECK failed: %s at %s:%d\n", #cond,          \
+                   __FILE__, __LINE__);                                             \
+      std::abort();                                                                 \
+    }                                                                               \
+  } while (0)

@@ -1,0 +1,165 @@
+// Deterministic driver for the fuzz targets where libFuzzer is not
+// available (gcc builds, plain ctest). Three phases, all reproducible:
+//   1. replay every committed corpus file (sorted path order);
+//   2. structured mutations: corpus entries mutated by the repo Rng
+//      (bit flips, interesting bytes, truncation, splice, insertion,
+//      0xff runs that stress varint continuation handling);
+//   3. purely random buffers.
+// Any crash/abort (including NDSM_FUZZ_CHECK) fails the test. This is a
+// regression net over the corpus plus a shallow random probe — the
+// coverage-guided exploration happens in CI under -DNDSM_FUZZ=ON.
+//
+// Usage: replay_<target> [corpus-dir|file]... [--mutations N] [--seed S]
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "fuzz_target.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+using Buf = std::vector<std::uint8_t>;
+
+Buf read_file(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  return Buf(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+}
+
+void run_one(const Buf& buf) { LLVMFuzzerTestOneInput(buf.data(), buf.size()); }
+
+constexpr std::uint8_t kInteresting[] = {0x00, 0x01, 0x7f, 0x80, 0x81,
+                                         0xfe, 0xff, 0x40, 0x3f, 0x20};
+
+void mutate(Buf& buf, ndsm::Rng& rng, const std::vector<Buf>& corpus) {
+  const int edits = 1 + static_cast<int>(rng.uniform_int(0, 7));
+  for (int e = 0; e < edits; ++e) {
+    switch (rng.uniform_int(0, 6)) {
+      case 0:  // bit flip
+        if (!buf.empty()) {
+          buf[static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(buf.size()) - 1))] ^=
+              static_cast<std::uint8_t>(1u << rng.uniform_int(0, 7));
+        }
+        break;
+      case 1:  // interesting byte
+        if (!buf.empty()) {
+          buf[static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(buf.size()) - 1))] =
+              kInteresting[rng.uniform_int(0, 9)];
+        }
+        break;
+      case 2:  // truncate
+        if (!buf.empty()) {
+          buf.resize(static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(buf.size()) - 1)));
+        }
+        break;
+      case 3:  // insert random bytes (bounded)
+        if (buf.size() < 4096) {
+          const std::size_t at = static_cast<std::size_t>(
+              rng.uniform_int(0, static_cast<std::int64_t>(buf.size())));
+          const int n = static_cast<int>(rng.uniform_int(1, 8));
+          Buf ins;
+          for (int i = 0; i < n; ++i) ins.push_back(static_cast<std::uint8_t>(rng.next_u32()));
+          buf.insert(buf.begin() + static_cast<std::ptrdiff_t>(at), ins.begin(), ins.end());
+        }
+        break;
+      case 4:  // splice a prefix of another corpus entry
+        if (!corpus.empty()) {
+          const Buf& other = corpus[static_cast<std::size_t>(
+              rng.uniform_int(0, static_cast<std::int64_t>(corpus.size()) - 1))];
+          if (!other.empty() && buf.size() < 4096) {
+            const std::size_t n = static_cast<std::size_t>(
+                rng.uniform_int(1, static_cast<std::int64_t>(std::min<std::size_t>(other.size(), 64))));
+            buf.insert(buf.end(), other.begin(), other.begin() + static_cast<std::ptrdiff_t>(n));
+          }
+        }
+        break;
+      case 5:  // 0xff run: maximal varint continuation bytes
+        if (!buf.empty()) {
+          const std::size_t at = static_cast<std::size_t>(
+              rng.uniform_int(0, static_cast<std::int64_t>(buf.size()) - 1));
+          const std::size_t n =
+              std::min<std::size_t>(buf.size() - at, static_cast<std::size_t>(rng.uniform_int(1, 12)));
+          std::memset(buf.data() + at, 0xff, n);
+        }
+        break;
+      case 6:  // overwrite with a huge little-endian length
+        if (buf.size() >= 4) {
+          const std::size_t at = static_cast<std::size_t>(
+              rng.uniform_int(0, static_cast<std::int64_t>(buf.size()) - 4));
+          buf[at] = 0xff;
+          buf[at + 1] = 0xff;
+          buf[at + 2] = 0xff;
+          buf[at + 3] = 0x0f;
+        }
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<fs::path> inputs;
+  int mutations = 512;
+  std::uint64_t seed = 0x5eedf00dULL;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--mutations" && i + 1 < argc) {
+      mutations = std::atoi(argv[++i]);
+    } else if (arg == "--seed" && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 0);
+    } else {
+      inputs.emplace_back(arg);
+    }
+  }
+
+  // Phase 1: corpus replay, sorted for run-to-run determinism.
+  std::vector<fs::path> files;
+  for (const auto& in : inputs) {
+    if (fs::is_directory(in)) {
+      for (const auto& entry : fs::directory_iterator(in)) {
+        if (entry.is_regular_file()) files.push_back(entry.path());
+      }
+    } else if (fs::is_regular_file(in)) {
+      files.push_back(in);
+    }
+  }
+  std::sort(files.begin(), files.end());
+  std::vector<Buf> corpus;
+  corpus.reserve(files.size());
+  for (const auto& f : files) {
+    corpus.push_back(read_file(f));
+    run_one(corpus.back());
+  }
+
+  // Phase 2: structured mutations of corpus entries.
+  ndsm::Rng rng{seed};
+  for (int m = 0; m < mutations; ++m) {
+    Buf buf;
+    if (!corpus.empty()) {
+      buf = corpus[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(corpus.size()) - 1))];
+    }
+    mutate(buf, rng, corpus);
+    run_one(buf);
+  }
+
+  // Phase 3: pure-random probes.
+  for (int m = 0; m < mutations / 2; ++m) {
+    Buf buf(static_cast<std::size_t>(rng.uniform_int(0, 256)));
+    for (auto& b : buf) b = static_cast<std::uint8_t>(rng.next_u32());
+    run_one(buf);
+  }
+
+  std::printf("replayed %zu corpus files, %d mutations, %d random probes: OK\n",
+              corpus.size(), mutations, mutations / 2);
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Fuzz boundary: the discovery wire protocol — peek_kind plus every
+// per-kind decoder (register/ack/unregister/query/reply/replicate/
+// advertise), each over a fresh Reader so one decoder's consumption never
+// shields another. These decoders feed directory servers and distributed
+// responders directly from transport payloads, which on the UDP backend
+// are socket bytes. Property: no crash/UB, and decode_records never
+// allocates more than the input could honestly describe.
+
+#include "discovery/messages.hpp"
+#include "fuzz_target.hpp"
+
+using namespace ndsm;
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  const Bytes input(data, data + size);
+  (void)discovery::peek_kind(input);
+  {
+    serialize::Reader r{input};
+    (void)discovery::decode_register(r);
+  }
+  {
+    serialize::Reader r{input};
+    (void)discovery::decode_register_ack(r);
+  }
+  {
+    serialize::Reader r{input};
+    (void)discovery::decode_unregister(r);
+  }
+  {
+    serialize::Reader r{input};
+    if (auto q = discovery::decode_query(r)) {
+      // Round-trip: a decoded query re-encodes and decodes to the same id.
+      // (Encoders prepend the kind byte; decoders expect it consumed.)
+      const Bytes wire = discovery::encode_query(*q);
+      serialize::Reader r2{wire};
+      NDSM_FUZZ_CHECK(r2.u8().has_value());
+      const auto again = discovery::decode_query(r2);
+      NDSM_FUZZ_CHECK(again.has_value());
+      NDSM_FUZZ_CHECK(again->query_id == q->query_id);
+    }
+  }
+  {
+    serialize::Reader r{input};
+    if (auto reply = discovery::decode_query_reply(r)) {
+      NDSM_FUZZ_CHECK(reply->records.size() <= input.size());
+      const Bytes wire = discovery::encode_query_reply(*reply);
+      serialize::Reader r2{wire};
+      NDSM_FUZZ_CHECK(r2.u8().has_value());
+      const auto again = discovery::decode_query_reply(r2);
+      NDSM_FUZZ_CHECK(again.has_value());
+      NDSM_FUZZ_CHECK(again->records.size() == reply->records.size());
+    }
+  }
+  {
+    serialize::Reader r{input};
+    (void)discovery::decode_replicate(r);
+  }
+  {
+    serialize::Reader r{input};
+    if (auto records = discovery::decode_advertise(r)) {
+      NDSM_FUZZ_CHECK(records->size() <= input.size());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,27 @@
+// Fuzz boundary: the UdpStack datagram header — the very first parse any
+// socket byte reaches on the real backend. parse_wire_header must never
+// read past len, and a parsed header must survive an encode/parse round
+// trip bit-exactly (src, dst, proto).
+
+#include "fuzz_target.hpp"
+#include "net/udp_wire.hpp"
+
+using namespace ndsm;
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  const auto header = net::parse_wire_header(data, size);
+  if (!header) return 0;
+  NDSM_FUZZ_CHECK(size >= net::kUdpHeaderSize);
+
+  const Bytes payload(data + net::kUdpHeaderSize, data + size);
+  const Bytes wire = net::encode_wire_datagram(*header, payload);
+  NDSM_FUZZ_CHECK(wire.size() == size);
+  NDSM_FUZZ_CHECK(Bytes(data, data + size) == wire);
+
+  const auto again = net::parse_wire_header(wire.data(), wire.size());
+  NDSM_FUZZ_CHECK(again.has_value());
+  NDSM_FUZZ_CHECK(again->src == header->src);
+  NDSM_FUZZ_CHECK(again->dst == header->dst);
+  NDSM_FUZZ_CHECK(again->proto == header->proto);
+  return 0;
+}

@@ -30,6 +30,15 @@ rules the simulator's bit-determinism argument rests on:
   metric-name         Metric registrations in src/ follow the dotted
                       `component.metric` convention from src/obs
                       (lowercase, digits, underscores, >= one dot).
+  unchecked-reader    serialize::Reader primitive reads in src/ (outside
+                      src/serialize/ itself) must not discard the optional
+                      result or dereference it in the same expression
+                      (`r.u8();`, `(void)r.u8();`, `*r.varint()`,
+                      `r.id<NodeId>()->…`): on truncated or hostile wire
+                      bytes the optional is empty and the deref is UB,
+                      while a discarded read silently desynchronises the
+                      decode. Bind, check, then use — or annotate why the
+                      read cannot fail (e.g. the byte was already peeked).
 
 Any finding can be suppressed with a written reason, on the same line or
 the line directly above the construct:
@@ -101,6 +110,21 @@ METRIC_STRIPPED_RE = re.compile(r"\.(?:counter|gauge|histogram|set_labels)\(")
 METRIC_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z0-9_]+)+$")
 COMPARISON_RE = re.compile(r"==|!=|<=|>=")
 SIDE_EFFECT_RE = re.compile(r"\+\+|--|=")
+# Names declared (or taken as parameters) with type serialize::Reader.
+# `\bReader\b` cannot match inside identifiers like WalReader, so only
+# true Reader declarations seed the name set — Writer shares every method
+# name, and resolving through declarations is what keeps `w.varint(x)`
+# encode calls out of this rule.
+READER_DECL_RE = re.compile(r"\b(?:serialize::)?Reader\s*&?\s+(\w+)\b")
+READER_METHODS = (r"(?:u8|u16|u32|u64|varint|svarint|f64|boolean"
+                  r"|str|str_view|bytes|vec2|id)")
+# A whole statement that is nothing but a primitive read: result discarded.
+READER_DISCARD_RE = re.compile(
+    rf"^\s*(?:\(void\)\s*)?(\w+)\.{READER_METHODS}(?:<[\w:]+>)?\s*\([^()]*\)\s*;")
+# Immediate dereference of the returned optional: *r.u64() / r.id<T>()->…
+READER_DEREF_RE = re.compile(rf"\*\s*(\w+)\.{READER_METHODS}(?:<[\w:]+>)?\s*\(")
+READER_ARROW_RE = re.compile(
+    rf"\b(\w+)\.{READER_METHODS}(?:<[\w:]+>)?\s*\([^()]*\)\s*->")
 
 
 class Violation:
@@ -204,19 +228,22 @@ def extract_assert_arg(code_lines, ln, col):
     return "".join(arg)
 
 
-def unordered_decls_for(path, cache):
-    """Names declared as unordered containers in `path` and its .hpp/.cpp twin."""
+def decls_for(path, cache, kind):
+    """Declared names of `kind` in `path` and its .hpp/.cpp twin."""
     names = set()
     stem, _ = os.path.splitext(path)
     for ext in CXX_EXTENSIONS:
         twin = stem + ext
         if twin in cache:
-            names |= cache[twin]
+            names |= cache[twin][kind]
     return names
 
 
 def collect_decls(code_text):
-    return set(UNORDERED_DECL_RE.findall(code_text))
+    return {
+        "unordered": set(UNORDERED_DECL_RE.findall(code_text)),
+        "reader": set(READER_DECL_RE.findall(code_text)),
+    }
 
 
 def lint_file(root, rel, decl_cache, violations):
@@ -236,7 +263,11 @@ def lint_file(root, rel, decl_cache, violations):
     concurrency_exempt = rel.startswith(CONCURRENCY_EXEMPT_PREFIXES)
     ordering = rel.startswith(ORDERING_DIRS)
     in_src = rel.startswith("src/")
-    unordered_names = unordered_decls_for(rel, decl_cache) if ordering else set()
+    unordered_names = decls_for(rel, decl_cache, "unordered") if ordering else set()
+    # The serialize module is the one place raw primitive reads are the
+    # point (the Reader implementation and its immediate composites).
+    reader_rule = in_src and not rel.startswith("src/serialize/")
+    reader_names = decls_for(rel, decl_cache, "reader") if reader_rule else set()
 
     for ln, line in enumerate(code_lines, 1):
         if not clock_exempt:
@@ -292,6 +323,32 @@ def lint_file(root, rel, decl_cache, violations):
                     "assert() argument has a side effect — NDEBUG builds "
                     "strip it, changing behaviour between build types"))
 
+        if reader_names:
+            m = READER_DISCARD_RE.match(line)
+            if (m and m.group(1) in reader_names
+                    and not allowed(allows, ln, "unchecked-reader")):
+                violations.append(Violation(
+                    rel, ln, "unchecked-reader",
+                    f"discarded result of `{m.group(1)}.<read>()` — a "
+                    "truncated frame passes silently and desynchronises the "
+                    "decode; check the optional or annotate why it cannot fail"))
+            for m in READER_DEREF_RE.finditer(line):
+                if (m.group(1) in reader_names
+                        and not allowed(allows, ln, "unchecked-reader")):
+                    violations.append(Violation(
+                        rel, ln, "unchecked-reader",
+                        f"unguarded `*{m.group(1)}.<read>()` — the optional is "
+                        "empty on truncated/hostile input and the dereference "
+                        "is UB; bind and check it first"))
+            for m in READER_ARROW_RE.finditer(line):
+                if (m.group(1) in reader_names
+                        and not allowed(allows, ln, "unchecked-reader")):
+                    violations.append(Violation(
+                        rel, ln, "unchecked-reader",
+                        f"unguarded `{m.group(1)}.<read>()->` — the optional is "
+                        "empty on truncated/hostile input and the dereference "
+                        "is UB; bind and check it first"))
+
         if in_src and METRIC_STRIPPED_RE.search(line):
             # The call is detected on comment-stripped code, but the name
             # itself must come from the raw line (literals are blanked).
@@ -333,7 +390,7 @@ def run_lint(root, rels=None):
             with open(os.path.join(root, rel), encoding="utf-8") as f:
                 decl_cache[rel] = collect_decls(strip_comments_and_strings(f.read()))
         except OSError:
-            decl_cache[rel] = set()
+            decl_cache[rel] = {"unordered": set(), "reader": set()}
     violations = []
     for rel in rels:
         lint_file(root, rel, decl_cache, violations)
@@ -455,6 +512,49 @@ SELF_TEST_CASES = [
      "#include <thread>\n"
      "void f() { std::thread t([] {}); t.join(); }\n",
      {"raw-concurrency"}),
+    # Unchecked Reader reads: a discarded read, an immediate `*` deref and
+    # an immediate `->` deref each fire; the checked bind-then-use and the
+    # Writer's identically-named encode calls stay silent.
+    ("src/discovery/unchecked_decode.cpp",
+     "#include \"serialize/codec.hpp\"\n"
+     "void f(serialize::Reader& r) {\n"
+     "  r.u8();\n"
+     "  (void)r.varint();\n"
+     "  auto n = *r.u64();\n"
+     "  auto id = r.id<NodeId>()->value();\n"
+     "  (void)n; (void)id;\n"
+     "}\n"
+     "void g(serialize::Writer& w) {\n"
+     "  w.u8(1);\n"
+     "  w.varint(7);\n"
+     "}\n"
+     "bool ok(serialize::Reader& r) {\n"
+     "  const auto v = r.u32();\n"
+     "  if (!v) return false;\n"
+     "  return *v > 0;\n"
+     "}\n",
+     {"unchecked-reader"}),
+    # The deref pattern is caught through the .hpp/.cpp twin: the Reader
+    # member is declared in the header, the bad read in the source.
+    ("src/transport/decode_via_header.cpp",
+     "#include \"decode_via_header.hpp\"\n"
+     "std::uint64_t D::seq() { return *reader_.varint(); }\n",
+     {"unchecked-reader"}),
+    # A reasoned allow() on a kind-byte skip passes (the peek_kind idiom).
+    ("src/discovery/peeked_kind.cpp",
+     "#include \"serialize/codec.hpp\"\n"
+     "void f(serialize::Reader& r) {\n"
+     "  // ndsm-lint: allow(unchecked-reader): kind byte validated by peek\n"
+     "  (void)r.u8();\n"
+     "}\n",
+     set()),
+    # src/serialize/ itself is exempt: raw primitive reads are the point.
+    ("src/serialize/reader_impl_selftest.cpp",
+     "#include \"serialize/codec.hpp\"\n"
+     "namespace serialize {\n"
+     "std::uint8_t peek(Reader& r) { return *r.u8(); }\n"
+     "}\n",
+     set()),
     # The tracing layer is NOT exempt: trace ids and event timestamps must
     # come from the sim clock and the deterministic id allocator, never
     # wall time or raw randomness — otherwise traced and untraced runs
@@ -471,6 +571,9 @@ SELF_TEST_HEADERS = {
     "src/routing/iter_via_header.hpp":
         "#include <unordered_map>\n"
         "struct C { std::unordered_map<int, int> seen_; };\n",
+    "src/transport/decode_via_header.hpp":
+        "#include \"serialize/codec.hpp\"\n"
+        "struct D { serialize::Reader reader_; std::uint64_t seq(); };\n",
 }
 
 

@@ -160,6 +160,7 @@ void CentralizedDiscovery::on_message(NodeId /*src*/, const Bytes& frame) {
   const auto kind = peek_kind(frame);
   if (!kind) return;
   serialize::Reader r{frame};
+  // ndsm-lint: allow(unchecked-reader): kind byte just validated by peek_kind
   (void)r.u8();
   switch (*kind) {
     case MsgKind::kQueryReply: {

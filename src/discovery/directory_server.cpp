@@ -164,7 +164,8 @@ void DirectoryServer::on_message(NodeId src, const Bytes& frame) {
   const auto kind = peek_kind(frame);
   if (!kind) return;
   serialize::Reader r{frame};
-  (void)r.u8();  // consume the kind byte
+  // ndsm-lint: allow(unchecked-reader): kind byte just validated by peek_kind
+  (void)r.u8();
   switch (*kind) {
     case MsgKind::kRegister: {
       auto record = decode_register(r);

@@ -195,6 +195,7 @@ void DistributedDiscovery::on_flood(NodeId origin, const Bytes& frame) {
   const auto kind = peek_kind(frame);
   if (!kind) return;
   serialize::Reader r{frame};
+  // ndsm-lint: allow(unchecked-reader): kind byte just validated by peek_kind
   (void)r.u8();
   switch (*kind) {
     case MsgKind::kQuery: {
@@ -229,6 +230,7 @@ void DistributedDiscovery::on_unicast(NodeId /*src*/, const Bytes& frame) {
   const auto kind = peek_kind(frame);
   if (!kind || *kind != MsgKind::kQueryReply) return;
   serialize::Reader r{frame};
+  // ndsm-lint: allow(unchecked-reader): kind byte just validated by peek_kind
   (void)r.u8();
   auto reply = decode_query_reply(r);
   if (!reply) return;

@@ -95,6 +95,7 @@ void GossipDiscovery::on_gossip(NodeId src, const Bytes& frame) {
   const auto kind = peek_kind(frame);
   if (!kind || *kind != MsgKind::kAdvertise) return;
   serialize::Reader r{frame};
+  // ndsm-lint: allow(unchecked-reader): kind byte just validated by peek_kind
   (void)r.u8();
   auto records = decode_advertise(r);
   if (!records) return;

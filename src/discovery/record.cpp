@@ -34,10 +34,14 @@ void encode_records(serialize::Writer& w, const std::vector<ServiceRecord>& reco
 }
 
 std::optional<std::vector<ServiceRecord>> decode_records(serialize::Reader& r) {
+  // A record encodes to well over one byte, so remaining() bounds any
+  // honest count. Without this clamp a hostile count prefix (2^60) would
+  // hit reserve() and allocate unbounded memory before the first record
+  // decode could fail.
   const auto n = r.varint();
-  if (!n) return std::nullopt;
+  if (!n || *n > r.remaining()) return std::nullopt;
   std::vector<ServiceRecord> out;
-  out.reserve(*n);
+  out.reserve(static_cast<std::size_t>(*n));
   for (std::uint64_t i = 0; i < *n; ++i) {
     auto rec = ServiceRecord::decode(r);
     if (!rec) return std::nullopt;

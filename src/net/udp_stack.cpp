@@ -21,27 +21,13 @@
 
 #include "common/clock.hpp"
 #include "common/log.hpp"
+#include "net/udp_wire.hpp"
 
 namespace ndsm::net {
 
 namespace {
 
-// Wire header for every datagram: magic + version guard against stray
-// traffic on the port range, then the LinkFrame envelope.
-constexpr std::uint8_t kMagic[4] = {'N', 'D', 'S', 'M'};
-constexpr std::uint8_t kWireVersion = 1;
-constexpr std::size_t kHeaderSize = 4 + 1 + 1 + 8 + 8;  // magic ver proto src dst
 constexpr std::size_t kMaxDatagram = 65000;
-
-void put_u64(Bytes& out, std::uint64_t v) {
-  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
-}
-
-std::uint64_t get_u64(const std::uint8_t* p) {
-  std::uint64_t v = 0;
-  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
-  return v;
-}
 
 [[nodiscard]] Time monotonic_micros() {
   timespec ts{};
@@ -102,6 +88,11 @@ UdpStack::UdpStack(NodeId self, UdpStackConfig config)
                              std::to_string(unicast_port()) + ": " + std::strerror(errno));
   }
   online_ = true;
+  metrics_.set_labels("net.udp", static_cast<std::int64_t>(self_.value()));
+  metrics_.counter("net.udp.datagrams_sent", &stats_.datagrams_sent);
+  metrics_.counter("net.udp.datagrams_received", &stats_.datagrams_received);
+  metrics_.counter("net.udp.bad_datagrams", &stats_.bad_datagrams);
+  metrics_.counter("net.udp.frames_dropped", &stats_.frames_dropped);
   // Stamp log/trace records with this process's monotonic stack time.
   bind_sim_clock(this, [](const void*) { return process_now(); });
 }
@@ -223,17 +214,10 @@ Status UdpStack::send_datagram(const Bytes& wire, std::uint16_t port, bool multi
 
 Status UdpStack::send_frame(NodeId dst, Proto proto, Bytes payload) {
   if (!online_) return {ErrorCode::kResourceExhausted, "stack is link-down"};
-  if (payload.size() + kHeaderSize > kMaxDatagram) {
+  if (payload.size() + kUdpHeaderSize > kMaxDatagram) {
     return {ErrorCode::kInvalidArgument, "frame exceeds datagram limit"};
   }
-  Bytes wire;
-  wire.reserve(kHeaderSize + payload.size());
-  wire.assign(std::begin(kMagic), std::end(kMagic));
-  wire.push_back(kWireVersion);
-  wire.push_back(static_cast<std::uint8_t>(proto));
-  put_u64(wire, self_.value());
-  put_u64(wire, dst.value());
-  wire.insert(wire.end(), payload.begin(), payload.end());
+  const Bytes wire = encode_wire_datagram({proto, self_, dst}, payload);
   if (dst == kBroadcast) {
     if (using_multicast()) return send_datagram(wire, config_.multicast_port, true);
     Status status = Status::ok();
@@ -260,13 +244,14 @@ void UdpStack::set_frame_handler(Proto proto, FrameHandler handler) {
 void UdpStack::clear_frame_handler(Proto proto) { handlers_.erase(proto); }
 
 void UdpStack::on_datagram(const std::uint8_t* data, std::size_t len) {
-  if (len < kHeaderSize || std::memcmp(data, kMagic, 4) != 0 || data[4] != kWireVersion) {
-    stats_.frames_dropped++;
+  const auto header = parse_wire_header(data, len);
+  if (!header) {
+    // Hostile or stray traffic (the fuzz target udp_wire exercises this
+    // path): count it separately and never look past the header check.
+    stats_.bad_datagrams++;
     return;
   }
-  const auto proto = static_cast<Proto>(data[5]);
-  const NodeId src{get_u64(data + 6)};
-  const NodeId dst{get_u64(data + 14)};
+  const auto [proto, src, dst] = *header;
   // Own multicast echo (IP_MULTICAST_LOOP): the sim never delivers a
   // broadcast back to its sender, so neither do we.
   if (src == self_) return;
@@ -280,7 +265,7 @@ void UdpStack::on_datagram(const std::uint8_t* data, std::size_t len) {
   frame.medium = MediumId::invalid();
   frame.proto = proto;
   frame.payload_buf =
-      std::make_shared<const Bytes>(data + kHeaderSize, data + len);
+      std::make_shared<const Bytes>(data + kUdpHeaderSize, data + len);
   const auto it = handlers_.find(proto);
   if (it == handlers_.end()) {
     stats_.frames_dropped++;

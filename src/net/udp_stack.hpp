@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "net/stack.hpp"
+#include "obs/metrics.hpp"
 
 namespace ndsm::net {
 
@@ -58,7 +59,16 @@ struct UdpStats {
   std::uint64_t datagrams_received = 0;
   std::uint64_t bytes_sent = 0;
   std::uint64_t bytes_received = 0;
-  std::uint64_t frames_dropped = 0;  // malformed, wrong magic, or not for us
+  // Datagrams that failed wire-header validation: too short for the
+  // header, wrong magic, or unknown version. This is the hostile/stray
+  // traffic counter (DESIGN §15) — the socket is bound on loopback but
+  // anything on the host can write to it, so these are counted and
+  // dropped, never parsed further.
+  std::uint64_t bad_datagrams = 0;
+  // Well-formed frames we discarded anyway: addressed to another node,
+  // or no handler bound for the proto. Distinct from bad_datagrams so
+  // stray-traffic noise never masks a demux/wiring problem.
+  std::uint64_t frames_dropped = 0;
   std::uint64_t timers_fired = 0;
 };
 
@@ -150,6 +160,7 @@ class UdpStack final : public Stack {
   std::map<std::uint64_t, Timer> timers_;
   std::map<std::pair<Time, std::uint64_t>, std::uint64_t> by_deadline_;
   UdpStats stats_;
+  obs::MetricGroup metrics_;  // declared after stats_: views outlive their source
 };
 
 }  // namespace ndsm::net

@@ -1,0 +1,72 @@
+#pragma once
+// Wire header carried by every UdpStack datagram: a magic + version guard
+// against stray traffic on the port range, then the LinkFrame envelope
+// (proto, src, dst). Split out of udp_stack.cpp so the parser — the very
+// first code hostile socket bytes reach — is directly fuzzable without
+// opening sockets (fuzz/targets/udp_wire.cpp).
+//
+// Contract (DESIGN §15): parse_wire_header never reads past `len`, never
+// allocates, and fails closed (nullopt) on short datagrams, bad magic or
+// an unknown version. The payload is whatever follows the fixed header.
+
+#include <cstdint>
+#include <cstring>
+#include <optional>
+
+#include "common/bytes.hpp"
+#include "common/ids.hpp"
+#include "net/frame.hpp"
+
+namespace ndsm::net {
+
+inline constexpr std::uint8_t kUdpMagic[4] = {'N', 'D', 'S', 'M'};
+inline constexpr std::uint8_t kUdpWireVersion = 1;
+inline constexpr std::size_t kUdpHeaderSize = 4 + 1 + 1 + 8 + 8;  // magic ver proto src dst
+
+struct UdpWireHeader {
+  Proto proto = Proto::kApp;
+  NodeId src;
+  NodeId dst;
+};
+
+namespace detail {
+inline void put_u64(Bytes& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+inline std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+}  // namespace detail
+
+// Appends header + payload to a fresh wire buffer.
+[[nodiscard]] inline Bytes encode_wire_datagram(const UdpWireHeader& h, const Bytes& payload) {
+  Bytes wire;
+  wire.reserve(kUdpHeaderSize + payload.size());
+  wire.assign(std::begin(kUdpMagic), std::end(kUdpMagic));
+  wire.push_back(kUdpWireVersion);
+  wire.push_back(static_cast<std::uint8_t>(h.proto));
+  detail::put_u64(wire, h.src.value());
+  detail::put_u64(wire, h.dst.value());
+  wire.insert(wire.end(), payload.begin(), payload.end());
+  return wire;
+}
+
+// Header of a received datagram, or nullopt for short / bad-magic /
+// bad-version input. A parsed header says nothing about the payload —
+// upper-layer decoders re-validate everything after kUdpHeaderSize.
+[[nodiscard]] inline std::optional<UdpWireHeader> parse_wire_header(const std::uint8_t* data,
+                                                                    std::size_t len) {
+  if (data == nullptr || len < kUdpHeaderSize) return std::nullopt;
+  if (std::memcmp(data, kUdpMagic, sizeof(kUdpMagic)) != 0) return std::nullopt;
+  if (data[4] != kUdpWireVersion) return std::nullopt;
+  UdpWireHeader h;
+  h.proto = static_cast<Proto>(data[5]);
+  h.src = NodeId{detail::get_u64(data + 6)};
+  h.dst = NodeId{detail::get_u64(data + 14)};
+  return h;
+}
+
+}  // namespace ndsm::net

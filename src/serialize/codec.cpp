@@ -82,17 +82,22 @@ std::optional<std::uint64_t> Reader::u64() {
 }
 
 std::optional<std::uint64_t> Reader::varint() {
+  // LEB128, at most kMaxVarintBytes (10) bytes. Non-canonical encodings of
+  // in-range values (e.g. 0x80 0x00 for zero) are accepted — the tests pin
+  // that — but anything that cannot fit 64 bits fails: an 11th
+  // continuation byte, or a 10th byte carrying bits beyond bit 63. The old
+  // decoder silently discarded those high bits, so two distinct byte
+  // strings decoded to the same value — a canonicalization hole a hostile
+  // peer could use to slip duplicates past byte-level dedup.
   std::uint64_t v = 0;
-  int shift = 0;
-  while (true) {
+  for (int shift = 0; shift < 64; shift += 7) {
     const auto b = u8();
     if (!b) return std::nullopt;
-    if (shift >= 64) return std::nullopt;  // overlong encoding
+    if (shift == 63 && (*b & 0xfe) != 0) return std::nullopt;  // overflows 64 bits
     v |= static_cast<std::uint64_t>(*b & 0x7f) << shift;
-    if ((*b & 0x80) == 0) break;
-    shift += 7;
+    if ((*b & 0x80) == 0) return v;
   }
-  return v;
+  return std::nullopt;  // > 10 bytes
 }
 
 std::optional<std::int64_t> Reader::svarint() {
@@ -122,18 +127,25 @@ std::optional<std::string> Reader::str() {
 }
 
 std::optional<std::string_view> Reader::str_view() {
+  // Clamp the length prefix against remaining() BEFORE any use: a hostile
+  // prefix (say 2^60) must fail here, never reach an allocator or pointer
+  // arithmetic. remaining() bounds the honest maximum — the bytes must
+  // actually be present in the buffer.
   const auto n = varint();
-  if (!n || !need(*n)) return std::nullopt;
-  const std::string_view s{reinterpret_cast<const char*>(data_ + pos_), *n};
-  pos_ += *n;
+  if (!n || *n > remaining()) return std::nullopt;
+  const std::string_view s{reinterpret_cast<const char*>(data_ + pos_),
+                           static_cast<std::size_t>(*n)};
+  pos_ += static_cast<std::size_t>(*n);
   return s;
 }
 
 std::optional<Bytes> Reader::bytes() {
+  // Same clamp-before-allocate contract as str_view(): the Bytes copy is
+  // only constructed once the prefix is known to fit the buffer.
   const auto n = varint();
-  if (!n || !need(*n)) return std::nullopt;
-  Bytes b(data_ + pos_, data_ + pos_ + *n);
-  pos_ += *n;
+  if (!n || *n > remaining()) return std::nullopt;
+  Bytes b(data_ + pos_, data_ + pos_ + static_cast<std::size_t>(*n));
+  pos_ += static_cast<std::size_t>(*n);
   return b;
 }
 

@@ -17,6 +17,10 @@
 
 namespace ndsm::serialize {
 
+// A 64-bit LEB128 varint is at most 10 bytes; Reader::varint rejects
+// longer (or 64-bit-overflowing) encodings as corrupt.
+inline constexpr std::size_t kMaxVarintBytes = 10;
+
 // Encoded length of a LEB128 varint — lets encoders compute exact size
 // hints up front.
 [[nodiscard]] constexpr std::size_t varint_size(std::uint64_t v) {
@@ -74,6 +78,12 @@ class Writer {
 // Reader returns std::optional on primitive reads; a std::nullopt means the
 // buffer was truncated or corrupt. Composite decoders surface that as
 // ErrorCode::kCorrupt.
+//
+// Adversarial-input contract (DESIGN §15): every read validates length
+// prefixes against remaining() before allocating or advancing, varint
+// rejects overlong/overflowing LEB128, and no input byte string can cause
+// UB or an allocation larger than the input itself. These primitives are
+// fuzzed directly (fuzz/targets/value_decode.cpp).
 class Reader {
  public:
   explicit Reader(const Bytes& data) : data_(data.data()), size_(data.size()) {}

@@ -60,7 +60,16 @@ void Value::encode(Writer& w) const {
   }
 }
 
-std::optional<Value> Value::decode(Reader& r) {
+namespace {
+std::optional<Value> decode_at_depth(Reader& r, int depth);
+}  // namespace
+
+std::optional<Value> Value::decode(Reader& r) { return decode_at_depth(r, 0); }
+
+namespace {
+std::optional<Value> decode_at_depth(Reader& r, int depth) {
+  using Type = Value::Type;
+  if (depth >= Value::kMaxDecodeDepth) return std::nullopt;  // hostile nesting
   const auto tag = r.u8();
   if (!tag || *tag > static_cast<std::uint8_t>(Type::kTypeOnly)) return std::nullopt;
   switch (static_cast<Type>(*tag)) {
@@ -99,12 +108,14 @@ std::optional<Value> Value::decode(Reader& r) {
       return Value{std::move(*v)};
     }
     case Type::kList: {
+      // Every element costs >= 1 byte, so remaining() bounds any honest
+      // count — a larger prefix is hostile and must fail before reserve().
       const auto n = r.varint();
       if (!n || *n > r.remaining()) return std::nullopt;
       ValueList list;
-      list.reserve(*n);
+      list.reserve(static_cast<std::size_t>(*n));
       for (std::uint64_t i = 0; i < *n; ++i) {
-        auto v = decode(r);
+        auto v = decode_at_depth(r, depth + 1);
         if (!v) return std::nullopt;
         list.push_back(std::move(*v));
       }
@@ -117,7 +128,7 @@ std::optional<Value> Value::decode(Reader& r) {
       for (std::uint64_t i = 0; i < *n; ++i) {
         auto k = r.str();
         if (!k) return std::nullopt;
-        auto v = decode(r);
+        auto v = decode_at_depth(r, depth + 1);
         if (!v) return std::nullopt;
         map.emplace(std::move(*k), std::move(*v));
       }
@@ -126,6 +137,7 @@ std::optional<Value> Value::decode(Reader& r) {
   }
   return std::nullopt;
 }
+}  // namespace
 
 std::size_t Value::encoded_size() const {
   std::size_t n = 1;  // type tag
@@ -255,10 +267,13 @@ Bytes encode_tuple(const Tuple& t) {
 
 Result<Tuple> decode_tuple(const Bytes& data) {
   Reader r{data};
+  // Each element is at least its one-byte tag, so remaining() is a hard
+  // upper bound on any honest element count; reserve() only runs after
+  // the hostile-prefix case is ruled out.
   const auto n = r.varint();
-  if (!n || *n > r.remaining() + 1) return Status{ErrorCode::kCorrupt, "tuple header"};
+  if (!n || *n > r.remaining()) return Status{ErrorCode::kCorrupt, "tuple header"};
   Tuple t;
-  t.reserve(*n);
+  t.reserve(static_cast<std::size_t>(*n));
   for (std::uint64_t i = 0; i < *n; ++i) {
     auto v = Value::decode(r);
     if (!v) return Status{ErrorCode::kCorrupt, "tuple element"};

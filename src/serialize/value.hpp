@@ -79,6 +79,12 @@ class Value {
   // type; concrete values must be equal.
   [[nodiscard]] bool matches(const Value& actual) const;
 
+  // Nesting bound for decode(): deeper inputs fail as corrupt. Encoded
+  // depth costs ~2 bytes per level, so a 64 KB hostile frame could
+  // otherwise drive ~32k recursive calls and overflow the stack; no honest
+  // encoder in this codebase nests past single digits.
+  static constexpr int kMaxDecodeDepth = 64;
+
   void encode(Writer& w) const;
   static std::optional<Value> decode(Reader& r);
 

@@ -30,6 +30,7 @@ obs::Histogram& ReliableTransport::register_metrics() {
   metrics_.counter("transport.reliable.retransmissions", &stats_.retransmissions);
   metrics_.counter("transport.reliable.acks_sent", &stats_.acks_sent);
   metrics_.counter("transport.reliable.duplicates_dropped", &stats_.duplicates_dropped);
+  metrics_.counter("transport.reliable.malformed_dropped", &stats_.malformed_dropped);
   metrics_.counter("transport.reliable.stale_epoch_dropped", &stats_.stale_epoch_dropped);
   metrics_.counter("transport.reliable.reassemblies_expired", &stats_.reassemblies_expired);
   metrics_.counter("transport.reliable.payload_bytes_sent", &stats_.payload_bytes_sent);
@@ -68,6 +69,10 @@ std::size_t ReliableTransport::fragment_count(std::size_t payload_size) const {
 }
 
 Status ReliableTransport::send(NodeId dst, Port port, Bytes payload, CompletionHandler done) {
+  if (fragment_count(payload.size()) > config_.max_fragments_per_message) {
+    return Status{ErrorCode::kInvalidArgument,
+                  "payload exceeds max_fragments_per_message"};
+  }
   stats_.messages_sent++;
   stats_.payload_bytes_sent += payload.size();
   // Every send gets a wire span: continue the caller's trace if one is
@@ -214,15 +219,24 @@ void ReliableTransport::finish(std::uint64_t msg_id, Status status) {
 }
 
 void ReliableTransport::on_frame(NodeId src, const Bytes& frame) {
+  // Untrusted-byte boundary (DESIGN §15): on the UDP backend these bytes
+  // come straight off a socket. Every malformed shape fails closed into
+  // stats_.malformed_dropped; nothing in here may assert on wire content.
   serialize::Reader r{frame};
   const auto kind = r.u8();
-  if (!kind) return;
+  if (!kind) {
+    stats_.malformed_dropped++;
+    return;
+  }
   switch (static_cast<FrameKind>(*kind)) {
     case FrameKind::kFragment:
       on_fragment(src, r);
       break;
     case FrameKind::kAck:
       on_ack(src, r);
+      break;
+    default:
+      stats_.malformed_dropped++;
       break;
   }
 }
@@ -272,7 +286,11 @@ void ReliableTransport::on_fragment(NodeId src, serialize::Reader& r) {
   const auto count = r.varint();
   auto data = r.bytes();
   if (!epoch || !msg_id || !port || !index || !count || !data || *count == 0 ||
-      *index >= *count) {
+      *index >= *count || *count > config_.max_fragments_per_message) {
+    // Truncated fields, a zero/oversized count, or an out-of-range index:
+    // drop before any state (or the ack below) is touched. The count bound
+    // is what keeps the resize() sizing the reassembly buffers honest.
+    stats_.malformed_dropped++;
     return;
   }
   const obs::TraceContext ctx = obs::decode_trace(r);
@@ -323,7 +341,7 @@ void ReliableTransport::on_fragment(NodeId src, serialize::Reader& r) {
   }
   auto& in = inbox_[{src, *msg_id}];
   if (in.fragments.empty()) {
-    in.fragments.resize(*count);
+    in.fragments.resize(*count);  // bounded by max_fragments_per_message above
     in.have.assign(*count, false);
     in.port = *port;
     // Arm the reassembly GC: if the sender gives up (retries exhausted)
@@ -333,7 +351,10 @@ void ReliableTransport::on_fragment(NodeId src, serialize::Reader& r) {
         config_.reassembly_timeout,
         [this, src, id] { on_reassembly_timeout(src, id); });
   }
-  if (*count != in.fragments.size()) return;  // inconsistent sender
+  if (*count != in.fragments.size()) {  // count changed mid-message: hostile or bug
+    stats_.malformed_dropped++;
+    return;
+  }
   in.last_fragment_at = router_.stack().now();
   if (in.have[*index]) {
     stats_.duplicates_dropped++;
@@ -394,7 +415,10 @@ void ReliableTransport::on_ack(NodeId src, serialize::Reader& r) {
   const auto epoch = r.varint();
   const auto msg_id = r.varint();
   const auto index = r.varint();
-  if (!epoch || !msg_id || !index) return;
+  if (!epoch || !msg_id || !index) {
+    stats_.malformed_dropped++;
+    return;
+  }
   const obs::TraceContext ctx = obs::decode_trace(r);
   if (*epoch != epoch_) {
     // An ack echoing another incarnation's epoch (delayed from before our

@@ -44,6 +44,11 @@ struct TransportConfig {
   double rto_backoff = 2.0;
   int max_retries = 5;
   std::size_t dedup_window = 1024;  // completed-message ids remembered per peer
+  // Upper bound on the fragment count a single message may declare, on
+  // both sides: send() rejects larger payloads up front, and the receiver
+  // drops fragments declaring more (a hostile count would otherwise size
+  // the reassembly buffers — a 2^60 prefix is an OOM, not a message).
+  std::size_t max_fragments_per_message = 4096;
   // A partially reassembled inbound message whose sender has gone quiet
   // for this long is discarded (the sender has exhausted its retries long
   // before; without this, one lost tail fragment leaks reassembly state
@@ -59,6 +64,15 @@ struct TransportStats {
   std::uint64_t retransmissions = 0;
   std::uint64_t acks_sent = 0;
   std::uint64_t duplicates_dropped = 0;
+  // Frames that failed wire validation: truncated/corrupt fields, unknown
+  // frame kinds, zero or oversized fragment counts, inconsistent counts
+  // across one message. Decoders fail closed — a malformed frame is
+  // counted and dropped, never asserted on. Simulated bytes are only ever
+  // produced by our own Writer, so in any sim run this staying zero is an
+  // encoder-correctness invariant (the chaos soak pins it); nonzero counts
+  // are expected only from real sockets (net::UdpStack) fed hostile or
+  // stray datagrams.
+  std::uint64_t malformed_dropped = 0;
   std::uint64_t stale_epoch_dropped = 0;   // frames/acks from a pre-restart peer incarnation
   std::uint64_t reassemblies_expired = 0;  // half-received messages GC'd
   std::uint64_t payload_bytes_sent = 0;

@@ -56,6 +56,7 @@ struct ChaosReport {
   std::size_t live_transactions = 0;
   std::uint64_t directory_rehydrated = 0;
   std::uint64_t milan_samples = 0;
+  std::uint64_t malformed_dropped = 0;  // hostile/corrupt frames seen (§15)
   net::FaultStats faults;
 };
 
@@ -255,6 +256,9 @@ std::string chaos_run(std::uint64_t seed, ChaosReport* report = nullptr) {
     for (const auto& mgr : consumer_mgrs) report->live_transactions += mgr->active_count();
     report->directory_rehydrated = directory->stats().records_rehydrated;
     report->milan_samples = engine.stats().samples_delivered;
+    for (std::size_t i = 0; i < kNodes; ++i) {
+      report->malformed_dropped += lan.transport(i).stats().malformed_dropped;
+    }
     report->faults = faults.stats();
   }
 
@@ -278,7 +282,7 @@ std::string chaos_run(std::uint64_t seed, ChaosReport* report = nullptr) {
     const auto& ts = lan.transport(i).stats();
     dump << '|' << ts.messages_sent << ',' << ts.messages_delivered << ','
          << ts.messages_failed << ',' << ts.retransmissions << ',' << ts.duplicates_dropped
-         << ',' << ts.stale_epoch_dropped;
+         << ',' << ts.stale_epoch_dropped << ',' << ts.malformed_dropped;
   }
   return dump.str();
 }
@@ -312,6 +316,11 @@ TEST(Chaos, SoakHoldsInvariantsUnderComposedFaults) {
     EXPECT_GT(report.tx_samples[c], 0) << "consumer " << c;
   }
   EXPECT_EQ(report.live_transactions, 0u);
+
+  // Fault injection corrupts delivery, never frame contents: across the
+  // whole soak no transport may ever have classified a frame as malformed
+  // (a nonzero count here means the stack itself emits bad bytes).
+  EXPECT_EQ(report.malformed_dropped, 0u);
 
   // The directory came back from its torn WAL with real records.
   EXPECT_GE(report.directory_rehydrated, 1u);

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "common/rng.hpp"
 #include "recovery/store.hpp"
 #include "recovery/wal.hpp"
 
@@ -183,6 +184,53 @@ TEST(WalReplay, CleanLogReportsNothingDropped) {
   EXPECT_EQ(report.records_replayed, 1u);
   EXPECT_FALSE(report.torn());
   EXPECT_FALSE(report.mid_log_corruption());
+}
+
+// Satellite regression (DESIGN §15): a storage image an attacker wrote
+// wholesale — random noise, a hostile length field, an empty record — must
+// replay without crashing, and the accounting invariant
+// replayed + dropped == storage.size() must hold on every shape.
+TEST(WalReplay, HostileStorageImageFailsClosed) {
+  Rng rng{0xbadbeef};
+  for (int trial = 0; trial < 64; ++trial) {
+    StableStorage storage;
+    const auto n = rng.uniform_int(1, 6);
+    for (int i = 0; i < n; ++i) {
+      Bytes rec;
+      const auto len = rng.uniform_int(0, 64);
+      for (int b = 0; b < len; ++b) {
+        rec.push_back(static_cast<std::uint8_t>(rng.next_u32()));
+      }
+      (void)storage.append(std::move(rec));
+    }
+    WriteAheadLog wal(storage);
+    const auto records = wal.replay();
+    const auto& report = wal.last_replay();
+    EXPECT_EQ(records.size(), report.records_replayed) << trial;
+    EXPECT_EQ(report.records_replayed + report.records_dropped, storage.size())
+        << trial;
+  }
+}
+
+TEST(WalReplay, HugeDeclaredKeyLengthRejected) {
+  StableStorage storage;
+  WriteAheadLog wal(storage);
+  wal.append(LogKind::kPut, 1, "real", Value{1});
+  // Hand-craft a record whose key length claims 2^60 bytes, with a VALID
+  // integrity digest so the decode reaches the length clamp — the digest
+  // proves integrity, not honesty, and must not be the only defence.
+  serialize::Writer w;
+  w.varint(2);  // lsn
+  w.u8(static_cast<std::uint8_t>(LogKind::kPut));
+  w.varint(2);           // txn
+  w.varint(1ULL << 60);  // hostile key length — must not allocate
+  w.u64(fnv1a(w.data()));
+  (void)storage.append(std::move(w).take());
+  const auto records = wal.replay();
+  const auto& report = wal.last_replay();
+  EXPECT_EQ(records.size(), 1u);  // the real record replays, the bomb drops
+  EXPECT_EQ(report.records_replayed + report.records_dropped, storage.size());
+  EXPECT_EQ(report.records_dropped, 1u);
 }
 
 TEST_F(StoreTest, CorruptCheckpointFallsBackToOlder) {

@@ -94,6 +94,65 @@ TEST(Codec, TruncatedStringFails) {
   EXPECT_FALSE(r.str().has_value());
 }
 
+// Satellite regression (DESIGN §15): a length prefix claiming 2^60 bytes
+// must be rejected by the remaining()-clamp before any allocation — the
+// old code called resize(declared) and died on hostile input.
+TEST(Codec, HostileLengthPrefixRejectedWithoutAllocating) {
+  Writer w;
+  w.varint(1ULL << 60);
+  w.u8(0xaa);  // one actual byte behind the 2^60 claim
+  const Bytes hostile = w.data();
+  {
+    Reader r{hostile};
+    EXPECT_FALSE(r.bytes().has_value());
+  }
+  {
+    Reader r{hostile};
+    EXPECT_FALSE(r.str().has_value());
+  }
+  {
+    Reader r{hostile};
+    EXPECT_FALSE(r.str_view().has_value());
+  }
+}
+
+// Pin the varint wire contract: LEB128, at most kMaxVarintBytes (10)
+// bytes, and the 10th byte may only carry bit 0 (63 shift bits already
+// consumed). Overlong-but-in-range encodings stay accepted — peers may
+// emit them — which this test pins so a future "canonical only" change
+// is a deliberate wire break, not an accident.
+TEST(Codec, VarintEncodingLimits) {
+  // Non-canonical two-byte zero: 0x80 0x00 decodes to 0.
+  {
+    const Bytes overlong_zero{0x80, 0x00};
+    Reader r{overlong_zero};
+    EXPECT_EQ(r.varint(), 0u);
+    EXPECT_TRUE(r.exhausted());
+  }
+  // Max u64 uses exactly 10 bytes and decodes.
+  {
+    Writer w;
+    w.varint(std::numeric_limits<std::uint64_t>::max());
+    EXPECT_EQ(w.size(), kMaxVarintBytes);
+    Reader r{w.data()};
+    EXPECT_EQ(r.varint(), std::numeric_limits<std::uint64_t>::max());
+  }
+  // A 10th byte carrying any bit above bit 0 overflows u64: reject.
+  {
+    Bytes overflow(9, 0x80);
+    overflow.push_back(0x02);
+    Reader r{overflow};
+    EXPECT_FALSE(r.varint().has_value());
+  }
+  // An 11-byte encoding is rejected even if it would decode in range.
+  {
+    Bytes overlong(10, 0x80);
+    overlong.push_back(0x00);
+    Reader r{overlong};
+    EXPECT_FALSE(r.varint().has_value());
+  }
+}
+
 TEST(Codec, EmptyStringAndBytes) {
   Writer w;
   w.str("");
@@ -161,6 +220,24 @@ TEST(Value, TruncatedListFails) {
   Bytes data = v.to_bytes();
   data.resize(data.size() - 1);
   EXPECT_FALSE(Value::from_bytes(data).is_ok());
+}
+
+// Satellite: every strict prefix of a nested encoding fails closed into
+// kCorrupt — no crash, no partial value, no wrong error code.
+TEST(Value, TruncationAtEveryOffsetFailsClosed) {
+  ValueMap inner;
+  inner.emplace("temp", Value{21.5});
+  inner.emplace("tags", Value{ValueList{Value{"a"}, Value{Bytes{1, 2, 3}}}});
+  const Value v{ValueList{Value{std::int64_t{-7}}, Value{inner},
+                          Value{"trailing string"}}};
+  const Bytes full = v.to_bytes();
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    const Bytes prefix{full.begin(), full.begin() + static_cast<std::ptrdiff_t>(cut)};
+    const auto decoded = Value::from_bytes(prefix);
+    ASSERT_FALSE(decoded.is_ok()) << "prefix length " << cut;
+    EXPECT_EQ(decoded.code(), ErrorCode::kCorrupt) << "prefix length " << cut;
+  }
+  EXPECT_TRUE(Value::from_bytes(full).is_ok());
 }
 
 TEST(Value, HugeDeclaredListRejected) {

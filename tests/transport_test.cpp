@@ -148,6 +148,50 @@ TEST(Transport, NoDuplicateDeliveryUnderLoss) {
   EXPECT_EQ(delivered, 10);  // exactly once each despite retransmits
 }
 
+// Satellite regression (DESIGN §15): hostile transport frames — garbage,
+// truncations, and a fragment header claiming 2^60 total fragments — are
+// counted into malformed_dropped and the transport keeps working. The
+// 2^60 case used to resize() the reassembly vector to the declared count.
+TEST(Transport, MalformedFramesCountedAndDropped) {
+  Lan lan{2};
+  Bytes got;
+  lan.transport(1).set_receiver(ports::kApp, [&](NodeId, const Bytes& b) { got = b; });
+
+  const auto inject = [&](Bytes frame) {
+    ASSERT_TRUE(lan.router(0)
+                    .send(lan.nodes[1], net::Proto::kTransport, std::move(frame))
+                    .is_ok());
+  };
+  inject(Bytes{});                     // empty frame
+  inject(Bytes{0xff, 0xfe, 0xfd});     // unknown kind
+  inject(Bytes{1});                    // fragment kind, then nothing
+  {
+    serialize::Writer w;  // fragment claiming 2^60 total fragments
+    w.u8(1);              // kFragment
+    w.varint(1);          // epoch
+    w.varint(99);         // msg id
+    w.u16(ports::kApp);
+    w.varint(0);          // index
+    w.varint(1ULL << 60); // hostile count
+    w.bytes(to_bytes("overflow"));
+    inject(std::move(w).take());
+  }
+  {
+    serialize::Writer w;  // ack truncated after the epoch
+    w.u8(2);              // kAck
+    w.varint(1);
+    inject(std::move(w).take());
+  }
+  lan.sim.run_until(duration::seconds(1));
+  EXPECT_EQ(lan.transport(1).stats().malformed_dropped, 5u);
+  EXPECT_EQ(lan.transport(1).stats().messages_delivered, 0u);
+
+  // The transport is still fully functional afterwards.
+  ASSERT_TRUE(lan.transport(0).send(lan.nodes[1], ports::kApp, to_bytes("alive")).is_ok());
+  lan.sim.run_until(duration::seconds(2));
+  EXPECT_EQ(to_string(got), "alive");
+}
+
 TEST(Transport, FailureReportedWhenPeerDead) {
   Lan lan{2};
   lan.world.kill(lan.nodes[1]);

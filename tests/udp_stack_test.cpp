@@ -8,6 +8,8 @@
 #include "net/udp_stack.hpp"
 
 #include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <functional>
@@ -18,6 +20,7 @@
 
 #include "discovery/centralized.hpp"
 #include "discovery/directory_server.hpp"
+#include "net/udp_wire.hpp"
 #include "node/runtime.hpp"
 #include "transport/ports.hpp"
 
@@ -109,6 +112,52 @@ TEST(UdpStackTest, BroadcastFallsBackToUnicastFanout) {
   c.set_frame_handler(net::Proto::kRouting, [&](const net::LinkFrame&) { c_got++; });
   ASSERT_TRUE(a.broadcast_frame(net::Proto::kRouting, to_bytes("beacon")).is_ok());
   ASSERT_TRUE(pump({&a, &b, &c}, [&] { return b_got == 1 && c_got == 1; }));
+}
+
+// Satellite regression (DESIGN §15): datagrams that are not NDSM wire —
+// empty, truncated header, wrong magic, wrong version, pure noise — are
+// counted into bad_datagrams and never reach a frame handler, and the
+// stack keeps serving well-formed traffic afterwards.
+TEST(UdpStackTest, HostileDatagramsCountedAndDropped) {
+  const std::uint16_t base = next_port_base();
+  const std::vector<NodeId> ids{NodeId{1}, NodeId{2}};
+  net::UdpStack a{ids[0], fleet_config(base, ids)};
+  net::UdpStack b{ids[1], fleet_config(base, ids)};
+
+  int got = 0;
+  b.set_frame_handler(net::Proto::kApp, [&](const net::LinkFrame&) { got++; });
+
+  const int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(base + ids[1].value()));
+  const auto blast = [&](const Bytes& wire) {
+    ASSERT_EQ(::sendto(fd, wire.data(), wire.size(), 0,
+                       reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)),
+              static_cast<ssize_t>(wire.size()));
+  };
+
+  blast(Bytes{});                        // zero-length datagram
+  blast(Bytes{'N', 'D', 'S'});           // truncated mid-magic
+  Bytes bad_magic =
+      net::encode_wire_datagram({net::Proto::kApp, ids[0], ids[1]}, to_bytes("x"));
+  bad_magic[0] ^= 0xff;
+  blast(bad_magic);                      // wrong magic
+  Bytes bad_version =
+      net::encode_wire_datagram({net::Proto::kApp, ids[0], ids[1]}, to_bytes("x"));
+  bad_version[4] = 99;
+  blast(bad_version);                    // unknown wire version
+  blast(Bytes(64, 0xa5));                // noise long enough to parse
+
+  // A well-formed frame sent after the garbage still gets through.
+  ASSERT_TRUE(a.send_frame(ids[1], net::Proto::kApp, to_bytes("alive")).is_ok());
+  ASSERT_TRUE(pump({&a, &b},
+                   [&] { return got == 1 && b.stats().bad_datagrams == 5; }));
+  EXPECT_EQ(b.stats().bad_datagrams, 5u);
+  EXPECT_EQ(got, 1);
+  ::close(fd);
 }
 
 TEST(UdpStackTest, HandlerDemuxAndClear) {
