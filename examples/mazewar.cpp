@@ -1,0 +1,102 @@
+// Mazewar over the middleware — the README flagship-app quickstart. The
+// same apps::mazewar::Player runs on both backends:
+//
+//   ./mazewar sim [players] [seconds]       # deterministic simulation
+//   ./mazewar udp <id> <players> [port_base] [seconds]
+//                                           # one OS process per player
+//
+// Sim mode hosts every player in one deterministic World and prints the
+// final scoreboard plus the twin-run digest. UDP mode is one player per
+// process on loopback: start `./mazewar udp 1 3`, `./mazewar udp 2 3`,
+// `./mazewar udp 3 3` in three terminals and watch the scores converge.
+
+#include <csignal>
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "apps/mazewar/mazewar.hpp"
+#include "common/log.hpp"
+#include "net/link_spec.hpp"
+#include "net/udp_stack.hpp"
+#include "net/world.hpp"
+#include "net/world_stack.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+void on_signal(int) { g_stop = 1; }
+
+void print_scoreboard(const ndsm::apps::mazewar::Player& player) {
+  const auto& self = player.self_state();
+  std::cout << "  node " << player.stats().states_sent << " ticks | score "
+            << self.score << " | hits " << player.stats().hits_confirmed
+            << " | deaths " << player.stats().hits_suffered << " | peers "
+            << player.peers().size() << " | staleness p95 "
+            << player.staleness().quantile(0.95) << " ms\n";
+}
+
+int run_sim(std::size_t players, int seconds) {
+  using namespace ndsm;
+  sim::Simulator sim(42);
+  net::World world(sim);
+  const MediumId medium = world.add_medium(net::ethernet100());
+  std::vector<std::unique_ptr<net::WorldStack>> stacks;
+  std::vector<std::unique_ptr<apps::mazewar::Player>> rats;
+  for (std::size_t i = 0; i < players; ++i) {
+    const NodeId id = world.add_node(Vec2{static_cast<double>(i) * 5.0, 0.0});
+    world.attach(id, medium);
+    stacks.push_back(std::make_unique<net::WorldStack>(world, id));
+    rats.push_back(std::make_unique<apps::mazewar::Player>(*stacks.back()));
+  }
+  sim.run_until(duration::seconds(seconds));
+  std::cout << "mazewar: " << players << " players, " << seconds
+            << "s of game time (sim digest " << sim.digest() << ")\n";
+  for (const auto& rat : rats) print_scoreboard(*rat);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ndsm;
+  const std::string mode = argc > 1 ? argv[1] : "";
+  if (mode == "sim") {
+    const auto players = static_cast<std::size_t>(argc > 2 ? std::atoi(argv[2]) : 8);
+    const int seconds = argc > 3 ? std::atoi(argv[3]) : 30;
+    return run_sim(players, seconds);
+  }
+  if (mode != "udp" || argc < 4) {
+    std::cerr << "usage: mazewar sim [players] [seconds]\n"
+              << "       mazewar udp <id> <players> [port_base] [seconds]\n";
+    return 64;
+  }
+  const auto id = static_cast<std::uint32_t>(std::atoi(argv[2]));
+  const auto players = static_cast<std::uint32_t>(std::atoi(argv[3]));
+  const auto base = static_cast<std::uint16_t>(argc > 4 ? std::atoi(argv[4]) : 45000);
+  const int seconds = argc > 5 ? std::atoi(argv[5]) : 60;
+  if (id == 0 || players == 0 || id > players) {
+    std::cerr << "mazewar: id must be in [1, players]\n";
+    return 64;
+  }
+  Logger::instance().set_level(LogLevel::kWarn);
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+
+  net::UdpStackConfig cfg;
+  cfg.port_base = base;
+  for (std::uint32_t n = 1; n <= players; ++n) cfg.peers.push_back(NodeId{n});
+  net::UdpStack stack{NodeId{id}, cfg};
+  apps::mazewar::Player player{stack};
+  std::cout << "mazewar: player " << id << "/" << players << " on 127.0.0.1:"
+            << stack.unicast_port() << "; ctrl-c to leave\n";
+  const Time until = stack.now() + duration::seconds(seconds);
+  stack.run_until([&] { return g_stop != 0 || stack.now() >= until; },
+                  duration::seconds(seconds));
+  player.leave();
+  stack.run_for(duration::millis(200));  // flush the leave + final acks
+  print_scoreboard(player);
+  return 0;
+}

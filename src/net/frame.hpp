@@ -18,6 +18,12 @@ enum class Proto : std::uint8_t {
   kTransport = 3,
   kDiscovery = 4,
   kApp = 5,
+  // Application-layer frames that ride the raw link (deliberately below
+  // the reliable transport): Mazewar gossips game state lossy-and-often,
+  // ReplFS multicasts bulk write blocks and recovers gaps via its 2PC
+  // control path on the transport (DESIGN §16).
+  kMazewar = 6,
+  kReplfsData = 7,
 };
 
 constexpr NodeId kBroadcast = NodeId{0xfffffffffffffffULL - 1};

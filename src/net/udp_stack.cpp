@@ -93,6 +93,8 @@ UdpStack::UdpStack(NodeId self, UdpStackConfig config)
   metrics_.counter("net.udp.datagrams_received", &stats_.datagrams_received);
   metrics_.counter("net.udp.bad_datagrams", &stats_.bad_datagrams);
   metrics_.counter("net.udp.frames_dropped", &stats_.frames_dropped);
+  metrics_.counter("net.udp.polls", &stats_.polls);
+  metrics_.counter("net.udp.eintr_retries", &stats_.eintr_retries);
   // Stamp log/trace records with this process's monotonic stack time.
   bind_sim_clock(this, [](const void*) { return process_now(); });
 }
@@ -204,8 +206,12 @@ Status UdpStack::send_datagram(const Bytes& wire, std::uint16_t port, bool multi
   } else {
     addr = loopback_addr(port);
   }
-  const ssize_t n = sendto(ucast_fd_, wire.data(), wire.size(), 0,
-                           reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  ssize_t n = -1;
+  do {
+    n = sendto(ucast_fd_, wire.data(), wire.size(), 0,
+               reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+    if (n < 0 && errno == EINTR) stats_.eintr_retries++;
+  } while (n < 0 && errno == EINTR);
   if (n < 0) return {ErrorCode::kUnavailable, std::strerror(errno)};
   stats_.datagrams_sent++;
   stats_.bytes_sent += wire.size();
@@ -280,7 +286,15 @@ void UdpStack::drain_fd(int fd) {
   std::uint8_t buf[kMaxDatagram + 512];
   while (true) {
     const ssize_t n = recv(fd, buf, sizeof(buf), 0);
-    if (n < 0) return;  // EAGAIN/EWOULDBLOCK: drained
+    if (n < 0) {
+      if (errno == EINTR) {
+        // A signal landed mid-recv: the datagram is still queued, keep
+        // draining rather than abandoning it until the next poll wakeup.
+        stats_.eintr_retries++;
+        continue;
+      }
+      return;  // EAGAIN/EWOULDBLOCK: drained
+    }
     stats_.datagrams_received++;
     stats_.bytes_received += static_cast<std::uint64_t>(n);
     on_datagram(buf, static_cast<std::size_t>(n));
@@ -337,12 +351,35 @@ bool UdpStack::poll_once(Time max_wait) {
   if (ucast_fd_ >= 0) fds[nfds++] = {ucast_fd_, POLLIN, 0};
   if (mcast_recv_fd_ >= 0) fds[nfds++] = {mcast_recv_fd_, POLLIN, 0};
 
+  stats_.polls++;
   int ready = 0;
   if (nfds > 0) {
-    ready = ::poll(fds, nfds, static_cast<int>(wait / 1000));
+    // ppoll with the exact microsecond timespec. The old int-millisecond
+    // ::poll truncated sub-millisecond waits to a 0 ms timeout, so a
+    // timer deadline <1 ms away made run_for/run_until hot-loop at 100%
+    // CPU until the deadline passed. Retry on EINTR for the remaining
+    // wait — a signal is not "ready" and must not shorten the sleep.
+    const Time wait_until = now() + wait;
+    while (true) {
+      Time left = wait_until - now();
+      if (left < 0) left = 0;
+      timespec ts{left / 1000000, (left % 1000000) * 1000};
+      ready = ::ppoll(fds, nfds, &ts, nullptr);
+      if (ready >= 0 || errno != EINTR) break;
+      stats_.eintr_retries++;
+      if (now() >= wait_until) {
+        ready = 0;
+        break;
+      }
+    }
+    if (ready < 0) ready = 0;  // non-EINTR failure: treat as idle pass
   } else if (wait > 0) {
     timespec ts{wait / 1000000, (wait % 1000000) * 1000};
-    nanosleep(&ts, nullptr);
+    timespec rem{};
+    while (nanosleep(&ts, &rem) != 0 && errno == EINTR) {
+      stats_.eintr_retries++;
+      ts = rem;
+    }
   }
   for (nfds_t i = 0; i < nfds; ++i) {
     if ((fds[i].revents & POLLIN) != 0) drain_fd(fds[i].fd);

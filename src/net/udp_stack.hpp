@@ -70,6 +70,16 @@ struct UdpStats {
   // stray-traffic noise never masks a demux/wiring problem.
   std::uint64_t frames_dropped = 0;
   std::uint64_t timers_fired = 0;
+  // One increment per poll_once() pass. The idle loop must block in
+  // ppoll for the real remaining wait, so polls stays proportional to
+  // timers_fired + datagrams — not to CPU speed. A busy-spin regression
+  // (e.g. truncating a sub-millisecond wait to a 0 ms poll timeout)
+  // shows up here as polls exploding past the timer count; pinned by
+  // UdpStackTest.IdleLoopDoesNotBusySpin.
+  std::uint64_t polls = 0;
+  // Syscalls (ppoll/sendto/recvfrom/nanosleep) retried after EINTR.
+  // Signals must never surface as send errors or dropped datagrams.
+  std::uint64_t eintr_retries = 0;
 };
 
 class UdpStack final : public Stack {

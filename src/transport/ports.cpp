@@ -15,6 +15,7 @@ const char* name(Port port) {
     case kDiscoveryReplyDist: return "discovery-reply-distributed";
     case kHandoff: return "handoff";
     case kGossip: return "gossip";
+    case kReplfs: return "replfs";
     case kApp: return "app";
     default: return "unassigned";
   }

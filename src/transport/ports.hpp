@@ -29,6 +29,7 @@ constexpr Port kDiscoveryReplyCent = 8;  // centralized-client replies
 constexpr Port kDiscoveryReplyDist = 9;  // distributed-client replies
 constexpr Port kHandoff = 10;
 constexpr Port kGossip = 11;
+constexpr Port kReplfs = 12;             // ReplFS 2PC control (apps/replfs)
 constexpr Port kApp = 100;
 
 // Human-readable name for a well-known port ("app+N" ports and unknown

@@ -152,6 +152,33 @@ TEST(Gossip, FanoutLargerThanPeerSetIsSafe) {
   EXPECT_GE(net.clients[1]->cache_size(), 1u);
 }
 
+// Audit pin (ISSUE 10 satellite): lease expiry and cache TTL are distinct
+// clocks, and match_known honours the lease on cached copies. A provider
+// that dies stops renewing its lease; once that lease lapses, queries must
+// come back empty on every node even though the cache TTL — much longer —
+// has not aged the entry out yet. (consider() rejects rec.expired(now) on
+// both the local_ and cache_ paths; this pins the cache path.)
+TEST(Gossip, ExpiredLeaseRejectedLongBeforeCacheTtl) {
+  GossipConfig cfg;
+  cfg.cache_entry_ttl = duration::seconds(600);  // TTL alone would keep it
+  GossipNet net{4, cfg};
+  net.clients[3]->register_service(svc(), duration::seconds(5));
+  net.sim.run_until(duration::seconds(10));
+  ASSERT_GE(net.clients[0]->cache_size(), 1u);  // spread while renewed
+
+  // The provider goes silent: the lease stops being renewed and runs out.
+  net.world.kill(net.nodes[3]);
+  net.sim.run_until(duration::seconds(20));
+
+  std::vector<ServiceRecord> found{ServiceRecord{}};
+  net.clients[0]->query(wants(), [&](std::vector<ServiceRecord> r) { found = r; }, 4,
+                        duration::seconds(1));
+  net.sim.run_until(net.sim.now() + duration::millis(10));
+  EXPECT_TRUE(found.empty()) << "expired-lease record served from cache";
+  // Well inside the cache TTL: only the lease can have disqualified it.
+  ASSERT_LT(net.sim.now(), duration::seconds(600));
+}
+
 TEST(Gossip, OwnServicesNeverEnterOwnCache) {
   GossipNet net{3};
   net.clients[0]->register_service(svc(), duration::seconds(600));

@@ -10,8 +10,11 @@
 #include <gtest/gtest.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
+#include <csignal>
+#include <ctime>
 #include <functional>
 #include <map>
 #include <memory>
@@ -260,6 +263,114 @@ TEST(UdpStackTest, ForkedRngStreamsDiffer) {
   Rng r1 = a.fork_rng(1);
   Rng r2 = a.fork_rng(2);
   EXPECT_NE(r1.next_u64(), r2.next_u64());
+}
+
+// Satellite bugfix pin: poll_once used to pass its wait to ::poll as int
+// milliseconds, so a timer deadline under 1 ms away truncated to a 0 ms
+// timeout and the run loop hot-spun at 100% CPU until the deadline
+// passed. With exact ppoll timespecs, a 5 ms periodic timer costs a
+// handful of polls per firing, not thousands.
+TEST(UdpStackTest, SubMillisecondTimerWaitsDoNotBusySpin) {
+  const std::uint16_t base = next_port_base();
+  net::UdpStack a{NodeId{1}, fleet_config(base, {NodeId{1}})};
+
+  int fires = 0;
+  net::PeriodicTimer timer{a, duration::millis(5), [&] { fires++; }};
+  timer.start();
+  a.run_for(duration::millis(200));
+  timer.stop();
+
+  EXPECT_GE(fires, 20);  // nominal 40; generous for loaded CI hosts
+  // ~1 poll per firing plus kernel-rounding wakeups. Pre-fix this was
+  // tens of thousands (one spin per scheduler quantum).
+  EXPECT_LE(a.stats().polls, 500u);
+}
+
+// Satellite bugfix pin: every syscall in the stack (ppoll, sendto,
+// recvfrom) must retry on EINTR. A no-op SIGALRM handler installed
+// without SA_RESTART makes the kernel interrupt them constantly; traffic
+// must still flow and the retries must be visible in the stats.
+TEST(UdpStackTest, SyscallsRetryAfterSignalInterruption) {
+  const std::uint16_t base = next_port_base();
+  const std::vector<NodeId> ids{NodeId{1}, NodeId{2}};
+  net::UdpStack a{ids[0], fleet_config(base, ids)};
+  net::UdpStack b{ids[1], fleet_config(base, ids)};
+
+  struct sigaction sa {};
+  struct sigaction old_sa {};
+  sa.sa_handler = [](int) {};
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // deliberately no SA_RESTART
+  ASSERT_EQ(sigaction(SIGALRM, &sa, &old_sa), 0);
+  itimerval interval{};
+  itimerval old_interval{};
+  interval.it_interval.tv_usec = 2000;  // fire every 2 ms
+  interval.it_value.tv_usec = 2000;
+  ASSERT_EQ(setitimer(ITIMER_REAL, &interval, &old_interval), 0);
+
+  int got = 0;
+  b.set_frame_handler(net::Proto::kApp, [&](const net::LinkFrame&) { got++; });
+  bool sends_ok = true;
+  for (int i = 0; i < 10; ++i) {
+    sends_ok = sends_ok &&
+               a.send_frame(ids[1], net::Proto::kApp,
+                            to_bytes("sig-" + std::to_string(i)))
+                   .is_ok();
+  }
+  const bool delivered = pump({&a, &b}, [&] { return got == 10; });
+  // A long idle wait is guaranteed to eat several SIGALRMs mid-ppoll.
+  a.run_for(duration::millis(50));
+
+  itimerval stop{};
+  setitimer(ITIMER_REAL, &stop, nullptr);
+  sigaction(SIGALRM, &old_sa, nullptr);
+
+  EXPECT_TRUE(sends_ok);
+  ASSERT_TRUE(delivered);
+  EXPECT_EQ(got, 10);
+  EXPECT_GE(a.stats().eintr_retries + b.stats().eintr_retries, 1u);
+}
+
+// Satellite coverage: run_until consults the predicate before the
+// timeout, so a zero budget still reports an already-true condition, and
+// a false one returns immediately instead of hanging.
+TEST(UdpStackTest, RunUntilChecksPredicateBeforeTimeout) {
+  const std::uint16_t base = next_port_base();
+  net::UdpStack a{NodeId{1}, fleet_config(base, {NodeId{1}})};
+  EXPECT_TRUE(a.run_until([] { return true; }, 0));
+  EXPECT_FALSE(a.run_until([] { return false; }, 0));
+
+  // Timeout placed exactly on a timer deadline: the deadline-side poll
+  // wakes at-or-after it, the timer fires, and the predicate verdict wins
+  // over the simultaneous timeout.
+  bool fired = false;
+  a.schedule_after(duration::millis(30), [&] { fired = true; });
+  EXPECT_TRUE(a.run_until([&] { return fired; }, duration::millis(30)));
+}
+
+TEST(UdpStackTest, RunForZeroDurationReturnsWithoutPolling) {
+  const std::uint16_t base = next_port_base();
+  net::UdpStack a{NodeId{1}, fleet_config(base, {NodeId{1}})};
+  const std::uint64_t polls_before = a.stats().polls;
+  a.run_for(0);
+  EXPECT_EQ(a.stats().polls, polls_before);
+}
+
+// Satellite coverage: several deadlines already in the past when the loop
+// next runs — one poll_once drains them all, in deadline order.
+TEST(UdpStackTest, BackloggedDeadlinesDrainInOrderInOneWakeup) {
+  const std::uint16_t base = next_port_base();
+  net::UdpStack a{NodeId{1}, fleet_config(base, {NodeId{1}})};
+
+  std::vector<int> order;
+  a.schedule_after(duration::millis(3), [&] { order.push_back(3); });
+  a.schedule_after(duration::millis(1), [&] { order.push_back(1); });
+  a.schedule_after(duration::millis(2), [&] { order.push_back(2); });
+  timespec ts{0, 10 * 1000 * 1000};  // let all three deadlines lapse
+  nanosleep(&ts, nullptr);
+  a.poll_once(duration::millis(1));
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(a.pending_timers(), 0u);
 }
 
 // The acceptance-criteria path, in-process: three Runtimes on three
